@@ -1,0 +1,128 @@
+//! Ablation benches for the design choices called out in DESIGN.md:
+//! transform ("compile") time per strategy, trigger variants, and the
+//! interpreter's baseline throughput.
+
+use criterion::{BenchmarkId, Criterion};
+use isf_bench::{both_kinds, criterion, instrumented, module, opts, run_with};
+use isf_core::{instrument_module, Strategy};
+use isf_exec::Trigger;
+use isf_instr::ModulePlan;
+
+fn transform_time(c: &mut Criterion) {
+    let base = module("javac");
+    let plan = ModulePlan::build(&base, &both_kinds());
+    let mut g = c.benchmark_group("ablation/transform_time");
+    for strategy in [
+        Strategy::Exhaustive,
+        Strategy::FullDuplication,
+        Strategy::PartialDuplication,
+        Strategy::NoDuplication,
+    ] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(strategy),
+            &strategy,
+            |b, &s| b.iter(|| instrument_module(&base, &plan, &opts(s)).unwrap()),
+        );
+    }
+    g.finish();
+}
+
+fn trigger_variants(c: &mut Criterion) {
+    let base = module("pbob");
+    let full = instrumented(&base, &both_kinds(), &opts(Strategy::FullDuplication));
+    let mut g = c.benchmark_group("ablation/triggers");
+    g.bench_function("global_counter", |b| {
+        b.iter(|| run_with(&full, Trigger::Counter { interval: 101 }))
+    });
+    g.bench_function("per_thread_counter", |b| {
+        b.iter(|| run_with(&full, Trigger::CounterPerThread { interval: 101 }))
+    });
+    g.bench_function("randomized_counter", |b| {
+        b.iter(|| {
+            run_with(
+                &full,
+                Trigger::CounterRandomized {
+                    interval: 101,
+                    jitter: 25,
+                    seed: 7,
+                },
+            )
+        })
+    });
+    g.bench_function("timer_bit", |b| {
+        b.iter(|| run_with(&full, Trigger::TimerBit { period: 10_007 }))
+    });
+    g.finish();
+}
+
+fn optimize_then_instrument(c: &mut Criterion) {
+    // Jalapeño instruments O2 code (paper §4.1); compare sampling overhead
+    // on optimized vs unoptimized code.
+    let w = isf_workloads::by_name("javac", isf_workloads::Scale::Smoke).unwrap();
+    let plain = w.compile();
+    let optimized = isf_frontend::compile_optimized(w.source()).unwrap();
+    let plain_full = instrumented(&plain, &both_kinds(), &opts(Strategy::FullDuplication));
+    let opt_full = instrumented(&optimized, &both_kinds(), &opts(Strategy::FullDuplication));
+    let mut g = c.benchmark_group("ablation/optimizer");
+    g.bench_function("baseline_unoptimized", |b| {
+        b.iter(|| run_with(&plain, Trigger::Never))
+    });
+    g.bench_function("baseline_optimized", |b| {
+        b.iter(|| run_with(&optimized, Trigger::Never))
+    });
+    g.bench_function("sampling_unoptimized", |b| {
+        b.iter(|| run_with(&plain_full, Trigger::Counter { interval: 101 }))
+    });
+    g.bench_function("sampling_optimized", |b| {
+        b.iter(|| run_with(&opt_full, Trigger::Counter { interval: 101 }))
+    });
+    g.finish();
+}
+
+fn selective_instrumentation(c: &mut Criterion) {
+    use std::collections::HashSet;
+    // The adaptive deployment: hot methods only vs everything.
+    let base = module("jess");
+    let plan = ModulePlan::build(&base, &both_kinds());
+    let all = instrumented(&base, &both_kinds(), &opts(Strategy::FullDuplication));
+    let scout = run_with(&all, Trigger::Counter { interval: 53 });
+    let hot: HashSet<_> = isf_profile::hotness::functions_covering(&scout.profile, 0.9)
+        .into_iter()
+        .collect();
+    let (selective, _) = isf_core::instrument_module_selective(
+        &base,
+        &plan,
+        &opts(Strategy::FullDuplication),
+        &hot,
+    )
+    .unwrap();
+    let mut g = c.benchmark_group("ablation/selective");
+    g.bench_function("all_methods", |b| {
+        b.iter(|| run_with(&all, Trigger::Counter { interval: 101 }))
+    });
+    g.bench_function("hot_methods_only", |b| {
+        b.iter(|| run_with(&selective, Trigger::Counter { interval: 101 }))
+    });
+    g.finish();
+}
+
+fn interpreter_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation/interpreter");
+    for name in ["compress", "db", "opt_compiler"] {
+        let base = module(name);
+        g.bench_with_input(BenchmarkId::from_parameter(name), &base, |b, m| {
+            b.iter(|| run_with(m, Trigger::Never))
+        });
+    }
+    g.finish();
+}
+
+fn main() {
+    let mut c = criterion();
+    transform_time(&mut c);
+    trigger_variants(&mut c);
+    optimize_then_instrument(&mut c);
+    selective_instrumentation(&mut c);
+    interpreter_throughput(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,36 @@
+//! Figure 7 in wall-clock form: collecting the javac call-edge profile
+//! exhaustively vs sampled (the figure's interval-1000 analogue).
+
+use criterion::Criterion;
+use isf_bench::{criterion, instrumented, module, opts, run_with};
+use isf_core::Strategy;
+use isf_exec::Trigger;
+use isf_instr::CallEdgeInstrumentation;
+
+fn bench(c: &mut Criterion) {
+    let base = module("javac");
+    let exhaustive = instrumented(
+        &base,
+        &[&CallEdgeInstrumentation],
+        &opts(Strategy::Exhaustive),
+    );
+    let sampled = instrumented(
+        &base,
+        &[&CallEdgeInstrumentation],
+        &opts(Strategy::FullDuplication),
+    );
+    let mut g = c.benchmark_group("fig7/javac");
+    g.bench_function("perfect_profile", |b| {
+        b.iter(|| run_with(&exhaustive, Trigger::Never))
+    });
+    g.bench_function("sampled_profile", |b| {
+        b.iter(|| run_with(&sampled, Trigger::Counter { interval: 37 }))
+    });
+    g.finish();
+}
+
+fn main() {
+    let mut c = criterion();
+    bench(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,43 @@
+//! Figure 8 in wall-clock form: the Jalapeño-specific yieldpoint
+//! optimization against plain Full-Duplication, framework-only and
+//! while sampling.
+
+use criterion::Criterion;
+use isf_bench::{both_kinds, criterion, instrumented, module, run_with};
+use isf_core::{Options, Strategy};
+use isf_exec::Trigger;
+
+fn bench(c: &mut Criterion) {
+    for name in ["compress", "mpegaudio"] {
+        let base = module(name);
+        let plain = instrumented(&base, &[], &Options::new(Strategy::FullDuplication));
+        let opt = instrumented(
+            &base,
+            &[],
+            &Options::new(Strategy::FullDuplication).with_yieldpoint_optimization(),
+        );
+        let opt_sampling = instrumented(
+            &base,
+            &both_kinds(),
+            &Options::new(Strategy::FullDuplication).with_yieldpoint_optimization(),
+        );
+        let mut g = c.benchmark_group(format!("fig8/{name}"));
+        g.bench_function("baseline", |b| b.iter(|| run_with(&base, Trigger::Never)));
+        g.bench_function("framework_plain", |b| {
+            b.iter(|| run_with(&plain, Trigger::Never))
+        });
+        g.bench_function("framework_yieldpoint_opt", |b| {
+            b.iter(|| run_with(&opt, Trigger::Never))
+        });
+        g.bench_function("sampling_yieldpoint_opt_1000", |b| {
+            b.iter(|| run_with(&opt_sampling, Trigger::Counter { interval: 1_000 }))
+        });
+        g.finish();
+    }
+}
+
+fn main() {
+    let mut c = criterion();
+    bench(&mut c);
+    c.final_summary();
+}

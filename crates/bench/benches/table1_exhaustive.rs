@@ -1,0 +1,39 @@
+//! Table 1 in wall-clock form: exhaustive call-edge and field-access
+//! instrumentation against the uninstrumented baseline, per benchmark.
+
+use criterion::Criterion;
+use isf_bench::{both_kinds, criterion, instrumented, module, opts, run_with};
+use isf_core::Strategy;
+use isf_exec::Trigger;
+use isf_instr::{CallEdgeInstrumentation, FieldAccessInstrumentation};
+
+fn bench(c: &mut Criterion) {
+    for name in ["compress", "jess", "db", "opt_compiler"] {
+        let base = module(name);
+        let call = instrumented(&base, &[&CallEdgeInstrumentation], &opts(Strategy::Exhaustive));
+        let field = instrumented(
+            &base,
+            &[&FieldAccessInstrumentation],
+            &opts(Strategy::Exhaustive),
+        );
+        let both = instrumented(&base, &both_kinds(), &opts(Strategy::Exhaustive));
+        let mut g = c.benchmark_group(format!("table1/{name}"));
+        g.bench_function("baseline", |b| b.iter(|| run_with(&base, Trigger::Never)));
+        g.bench_function("exhaustive_call_edge", |b| {
+            b.iter(|| run_with(&call, Trigger::Never))
+        });
+        g.bench_function("exhaustive_field_access", |b| {
+            b.iter(|| run_with(&field, Trigger::Never))
+        });
+        g.bench_function("exhaustive_both", |b| {
+            b.iter(|| run_with(&both, Trigger::Never))
+        });
+        g.finish();
+    }
+}
+
+fn main() {
+    let mut c = criterion();
+    bench(&mut c);
+    c.final_summary();
+}

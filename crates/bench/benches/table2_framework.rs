@@ -1,0 +1,48 @@
+//! Table 2 in wall-clock form: Full-Duplication framework overhead (no
+//! samples taken) and the checks-only breakdown configurations.
+
+use criterion::Criterion;
+use isf_bench::{criterion, instrumented, module, opts, run_with};
+use isf_core::Strategy;
+use isf_exec::Trigger;
+
+fn bench(c: &mut Criterion) {
+    for name in ["compress", "db", "javac"] {
+        let base = module(name);
+        let full = instrumented(&base, &[], &opts(Strategy::FullDuplication));
+        let backedges = instrumented(
+            &base,
+            &[],
+            &opts(Strategy::ChecksOnly {
+                entries: false,
+                backedges: true,
+            }),
+        );
+        let entries = instrumented(
+            &base,
+            &[],
+            &opts(Strategy::ChecksOnly {
+                entries: true,
+                backedges: false,
+            }),
+        );
+        let mut g = c.benchmark_group(format!("table2/{name}"));
+        g.bench_function("baseline", |b| b.iter(|| run_with(&base, Trigger::Never)));
+        g.bench_function("full_duplication_framework", |b| {
+            b.iter(|| run_with(&full, Trigger::Never))
+        });
+        g.bench_function("backedge_checks_only", |b| {
+            b.iter(|| run_with(&backedges, Trigger::Never))
+        });
+        g.bench_function("entry_checks_only", |b| {
+            b.iter(|| run_with(&entries, Trigger::Never))
+        });
+        g.finish();
+    }
+}
+
+fn main() {
+    let mut c = criterion();
+    bench(&mut c);
+    c.final_summary();
+}

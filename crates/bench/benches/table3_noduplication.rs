@@ -1,0 +1,39 @@
+//! Table 3 in wall-clock form: No-Duplication checking overhead for the
+//! cheap-to-guard (call-edge) vs pointless-to-guard (field-access) cases.
+
+use criterion::Criterion;
+use isf_bench::{criterion, instrumented, module, opts, run_with};
+use isf_core::Strategy;
+use isf_exec::Trigger;
+use isf_instr::{CallEdgeInstrumentation, FieldAccessInstrumentation};
+
+fn bench(c: &mut Criterion) {
+    for name in ["compress", "jess"] {
+        let base = module(name);
+        let call = instrumented(
+            &base,
+            &[&CallEdgeInstrumentation],
+            &opts(Strategy::NoDuplication),
+        );
+        let field = instrumented(
+            &base,
+            &[&FieldAccessInstrumentation],
+            &opts(Strategy::NoDuplication),
+        );
+        let mut g = c.benchmark_group(format!("table3/{name}"));
+        g.bench_function("baseline", |b| b.iter(|| run_with(&base, Trigger::Never)));
+        g.bench_function("nodup_call_edge_checks", |b| {
+            b.iter(|| run_with(&call, Trigger::Never))
+        });
+        g.bench_function("nodup_field_access_checks", |b| {
+            b.iter(|| run_with(&field, Trigger::Never))
+        });
+        g.finish();
+    }
+}
+
+fn main() {
+    let mut c = criterion();
+    bench(&mut c);
+    c.final_summary();
+}

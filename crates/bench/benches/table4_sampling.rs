@@ -1,0 +1,34 @@
+//! Table 4 in wall-clock form: total sampling cost across sample
+//! intervals, Full-Duplication vs No-Duplication, both instrumentations.
+
+use criterion::{BenchmarkId, Criterion};
+use isf_bench::{both_kinds, criterion, instrumented, module, opts, run_with};
+use isf_core::Strategy;
+use isf_exec::Trigger;
+
+fn bench(c: &mut Criterion) {
+    let base = module("jess");
+    let full = instrumented(&base, &both_kinds(), &opts(Strategy::FullDuplication));
+    let nodup = instrumented(&base, &both_kinds(), &opts(Strategy::NoDuplication));
+    let mut g = c.benchmark_group("table4/jess");
+    g.bench_function("baseline", |b| b.iter(|| run_with(&base, Trigger::Never)));
+    for interval in [1u64, 10, 100, 1_000, 10_000] {
+        g.bench_with_input(
+            BenchmarkId::new("full_duplication", interval),
+            &interval,
+            |b, &i| b.iter(|| run_with(&full, Trigger::Counter { interval: i })),
+        );
+        g.bench_with_input(
+            BenchmarkId::new("no_duplication", interval),
+            &interval,
+            |b, &i| b.iter(|| run_with(&nodup, Trigger::Counter { interval: i })),
+        );
+    }
+    g.finish();
+}
+
+fn main() {
+    let mut c = criterion();
+    bench(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,49 @@
+//! Table 5 in wall-clock form: counter-based vs timer-based triggers at a
+//! matched sample rate (field-access, Full-Duplication).
+
+use criterion::Criterion;
+use isf_bench::{criterion, instrumented, module, opts, run_with};
+use isf_core::Strategy;
+use isf_exec::Trigger;
+use isf_instr::FieldAccessInstrumentation;
+
+fn bench(c: &mut Criterion) {
+    let base = module("jack");
+    let full = instrumented(
+        &base,
+        &[&FieldAccessInstrumentation],
+        &opts(Strategy::FullDuplication),
+    );
+    // Match sample counts the way the harness does.
+    let probe = run_with(&full, Trigger::Never);
+    let interval = (probe.checks_executed / 120).max(3) | 1;
+    let counter = run_with(&full, Trigger::Counter { interval });
+    let period = (counter.cycles / counter.samples_taken.max(1)).max(1);
+
+    let mut g = c.benchmark_group("table5/jack");
+    g.bench_function("counter_trigger", |b| {
+        b.iter(|| run_with(&full, Trigger::Counter { interval }))
+    });
+    g.bench_function("timer_trigger", |b| {
+        b.iter(|| run_with(&full, Trigger::TimerBit { period }))
+    });
+    g.bench_function("randomized_trigger", |b| {
+        b.iter(|| {
+            run_with(
+                &full,
+                Trigger::CounterRandomized {
+                    interval,
+                    jitter: interval / 4,
+                    seed: 42,
+                },
+            )
+        })
+    });
+    g.finish();
+}
+
+fn main() {
+    let mut c = criterion();
+    bench(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,55 @@
+//! Checks without duplication — the measurement configuration behind
+//! Table 2's "Backedges" / "Method Entry" overhead-breakdown columns.
+//!
+//! The paper: "These figures were obtained by inserting the backedge and
+//! method entry checks independently, but without actually duplicating any
+//! code … This configuration cannot be used to sample instrumentation. It
+//! is included solely to provide an approximate breakdown of the direct
+//! checking overhead."
+//!
+//! Each check's sample target equals its fall-through target, so the
+//! trigger is still evaluated (and the check's cycles are still paid) but
+//! firing changes nothing.
+
+use isf_ir::{loops, BlockId, Function, Term};
+
+use crate::hoist::hoist_entry;
+use crate::stats::{CheckKind, FunctionStats};
+
+/// Inserts entry and/or backedge checks with no duplicated code.
+pub(crate) fn checks_only_transform(
+    f: &mut Function,
+    entries: bool,
+    backedges: bool,
+    stats: &mut FunctionStats,
+) {
+    stats.blocks_before = f.num_blocks();
+    if entries {
+        let o = hoist_entry(f);
+        f.set_term(
+            BlockId::new(0),
+            Term::Check {
+                sample: o,
+                cont: o,
+            },
+        );
+        stats.checks_inserted += 1;
+        stats.check_blocks.push((BlockId::new(0), CheckKind::Entry));
+    }
+    if backedges {
+        for (b, h) in loops::backedges(f) {
+            let check = f.split_edge(b, h);
+            f.set_term(
+                check,
+                Term::Check {
+                    sample: h,
+                    cont: h,
+                },
+            );
+            stats.checks_inserted += 1;
+            stats
+                .check_blocks
+                .push((check, CheckKind::Backedge { source: b, header: h }));
+        }
+    }
+}

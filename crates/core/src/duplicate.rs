@@ -1,0 +1,326 @@
+//! The code-duplicating transforms: Full-Duplication (paper §2) and
+//! Partial-Duplication (§3.1), which differ only in *which* blocks get a
+//! duplicated copy.
+//!
+//! Terminology, following the paper:
+//!
+//! * **checking code** — the original blocks, plus the inserted check
+//!   blocks; executes almost always.
+//! * **duplicated code** — the copies carrying the instrumentation;
+//!   entered only when a check fires. Every duplicated backedge is
+//!   redirected *to the checking code's backedge check*: the duplicated
+//!   region is a DAG (bounded work per sample), and when the sample
+//!   interval is 1 every check re-fires, so all execution stays in
+//!   duplicated code — exactly how the paper collects its perfect
+//!   profiles (§4.4).
+//! * **duplicated-code DAG** — the original CFG minus its backedges; the
+//!   Partial-Duplication analysis runs on it. Its *entries* are the
+//!   original entry block and every backedge header (exactly the blocks a
+//!   check can jump to).
+//!
+//! Partial-Duplication keeps a block `b` iff it is instrumented or lies
+//! *between* instrumentation: `tainted(b)` (some DAG path from an entry to
+//! `b` passes instrumentation first) **and** `reaches_instr(b)` (some
+//! instrumentation is still ahead). The complement is precisely the
+//! paper's top-nodes (`!tainted`), bottom-nodes (`!reaches_instr`), and
+//! DAG-unreachable code. Instrumentation carried by *edges* (edge-count
+//! profiling) taints and is reachable like a node, which closes the gap
+//! the paper leaves open for instrumentation attached to an edge between
+//! two removable nodes. When a backedge carries edge ops but its source
+//! was removed as a top-node, the ops fold into the backedge check's
+//! sample path — the "two checks can be combined into one" remark under
+//! the paper's Figure 5.
+
+use std::collections::{BTreeSet, HashMap};
+
+use isf_instr::{InsertAt, Insertion};
+use isf_ir::{loops, BasicBlock, BlockId, Function, Inst, InstrOp, Term};
+
+use crate::hoist::{hoist_entry, remap_after_hoist};
+use crate::stats::{CheckKind, FunctionStats};
+
+/// Which blocks receive a duplicated copy.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub(crate) enum KeepPolicy {
+    /// Everything reachable: Full-Duplication.
+    All,
+    /// Only instrumented blocks and blocks between instrumentation:
+    /// Partial-Duplication.
+    InstrumentedReachable,
+}
+
+/// Applies a duplicating transform to `f` in place, recording what
+/// happened in `stats`.
+///
+/// # Panics
+///
+/// Panics if `f` already contains check terminators (functions are
+/// instrumented once).
+pub(crate) fn duplicate_transform(
+    f: &mut Function,
+    insertions: &[Insertion],
+    keep: KeepPolicy,
+    yieldpoint_opt: bool,
+    stats: &mut FunctionStats,
+) {
+    assert!(
+        f.blocks().all(|(_, b)| !b.term().is_check()),
+        "function already contains sampling checks"
+    );
+    stats.blocks_before = f.num_blocks();
+
+    let o = hoist_entry(f);
+    let insertions = remap_after_hoist(insertions, o);
+    let backedge_list = loops::backedges(f);
+    let backedges: BTreeSet<(BlockId, BlockId)> = backedge_list.iter().copied().collect();
+    let n = f.num_blocks();
+
+    // Index the plan: per-block instruction-point ops and per-edge ops.
+    let mut block_ops: Vec<Vec<(usize, InstrOp)>> = vec![Vec::new(); n];
+    let mut edge_ops: HashMap<(BlockId, BlockId), Vec<InstrOp>> = HashMap::new();
+    for ins in &insertions {
+        match ins.at {
+            InsertAt::Before { block, index } => block_ops[block.index()].push((index, ins.op)),
+            InsertAt::OnEdge { from, to } => edge_ops.entry((from, to)).or_default().push(ins.op),
+            InsertAt::Entry => unreachable!("remap_after_hoist eliminates Entry"),
+        }
+    }
+
+    // --- Analysis on the duplicated-code DAG (original edges minus
+    // backedges). -----------------------------------------------------
+    let instr: Vec<bool> = (0..n).map(|b| !block_ops[b].is_empty()).collect();
+    let dag_edges: Vec<(BlockId, BlockId)> = (1..n as u32) // skip the shim
+        .map(BlockId::new)
+        .flat_map(|u| f.block(u).successors().into_iter().map(move |v| (u, v)))
+        .filter(|e| !backedges.contains(e))
+        .collect();
+    let entries: BTreeSet<BlockId> = std::iter::once(o)
+        .chain(backedge_list.iter().map(|&(_, h)| h))
+        .collect();
+
+    // Forward fixpoints: DAG reachability from the entries, and taint
+    // ("instrumentation seen on some path before this block").
+    let mut reachable = vec![false; n];
+    for &e in &entries {
+        reachable[e.index()] = true;
+    }
+    let mut tainted = vec![false; n];
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &(u, v) in &dag_edges {
+            if !reachable[u.index()] {
+                continue;
+            }
+            if !reachable[v.index()] {
+                reachable[v.index()] = true;
+                changed = true;
+            }
+            let t = tainted[u.index()] || instr[u.index()] || edge_ops.contains_key(&(u, v));
+            if t && !tainted[v.index()] {
+                tainted[v.index()] = true;
+                changed = true;
+            }
+        }
+    }
+    // Backward fixpoint: "instrumentation still ahead of this block".
+    let mut reaches_instr = instr.clone();
+    changed = true;
+    while changed {
+        changed = false;
+        for &(u, v) in &dag_edges {
+            let r = reaches_instr[v.index()] || edge_ops.contains_key(&(u, v));
+            if r && !reaches_instr[u.index()] {
+                reaches_instr[u.index()] = true;
+                changed = true;
+            }
+        }
+    }
+
+    let kept: Vec<bool> = (0..n)
+        .map(|b| {
+            reachable[b]
+                && match keep {
+                    KeepPolicy::All => true,
+                    KeepPolicy::InstrumentedReachable => {
+                        instr[b] || (tainted[b] && reaches_instr[b])
+                    }
+                }
+        })
+        .collect();
+
+    // --- Physical construction. ---------------------------------------
+    // Snapshot the original bodies: edge splitting below rewrites
+    // checking-code terminators, but duplicates are built from the
+    // originals.
+    let original: Vec<BasicBlock> = (0..n as u32)
+        .map(|b| f.block(BlockId::new(b)).clone())
+        .collect();
+
+    // Backedge checks are created first (as placeholder splits) because
+    // duplicated backedges land *on the check*, keeping interval-1 runs
+    // entirely inside duplicated code.
+    let mut backedge_check: HashMap<(BlockId, BlockId), BlockId> = HashMap::new();
+    for &(b, h) in &backedge_list {
+        let orphan_ops = !kept[b.index()] && reachable[b.index()] && edge_ops.contains_key(&(b, h));
+        if kept[h.index()] || orphan_ops {
+            let check = f.split_edge(b, h);
+            backedge_check.insert((b, h), check);
+        }
+    }
+
+    // Allocate ids for all duplicated blocks so terminators can reference
+    // them.
+    let mut dup_map: Vec<Option<BlockId>> = vec![None; n];
+    for b in 0..n {
+        if kept[b] {
+            let id = f.add_block(BasicBlock::jump_to(o)); // placeholder
+            dup_map[b] = Some(id);
+            stats.dup_blocks.push(id);
+        }
+    }
+    stats.blocks_duplicated = kept.iter().filter(|&&k| k).count();
+
+    // Build each duplicated body: weave in the planned instruction-point
+    // ops, then remap successors (backedges return to their checking-code
+    // check, removed targets fall back to checking code, edge ops get an
+    // op block on the way).
+    let mut op_block_cache: HashMap<(BlockId, BlockId), BlockId> = HashMap::new();
+    for b in 0..n {
+        let Some(dup_id) = dup_map[b] else { continue };
+        let src = BlockId::new(b as u32);
+        let src_block = &original[b];
+
+        let mut insts = src_block.insts().to_vec();
+        let mut points = block_ops[b].clone();
+        points.sort_by_key(|&(i, _)| i);
+        for &(index, op) in points.iter().rev() {
+            insts.insert(index, Inst::Instr(op));
+        }
+        stats.ops_placed += points.len();
+
+        // Precompute mapped targets (may allocate op blocks).
+        let succs = src_block.successors();
+        let mut mapped = Vec::with_capacity(succs.len());
+        for &t in &succs {
+            let base = if backedges.contains(&(src, t)) {
+                // Land on the backedge check if one exists, otherwise go
+                // straight back to the checking-code header.
+                backedge_check.get(&(src, t)).copied().unwrap_or(t)
+            } else if kept[t.index()] {
+                dup_map[t.index()].expect("kept blocks have duplicates")
+            } else {
+                t
+            };
+            let target = match edge_ops.get(&(src, t)) {
+                Some(ops) => *op_block_cache.entry((src, t)).or_insert_with(|| {
+                    let body: Vec<Inst> = ops.iter().map(|&op| Inst::Instr(op)).collect();
+                    stats.ops_placed += body.len();
+                    let ob = f.add_block(BasicBlock::new(body, Term::Jump(base)));
+                    stats.dup_blocks.push(ob);
+                    ob
+                }),
+                None => base,
+            };
+            mapped.push(target);
+        }
+        let new_term = rebuild_term(src_block.term(), &mapped);
+        *f.block_mut(dup_id) = BasicBlock::new(insts, new_term);
+    }
+
+    // Entry check: block 0 is the shim; arm it if the entry's duplicate
+    // survived (it always does under Full-Duplication).
+    if let Some(dup_o) = dup_map[o.index()] {
+        f.set_term(
+            BlockId::new(0),
+            Term::Check {
+                sample: dup_o,
+                cont: o,
+            },
+        );
+        stats.checks_inserted += 1;
+        stats.check_blocks.push((BlockId::new(0), CheckKind::Entry));
+    }
+
+    // Arm the backedge checks (in deterministic backedge order).
+    for &(b, h) in &backedge_list {
+        let Some(&check) = backedge_check.get(&(b, h)) else {
+            continue;
+        };
+        let base = dup_map[h.index()].unwrap_or(h);
+        let orphan_ops = (!kept[b.index()]).then(|| edge_ops.get(&(b, h))).flatten();
+        let sample = match orphan_ops {
+            Some(ops) => {
+                let body: Vec<Inst> = ops.iter().map(|&op| Inst::Instr(op)).collect();
+                stats.ops_placed += body.len();
+                let ob = f.add_block(BasicBlock::new(body, Term::Jump(base)));
+                stats.dup_blocks.push(ob);
+                ob
+            }
+            None => base,
+        };
+        f.set_term(check, Term::Check { sample, cont: h });
+        stats.checks_inserted += 1;
+        stats.check_blocks.push((check, CheckKind::Backedge { source: b, header: h }));
+    }
+
+    // Compensating checks for removed top-nodes (paper §3.1, adjustment 2):
+    // an edge from a removed top-node into surviving duplicated code — or
+    // one carrying edge ops — gets a check on the corresponding
+    // checking-code edge.
+    for &(u, v) in &dag_edges {
+        if kept[u.index()] || !reachable[u.index()] {
+            continue;
+        }
+        let has_ops = edge_ops.contains_key(&(u, v));
+        if !kept[v.index()] && !has_ops {
+            continue;
+        }
+        debug_assert!(
+            !tainted[u.index()],
+            "a removed node with a surviving duplicated successor must be a top-node"
+        );
+        let check = f.split_edge(u, v);
+        let base = dup_map[v.index()].unwrap_or(v);
+        let sample = if has_ops {
+            let body: Vec<Inst> = edge_ops[&(u, v)]
+                .iter()
+                .map(|&op| Inst::Instr(op))
+                .collect();
+            stats.ops_placed += body.len();
+            let ob = f.add_block(BasicBlock::new(body, Term::Jump(base)));
+            stats.dup_blocks.push(ob);
+            ob
+        } else {
+            base
+        };
+        f.set_term(check, Term::Check { sample, cont: v });
+        stats.checks_inserted += 1;
+        stats.check_blocks.push((check, CheckKind::Compensating));
+    }
+
+    // Jalapeño-specific yieldpoint optimization (paper §4.5): the checking
+    // code sheds its yieldpoints; the duplicated code keeps them, and the
+    // finite sample interval bounds the distance between yieldpoints.
+    if yieldpoint_opt {
+        for b in 0..n {
+            f.block_mut(BlockId::new(b as u32))
+                .insts_mut()
+                .retain(|i| !i.is_yield());
+        }
+    }
+}
+
+/// Rebuilds a terminator with its successor slots replaced positionally.
+fn rebuild_term(term: &Term, mapped: &[BlockId]) -> Term {
+    match term {
+        Term::Jump(_) => Term::Jump(mapped[0]),
+        Term::Br { cond, .. } => Term::Br {
+            cond: *cond,
+            t: mapped[0],
+            f: mapped[1],
+        },
+        Term::Ret(v) => Term::Ret(*v),
+        Term::Check { .. } => unreachable!("input functions contain no checks"),
+    }
+}

@@ -1,0 +1,180 @@
+//! The public entry point: strategy selection and module-wide application.
+
+use std::error::Error;
+use std::fmt;
+
+use isf_instr::ModulePlan;
+use isf_ir::{size, Module};
+
+use crate::checks_only::checks_only_transform;
+use crate::duplicate::{duplicate_transform, KeepPolicy};
+use crate::no_duplication::no_duplication_transform;
+use crate::stats::{FunctionStats, TransformStats};
+
+/// How the planned instrumentation is realized.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum Strategy {
+    /// Insert every operation directly; no sampling (Table 1 baseline).
+    Exhaustive,
+    /// Duplicate every block; checks on method entries and backedges
+    /// (paper §2). Property 1 guaranteed.
+    FullDuplication,
+    /// Duplicate only instrumented blocks and the blocks between them
+    /// (paper §3.1). Property 1 guaranteed, space reduced.
+    PartialDuplication,
+    /// No duplication; a check guards every instrumentation point
+    /// (paper §3.2). Property 1 not guaranteed.
+    NoDuplication,
+    /// Entry and/or backedge checks with no duplicated code; cannot sample
+    /// (Table 2 breakdown configuration).
+    ChecksOnly {
+        /// Insert the method-entry check.
+        entries: bool,
+        /// Insert the backedge checks.
+        backedges: bool,
+    },
+}
+
+impl fmt::Display for Strategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Strategy::Exhaustive => "exhaustive",
+            Strategy::FullDuplication => "full-duplication",
+            Strategy::PartialDuplication => "partial-duplication",
+            Strategy::NoDuplication => "no-duplication",
+            Strategy::ChecksOnly { .. } => "checks-only",
+        };
+        write!(f, "{name}")
+    }
+}
+
+/// Framework options.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct Options {
+    /// The realization strategy.
+    pub strategy: Strategy,
+    /// The Jalapeño-specific yieldpoint optimization (paper §4.5): remove
+    /// the checking code's yieldpoints, keeping the duplicated code's.
+    /// Only valid with [`Strategy::FullDuplication`].
+    pub yieldpoint_optimization: bool,
+}
+
+impl Options {
+    /// Options for `strategy` with no extras.
+    pub fn new(strategy: Strategy) -> Self {
+        Self {
+            strategy,
+            yieldpoint_optimization: false,
+        }
+    }
+
+    /// Enables the yieldpoint optimization (Full-Duplication only).
+    pub fn with_yieldpoint_optimization(mut self) -> Self {
+        self.yieldpoint_optimization = true;
+        self
+    }
+}
+
+/// An invalid option combination.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct InvalidOptions(String);
+
+impl fmt::Display for InvalidOptions {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid framework options: {}", self.0)
+    }
+}
+
+impl Error for InvalidOptions {}
+
+/// Applies the framework to a module: returns the instrumented module and
+/// the transformation statistics (Table 2's space columns come from the
+/// latter; its compile-time column from timing this call).
+///
+/// The input module is not modified; the instrumented module shares its
+/// key space, so profiles from both are directly comparable.
+///
+/// # Errors
+///
+/// Returns [`InvalidOptions`] if the yieldpoint optimization is requested
+/// with a strategy other than Full-Duplication, since only Full-Duplication
+/// guarantees yieldpoints remain reachable within a bounded distance.
+pub fn instrument_module(
+    module: &Module,
+    plan: &ModulePlan,
+    options: &Options,
+) -> Result<(Module, TransformStats), InvalidOptions> {
+    validate(options)?;
+    let mut out = module.clone();
+    let bytes_before = size::module_bytes(&out);
+    let mut functions = Vec::with_capacity(out.num_functions());
+    let ids: Vec<_> = out.func_ids().collect();
+    for id in ids {
+        let mut stats = FunctionStats {
+            func: id,
+            ..FunctionStats::default()
+        };
+        instrument_function(&mut out, id, plan, options, &mut stats);
+        functions.push(stats);
+    }
+    let bytes_after = size::module_bytes(&out);
+    debug_assert!(isf_ir::verify::verify_module(&out).is_ok());
+    Ok((
+        out,
+        TransformStats {
+            strategy: options.strategy,
+            functions,
+            bytes_before,
+            bytes_after,
+        },
+    ))
+}
+
+/// Validates an option combination.
+pub(crate) fn validate(options: &Options) -> Result<(), InvalidOptions> {
+    if options.yieldpoint_optimization && options.strategy != Strategy::FullDuplication {
+        return Err(InvalidOptions(format!(
+            "the yieldpoint optimization requires full-duplication, got {}",
+            options.strategy
+        )));
+    }
+    Ok(())
+}
+
+/// Applies the configured transform to a single function of `module`.
+pub(crate) fn instrument_function(
+    module: &mut Module,
+    id: isf_ir::FuncId,
+    plan: &ModulePlan,
+    options: &Options,
+    stats: &mut FunctionStats,
+) {
+    let insertions = plan.for_function(id);
+    match options.strategy {
+        Strategy::Exhaustive => {
+            stats.blocks_before = module.function(id).num_blocks();
+            isf_instr::insert_into_function(module.function_mut(id), insertions);
+            stats.ops_placed = insertions.len();
+        }
+        Strategy::FullDuplication => duplicate_transform(
+            module.function_mut(id),
+            insertions,
+            KeepPolicy::All,
+            options.yieldpoint_optimization,
+            stats,
+        ),
+        Strategy::PartialDuplication => duplicate_transform(
+            module.function_mut(id),
+            insertions,
+            KeepPolicy::InstrumentedReachable,
+            false,
+            stats,
+        ),
+        Strategy::NoDuplication => {
+            no_duplication_transform(module.function_mut(id), insertions, stats)
+        }
+        Strategy::ChecksOnly { entries, backedges } => {
+            checks_only_transform(module.function_mut(id), entries, backedges, stats)
+        }
+    }
+}

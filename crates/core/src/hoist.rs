@@ -1,0 +1,141 @@
+//! Entry hoisting: making room for the method-entry check.
+//!
+//! `Function::entry()` is block 0 by convention, so the entry check cannot
+//! simply be "a new block before the entry". [`hoist_entry`] moves the
+//! original entry's contents into a fresh block `o` and leaves block 0 as a
+//! shim (`jump o`) whose terminator the transforms later replace with the
+//! entry check.
+
+use isf_ir::{BasicBlock, BlockId, Function, Term};
+
+use isf_instr::{InsertAt, Insertion};
+
+/// Moves the contents of the entry block into a fresh block, returning the
+/// new home of the original entry. Afterwards block 0 is an empty
+/// `jump <returned>` and every edge that pointed at block 0 points at the
+/// returned block instead.
+pub(crate) fn hoist_entry(f: &mut Function) -> BlockId {
+    let o = f.add_block(BasicBlock::jump_to(BlockId::new(0)));
+    // Swap contents of block 0 and o.
+    let original_entry = std::mem::replace(f.block_mut(BlockId::new(0)), BasicBlock::jump_to(o));
+    *f.block_mut(o) = original_entry;
+    // Retarget every former edge into the entry (loops whose header was the
+    // entry block) — including o's own terminator if it self-looped.
+    for b in 0..f.num_blocks() {
+        let id = BlockId::new(b as u32);
+        if id == BlockId::new(0) {
+            continue; // keep the shim's jump to o
+        }
+        f.block_mut(id).term_mut().retarget(BlockId::new(0), o);
+    }
+    debug_assert_eq!(f.block(f.entry()).term(), &Term::Jump(o));
+    o
+}
+
+/// Rewrites plan coordinates after [`hoist_entry`]: points in the old entry
+/// block now live in `o`, and `Entry` becomes "start of `o`".
+pub(crate) fn remap_after_hoist(insertions: &[Insertion], o: BlockId) -> Vec<Insertion> {
+    insertions
+        .iter()
+        .map(|ins| {
+            let at = match ins.at {
+                InsertAt::Entry => InsertAt::Before { block: o, index: 0 },
+                InsertAt::Before { block, index } if block == BlockId::new(0) => {
+                    InsertAt::Before { block: o, index }
+                }
+                InsertAt::OnEdge { from, to } => InsertAt::OnEdge {
+                    from: if from == BlockId::new(0) { o } else { from },
+                    to: if to == BlockId::new(0) { o } else { to },
+                },
+                other => other,
+            };
+            Insertion { at, op: ins.op }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use isf_ir::{Const, FunctionBuilder, Inst, InstrOp, LocalId};
+
+    #[test]
+    fn hoist_moves_contents_and_preserves_semantics_structurally() {
+        let mut fb = FunctionBuilder::new("f", 0);
+        let l = fb.new_local();
+        fb.push(Inst::Const {
+            dst: l,
+            value: Const::I64(3),
+        });
+        fb.terminate(Term::Ret(Some(l)));
+        let mut f = fb.finish();
+        let o = hoist_entry(&mut f);
+        assert_eq!(f.block(f.entry()).insts().len(), 0);
+        assert_eq!(f.block(f.entry()).term(), &Term::Jump(o));
+        assert_eq!(f.block(o).insts().len(), 1);
+        assert_eq!(f.block(o).term(), &Term::Ret(Some(l)));
+    }
+
+    #[test]
+    fn hoist_retargets_loops_to_the_old_entry() {
+        // entry is its own loop header: bb0 -> bb0 / exit
+        let mut fb = FunctionBuilder::new("f", 1);
+        let exit = fb.new_block();
+        let entry = fb.current_block();
+        fb.terminate(Term::Br {
+            cond: LocalId::new(0),
+            t: entry,
+            f: exit,
+        });
+        fb.switch_to(exit);
+        fb.terminate(Term::Ret(None));
+        let mut f = fb.finish();
+        let o = hoist_entry(&mut f);
+        // The self-loop must now target o, not the shim.
+        let Term::Br { t, .. } = f.block(o).term() else {
+            panic!("expected branch");
+        };
+        assert_eq!(*t, o);
+        isf_ir::verify::verify_function(&f, None).unwrap();
+    }
+
+    #[test]
+    fn remap_rewrites_entry_and_block0_coordinates() {
+        let o = BlockId::new(5);
+        let ins = vec![
+            Insertion {
+                at: InsertAt::Entry,
+                op: InstrOp::CallEdge,
+            },
+            Insertion {
+                at: InsertAt::Before {
+                    block: BlockId::new(0),
+                    index: 2,
+                },
+                op: InstrOp::CallEdge,
+            },
+            Insertion {
+                at: InsertAt::OnEdge {
+                    from: BlockId::new(0),
+                    to: BlockId::new(1),
+                },
+                op: InstrOp::EdgeCount {
+                    from: BlockId::new(0),
+                    to: BlockId::new(1),
+                },
+            },
+        ];
+        let out = remap_after_hoist(&ins, o);
+        assert_eq!(out[0].at, InsertAt::Before { block: o, index: 0 });
+        assert_eq!(out[1].at, InsertAt::Before { block: o, index: 2 });
+        assert_eq!(
+            out[2].at,
+            InsertAt::OnEdge {
+                from: o,
+                to: BlockId::new(1)
+            }
+        );
+        // The op payload keeps the *original* key space.
+        assert!(matches!(out[2].op, InstrOp::EdgeCount { from, .. } if from == BlockId::new(0)));
+    }
+}

@@ -1,0 +1,102 @@
+//! The No-Duplication variation (paper §3.2): no code is duplicated;
+//! every instrumentation point is individually guarded by a check
+//! (paper Figure 6).
+
+use std::collections::HashMap;
+
+use isf_instr::{InsertAt, Insertion};
+use isf_ir::{BasicBlock, BlockId, Function, Inst, Term};
+
+use crate::stats::{CheckKind, FunctionStats};
+
+/// Applies No-Duplication to `f` in place.
+///
+/// Operations planned at the same instruction point share one check (they
+/// guard one instrumented instruction); operations on an edge get a check
+/// in a split block on that edge.
+///
+/// # Panics
+///
+/// Panics if `f` already contains check terminators.
+pub(crate) fn no_duplication_transform(
+    f: &mut Function,
+    insertions: &[Insertion],
+    stats: &mut FunctionStats,
+) {
+    assert!(
+        f.blocks().all(|(_, b)| !b.term().is_check()),
+        "function already contains sampling checks"
+    );
+    stats.blocks_before = f.num_blocks();
+
+    // Group by program point.
+    let mut at_inst: HashMap<BlockId, Vec<(usize, Vec<isf_ir::InstrOp>)>> = HashMap::new();
+    let mut at_edge: Vec<((BlockId, BlockId), Vec<isf_ir::InstrOp>)> = Vec::new();
+    for ins in insertions {
+        match ins.at {
+            InsertAt::Entry => push_point(at_inst.entry(f.entry()).or_default(), 0, ins.op),
+            InsertAt::Before { block, index } => {
+                push_point(at_inst.entry(block).or_default(), index, ins.op)
+            }
+            InsertAt::OnEdge { from, to } => {
+                if let Some((_, ops)) = at_edge.iter_mut().find(|(e, _)| *e == (from, to)) {
+                    ops.push(ins.op);
+                } else {
+                    at_edge.push(((from, to), vec![ins.op]));
+                }
+            }
+        }
+    }
+
+    // Edge points first: block splitting below moves terminators into rest
+    // blocks, which would invalidate edge coordinates.
+    for ((from, to), ops) in at_edge {
+        let check = f.split_edge(from, to);
+        let body: Vec<Inst> = ops.iter().map(|&op| Inst::Instr(op)).collect();
+        stats.ops_placed += body.len();
+        let sample = f.add_block(BasicBlock::new(body, Term::Jump(to)));
+        stats.dup_blocks.push(sample);
+        f.set_term(check, Term::Check { sample, cont: to });
+        stats.checks_inserted += 1;
+        stats.check_blocks.push((check, CheckKind::Guard));
+    }
+
+    // Instruction points: split the block before the instrumented
+    // instruction; the check either falls through to the rest of the block
+    // or detours through a block holding the guarded operations.
+    let mut at_inst: Vec<_> = at_inst.into_iter().collect();
+    at_inst.sort_by_key(|(b, _)| *b);
+    for (block, mut points) in at_inst {
+        // Larger indices first, so earlier indices stay valid.
+        points.sort_by_key(|&(i, _)| std::cmp::Reverse(i));
+        for (index, ops) in points {
+            assert!(
+                index <= f.block(block).insts().len(),
+                "insertion index out of range"
+            );
+            // Move insts[index..] and the terminator into a rest block.
+            let rest_insts = f.block_mut(block).insts_mut().split_off(index);
+            let rest_term = f.block_mut(block).set_term(Term::Ret(None)); // placeholder
+            let rest = f.add_block(BasicBlock::new(rest_insts, rest_term));
+            let body: Vec<Inst> = ops.iter().map(|&op| Inst::Instr(op)).collect();
+            stats.ops_placed += body.len();
+            let sample = f.add_block(BasicBlock::new(body, Term::Jump(rest)));
+            stats.dup_blocks.push(sample);
+            f.set_term(block, Term::Check { sample, cont: rest });
+            stats.checks_inserted += 1;
+            stats.check_blocks.push((block, CheckKind::Guard));
+        }
+    }
+}
+
+fn push_point(
+    points: &mut Vec<(usize, Vec<isf_ir::InstrOp>)>,
+    index: usize,
+    op: isf_ir::InstrOp,
+) {
+    if let Some((_, ops)) = points.iter_mut().find(|(i, _)| *i == index) {
+        ops.push(op);
+    } else {
+        points.push((index, vec![op]));
+    }
+}

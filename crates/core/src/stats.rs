@@ -1,0 +1,126 @@
+//! Transformation statistics, the raw material of the space/compile-time
+//! columns of Table 2.
+
+use isf_ir::{BlockId, FuncId};
+
+use crate::framework::Strategy;
+
+/// Why a check was inserted. Recorded by the transforms so validators and
+/// experiments can reason about check placement without re-deriving it
+/// from the (already rewritten) CFG.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum CheckKind {
+    /// The method-entry check (always block 0).
+    Entry,
+    /// A check on an original backedge; carries the original
+    /// `(source, header)` edge.
+    Backedge {
+        /// The original backedge source.
+        source: BlockId,
+        /// The loop header the backedge targets.
+        header: BlockId,
+    },
+    /// A Partial-Duplication compensating check on an edge leaving a
+    /// removed top-node (paper §3.1, adjustment 2).
+    Compensating,
+    /// A No-Duplication guard around one instrumentation point
+    /// (paper §3.2).
+    Guard,
+}
+
+/// Per-function record of what a transform did.
+#[derive(Clone, Debug, Default)]
+pub struct FunctionStats {
+    /// The transformed function.
+    pub func: FuncId,
+    /// Blocks before the transform.
+    pub blocks_before: usize,
+    /// Blocks added as duplicated code (including instrumentation-op
+    /// blocks attached to it).
+    pub blocks_duplicated: usize,
+    /// Checks inserted (entry + backedge + compensating + guards).
+    pub checks_inserted: usize,
+    /// Instrumentation operations placed.
+    pub ops_placed: usize,
+    /// Every block belonging to the duplicated/instrumented region.
+    pub dup_blocks: Vec<BlockId>,
+    /// Every block whose terminator is a check, with why it exists.
+    pub check_blocks: Vec<(BlockId, CheckKind)>,
+}
+
+/// Module-wide transformation statistics.
+#[derive(Clone, Debug)]
+pub struct TransformStats {
+    /// The strategy that produced this module.
+    pub strategy: Strategy,
+    /// Per-function records, indexed by function.
+    pub functions: Vec<FunctionStats>,
+    /// Estimated code bytes before the transform.
+    pub bytes_before: usize,
+    /// Estimated code bytes after the transform.
+    pub bytes_after: usize,
+}
+
+impl TransformStats {
+    /// Total checks inserted across the module.
+    pub fn total_checks(&self) -> usize {
+        self.functions.iter().map(|f| f.checks_inserted).sum()
+    }
+
+    /// Total instrumentation operations placed across the module.
+    pub fn total_ops(&self) -> usize {
+        self.functions.iter().map(|f| f.ops_placed).sum()
+    }
+
+    /// Total duplicated blocks across the module.
+    pub fn total_duplicated_blocks(&self) -> usize {
+        self.functions.iter().map(|f| f.blocks_duplicated).sum()
+    }
+
+    /// Space increase in percent (Table 2's "Maximum Space Increase" is the
+    /// absolute `bytes_after - bytes_before`; this is the relative form).
+    pub fn space_increase_percent(&self) -> f64 {
+        if self.bytes_before == 0 {
+            return 0.0;
+        }
+        (self.bytes_after as f64 / self.bytes_before as f64 - 1.0) * 100.0
+    }
+
+    /// Absolute space increase in (estimated) bytes.
+    pub fn space_increase_bytes(&self) -> usize {
+        self.bytes_after.saturating_sub(self.bytes_before)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_sum_over_functions() {
+        let stats = TransformStats {
+            strategy: Strategy::FullDuplication,
+            functions: vec![
+                FunctionStats {
+                    checks_inserted: 2,
+                    ops_placed: 3,
+                    blocks_duplicated: 4,
+                    ..FunctionStats::default()
+                },
+                FunctionStats {
+                    checks_inserted: 1,
+                    ops_placed: 1,
+                    blocks_duplicated: 2,
+                    ..FunctionStats::default()
+                },
+            ],
+            bytes_before: 100,
+            bytes_after: 195,
+        };
+        assert_eq!(stats.total_checks(), 3);
+        assert_eq!(stats.total_ops(), 4);
+        assert_eq!(stats.total_duplicated_blocks(), 6);
+        assert!((stats.space_increase_percent() - 95.0).abs() < 1e-9);
+        assert_eq!(stats.space_increase_bytes(), 95);
+    }
+}

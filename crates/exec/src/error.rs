@@ -1,0 +1,116 @@
+//! Runtime errors (traps).
+
+use std::error::Error;
+use std::fmt;
+
+/// Why execution trapped.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum TrapKind {
+    /// An operand had the wrong kind.
+    TypeError {
+        /// What the instruction required.
+        expected: &'static str,
+        /// What it got.
+        found: &'static str,
+    },
+    /// Integer division or remainder by zero.
+    DivisionByZero,
+    /// Field or method access through `null`.
+    NullDereference,
+    /// Array index out of bounds.
+    IndexOutOfBounds {
+        /// The requested index.
+        index: i64,
+        /// The array length.
+        len: usize,
+    },
+    /// Requested array length was negative.
+    NegativeArrayLength(i64),
+    /// The receiver's class declares no such field.
+    NoSuchField(String),
+    /// The receiver's class declares no such method.
+    NoSuchMethod(String),
+    /// A dynamic method call passed the wrong number of arguments.
+    ArityMismatch {
+        /// The resolved method.
+        method: String,
+        /// Arguments supplied (including the receiver).
+        given: usize,
+        /// Arguments expected (including the receiver).
+        expected: usize,
+    },
+    /// Every live thread is blocked in `join`.
+    Deadlock,
+    /// The configured cycle budget was exhausted.
+    CycleBudgetExceeded(u64),
+    /// The call stack exceeded the configured depth limit.
+    StackOverflow(usize),
+}
+
+impl fmt::Display for TrapKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrapKind::TypeError { expected, found } => {
+                write!(f, "expected {expected}, found {found}")
+            }
+            TrapKind::DivisionByZero => write!(f, "division by zero"),
+            TrapKind::NullDereference => write!(f, "null dereference"),
+            TrapKind::IndexOutOfBounds { index, len } => {
+                write!(f, "index {index} out of bounds for length {len}")
+            }
+            TrapKind::NegativeArrayLength(n) => write!(f, "negative array length {n}"),
+            TrapKind::NoSuchField(name) => write!(f, "no such field `{name}`"),
+            TrapKind::NoSuchMethod(name) => write!(f, "no such method `{name}`"),
+            TrapKind::ArityMismatch {
+                method,
+                given,
+                expected,
+            } => write!(
+                f,
+                "method `{method}` called with {given} argument(s), expects {expected}"
+            ),
+            TrapKind::Deadlock => write!(f, "all threads blocked in join"),
+            TrapKind::CycleBudgetExceeded(n) => {
+                write!(f, "cycle budget of {n} exceeded")
+            }
+            TrapKind::StackOverflow(n) => write!(f, "call stack exceeded {n} frames"),
+        }
+    }
+}
+
+/// A trap annotated with where it happened.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct VmError {
+    /// What went wrong.
+    pub kind: TrapKind,
+    /// The function executing when the trap fired.
+    pub function: String,
+}
+
+impl fmt::Display for VmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "trap in `{}`: {}", self.function, self.kind)
+    }
+}
+
+impl Error for VmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_function_and_kind() {
+        let e = VmError {
+            kind: TrapKind::DivisionByZero,
+            function: "main".into(),
+        };
+        assert_eq!(e.to_string(), "trap in `main`: division by zero");
+    }
+
+    #[test]
+    fn bounds_message() {
+        let k = TrapKind::IndexOutOfBounds { index: 9, len: 4 };
+        assert_eq!(k.to_string(), "index 9 out of bounds for length 4");
+    }
+}

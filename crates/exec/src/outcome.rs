@@ -1,0 +1,116 @@
+//! Execution results and event counters.
+
+use isf_profile::ProfileData;
+
+/// Everything a run produces: program output, the collected profile, and
+/// the event counters the experiments are built from.
+#[derive(Clone, Debug, Default)]
+pub struct Outcome {
+    /// Values printed by the program, in order (used to prove semantic
+    /// equivalence of transformed code).
+    pub output: Vec<i64>,
+    /// Total simulated cycles — the "running time" of the reproduced
+    /// tables.
+    pub cycles: u64,
+    /// Total instructions interpreted (terminators included).
+    pub instructions: u64,
+    /// Profiling events recorded by instrumentation operations.
+    pub profile: ProfileData,
+    /// Number of [`isf_ir::Term::Check`] terminators executed.
+    pub checks_executed: u64,
+    /// Number of checks whose sample condition was true.
+    pub samples_taken: u64,
+    /// Number of yieldpoints executed.
+    pub yields_executed: u64,
+    /// Number of method entries executed (calls + method calls + spawned
+    /// thread entries + `main`).
+    pub entries_executed: u64,
+    /// Number of CFG backedges traversed (computed against the executed,
+    /// i.e. possibly transformed, module).
+    pub backedges_executed: u64,
+    /// Number of thread switches performed by the scheduler.
+    pub thread_switches: u64,
+}
+
+impl Outcome {
+    /// Overhead of this run relative to `baseline`, in percent:
+    /// `(cycles / baseline.cycles - 1) * 100`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the baseline ran for zero cycles.
+    pub fn overhead_vs(&self, baseline: &Outcome) -> f64 {
+        assert!(baseline.cycles > 0, "baseline ran for zero cycles");
+        (self.cycles as f64 / baseline.cycles as f64 - 1.0) * 100.0
+    }
+
+    /// Property 1 of the paper, evaluated dynamically: the number of checks
+    /// executed is at most the number of method entries plus backedges
+    /// executed. Holds for Full- and Partial-Duplication; No-Duplication
+    /// may violate it.
+    ///
+    /// This self-contained form counts backedges against the *transformed*
+    /// CFG, whose dominance structure can under-count logical loop
+    /// iterations when checks fire (duplicated paths bypass the original
+    /// headers). Prefer [`Outcome::satisfies_property1_vs`] with a run of
+    /// the uninstrumented module when a baseline is available.
+    pub fn satisfies_property1(&self) -> bool {
+        self.checks_executed <= self.entries_executed + self.backedges_executed
+    }
+
+    /// Property 1 against a baseline run of the *original* module: the
+    /// instrumented run may execute at most one check per method entry and
+    /// per logical loop iteration of the same execution. Both runs must be
+    /// of semantically equivalent programs on the same input.
+    pub fn satisfies_property1_vs(&self, baseline: &Outcome) -> bool {
+        self.checks_executed <= baseline.entries_executed + baseline.backedges_executed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overhead_percentage() {
+        let base = Outcome {
+            cycles: 1000,
+            ..Outcome::default()
+        };
+        let run = Outcome {
+            cycles: 1060,
+            ..Outcome::default()
+        };
+        assert!((run.overhead_vs(&base) - 6.0).abs() < 1e-9);
+        assert!((base.overhead_vs(&base)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn property1_boundary() {
+        let mut o = Outcome {
+            checks_executed: 10,
+            entries_executed: 4,
+            backedges_executed: 6,
+            ..Outcome::default()
+        };
+        assert!(o.satisfies_property1());
+        o.checks_executed = 11;
+        assert!(!o.satisfies_property1());
+    }
+
+    #[test]
+    fn property1_vs_baseline() {
+        let baseline = Outcome {
+            entries_executed: 5,
+            backedges_executed: 20,
+            ..Outcome::default()
+        };
+        let mut run = Outcome {
+            checks_executed: 25,
+            ..Outcome::default()
+        };
+        assert!(run.satisfies_property1_vs(&baseline));
+        run.checks_executed = 26;
+        assert!(!run.satisfies_property1_vs(&baseline));
+    }
+}

@@ -1,0 +1,283 @@
+//! Sampling triggers (paper §2.1–§2.2).
+//!
+//! A trigger decides, at every check, whether the sample condition is true.
+//! The reproduction provides every mechanism the paper discusses:
+//!
+//! * [`Trigger::Counter`] — the paper's compiler-inserted counter-based
+//!   sampling: one **global** counter decremented by every check; at zero
+//!   it resets to the sample interval and fires. Deterministic, and
+//!   distributes samples across all sample points proportionally to their
+//!   execution frequency.
+//! * [`Trigger::CounterPerThread`] — the §2.2 remedy for multi-processor
+//!   counter contention: one counter per thread, no shared state.
+//! * [`Trigger::CounterRandomized`] — the §4.4 remedy for deterministic
+//!   aliasing with periodic program behaviour: the reset value is jittered
+//!   by a deterministic xorshift PRNG (as DCPI does).
+//! * [`Trigger::TimerBit`] — the §4.6 comparison point: a simulated timer
+//!   sets a sample bit every `period` cycles; the next executed check
+//!   consumes it. Reproduces the mis-attribution the paper measures.
+//! * [`Trigger::Never`] / [`Trigger::Always`] — the endpoints used to
+//!   measure pure framework overhead and to collect perfect profiles.
+
+/// Configuration of the sampling trigger.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum Trigger {
+    /// The sample condition is never true (framework-overhead runs; also
+    /// the "setting the sample condition permanently to false" shutdown
+    /// mode of §2).
+    Never,
+    /// Every check fires (sample interval 1 — the perfect profile).
+    Always,
+    /// Global counter-based sampling with the given sample interval.
+    Counter {
+        /// Number of checks between samples.
+        interval: u64,
+    },
+    /// Per-thread counter-based sampling.
+    CounterPerThread {
+        /// Number of checks between samples, per thread.
+        interval: u64,
+    },
+    /// Counter-based sampling with a randomized reset value, uniform in
+    /// `[interval - jitter, interval + jitter]`.
+    CounterRandomized {
+        /// Mean number of checks between samples.
+        interval: u64,
+        /// Maximum deviation from `interval`.
+        jitter: u64,
+        /// PRNG seed (runs are reproducible given the seed).
+        seed: u64,
+    },
+    /// Timer-based sampling: a bit set every `period` simulated cycles,
+    /// consumed by the next check.
+    TimerBit {
+        /// Simulated cycles between bit sets.
+        period: u64,
+    },
+}
+
+impl Default for Trigger {
+    fn default() -> Self {
+        // The paper's sweet spot: high accuracy, ~1% sampling overhead.
+        Trigger::Counter { interval: 1000 }
+    }
+}
+
+/// Runtime state of a trigger, owned by the interpreter.
+#[derive(Clone, Debug)]
+pub(crate) enum TriggerState {
+    Never,
+    Always,
+    Counter {
+        counter: u64,
+        interval: u64,
+    },
+    PerThread {
+        counters: Vec<u64>,
+        interval: u64,
+    },
+    Randomized {
+        counter: u64,
+        interval: u64,
+        jitter: u64,
+        rng: u64,
+    },
+    Timer {
+        bit: bool,
+        next_fire: u64,
+        period: u64,
+    },
+}
+
+fn xorshift(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x
+}
+
+impl TriggerState {
+    pub(crate) fn new(trigger: Trigger) -> Self {
+        match trigger {
+            Trigger::Never => TriggerState::Never,
+            Trigger::Always => TriggerState::Always,
+            Trigger::Counter { interval } => TriggerState::Counter {
+                counter: interval.max(1),
+                interval: interval.max(1),
+            },
+            Trigger::CounterPerThread { interval } => TriggerState::PerThread {
+                counters: Vec::new(),
+                interval: interval.max(1),
+            },
+            Trigger::CounterRandomized {
+                interval,
+                jitter,
+                seed,
+            } => TriggerState::Randomized {
+                counter: interval.max(1),
+                interval: interval.max(1),
+                jitter,
+                rng: seed | 1,
+            },
+            Trigger::TimerBit { period } => TriggerState::Timer {
+                bit: false,
+                next_fire: period.max(1),
+                period: period.max(1),
+            },
+        }
+    }
+
+    /// Called by the interpreter as the simulated clock advances; only the
+    /// timer trigger cares.
+    #[inline]
+    pub(crate) fn on_tick(&mut self, now: u64) {
+        if let TriggerState::Timer {
+            bit, next_fire, period,
+        } = self
+        {
+            if now >= *next_fire {
+                *bit = true;
+                while now >= *next_fire {
+                    *next_fire += *period;
+                }
+            }
+        }
+    }
+
+    /// Evaluates the sample condition at a check executed by `thread`.
+    #[inline]
+    pub(crate) fn on_check(&mut self, thread: usize) -> bool {
+        match self {
+            TriggerState::Never => false,
+            TriggerState::Always => true,
+            TriggerState::Counter { counter, interval } => {
+                *counter -= 1;
+                if *counter == 0 {
+                    *counter = *interval;
+                    true
+                } else {
+                    false
+                }
+            }
+            TriggerState::PerThread { counters, interval } => {
+                if counters.len() <= thread {
+                    counters.resize(thread + 1, *interval);
+                }
+                let c = &mut counters[thread];
+                *c -= 1;
+                if *c == 0 {
+                    *c = *interval;
+                    true
+                } else {
+                    false
+                }
+            }
+            TriggerState::Randomized {
+                counter,
+                interval,
+                jitter,
+                rng,
+            } => {
+                *counter -= 1;
+                if *counter == 0 {
+                    let spread = 2 * *jitter + 1;
+                    let offset = xorshift(rng) % spread;
+                    *counter = (*interval + offset).saturating_sub(*jitter).max(1);
+                    true
+                } else {
+                    false
+                }
+            }
+            TriggerState::Timer { bit, .. } => std::mem::take(bit),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_fires_every_interval() {
+        let mut t = TriggerState::new(Trigger::Counter { interval: 3 });
+        let fires: Vec<bool> = (0..9).map(|_| t.on_check(0)).collect();
+        assert_eq!(
+            fires,
+            vec![false, false, true, false, false, true, false, false, true]
+        );
+    }
+
+    #[test]
+    fn interval_one_always_fires() {
+        let mut t = TriggerState::new(Trigger::Counter { interval: 1 });
+        assert!((0..5).all(|_| t.on_check(0)));
+    }
+
+    #[test]
+    fn per_thread_counters_are_independent() {
+        let mut t = TriggerState::new(Trigger::CounterPerThread { interval: 2 });
+        assert!(!t.on_check(0));
+        assert!(!t.on_check(1));
+        assert!(t.on_check(0)); // thread 0 reached its interval
+        assert!(t.on_check(1)); // so did thread 1, independently
+    }
+
+    #[test]
+    fn timer_bit_set_by_tick_and_consumed_once() {
+        let mut t = TriggerState::new(Trigger::TimerBit { period: 100 });
+        assert!(!t.on_check(0));
+        t.on_tick(50);
+        assert!(!t.on_check(0));
+        t.on_tick(100);
+        assert!(t.on_check(0), "bit set at the period boundary");
+        assert!(!t.on_check(0), "bit consumed by the previous check");
+    }
+
+    #[test]
+    fn timer_catches_up_after_long_instruction() {
+        let mut t = TriggerState::new(Trigger::TimerBit { period: 10 });
+        t.on_tick(95); // one long instruction spanned many periods
+        assert!(t.on_check(0));
+        assert!(!t.on_check(0), "only one pending bit, not nine");
+    }
+
+    #[test]
+    fn randomized_reset_stays_in_range_and_is_deterministic() {
+        let mk = || {
+            TriggerState::new(Trigger::CounterRandomized {
+                interval: 100,
+                jitter: 20,
+                seed: 42,
+            })
+        };
+        let run = |mut t: TriggerState| {
+            let mut gaps = Vec::new();
+            let mut since = 0u64;
+            for _ in 0..100_000 {
+                since += 1;
+                if t.on_check(0) {
+                    gaps.push(since);
+                    since = 0;
+                }
+            }
+            gaps
+        };
+        let a = run(mk());
+        let b = run(mk());
+        assert_eq!(a, b, "same seed, same schedule");
+        assert!(a.len() > 500);
+        // After the first (deterministic) gap, all gaps are jittered.
+        assert!(a[1..].iter().all(|&g| (80..=120).contains(&g)));
+        assert!(a[1..].iter().any(|&g| g != 100), "jitter actually varies");
+    }
+
+    #[test]
+    fn never_and_always() {
+        let mut n = TriggerState::new(Trigger::Never);
+        let mut a = TriggerState::new(Trigger::Always);
+        assert!(!(0..10).any(|_| n.on_check(0)));
+        assert!((0..10).all(|_| a.on_check(0)));
+    }
+}

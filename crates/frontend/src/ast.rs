@@ -1,0 +1,328 @@
+//! Abstract syntax tree for Jive.
+
+use crate::diag::Pos;
+
+/// A whole program: classes and free functions.
+#[derive(Clone, Debug, Default)]
+pub struct Program {
+    /// Class declarations, in source order.
+    pub classes: Vec<ClassDecl>,
+    /// Function declarations, in source order.
+    pub functions: Vec<FnDecl>,
+}
+
+/// `class Name : Parent { field ...; method ... }`
+#[derive(Clone, Debug)]
+pub struct ClassDecl {
+    /// Class name.
+    pub name: String,
+    /// Optional superclass name.
+    pub parent: Option<String>,
+    /// Declared field names, in source order.
+    pub fields: Vec<String>,
+    /// Declared methods.
+    pub methods: Vec<FnDecl>,
+    /// Source position of the declaration.
+    pub pos: Pos,
+}
+
+/// A function or method declaration. For methods, `params` excludes the
+/// implicit `self`.
+#[derive(Clone, Debug)]
+pub struct FnDecl {
+    /// Function/method name.
+    pub name: String,
+    /// Parameter names.
+    pub params: Vec<String>,
+    /// Body statements.
+    pub body: Vec<Stmt>,
+    /// Source position of the declaration.
+    pub pos: Pos,
+}
+
+/// A statement.
+#[derive(Clone, Debug)]
+pub enum Stmt {
+    /// `var name = init;` (init defaults to `0`).
+    Var {
+        /// Variable name.
+        name: String,
+        /// Optional initializer.
+        init: Option<Expr>,
+        /// Source position.
+        pos: Pos,
+    },
+    /// `lvalue = value;`
+    Assign {
+        /// Assignment target.
+        target: LValue,
+        /// Right-hand side.
+        value: Expr,
+        /// Source position.
+        pos: Pos,
+    },
+    /// `if (cond) { .. } else { .. }`
+    If {
+        /// Condition.
+        cond: Expr,
+        /// Then branch.
+        then_body: Vec<Stmt>,
+        /// Else branch (empty when absent).
+        else_body: Vec<Stmt>,
+        /// Source position.
+        pos: Pos,
+    },
+    /// `while (cond) { .. }`
+    While {
+        /// Loop condition.
+        cond: Expr,
+        /// Loop body.
+        body: Vec<Stmt>,
+        /// Source position.
+        pos: Pos,
+    },
+    /// `return e;` / `return;`
+    Return {
+        /// Returned value, if any.
+        value: Option<Expr>,
+        /// Source position.
+        pos: Pos,
+    },
+    /// `break;`
+    Break {
+        /// Source position.
+        pos: Pos,
+    },
+    /// `continue;`
+    Continue {
+        /// Source position.
+        pos: Pos,
+    },
+    /// `print(e);`
+    Print {
+        /// Printed value.
+        value: Expr,
+        /// Source position.
+        pos: Pos,
+    },
+    /// An expression evaluated for its side effects.
+    Expr {
+        /// The expression.
+        expr: Expr,
+        /// Source position.
+        pos: Pos,
+    },
+}
+
+/// An assignable place.
+#[derive(Clone, Debug)]
+pub enum LValue {
+    /// A local variable or parameter.
+    Var(String),
+    /// `obj.field`
+    Field {
+        /// Receiver expression.
+        obj: Box<Expr>,
+        /// Field name.
+        field: String,
+    },
+    /// `arr[idx]`
+    Index {
+        /// Array expression.
+        arr: Box<Expr>,
+        /// Index expression.
+        idx: Box<Expr>,
+    },
+}
+
+/// Binary operators at the AST level.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum BinaryOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Rem,
+    /// `&`
+    BitAnd,
+    /// `|`
+    BitOr,
+    /// `^`
+    BitXor,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&` (short-circuit)
+    And,
+    /// `||` (short-circuit)
+    Or,
+}
+
+/// Unary operators at the AST level.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum UnaryOp {
+    /// `-`
+    Neg,
+    /// `!`
+    Not,
+}
+
+/// An expression.
+#[derive(Clone, Debug)]
+pub enum Expr {
+    /// Integer literal.
+    Int(i64, Pos),
+    /// `true` / `false`.
+    Bool(bool, Pos),
+    /// `null`.
+    Null(Pos),
+    /// `self` (methods only).
+    SelfRef(Pos),
+    /// A variable reference.
+    Var(String, Pos),
+    /// `op e`
+    Unary {
+        /// Operator.
+        op: UnaryOp,
+        /// Operand.
+        expr: Box<Expr>,
+        /// Source position.
+        pos: Pos,
+    },
+    /// `lhs op rhs`
+    Binary {
+        /// Operator.
+        op: BinaryOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+        /// Source position.
+        pos: Pos,
+    },
+    /// `f(args)` — a direct call of a free function.
+    Call {
+        /// Callee name.
+        name: String,
+        /// Arguments.
+        args: Vec<Expr>,
+        /// Source position.
+        pos: Pos,
+    },
+    /// `obj.m(args)` — dynamic dispatch on the runtime class of `obj`.
+    MethodCall {
+        /// Receiver.
+        obj: Box<Expr>,
+        /// Method name.
+        method: String,
+        /// Arguments (excluding receiver).
+        args: Vec<Expr>,
+        /// Source position.
+        pos: Pos,
+    },
+    /// `obj.field`
+    FieldGet {
+        /// Receiver.
+        obj: Box<Expr>,
+        /// Field name.
+        field: String,
+        /// Source position.
+        pos: Pos,
+    },
+    /// `arr[idx]`
+    Index {
+        /// Array.
+        arr: Box<Expr>,
+        /// Index.
+        idx: Box<Expr>,
+        /// Source position.
+        pos: Pos,
+    },
+    /// `new Class`
+    New {
+        /// Class name.
+        class: String,
+        /// Source position.
+        pos: Pos,
+    },
+    /// `array(n)` — new zero-filled integer array.
+    NewArray {
+        /// Length expression.
+        len: Box<Expr>,
+        /// Source position.
+        pos: Pos,
+    },
+    /// `len(a)`
+    Len {
+        /// Array expression.
+        arr: Box<Expr>,
+        /// Source position.
+        pos: Pos,
+    },
+    /// `busy(k)` — spin the simulated clock for a constant `k` cycles.
+    Busy {
+        /// Constant cycle count.
+        cycles: i64,
+        /// Source position.
+        pos: Pos,
+    },
+    /// `spawn f(args)` — start a green thread, yielding a handle.
+    Spawn {
+        /// Entry function name.
+        name: String,
+        /// Arguments.
+        args: Vec<Expr>,
+        /// Source position.
+        pos: Pos,
+    },
+    /// `join(t)` — wait for a thread to finish.
+    Join {
+        /// Thread-handle expression.
+        thread: Box<Expr>,
+        /// Source position.
+        pos: Pos,
+    },
+}
+
+impl Expr {
+    /// The source position of the expression.
+    pub fn pos(&self) -> Pos {
+        match self {
+            Expr::Int(_, p)
+            | Expr::Bool(_, p)
+            | Expr::Null(p)
+            | Expr::SelfRef(p)
+            | Expr::Var(_, p) => *p,
+            Expr::Unary { pos, .. }
+            | Expr::Binary { pos, .. }
+            | Expr::Call { pos, .. }
+            | Expr::MethodCall { pos, .. }
+            | Expr::FieldGet { pos, .. }
+            | Expr::Index { pos, .. }
+            | Expr::New { pos, .. }
+            | Expr::NewArray { pos, .. }
+            | Expr::Len { pos, .. }
+            | Expr::Busy { pos, .. }
+            | Expr::Spawn { pos, .. }
+            | Expr::Join { pos, .. } => *pos,
+        }
+    }
+}

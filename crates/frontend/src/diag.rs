@@ -1,0 +1,112 @@
+//! Compilation diagnostics.
+
+use std::error::Error;
+use std::fmt;
+
+/// A source position, 1-based.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+pub struct Pos {
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+impl fmt::Display for Pos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// Which phase rejected the program.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum Phase {
+    /// Tokenization.
+    Lex,
+    /// Parsing.
+    Parse,
+    /// Semantic checking.
+    Sema,
+    /// Post-lowering verification (a front-end bug if it ever fires).
+    Internal,
+}
+
+/// An error from any front-end phase, carrying the source position where
+/// one is available.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct CompileError {
+    /// The phase that failed.
+    pub phase: Phase,
+    /// Source position, if the error is tied to one.
+    pub pos: Option<Pos>,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl CompileError {
+    pub(crate) fn lex(pos: Pos, message: impl Into<String>) -> Self {
+        Self {
+            phase: Phase::Lex,
+            pos: Some(pos),
+            message: message.into(),
+        }
+    }
+
+    pub(crate) fn parse(pos: Pos, message: impl Into<String>) -> Self {
+        Self {
+            phase: Phase::Parse,
+            pos: Some(pos),
+            message: message.into(),
+        }
+    }
+
+    pub(crate) fn sema(pos: Pos, message: impl Into<String>) -> Self {
+        Self {
+            phase: Phase::Sema,
+            pos: Some(pos),
+            message: message.into(),
+        }
+    }
+
+    pub(crate) fn internal(message: impl Into<String>) -> Self {
+        Self {
+            phase: Phase::Internal,
+            pos: None,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let phase = match self.phase {
+            Phase::Lex => "lex error",
+            Phase::Parse => "parse error",
+            Phase::Sema => "semantic error",
+            Phase::Internal => "internal error",
+        };
+        match self.pos {
+            Some(p) => write!(f, "{phase} at {p}: {}", self.message),
+            None => write!(f, "{phase}: {}", self.message),
+        }
+    }
+}
+
+impl Error for CompileError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_position() {
+        let e = CompileError::parse(Pos { line: 3, col: 7 }, "expected `;`");
+        assert_eq!(e.to_string(), "parse error at 3:7: expected `;`");
+    }
+
+    #[test]
+    fn internal_errors_have_no_position() {
+        let e = CompileError::internal("boom");
+        assert_eq!(e.to_string(), "internal error: boom");
+    }
+}

@@ -1,0 +1,305 @@
+//! Hand-written lexer for Jive.
+
+use crate::diag::{CompileError, Pos};
+use crate::token::{Token, TokenKind};
+
+/// A streaming tokenizer over Jive source text.
+///
+/// Supports `//` line comments and `/* */` block comments (non-nesting).
+#[derive(Debug)]
+pub struct Lexer<'src> {
+    chars: std::iter::Peekable<std::str::Chars<'src>>,
+    line: u32,
+    col: u32,
+}
+
+impl<'src> Lexer<'src> {
+    /// Creates a lexer over `source`.
+    pub fn new(source: &'src str) -> Self {
+        Self {
+            chars: source.chars().peekable(),
+            line: 1,
+            col: 1,
+        }
+    }
+
+    /// Tokenizes the whole input, ending with an [`TokenKind::Eof`] token.
+    ///
+    /// # Errors
+    ///
+    /// Returns a lex error on unknown characters, malformed operators or
+    /// integer literals that overflow `i64`.
+    pub fn tokenize(mut self) -> Result<Vec<Token>, CompileError> {
+        let mut out = Vec::new();
+        loop {
+            let tok = self.next_token()?;
+            let is_eof = tok.kind == TokenKind::Eof;
+            out.push(tok);
+            if is_eof {
+                return Ok(out);
+            }
+        }
+    }
+
+    fn pos(&self) -> Pos {
+        Pos {
+            line: self.line,
+            col: self.col,
+        }
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.next()?;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        self.chars.peek().copied()
+    }
+
+    fn eat(&mut self, expected: char) -> bool {
+        if self.peek() == Some(expected) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn skip_trivia(&mut self) -> Result<(), CompileError> {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_whitespace() => {
+                    self.bump();
+                }
+                Some('/') => {
+                    // Peek one further: clone is cheap for Chars.
+                    let mut lookahead = self.chars.clone();
+                    lookahead.next();
+                    match lookahead.next() {
+                        Some('/') => {
+                            while let Some(c) = self.bump() {
+                                if c == '\n' {
+                                    break;
+                                }
+                            }
+                        }
+                        Some('*') => {
+                            let start = self.pos();
+                            self.bump();
+                            self.bump();
+                            let mut closed = false;
+                            while let Some(c) = self.bump() {
+                                if c == '*' && self.eat('/') {
+                                    closed = true;
+                                    break;
+                                }
+                            }
+                            if !closed {
+                                return Err(CompileError::lex(start, "unterminated block comment"));
+                            }
+                        }
+                        _ => return Ok(()),
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn next_token(&mut self) -> Result<Token, CompileError> {
+        self.skip_trivia()?;
+        let pos = self.pos();
+        let Some(c) = self.bump() else {
+            return Ok(Token {
+                kind: TokenKind::Eof,
+                pos,
+            });
+        };
+        let kind = match c {
+            '(' => TokenKind::LParen,
+            ')' => TokenKind::RParen,
+            '{' => TokenKind::LBrace,
+            '}' => TokenKind::RBrace,
+            '[' => TokenKind::LBracket,
+            ']' => TokenKind::RBracket,
+            ';' => TokenKind::Semi,
+            ',' => TokenKind::Comma,
+            '.' => TokenKind::Dot,
+            ':' => TokenKind::Colon,
+            '+' => TokenKind::Plus,
+            '-' => TokenKind::Minus,
+            '*' => TokenKind::Star,
+            '/' => TokenKind::Slash,
+            '%' => TokenKind::Percent,
+            '^' => TokenKind::Caret,
+            '=' => {
+                if self.eat('=') {
+                    TokenKind::EqEq
+                } else {
+                    TokenKind::Assign
+                }
+            }
+            '!' => {
+                if self.eat('=') {
+                    TokenKind::NotEq
+                } else {
+                    TokenKind::Bang
+                }
+            }
+            '<' => {
+                if self.eat('=') {
+                    TokenKind::Le
+                } else if self.eat('<') {
+                    TokenKind::Shl
+                } else {
+                    TokenKind::Lt
+                }
+            }
+            '>' => {
+                if self.eat('=') {
+                    TokenKind::Ge
+                } else if self.eat('>') {
+                    TokenKind::Shr
+                } else {
+                    TokenKind::Gt
+                }
+            }
+            '&' => {
+                if self.eat('&') {
+                    TokenKind::AndAnd
+                } else {
+                    TokenKind::Amp
+                }
+            }
+            '|' => {
+                if self.eat('|') {
+                    TokenKind::OrOr
+                } else {
+                    TokenKind::Pipe
+                }
+            }
+            d if d.is_ascii_digit() => {
+                let mut value: i64 = (d as u8 - b'0') as i64;
+                while let Some(n) = self.peek() {
+                    if !n.is_ascii_digit() {
+                        break;
+                    }
+                    self.bump();
+                    value = value
+                        .checked_mul(10)
+                        .and_then(|v| v.checked_add((n as u8 - b'0') as i64))
+                        .ok_or_else(|| {
+                            CompileError::lex(pos, "integer literal overflows i64")
+                        })?;
+                }
+                TokenKind::Int(value)
+            }
+            a if a.is_ascii_alphabetic() || a == '_' => {
+                let mut text = String::new();
+                text.push(a);
+                while let Some(n) = self.peek() {
+                    if n.is_ascii_alphanumeric() || n == '_' {
+                        text.push(n);
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                TokenKind::keyword(&text).unwrap_or(TokenKind::Ident(text))
+            }
+            other => {
+                return Err(CompileError::lex(
+                    pos,
+                    format!("unexpected character `{other}`"),
+                ))
+            }
+        };
+        Ok(Token { kind, pos })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        Lexer::new(src)
+            .tokenize()
+            .unwrap()
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
+    }
+
+    #[test]
+    fn lexes_keywords_idents_and_ints() {
+        assert_eq!(
+            kinds("while x123 42"),
+            vec![
+                TokenKind::While,
+                TokenKind::Ident("x123".into()),
+                TokenKind::Int(42),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_compound_operators() {
+        assert_eq!(
+            kinds("<= >= == != && || << >> < >"),
+            vec![
+                TokenKind::Le,
+                TokenKind::Ge,
+                TokenKind::EqEq,
+                TokenKind::NotEq,
+                TokenKind::AndAnd,
+                TokenKind::OrOr,
+                TokenKind::Shl,
+                TokenKind::Shr,
+                TokenKind::Lt,
+                TokenKind::Gt,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn skips_comments() {
+        assert_eq!(
+            kinds("1 // comment\n 2 /* block\n comment */ 3"),
+            vec![
+                TokenKind::Int(1),
+                TokenKind::Int(2),
+                TokenKind::Int(3),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn tracks_positions() {
+        let toks = Lexer::new("a\n  b").tokenize().unwrap();
+        assert_eq!((toks[0].pos.line, toks[0].pos.col), (1, 1));
+        assert_eq!((toks[1].pos.line, toks[1].pos.col), (2, 3));
+    }
+
+    #[test]
+    fn rejects_unknown_char_and_overflow() {
+        assert!(Lexer::new("#").tokenize().is_err());
+        assert!(Lexer::new("99999999999999999999999").tokenize().is_err());
+    }
+
+    #[test]
+    fn rejects_unterminated_block_comment() {
+        let e = Lexer::new("/* never closed").tokenize().unwrap_err();
+        assert!(e.message.contains("unterminated"));
+    }
+}

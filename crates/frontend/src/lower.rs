@@ -1,0 +1,550 @@
+//! Lowering from the checked AST to `isf-ir`.
+//!
+//! Yieldpoint placement mirrors Jalapeño (paper §4.5): one `Yield` at every
+//! method entry, and one on every loop backedge (in a dedicated latch block
+//! that both the fall-through path and `continue` route through, so each
+//! loop has exactly one backedge and exactly one backedge yieldpoint).
+
+use std::collections::HashMap;
+
+use isf_ir::{
+    BinOp, CallSiteId, ClassId, Const, FieldSym, FuncId, FunctionBuilder, Inst, LocalId,
+    MethodSym, Module, ModuleBuilder, Term, UnOp,
+};
+
+use crate::ast::*;
+
+/// Lowers a semantically checked program to an IR module.
+///
+/// # Panics
+///
+/// May panic on programs that have not passed [`crate::sema::check`]; the
+/// public pipeline in [`crate::compile`] always runs the checker first.
+pub fn lower(program: &Program) -> Module {
+    let mut mb = ModuleBuilder::new();
+
+    // Declare every free function and method so calls can be resolved
+    // before bodies are lowered.
+    let mut functions: HashMap<&str, FuncId> = HashMap::new();
+    for f in &program.functions {
+        let id = mb.declare_function(&f.name, f.params.len());
+        functions.insert(&f.name, id);
+    }
+    let mut method_ids: Vec<Vec<FuncId>> = Vec::new();
+    for class in &program.classes {
+        let ids = class
+            .methods
+            .iter()
+            .map(|m| {
+                // `self` is the implicit parameter 0.
+                mb.declare_function(
+                    &format!("{}::{}", class.name, m.name),
+                    m.params.len() + 1,
+                )
+            })
+            .collect();
+        method_ids.push(ids);
+    }
+
+    // Register classes parents-first.
+    let mut classes: HashMap<&str, ClassId> = HashMap::new();
+    let class_index: HashMap<&str, usize> = program
+        .classes
+        .iter()
+        .enumerate()
+        .map(|(i, c)| (c.name.as_str(), i))
+        .collect();
+    fn register<'p>(
+        i: usize,
+        program: &'p Program,
+        class_index: &HashMap<&str, usize>,
+        method_ids: &[Vec<FuncId>],
+        mb: &mut ModuleBuilder,
+        classes: &mut HashMap<&'p str, ClassId>,
+    ) -> ClassId {
+        let class = &program.classes[i];
+        if let Some(&id) = classes.get(class.name.as_str()) {
+            return id;
+        }
+        let parent = class.parent.as_ref().map(|p| {
+            register(
+                class_index[p.as_str()],
+                program,
+                class_index,
+                method_ids,
+                mb,
+                classes,
+            )
+        });
+        let fields: Vec<FieldSym> = class.fields.iter().map(|f| mb.intern_field(f)).collect();
+        let methods: Vec<(MethodSym, FuncId)> = class
+            .methods
+            .iter()
+            .zip(&method_ids[i])
+            .map(|(m, &id)| (mb.intern_method(&m.name), id))
+            .collect();
+        let id = mb.add_class(&class.name, parent, &fields, &methods);
+        classes.insert(&class.name, id);
+        id
+    }
+    for i in 0..program.classes.len() {
+        register(i, program, &class_index, &method_ids, &mut mb, &mut classes);
+    }
+
+    // Lower bodies.
+    for f in &program.functions {
+        let id = functions[f.name.as_str()];
+        let lowered = FnLowerer::lower(f, false, &functions, &classes, &mut mb);
+        mb.define_function(id, lowered);
+    }
+    for (i, class) in program.classes.iter().enumerate() {
+        for (m, &id) in class.methods.iter().zip(&method_ids[i]) {
+            let mangled = format!("{}::{}", class.name, m.name);
+            let mut decl = m.clone();
+            decl.name = mangled;
+            let lowered = FnLowerer::lower(&decl, true, &functions, &classes, &mut mb);
+            mb.define_function(id, lowered);
+        }
+    }
+
+    let main = functions["main"];
+    mb.finish(main)
+}
+
+struct FnLowerer<'p, 'mb> {
+    fb: FunctionBuilder,
+    scopes: Vec<HashMap<String, LocalId>>,
+    /// (continue target = latch, break target = exit)
+    loop_stack: Vec<(isf_ir::BlockId, isf_ir::BlockId)>,
+    is_method: bool,
+    functions: &'p HashMap<&'p str, FuncId>,
+    classes: &'p HashMap<&'p str, ClassId>,
+    mb: &'mb mut ModuleBuilder,
+}
+
+impl<'p, 'mb> FnLowerer<'p, 'mb> {
+    fn lower(
+        decl: &FnDecl,
+        is_method: bool,
+        functions: &'p HashMap<&'p str, FuncId>,
+        classes: &'p HashMap<&'p str, ClassId>,
+        mb: &'mb mut ModuleBuilder,
+    ) -> isf_ir::Function {
+        let arity = decl.params.len() + usize::from(is_method);
+        let mut fb = FunctionBuilder::new(&decl.name, arity);
+        // Method-entry yieldpoint, exactly where Jalapeño inserts one.
+        fb.push(Inst::Yield);
+        let mut scope = HashMap::new();
+        for (i, p) in decl.params.iter().enumerate() {
+            scope.insert(p.clone(), fb.param(i + usize::from(is_method)));
+        }
+        let mut lowerer = FnLowerer {
+            fb,
+            scopes: vec![scope],
+            loop_stack: Vec::new(),
+            is_method,
+            functions,
+            classes,
+            mb,
+        };
+        lowerer.body(&decl.body);
+        if !lowerer.fb.is_terminated() {
+            lowerer.fb.terminate(Term::Ret(None));
+        }
+        lowerer.fb.finish()
+    }
+
+    fn body(&mut self, stmts: &[Stmt]) {
+        self.scopes.push(HashMap::new());
+        for stmt in stmts {
+            self.stmt(stmt);
+            if self.fb.is_terminated() {
+                // Anything after a return/break/continue in this block is
+                // dead; park it in a fresh unreachable block.
+                let dead = self.fb.new_block();
+                self.fb.switch_to(dead);
+            }
+        }
+        self.scopes.pop();
+    }
+
+    fn lookup(&self, name: &str) -> LocalId {
+        self.scopes
+            .iter()
+            .rev()
+            .find_map(|s| s.get(name))
+            .copied()
+            .expect("sema guarantees variables are declared")
+    }
+
+    fn stmt(&mut self, stmt: &Stmt) {
+        match stmt {
+            Stmt::Var { name, init, .. } => {
+                let local = self.fb.new_local();
+                match init {
+                    Some(e) => {
+                        let v = self.expr(e);
+                        self.fb.push(Inst::Move { dst: local, src: v });
+                    }
+                    None => {
+                        self.fb.push(Inst::Const {
+                            dst: local,
+                            value: Const::I64(0),
+                        });
+                    }
+                }
+                self.scopes
+                    .last_mut()
+                    .expect("scope stack non-empty")
+                    .insert(name.clone(), local);
+            }
+            Stmt::Assign { target, value, .. } => match target {
+                LValue::Var(name) => {
+                    let dst = self.lookup(name);
+                    let v = self.expr(value);
+                    self.fb.push(Inst::Move { dst, src: v });
+                }
+                LValue::Field { obj, field } => {
+                    let o = self.expr(obj);
+                    let v = self.expr(value);
+                    let field = self.mb.intern_field(field);
+                    self.fb.push(Inst::SetField {
+                        obj: o,
+                        field,
+                        src: v,
+                    });
+                }
+                LValue::Index { arr, idx } => {
+                    let a = self.expr(arr);
+                    let i = self.expr(idx);
+                    let v = self.expr(value);
+                    self.fb.push(Inst::ArraySet {
+                        arr: a,
+                        idx: i,
+                        src: v,
+                    });
+                }
+            },
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+                ..
+            } => {
+                let c = self.expr(cond);
+                let then_b = self.fb.new_block();
+                let else_b = self.fb.new_block();
+                let merge = self.fb.new_block();
+                self.fb.terminate(Term::Br {
+                    cond: c,
+                    t: then_b,
+                    f: else_b,
+                });
+                self.fb.switch_to(then_b);
+                self.body(then_body);
+                if !self.fb.is_terminated() {
+                    self.fb.terminate(Term::Jump(merge));
+                }
+                self.fb.switch_to(else_b);
+                self.body(else_body);
+                if !self.fb.is_terminated() {
+                    self.fb.terminate(Term::Jump(merge));
+                }
+                self.fb.switch_to(merge);
+            }
+            Stmt::While { cond, body, .. } => {
+                let header = self.fb.new_block();
+                let body_b = self.fb.new_block();
+                let latch = self.fb.new_block();
+                let exit = self.fb.new_block();
+                self.fb.terminate(Term::Jump(header));
+                self.fb.switch_to(header);
+                let c = self.expr(cond);
+                self.fb.terminate(Term::Br {
+                    cond: c,
+                    t: body_b,
+                    f: exit,
+                });
+                self.fb.switch_to(body_b);
+                self.loop_stack.push((latch, exit));
+                self.body(body);
+                self.loop_stack.pop();
+                if !self.fb.is_terminated() {
+                    self.fb.terminate(Term::Jump(latch));
+                }
+                // The single backedge of the loop carries the backedge
+                // yieldpoint.
+                self.fb.switch_to(latch);
+                self.fb.push(Inst::Yield);
+                self.fb.terminate(Term::Jump(header));
+                self.fb.switch_to(exit);
+            }
+            Stmt::Return { value, .. } => {
+                let v = value.as_ref().map(|e| self.expr(e));
+                self.fb.terminate(Term::Ret(v));
+            }
+            Stmt::Break { .. } => {
+                let (_, exit) = *self.loop_stack.last().expect("sema checks loop depth");
+                self.fb.terminate(Term::Jump(exit));
+            }
+            Stmt::Continue { .. } => {
+                let (latch, _) = *self.loop_stack.last().expect("sema checks loop depth");
+                self.fb.terminate(Term::Jump(latch));
+            }
+            Stmt::Print { value, .. } => {
+                let v = self.expr(value);
+                self.fb.push(Inst::Print { src: v });
+            }
+            Stmt::Expr { expr, .. } => {
+                self.expr(expr);
+            }
+        }
+    }
+
+    fn expr(&mut self, expr: &Expr) -> LocalId {
+        match expr {
+            Expr::Int(v, _) => self.constant(Const::I64(*v)),
+            Expr::Bool(b, _) => self.constant(Const::Bool(*b)),
+            Expr::Null(_) => self.constant(Const::Null),
+            Expr::SelfRef(_) => {
+                debug_assert!(self.is_method);
+                LocalId::new(0)
+            }
+            Expr::Var(name, _) => self.lookup(name),
+            Expr::Unary { op, expr, .. } => {
+                let src = self.expr(expr);
+                let dst = self.fb.new_local();
+                let op = match op {
+                    UnaryOp::Neg => UnOp::Neg,
+                    UnaryOp::Not => UnOp::Not,
+                };
+                self.fb.push(Inst::Un { op, dst, src });
+                dst
+            }
+            Expr::Binary { op, lhs, rhs, .. } => match op {
+                BinaryOp::And => self.short_circuit(lhs, rhs, true),
+                BinaryOp::Or => self.short_circuit(lhs, rhs, false),
+                _ => {
+                    let l = self.expr(lhs);
+                    let r = self.expr(rhs);
+                    let dst = self.fb.new_local();
+                    let op = match op {
+                        BinaryOp::Add => BinOp::Add,
+                        BinaryOp::Sub => BinOp::Sub,
+                        BinaryOp::Mul => BinOp::Mul,
+                        BinaryOp::Div => BinOp::Div,
+                        BinaryOp::Rem => BinOp::Rem,
+                        BinaryOp::BitAnd => BinOp::And,
+                        BinaryOp::BitOr => BinOp::Or,
+                        BinaryOp::BitXor => BinOp::Xor,
+                        BinaryOp::Shl => BinOp::Shl,
+                        BinaryOp::Shr => BinOp::Shr,
+                        BinaryOp::Eq => BinOp::Eq,
+                        BinaryOp::Ne => BinOp::Ne,
+                        BinaryOp::Lt => BinOp::Lt,
+                        BinaryOp::Le => BinOp::Le,
+                        BinaryOp::Gt => BinOp::Gt,
+                        BinaryOp::Ge => BinOp::Ge,
+                        BinaryOp::And | BinaryOp::Or => unreachable!(),
+                    };
+                    self.fb.push(Inst::Bin { op, dst, lhs: l, rhs: r });
+                    dst
+                }
+            },
+            Expr::Call { name, args, .. } => {
+                let callee = self.functions[name.as_str()];
+                let args: Vec<LocalId> = args.iter().map(|a| self.expr(a)).collect();
+                let dst = self.fb.new_local();
+                self.fb.push(Inst::Call {
+                    dst: Some(dst),
+                    callee,
+                    args,
+                    site: CallSiteId::new(0), // assigned by the builder
+                });
+                dst
+            }
+            Expr::MethodCall {
+                obj, method, args, ..
+            } => {
+                let o = self.expr(obj);
+                let args: Vec<LocalId> = args.iter().map(|a| self.expr(a)).collect();
+                let method = self.mb.intern_method(method);
+                let dst = self.fb.new_local();
+                self.fb.push(Inst::CallMethod {
+                    dst: Some(dst),
+                    obj: o,
+                    method,
+                    args,
+                    site: CallSiteId::new(0), // assigned by the builder
+                });
+                dst
+            }
+            Expr::FieldGet { obj, field, .. } => {
+                let o = self.expr(obj);
+                let field = self.mb.intern_field(field);
+                let dst = self.fb.new_local();
+                self.fb.push(Inst::GetField {
+                    dst,
+                    obj: o,
+                    field,
+                });
+                dst
+            }
+            Expr::Index { arr, idx, .. } => {
+                let a = self.expr(arr);
+                let i = self.expr(idx);
+                let dst = self.fb.new_local();
+                self.fb.push(Inst::ArrayGet {
+                    dst,
+                    arr: a,
+                    idx: i,
+                });
+                dst
+            }
+            Expr::New { class, .. } => {
+                let class = self.classes[class.as_str()];
+                let dst = self.fb.new_local();
+                self.fb.push(Inst::New { dst, class });
+                dst
+            }
+            Expr::NewArray { len, .. } => {
+                let l = self.expr(len);
+                let dst = self.fb.new_local();
+                self.fb.push(Inst::NewArray { dst, len: l });
+                dst
+            }
+            Expr::Len { arr, .. } => {
+                let a = self.expr(arr);
+                let dst = self.fb.new_local();
+                self.fb.push(Inst::ArrayLen { dst, arr: a });
+                dst
+            }
+            Expr::Busy { cycles, .. } => {
+                self.fb.push(Inst::Busy {
+                    cycles: *cycles as u32,
+                });
+                self.constant(Const::I64(0))
+            }
+            Expr::Spawn { name, args, .. } => {
+                let callee = self.functions[name.as_str()];
+                let args: Vec<LocalId> = args.iter().map(|a| self.expr(a)).collect();
+                let dst = self.fb.new_local();
+                self.fb.push(Inst::Spawn { dst, callee, args });
+                dst
+            }
+            Expr::Join { thread, .. } => {
+                let t = self.expr(thread);
+                self.fb.push(Inst::Join { thread: t });
+                self.constant(Const::I64(0))
+            }
+        }
+    }
+
+    fn constant(&mut self, value: Const) -> LocalId {
+        let dst = self.fb.new_local();
+        self.fb.push(Inst::Const { dst, value });
+        dst
+    }
+
+    /// Lowers `lhs && rhs` (`and = true`) or `lhs || rhs` (`and = false`)
+    /// with short-circuit control flow.
+    fn short_circuit(&mut self, lhs: &Expr, rhs: &Expr, and: bool) -> LocalId {
+        let result = self.fb.new_local();
+        let l = self.expr(lhs);
+        let rhs_b = self.fb.new_block();
+        let short_b = self.fb.new_block();
+        let merge = self.fb.new_block();
+        let (t, f) = if and { (rhs_b, short_b) } else { (short_b, rhs_b) };
+        self.fb.terminate(Term::Br { cond: l, t, f });
+        self.fb.switch_to(rhs_b);
+        let r = self.expr(rhs);
+        self.fb.push(Inst::Move {
+            dst: result,
+            src: r,
+        });
+        self.fb.terminate(Term::Jump(merge));
+        self.fb.switch_to(short_b);
+        self.fb.push(Inst::Const {
+            dst: result,
+            value: Const::Bool(!and),
+        });
+        self.fb.terminate(Term::Jump(merge));
+        self.fb.switch_to(merge);
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::compile;
+    use isf_ir::{loops, Inst};
+
+    #[test]
+    fn entry_yieldpoint_inserted() {
+        let m = compile("fn main() { print(1); }").unwrap();
+        let f = m.function(m.main());
+        assert!(matches!(f.block(f.entry()).insts()[0], Inst::Yield));
+    }
+
+    #[test]
+    fn while_loop_has_one_backedge_with_yieldpoint() {
+        let m = compile("fn main() { var i = 0; while (i < 3) { i = i + 1; } }").unwrap();
+        let f = m.function(m.main());
+        let be = loops::backedges(f);
+        assert_eq!(be.len(), 1);
+        let (src, _) = be[0];
+        assert!(
+            f.block(src).insts().iter().any(Inst::is_yield),
+            "backedge source must carry a yieldpoint"
+        );
+        // Exactly two yieldpoints total: entry + backedge.
+        let yields = f
+            .insts()
+            .filter(|(_, _, i)| i.is_yield())
+            .count();
+        assert_eq!(yields, 2);
+    }
+
+    #[test]
+    fn continue_routes_through_the_latch() {
+        let m = compile(
+            "fn main() { var i = 0; while (i < 9) { i = i + 1; if (i % 2 == 0) { continue; } print(i); } }",
+        )
+        .unwrap();
+        let f = m.function(m.main());
+        // Still exactly one backedge: both paths go through the latch.
+        assert_eq!(loops::backedges(f).len(), 1);
+    }
+
+    #[test]
+    fn methods_take_implicit_self() {
+        let m = compile(
+            "class A { field x; method get() { return self.x; } }
+             fn main() { var a = new A; a.x = 5; print(a.get()); }",
+        )
+        .unwrap();
+        let id = m.function_by_name("A::get").unwrap();
+        assert_eq!(m.function(id).arity(), 1);
+    }
+
+    #[test]
+    fn nested_loops_have_two_backedges() {
+        let m = compile(
+            "fn main() { var i = 0; while (i < 2) { var j = 0; while (j < 2) { j = j + 1; } i = i + 1; } }",
+        )
+        .unwrap();
+        assert_eq!(loops::backedges(m.function(m.main())).len(), 2);
+    }
+
+    #[test]
+    fn produced_cfg_is_reducible() {
+        let m = compile(
+            "fn f(n) { var s = 0; var i = 0; while (i < n) { if (i % 3 == 0 && i % 5 == 0) { s = s + i; } else { s = s - 1; } i = i + 1; } return s; }
+             fn main() { print(f(30)); }",
+        )
+        .unwrap();
+        for (_, f) in m.functions() {
+            assert!(loops::is_reducible(f), "{} irreducible", f.name());
+        }
+    }
+}

@@ -1,0 +1,250 @@
+//! Tokens of the Jive language.
+
+use crate::diag::Pos;
+use std::fmt;
+
+/// A token kind, carrying literal/identifier payloads.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum TokenKind {
+    /// An integer literal.
+    Int(i64),
+    /// An identifier.
+    Ident(String),
+
+    // Keywords.
+    /// `class`
+    Class,
+    /// `field`
+    Field,
+    /// `method`
+    Method,
+    /// `fn`
+    Fn,
+    /// `var`
+    Var,
+    /// `if`
+    If,
+    /// `else`
+    Else,
+    /// `while`
+    While,
+    /// `return`
+    Return,
+    /// `break`
+    Break,
+    /// `continue`
+    Continue,
+    /// `print`
+    Print,
+    /// `new`
+    New,
+    /// `array`
+    Array,
+    /// `len`
+    Len,
+    /// `busy`
+    Busy,
+    /// `spawn`
+    Spawn,
+    /// `join`
+    Join,
+    /// `self`
+    SelfKw,
+    /// `true`
+    True,
+    /// `false`
+    False,
+    /// `null`
+    Null,
+
+    // Punctuation and operators.
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `;`
+    Semi,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `:`
+    Colon,
+    /// `=`
+    Assign,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `&`
+    Amp,
+    /// `|`
+    Pipe,
+    /// `^`
+    Caret,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+    /// `==`
+    EqEq,
+    /// `!=`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+    /// `!`
+    Bang,
+    /// End of input.
+    Eof,
+}
+
+impl TokenKind {
+    /// Keyword lookup for an identifier-shaped lexeme.
+    pub fn keyword(text: &str) -> Option<TokenKind> {
+        Some(match text {
+            "class" => TokenKind::Class,
+            "field" => TokenKind::Field,
+            "method" => TokenKind::Method,
+            "fn" => TokenKind::Fn,
+            "var" => TokenKind::Var,
+            "if" => TokenKind::If,
+            "else" => TokenKind::Else,
+            "while" => TokenKind::While,
+            "return" => TokenKind::Return,
+            "break" => TokenKind::Break,
+            "continue" => TokenKind::Continue,
+            "print" => TokenKind::Print,
+            "new" => TokenKind::New,
+            "array" => TokenKind::Array,
+            "len" => TokenKind::Len,
+            "busy" => TokenKind::Busy,
+            "spawn" => TokenKind::Spawn,
+            "join" => TokenKind::Join,
+            "self" => TokenKind::SelfKw,
+            "true" => TokenKind::True,
+            "false" => TokenKind::False,
+            "null" => TokenKind::Null,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Int(v) => write!(f, "integer `{v}`"),
+            TokenKind::Ident(s) => write!(f, "identifier `{s}`"),
+            TokenKind::Eof => write!(f, "end of input"),
+            other => {
+                let text = match other {
+                    TokenKind::Class => "class",
+                    TokenKind::Field => "field",
+                    TokenKind::Method => "method",
+                    TokenKind::Fn => "fn",
+                    TokenKind::Var => "var",
+                    TokenKind::If => "if",
+                    TokenKind::Else => "else",
+                    TokenKind::While => "while",
+                    TokenKind::Return => "return",
+                    TokenKind::Break => "break",
+                    TokenKind::Continue => "continue",
+                    TokenKind::Print => "print",
+                    TokenKind::New => "new",
+                    TokenKind::Array => "array",
+                    TokenKind::Len => "len",
+                    TokenKind::Busy => "busy",
+                    TokenKind::Spawn => "spawn",
+                    TokenKind::Join => "join",
+                    TokenKind::SelfKw => "self",
+                    TokenKind::True => "true",
+                    TokenKind::False => "false",
+                    TokenKind::Null => "null",
+                    TokenKind::LParen => "(",
+                    TokenKind::RParen => ")",
+                    TokenKind::LBrace => "{",
+                    TokenKind::RBrace => "}",
+                    TokenKind::LBracket => "[",
+                    TokenKind::RBracket => "]",
+                    TokenKind::Semi => ";",
+                    TokenKind::Comma => ",",
+                    TokenKind::Dot => ".",
+                    TokenKind::Colon => ":",
+                    TokenKind::Assign => "=",
+                    TokenKind::Plus => "+",
+                    TokenKind::Minus => "-",
+                    TokenKind::Star => "*",
+                    TokenKind::Slash => "/",
+                    TokenKind::Percent => "%",
+                    TokenKind::Amp => "&",
+                    TokenKind::Pipe => "|",
+                    TokenKind::Caret => "^",
+                    TokenKind::Shl => "<<",
+                    TokenKind::Shr => ">>",
+                    TokenKind::EqEq => "==",
+                    TokenKind::NotEq => "!=",
+                    TokenKind::Lt => "<",
+                    TokenKind::Le => "<=",
+                    TokenKind::Gt => ">",
+                    TokenKind::Ge => ">=",
+                    TokenKind::AndAnd => "&&",
+                    TokenKind::OrOr => "||",
+                    TokenKind::Bang => "!",
+                    _ => unreachable!(),
+                };
+                write!(f, "`{text}`")
+            }
+        }
+    }
+}
+
+/// A token with its source position.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Token {
+    /// What kind of token.
+    pub kind: TokenKind,
+    /// Where it starts.
+    pub pos: Pos,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keyword_lookup() {
+        assert_eq!(TokenKind::keyword("while"), Some(TokenKind::While));
+        assert_eq!(TokenKind::keyword("whale"), None);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(TokenKind::Int(5).to_string(), "integer `5`");
+        assert_eq!(TokenKind::Ident("x".into()).to_string(), "identifier `x`");
+        assert_eq!(TokenKind::Le.to_string(), "`<=`");
+        assert_eq!(TokenKind::Eof.to_string(), "end of input");
+    }
+}

@@ -1,0 +1,218 @@
+//! Experiments beyond the paper's tables, for the features its deployment
+//! story assumes: sampled Ball–Larus path profiling and selective
+//! (hot-methods-only) instrumentation. Run with `isf-harness -- extras`.
+
+use std::collections::HashSet;
+use std::fmt;
+
+use isf_core::{instrument_module, instrument_module_selective, Options, Strategy};
+use isf_exec::Trigger;
+use isf_instr::{ModulePlan, PathProfileInstrumentation};
+use isf_profile::hotness;
+use isf_profile::overlap::path_overlap;
+
+use crate::runner::{instrument, overhead_pct, plan_for, prepare_suite, run_module, Kinds};
+use crate::{mean, pct, Scale};
+
+/// One row of the path-profiling sweep.
+#[derive(Clone, Debug)]
+pub struct PathRow {
+    /// The sample interval.
+    pub interval: u64,
+    /// Total overhead over the baseline, percent (suite average).
+    pub total: f64,
+    /// Path-profile overlap accuracy, percent (suite average).
+    pub accuracy: f64,
+    /// Mean complete paths recorded per benchmark.
+    pub paths_recorded: f64,
+}
+
+/// One row of the selective-instrumentation comparison.
+#[derive(Clone, Debug)]
+pub struct SelectiveRow {
+    /// Benchmark name.
+    pub bench: &'static str,
+    /// Total sampling overhead with every method instrumented, percent.
+    pub all_methods: f64,
+    /// Total sampling overhead with only the 90%-heat methods, percent.
+    pub hot_only: f64,
+    /// Space increase with every method instrumented, bytes.
+    pub all_space: usize,
+    /// Space increase with only the hot methods, bytes.
+    pub hot_space: usize,
+    /// Number of hot methods selected.
+    pub hot_count: usize,
+}
+
+/// The extras report.
+#[derive(Clone, Debug)]
+pub struct Extras {
+    /// Path-profiling sweep (Full-Duplication, exhaustive-vs-sampled).
+    pub path_rows: Vec<PathRow>,
+    /// Selective instrumentation per benchmark.
+    pub selective_rows: Vec<SelectiveRow>,
+}
+
+/// Runs both extra experiments.
+pub fn run(scale: Scale) -> Extras {
+    let benches = prepare_suite(scale);
+
+    // --- Sampled path profiling. ---------------------------------------
+    let preps: Vec<_> = benches
+        .iter()
+        .map(|b| {
+            let plan = ModulePlan::build(&b.module, &[&PathProfileInstrumentation]);
+            let (exh, _) =
+                instrument_module(&b.module, &plan, &Options::new(Strategy::Exhaustive))
+                    .expect("valid options");
+            let perfect = run_module(&exh, Trigger::Never).profile;
+            let (full, _) =
+                instrument_module(&b.module, &plan, &Options::new(Strategy::FullDuplication))
+                    .expect("valid options");
+            (full, perfect, b.baseline.cycles)
+        })
+        .collect();
+    let path_rows = [1u64, 10, 100, 1_000]
+        .iter()
+        .map(|&interval| {
+            let mut total = Vec::new();
+            let mut acc = Vec::new();
+            let mut events = Vec::new();
+            for (full, perfect, baseline_cycles) in &preps {
+                let o = run_module(full, Trigger::Counter { interval });
+                total.push(
+                    (o.cycles as f64 - *baseline_cycles as f64) / *baseline_cycles as f64 * 100.0,
+                );
+                acc.push(path_overlap(perfect, &o.profile));
+                events.push(o.profile.total_path_events() as f64);
+            }
+            PathRow {
+                interval,
+                total: mean(total),
+                accuracy: mean(acc),
+                paths_recorded: mean(events),
+            }
+        })
+        .collect();
+
+    // --- Selective instrumentation. -------------------------------------
+    let selective_rows = benches
+        .iter()
+        .map(|b| {
+            let (all, all_stats, _) = instrument(
+                &b.module,
+                Kinds::Both,
+                &Options::new(Strategy::FullDuplication),
+            );
+            let scout = run_module(&all, Trigger::Counter { interval: 13 });
+            let mut hot: HashSet<_> = hotness::functions_covering(&scout.profile, 0.9)
+                .into_iter()
+                .collect();
+            if hot.is_empty() {
+                // A scout epoch too short to see any method entry: an
+                // adaptive system would simply keep everything instrumented
+                // for another epoch.
+                hot = b.module.func_ids().collect();
+            }
+            let plan = plan_for(&b.module, Kinds::Both);
+            let (sel, sel_stats) = instrument_module_selective(
+                &b.module,
+                &plan,
+                &Options::new(Strategy::FullDuplication),
+                &hot,
+            )
+            .expect("valid options");
+            let o_all = run_module(&all, Trigger::Counter { interval: 499 });
+            let o_sel = run_module(&sel, Trigger::Counter { interval: 499 });
+            SelectiveRow {
+                bench: b.name,
+                all_methods: overhead_pct(&o_all, &b.baseline),
+                hot_only: overhead_pct(&o_sel, &b.baseline),
+                all_space: all_stats.space_increase_bytes(),
+                hot_space: sel_stats.space_increase_bytes(),
+                hot_count: hot.len(),
+            }
+        })
+        .collect();
+
+    Extras {
+        path_rows,
+        selective_rows,
+    }
+}
+
+impl fmt::Display for Extras {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Extras (beyond the paper): sampled Ball-Larus path profiling"
+        )?;
+        writeln!(
+            f,
+            "{:>9} {:>11} {:>13} {:>12}",
+            "interval", "total (%)", "accuracy (%)", "paths"
+        )?;
+        for r in &self.path_rows {
+            writeln!(
+                f,
+                "{:>9} {:>11} {:>13.0} {:>12.0}",
+                r.interval,
+                pct(r.total),
+                r.accuracy,
+                r.paths_recorded
+            )?;
+        }
+        writeln!(f)?;
+        writeln!(
+            f,
+            "Extras: selective instrumentation (hot methods covering 90% of heat)"
+        )?;
+        writeln!(
+            f,
+            "{:<14} {:>8} {:>9} {:>12} {:>12} {:>5}",
+            "benchmark", "all (%)", "hot (%)", "all (bytes)", "hot (bytes)", "n"
+        )?;
+        for r in &self.selective_rows {
+            writeln!(
+                f,
+                "{:<14} {:>8} {:>9} {:>12} {:>12} {:>5}",
+                r.bench,
+                pct(r.all_methods),
+                pct(r.hot_only),
+                r.all_space,
+                r.hot_space,
+                r.hot_count
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extras_shapes_hold() {
+        let e = run(Scale::Smoke);
+        // Path profiling: interval 1 is perfect; accuracy decays with the
+        // interval; overhead decreases.
+        assert!(e.path_rows[0].accuracy > 99.9);
+        for w in e.path_rows.windows(2) {
+            assert!(w[1].total <= w[0].total + 1e-6);
+        }
+        // Selective instrumentation never costs more than instrumenting
+        // everything, in space or in cycles.
+        for r in &e.selective_rows {
+            assert!(r.hot_space <= r.all_space, "{}: space", r.bench);
+            assert!(
+                r.hot_only <= r.all_methods + 0.5,
+                "{}: {:.1}% hot vs {:.1}% all",
+                r.bench,
+                r.hot_only,
+                r.all_methods
+            );
+            assert!(r.hot_count >= 1);
+        }
+    }
+}

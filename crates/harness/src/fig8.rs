@@ -1,0 +1,165 @@
+//! Figure 8: the Jalapeño-specific yieldpoint optimization (§4.5).
+//!
+//! Part (A): framework overhead per benchmark with the checking code's
+//! yieldpoints folded into the sampling checks (paper average: 1.4%,
+//! vs 4.9% without the optimization).
+//! Part (B): total sampling overhead vs interval with both example
+//! instrumentations (paper: converges to ~1.5% instead of ~5%).
+
+use std::fmt;
+
+use isf_core::{Options, Strategy};
+use isf_exec::Trigger;
+
+use crate::runner::{instrument, overhead_pct, prepare_suite, run_module, Kinds};
+use crate::{mean, pct, Scale};
+
+/// One row of part (A).
+#[derive(Clone, Debug)]
+pub struct RowA {
+    /// Benchmark name.
+    pub bench: &'static str,
+    /// Framework overhead with the yieldpoint optimization, percent.
+    pub framework: f64,
+    /// Framework overhead without it (Table 2's total), for the ratio.
+    pub unoptimized: f64,
+}
+
+/// One row of part (B).
+#[derive(Clone, Debug)]
+pub struct RowB {
+    /// The sample interval.
+    pub interval: u64,
+    /// Total sampling overhead averaged over the suite, percent.
+    pub total: f64,
+}
+
+/// The reproduced Figure 8 (both tables).
+#[derive(Clone, Debug)]
+pub struct Fig8 {
+    /// Part (A): per-benchmark framework overhead.
+    pub rows_a: Vec<RowA>,
+    /// Average of part (A).
+    pub avg_framework: f64,
+    /// Average unoptimized framework overhead, for the ratio.
+    pub avg_unoptimized: f64,
+    /// Part (B): total sampling overhead per interval.
+    pub rows_b: Vec<RowB>,
+}
+
+fn yieldpoint_options() -> Options {
+    Options::new(Strategy::FullDuplication).with_yieldpoint_optimization()
+}
+
+/// Runs both parts.
+pub fn run(scale: Scale) -> Fig8 {
+    let benches = prepare_suite(scale);
+
+    let rows_a: Vec<RowA> = benches
+        .iter()
+        .map(|b| {
+            let (opt, _, _) = instrument(&b.module, Kinds::None, &yieldpoint_options());
+            let framework = overhead_pct(&run_module(&opt, Trigger::Never), &b.baseline);
+            let (plain, _, _) = instrument(
+                &b.module,
+                Kinds::None,
+                &Options::new(Strategy::FullDuplication),
+            );
+            let unoptimized = overhead_pct(&run_module(&plain, Trigger::Never), &b.baseline);
+            RowA {
+                bench: b.name,
+                framework,
+                unoptimized,
+            }
+        })
+        .collect();
+
+    let instrumented: Vec<_> = benches
+        .iter()
+        .map(|b| {
+            let (m, _, _) = instrument(&b.module, Kinds::Both, &yieldpoint_options());
+            (m, b.baseline.cycles)
+        })
+        .collect();
+    let rows_b: Vec<RowB> = crate::table4::INTERVALS
+        .iter()
+        .map(|&interval| {
+            let total = mean(instrumented.iter().map(|(m, baseline)| {
+                let o = run_module(m, Trigger::Counter { interval });
+                (o.cycles as f64 - *baseline as f64) / *baseline as f64 * 100.0
+            }));
+            RowB { interval, total }
+        })
+        .collect();
+
+    Fig8 {
+        avg_framework: mean(rows_a.iter().map(|r| r.framework)),
+        avg_unoptimized: mean(rows_a.iter().map(|r| r.unoptimized)),
+        rows_a,
+        rows_b,
+    }
+}
+
+impl fmt::Display for Fig8 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Figure 8 (A): yieldpoint-optimized framework overhead")?;
+        writeln!(
+            f,
+            "{:<14} {:>14} {:>18}",
+            "benchmark", "framework (%)", "unoptimized (%)"
+        )?;
+        for r in &self.rows_a {
+            writeln!(
+                f,
+                "{:<14} {:>14} {:>18}",
+                r.bench,
+                pct(r.framework),
+                pct(r.unoptimized)
+            )?;
+        }
+        writeln!(
+            f,
+            "{:<14} {:>14} {:>18}",
+            "average",
+            pct(self.avg_framework),
+            pct(self.avg_unoptimized)
+        )?;
+        writeln!(f, "(paper: 1.4% average, vs 4.9% unoptimized)")?;
+        writeln!(f)?;
+        writeln!(f, "Figure 8 (B): total sampling overhead, both kinds")?;
+        writeln!(f, "{:>9} {:>11}", "interval", "total (%)")?;
+        for r in &self.rows_b {
+            writeln!(f, "{:>9} {:>11}", r.interval, pct(r.total))?;
+        }
+        writeln!(f, "(paper: 179.9% at interval 1, converging to ~1.5%)")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_matches_paper() {
+        let fig = run(Scale::Smoke);
+        assert_eq!(fig.rows_a.len(), 10);
+        // The optimization pays: optimized average well below unoptimized.
+        assert!(
+            fig.avg_framework < fig.avg_unoptimized / 2.0,
+            "optimized {:.1}% vs unoptimized {:.1}%",
+            fig.avg_framework,
+            fig.avg_unoptimized
+        );
+        assert!(fig.avg_framework >= 0.0);
+        // Part (B): overhead decreases with the interval and converges
+        // below the unoptimized framework average.
+        for w in fig.rows_b.windows(2) {
+            assert!(w[1].total <= w[0].total + 1e-6);
+        }
+        let floor = fig.rows_b.last().unwrap().total;
+        assert!(
+            floor < fig.avg_unoptimized,
+            "converged overhead {floor:.1}% should undercut the plain framework"
+        );
+    }
+}

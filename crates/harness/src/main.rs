@@ -1,0 +1,68 @@
+//! Command-line entry point: regenerate any table or figure of the paper.
+//!
+//! ```text
+//! isf-harness [--scale smoke|default|paper] <experiment>...
+//! experiments: table1 table2 table3 table4 table5 fig7 fig8 all
+//! ```
+
+use std::process::ExitCode;
+
+use isf_harness::{extras, fig7, fig8, table1, table2, table3, table4, table5, Scale};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: isf-harness [--scale smoke|default|paper] <experiment>...\n\
+         experiments: table1 table2 table3 table4 table5 fig7 fig8 extras all"
+    );
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let mut scale = Scale::Default;
+    let mut experiments: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => {
+                let Some(v) = args.next() else { return usage() };
+                scale = match v.as_str() {
+                    "smoke" => Scale::Smoke,
+                    "default" => Scale::Default,
+                    "paper" => Scale::Paper,
+                    _ => return usage(),
+                };
+            }
+            "--help" | "-h" => {
+                usage();
+                return ExitCode::SUCCESS;
+            }
+            other => experiments.push(other.to_owned()),
+        }
+    }
+    if experiments.is_empty() {
+        return usage();
+    }
+    if experiments.iter().any(|e| e == "all") {
+        experiments = ["table1", "table2", "table3", "table4", "table5", "fig7", "fig8"]
+            .iter()
+            .map(|s| (*s).to_owned())
+            .collect();
+    }
+    for (i, e) in experiments.iter().enumerate() {
+        if i > 0 {
+            println!();
+        }
+        match e.as_str() {
+            "table1" => println!("{}", table1::run(scale)),
+            "table2" => println!("{}", table2::run(scale)),
+            "table3" => println!("{}", table3::run(scale)),
+            "table4" => println!("{}", table4::run(scale)),
+            "table5" => println!("{}", table5::run(scale)),
+            "fig7" => println!("{}", fig7::run(scale)),
+            "extras" => println!("{}", extras::run(scale)),
+            "fig8" | "fig8a" | "fig8b" => println!("{}", fig8::run(scale)),
+            _ => return usage(),
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,160 @@
+//! Shared experiment machinery: compiling the suite, instrumenting it,
+//! running it, and expressing results relative to the uninstrumented
+//! baseline — the paper's methodology of §4.1.
+
+use std::time::{Duration, Instant};
+
+use isf_core::{instrument_module, Options, Strategy, TransformStats};
+use isf_exec::{run, Outcome, Trigger, VmConfig};
+use isf_instr::{
+    CallEdgeInstrumentation, FieldAccessInstrumentation, Instrumentation, ModulePlan,
+};
+use isf_ir::Module;
+use isf_workloads::{suite, Scale, Workload};
+
+/// A compiled benchmark with its uninstrumented baseline run.
+pub struct PreparedBench {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// The uninstrumented module.
+    pub module: Module,
+    /// The baseline outcome (original code, no checks, no samples).
+    pub baseline: Outcome,
+    /// Wall-clock time the front end took to produce the module — the
+    /// denominator of the compile-time-increase column.
+    pub frontend_time: Duration,
+}
+
+/// Compiles and baselines the whole suite at `scale`.
+pub fn prepare_suite(scale: Scale) -> Vec<PreparedBench> {
+    suite(scale).iter().map(prepare).collect()
+}
+
+/// Compiles and baselines one workload.
+pub fn prepare(w: &Workload) -> PreparedBench {
+    let start = Instant::now();
+    let module = w.compile();
+    let frontend_time = start.elapsed();
+    let baseline = run_module(&module, Trigger::Never);
+    PreparedBench {
+        name: w.name(),
+        module,
+        baseline,
+        frontend_time,
+    }
+}
+
+/// Which of the paper's two example instrumentations to apply.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum Kinds {
+    /// Call-edge only (§4.2 example 1).
+    CallEdge,
+    /// Field-access only (§4.2 example 2).
+    FieldAccess,
+    /// Both at once (the §4.4 configuration).
+    Both,
+    /// No instrumentation (framework-overhead runs).
+    None,
+}
+
+/// Builds the plan for the selected instrumentation kinds.
+pub fn plan_for(module: &Module, kinds: Kinds) -> ModulePlan {
+    let call = CallEdgeInstrumentation;
+    let field = FieldAccessInstrumentation;
+    let selected: Vec<&dyn Instrumentation> = match kinds {
+        Kinds::CallEdge => vec![&call],
+        Kinds::FieldAccess => vec![&field],
+        Kinds::Both => vec![&call, &field],
+        Kinds::None => vec![],
+    };
+    ModulePlan::build(module, &selected)
+}
+
+/// Instruments a module, returning the result, the transform statistics,
+/// and the wall-clock transformation time (the numerator of the
+/// compile-time-increase column).
+///
+/// # Panics
+///
+/// Panics on invalid option combinations — experiment code is expected to
+/// pass valid ones.
+pub fn instrument(
+    module: &Module,
+    kinds: Kinds,
+    options: &Options,
+) -> (Module, TransformStats, Duration) {
+    let plan = plan_for(module, kinds);
+    let start = Instant::now();
+    let (out, stats) = instrument_module(module, &plan, options)
+        .expect("experiment configurations are valid");
+    (out, stats, start.elapsed())
+}
+
+/// Runs a module under the harness VM configuration.
+///
+/// # Panics
+///
+/// Panics if the program traps — benchmark programs never trap.
+pub fn run_module(module: &Module, trigger: Trigger) -> Outcome {
+    let cfg = VmConfig {
+        trigger,
+        ..VmConfig::default()
+    };
+    run(module, &cfg).expect("benchmark programs do not trap")
+}
+
+/// Overhead of `outcome` relative to `baseline`, in percent.
+pub fn overhead_pct(outcome: &Outcome, baseline: &Outcome) -> f64 {
+    outcome.overhead_vs(baseline)
+}
+
+/// Convenience: instrument with `strategy`, run with `trigger`, return the
+/// overhead relative to the prepared baseline along with the outcome.
+pub fn overhead_of(
+    bench: &PreparedBench,
+    kinds: Kinds,
+    strategy: Strategy,
+    trigger: Trigger,
+) -> (f64, Outcome) {
+    let (module, _, _) = instrument(&bench.module, kinds, &Options::new(strategy));
+    let outcome = run_module(&module, trigger);
+    let pct = overhead_pct(&outcome, &bench.baseline);
+    (pct, outcome)
+}
+
+/// The perfect (exhaustive) profile of a benchmark for the given kinds.
+pub fn perfect_profile(bench: &PreparedBench, kinds: Kinds) -> isf_profile::ProfileData {
+    let (module, _, _) = instrument(&bench.module, kinds, &Options::new(Strategy::Exhaustive));
+    run_module(&module, Trigger::Never).profile
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prepare_runs_baselines() {
+        let w = isf_workloads::by_name("db", Scale::Smoke).unwrap();
+        let b = prepare(&w);
+        assert!(b.baseline.cycles > 0);
+        assert_eq!(b.baseline.checks_executed, 0);
+    }
+
+    #[test]
+    fn exhaustive_overhead_positive() {
+        let w = isf_workloads::by_name("jess", Scale::Smoke).unwrap();
+        let b = prepare(&w);
+        let (pct, o) = overhead_of(&b, Kinds::Both, Strategy::Exhaustive, Trigger::Never);
+        assert!(pct > 0.0);
+        assert!(o.profile.total_call_edge_events() > 0);
+    }
+
+    #[test]
+    fn perfect_profile_nonempty() {
+        let w = isf_workloads::by_name("compress", Scale::Smoke).unwrap();
+        let b = prepare(&w);
+        let p = perfect_profile(&b, Kinds::Both);
+        assert!(p.total_field_access_events() > 0);
+        assert!(p.total_call_edge_events() > 0);
+    }
+}

@@ -1,0 +1,123 @@
+//! Table 1: time overhead of exhaustive instrumentation, without the
+//! framework — the motivation numbers. Paper averages: 88.3% (call-edge),
+//! 60.4% (field-access).
+
+use std::fmt;
+
+use isf_core::Strategy;
+use isf_exec::Trigger;
+
+use crate::runner::{overhead_of, prepare_suite, Kinds};
+use crate::{mean, pct, Scale};
+
+/// One benchmark row.
+#[derive(Clone, Debug)]
+pub struct Row {
+    /// Benchmark name.
+    pub bench: &'static str,
+    /// Exhaustive call-edge instrumentation overhead, percent.
+    pub call_edge: f64,
+    /// Exhaustive field-access instrumentation overhead, percent.
+    pub field_access: f64,
+}
+
+/// The reproduced Table 1.
+#[derive(Clone, Debug)]
+pub struct Table1 {
+    /// Per-benchmark rows, suite order.
+    pub rows: Vec<Row>,
+    /// Average call-edge overhead.
+    pub avg_call_edge: f64,
+    /// Average field-access overhead.
+    pub avg_field_access: f64,
+}
+
+/// Runs the experiment.
+pub fn run(scale: Scale) -> Table1 {
+    let rows: Vec<Row> = prepare_suite(scale)
+        .iter()
+        .map(|b| {
+            let (call_edge, _) =
+                overhead_of(b, Kinds::CallEdge, Strategy::Exhaustive, Trigger::Never);
+            let (field_access, _) =
+                overhead_of(b, Kinds::FieldAccess, Strategy::Exhaustive, Trigger::Never);
+            Row {
+                bench: b.name,
+                call_edge,
+                field_access,
+            }
+        })
+        .collect();
+    let avg_call_edge = mean(rows.iter().map(|r| r.call_edge));
+    let avg_field_access = mean(rows.iter().map(|r| r.field_access));
+    Table1 {
+        rows,
+        avg_call_edge,
+        avg_field_access,
+    }
+}
+
+impl fmt::Display for Table1 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Table 1: exhaustive instrumentation overhead (no framework)"
+        )?;
+        writeln!(f, "{:<14} {:>14} {:>17}", "benchmark", "call-edge (%)", "field-access (%)")?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "{:<14} {:>14} {:>17}",
+                r.bench,
+                pct(r.call_edge),
+                pct(r.field_access)
+            )?;
+        }
+        writeln!(
+            f,
+            "{:<14} {:>14} {:>17}",
+            "average",
+            pct(self.avg_call_edge),
+            pct(self.avg_field_access)
+        )?;
+        writeln!(f, "(paper averages: call-edge 88.3%, field-access 60.4%)")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_matches_paper() {
+        let t = run(Scale::Smoke);
+        assert_eq!(t.rows.len(), 10);
+        // Exhaustive instrumentation is expensive on average — the paper's
+        // motivation (tens of percent, not single digits).
+        assert!(
+            t.avg_call_edge > 25.0,
+            "avg call-edge {:.1}% too cheap to motivate sampling",
+            t.avg_call_edge
+        );
+        assert!(t.avg_field_access > 25.0);
+        let by_name = |n: &str| t.rows.iter().find(|r| r.bench == n).unwrap();
+        // db is the cheap extreme in both columns (paper: 8.3% / 7.7%).
+        for r in &t.rows {
+            if r.bench != "db" {
+                assert!(
+                    by_name("db").call_edge <= r.call_edge,
+                    "db should have the lowest call-edge overhead"
+                );
+            }
+        }
+        // compress is the field-access extreme (paper: 204.8%).
+        assert!(
+            by_name("compress").field_access >= by_name("db").field_access * 4.0
+        );
+        // opt-compiler is the call-edge extreme (paper: 189%).
+        assert!(by_name("opt_compiler").call_edge > t.avg_call_edge);
+        // The table prints.
+        let text = t.to_string();
+        assert!(text.contains("compress") && text.contains("average"));
+    }
+}

@@ -1,0 +1,204 @@
+//! The provided instrumentation techniques.
+
+use isf_ir::{FuncId, Function, Inst, InstrOp, Module};
+
+use crate::plan::{InsertAt, Insertion, Instrumentation};
+
+/// The paper's first example (§4.2): every method entry examines the call
+/// stack and counts the (caller, call-site, callee) edge. Deliberately
+/// simple and expensive — the point of the framework is that it no longer
+/// has to be fast.
+#[derive(Copy, Clone, Debug, Default)]
+pub struct CallEdgeInstrumentation;
+
+impl Instrumentation for CallEdgeInstrumentation {
+    fn name(&self) -> &'static str {
+        "call-edge"
+    }
+
+    fn plan_function(&self, _func: FuncId, _f: &Function, _module: &Module) -> Vec<Insertion> {
+        vec![Insertion {
+            at: InsertAt::Entry,
+            op: InstrOp::CallEdge,
+        }]
+    }
+}
+
+/// The paper's second example (§4.2): every `get_field`/`put_field` bumps a
+/// per-(class, field) counter, feeding data-layout optimizations.
+#[derive(Copy, Clone, Debug, Default)]
+pub struct FieldAccessInstrumentation;
+
+impl Instrumentation for FieldAccessInstrumentation {
+    fn name(&self) -> &'static str {
+        "field-access"
+    }
+
+    fn plan_function(&self, _func: FuncId, f: &Function, _module: &Module) -> Vec<Insertion> {
+        let mut out = Vec::new();
+        for (block, index, inst) in f.insts() {
+            let op = match inst {
+                Inst::GetField { obj, field, .. } => InstrOp::FieldAccess {
+                    obj: *obj,
+                    field: *field,
+                    write: false,
+                },
+                Inst::SetField { obj, field, .. } => InstrOp::FieldAccess {
+                    obj: *obj,
+                    field: *field,
+                    write: true,
+                },
+                _ => continue,
+            };
+            out.push(Insertion {
+                at: InsertAt::Before { block, index },
+                op,
+            });
+        }
+        out
+    }
+}
+
+/// Basic-block execution counting: one counter bump at the top of every
+/// block.
+#[derive(Copy, Clone, Debug, Default)]
+pub struct BlockCountInstrumentation;
+
+impl Instrumentation for BlockCountInstrumentation {
+    fn name(&self) -> &'static str {
+        "block-count"
+    }
+
+    fn plan_function(&self, _func: FuncId, f: &Function, _module: &Module) -> Vec<Insertion> {
+        f.block_ids()
+            .map(|block| Insertion {
+                at: InsertAt::Before { block, index: 0 },
+                op: InstrOp::BlockCount { block },
+            })
+            .collect()
+    }
+}
+
+/// Intraprocedural edge profiling: one counter bump on every CFG edge.
+/// Backedge events end up attached to the duplicated-to-checking transfer
+/// edge under Full-Duplication, exactly as the paper prescribes (§2).
+#[derive(Copy, Clone, Debug, Default)]
+pub struct EdgeCountInstrumentation;
+
+impl Instrumentation for EdgeCountInstrumentation {
+    fn name(&self) -> &'static str {
+        "edge-count"
+    }
+
+    fn plan_function(&self, _func: FuncId, f: &Function, _module: &Module) -> Vec<Insertion> {
+        let mut out: Vec<Insertion> = f
+            .edges()
+            .map(|(from, to)| Insertion {
+                at: InsertAt::OnEdge { from, to },
+                op: InstrOp::EdgeCount { from, to },
+            })
+            .collect();
+        // A conditional branch with both arms on one target yields the same
+        // edge twice; one counter suffices.
+        out.dedup();
+        out
+    }
+}
+
+/// Value profiling of incoming parameters at method entry (the paper's §4.3
+/// suggestion: "parameter values that can be used to guide
+/// specialization").
+#[derive(Copy, Clone, Debug, Default)]
+pub struct ValueProfileInstrumentation;
+
+impl Instrumentation for ValueProfileInstrumentation {
+    fn name(&self) -> &'static str {
+        "value-profile"
+    }
+
+    fn plan_function(&self, _func: FuncId, f: &Function, _module: &Module) -> Vec<Insertion> {
+        (0..f.arity())
+            .map(|i| Insertion {
+                at: InsertAt::Entry,
+                op: InstrOp::ValueProfile {
+                    local: isf_ir::LocalId::new(i as u32),
+                    site: i as u32,
+                },
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::ModulePlan;
+
+    fn sample_module() -> Module {
+        isf_frontend::compile(
+            "class P { field x; field y; }
+             fn get(p) { return p.x + p.y; }
+             fn main() { var p = new P; p.x = 1; p.y = 2; print(get(p)); }",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn call_edge_plans_one_op_per_function() {
+        let m = sample_module();
+        let plan = ModulePlan::build(&m, &[&CallEdgeInstrumentation]);
+        assert_eq!(plan.num_insertions(), m.num_functions());
+        for (id, _) in m.functions() {
+            assert_eq!(plan.for_function(id).len(), 1);
+            assert_eq!(plan.for_function(id)[0].at, InsertAt::Entry);
+        }
+    }
+
+    #[test]
+    fn field_access_plans_one_op_per_access() {
+        let m = sample_module();
+        let plan = ModulePlan::build(&m, &[&FieldAccessInstrumentation]);
+        // get: two reads; main: two writes.
+        assert_eq!(plan.num_insertions(), 4);
+        let get_id = m.function_by_name("get").unwrap();
+        let reads = plan.for_function(get_id);
+        assert!(reads.iter().all(|i| matches!(
+            i.op,
+            InstrOp::FieldAccess { write: false, .. }
+        )));
+        let writes = plan.for_function(m.main());
+        assert!(writes.iter().all(|i| matches!(
+            i.op,
+            InstrOp::FieldAccess { write: true, .. }
+        )));
+    }
+
+    #[test]
+    fn block_count_covers_every_block() {
+        let m = sample_module();
+        let plan = ModulePlan::build(&m, &[&BlockCountInstrumentation]);
+        let main = m.function(m.main());
+        assert_eq!(plan.for_function(m.main()).len(), main.num_blocks());
+    }
+
+    #[test]
+    fn edge_count_covers_every_edge() {
+        let m = isf_frontend::compile(
+            "fn main() { var i = 0; while (i < 4) { if (i % 2 == 0) { print(i); } i = i + 1; } }",
+        )
+        .unwrap();
+        let plan = ModulePlan::build(&m, &[&EdgeCountInstrumentation]);
+        let f = m.function(m.main());
+        let unique_edges: std::collections::BTreeSet<_> = f.edges().collect();
+        assert_eq!(plan.for_function(m.main()).len(), unique_edges.len());
+    }
+
+    #[test]
+    fn value_profile_covers_parameters() {
+        let m = sample_module();
+        let plan = ModulePlan::build(&m, &[&ValueProfileInstrumentation]);
+        let get_id = m.function_by_name("get").unwrap();
+        assert_eq!(plan.for_function(get_id).len(), 1); // one parameter
+        assert_eq!(plan.for_function(m.main()).len(), 0); // main takes none
+    }
+}

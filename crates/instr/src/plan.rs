@@ -1,0 +1,127 @@
+//! Program points, insertions and module-wide plans.
+
+use isf_ir::{BlockId, FuncId, Function, InstrOp, Module};
+
+/// A program point of the *original* (untransformed) function.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum InsertAt {
+    /// The start of the function's entry block.
+    Entry,
+    /// Immediately before instruction `index` of `block`.
+    Before {
+        /// The block containing the instrumented instruction.
+        block: BlockId,
+        /// The instruction index within the block.
+        index: usize,
+    },
+    /// On the CFG edge `from -> to` (the edge is split if necessary).
+    OnEdge {
+        /// Source block of the edge.
+        from: BlockId,
+        /// Target block of the edge.
+        to: BlockId,
+    },
+}
+
+/// One planned instrumentation operation at one program point.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct Insertion {
+    /// Where the operation goes.
+    pub at: InsertAt,
+    /// The operation.
+    pub op: InstrOp,
+}
+
+/// A profiling technique: given a function, decide which operations to
+/// insert where. Implementations never worry about overhead — that is the
+/// framework's job (the paper's division of labour).
+pub trait Instrumentation {
+    /// A short name for reports ("call-edge", "field-access", ...).
+    fn name(&self) -> &'static str;
+
+    /// Plans the insertions for one function.
+    fn plan_function(&self, func: FuncId, f: &Function, module: &Module) -> Vec<Insertion>;
+}
+
+/// The combined plan of one or more instrumentations over a whole module.
+#[derive(Clone, Debug, Default)]
+pub struct ModulePlan {
+    /// Insertions per function, indexed by `FuncId`.
+    insertions: Vec<Vec<Insertion>>,
+}
+
+impl ModulePlan {
+    /// Plans `instrumentations` over every function of `module`.
+    ///
+    /// Multiple instrumentations compose by concatenation — the paper's
+    /// §4.4 applies call-edge and field-access together in one run, and an
+    /// adaptive system would "perform several forms of instrumentation
+    /// while recompiling the method only once".
+    pub fn build(module: &Module, instrumentations: &[&dyn Instrumentation]) -> Self {
+        let insertions = module
+            .functions()
+            .map(|(id, f)| {
+                instrumentations
+                    .iter()
+                    .flat_map(|i| i.plan_function(id, f, module))
+                    .collect()
+            })
+            .collect();
+        Self { insertions }
+    }
+
+    /// The insertions planned for `func`.
+    pub fn for_function(&self, func: FuncId) -> &[Insertion] {
+        self.insertions
+            .get(func.index())
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Total number of planned operations.
+    pub fn num_insertions(&self) -> usize {
+        self.insertions.iter().map(Vec::len).sum()
+    }
+
+    /// Returns `true` if no function has any planned operation.
+    pub fn is_empty(&self) -> bool {
+        self.insertions.iter().all(Vec::is_empty)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct EntryOnly;
+
+    impl Instrumentation for EntryOnly {
+        fn name(&self) -> &'static str {
+            "entry-only"
+        }
+
+        fn plan_function(&self, _: FuncId, _: &Function, _: &Module) -> Vec<Insertion> {
+            vec![Insertion {
+                at: InsertAt::Entry,
+                op: InstrOp::CallEdge,
+            }]
+        }
+    }
+
+    #[test]
+    fn plans_compose_by_concatenation() {
+        let module = isf_frontend::compile("fn helper() {} fn main() { helper(); }").unwrap();
+        let plan = ModulePlan::build(&module, &[&EntryOnly, &EntryOnly]);
+        assert_eq!(plan.num_insertions(), 4); // 2 ops x 2 functions
+        assert_eq!(plan.for_function(module.main()).len(), 2);
+        assert!(!plan.is_empty());
+    }
+
+    #[test]
+    fn empty_plan() {
+        let module = isf_frontend::compile("fn main() {}").unwrap();
+        let plan = ModulePlan::build(&module, &[]);
+        assert!(plan.is_empty());
+        assert_eq!(plan.for_function(FuncId::new(7)), &[]);
+    }
+}

@@ -1,0 +1,95 @@
+//! Basic blocks.
+
+use crate::ids::BlockId;
+use crate::inst::{Inst, Term};
+
+/// A basic block: a straight-line sequence of [`Inst`]s ended by one
+/// [`Term`]inator.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct BasicBlock {
+    insts: Vec<Inst>,
+    term: Term,
+}
+
+impl BasicBlock {
+    /// Creates a block with the given body and terminator.
+    pub fn new(insts: Vec<Inst>, term: Term) -> Self {
+        Self { insts, term }
+    }
+
+    /// Creates an empty block that jumps to `target`.
+    pub fn jump_to(target: BlockId) -> Self {
+        Self::new(Vec::new(), Term::Jump(target))
+    }
+
+    /// The instructions of the block, in execution order.
+    pub fn insts(&self) -> &[Inst] {
+        &self.insts
+    }
+
+    /// Mutable access to the instructions.
+    pub fn insts_mut(&mut self) -> &mut Vec<Inst> {
+        &mut self.insts
+    }
+
+    /// The terminator.
+    pub fn term(&self) -> &Term {
+        &self.term
+    }
+
+    /// Mutable access to the terminator.
+    pub fn term_mut(&mut self) -> &mut Term {
+        &mut self.term
+    }
+
+    /// Replaces the terminator, returning the old one.
+    pub fn set_term(&mut self, term: Term) -> Term {
+        std::mem::replace(&mut self.term, term)
+    }
+
+    /// Successor blocks, in branch order.
+    pub fn successors(&self) -> Vec<BlockId> {
+        self.term.successors()
+    }
+
+    /// Returns `true` if the block contains at least one instrumentation
+    /// operation. This is the *instrumented node* predicate of the paper's
+    /// Partial-Duplication algorithm (§3.1).
+    pub fn is_instrumented(&self) -> bool {
+        self.insts.iter().any(Inst::is_instrumentation)
+    }
+
+    /// Number of instrumentation operations in the block.
+    pub fn instrumentation_count(&self) -> usize {
+        self.insts.iter().filter(|i| i.is_instrumentation()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::LocalId;
+    use crate::inst::{Const, InstrOp};
+
+    #[test]
+    fn instrumented_predicate() {
+        let mut b = BasicBlock::jump_to(BlockId::new(0));
+        assert!(!b.is_instrumented());
+        b.insts_mut().push(Inst::Const {
+            dst: LocalId::new(0),
+            value: Const::I64(1),
+        });
+        assert!(!b.is_instrumented());
+        b.insts_mut().push(Inst::Instr(InstrOp::CallEdge));
+        assert!(b.is_instrumented());
+        assert_eq!(b.instrumentation_count(), 1);
+    }
+
+    #[test]
+    fn set_term_returns_previous() {
+        let mut b = BasicBlock::jump_to(BlockId::new(4));
+        let old = b.set_term(Term::Ret(None));
+        assert_eq!(old, Term::Jump(BlockId::new(4)));
+        assert_eq!(b.successors(), vec![]);
+    }
+}

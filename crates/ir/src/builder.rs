@@ -1,0 +1,354 @@
+//! Builders for functions and modules (API guideline C-BUILDER).
+
+use std::collections::HashMap;
+
+use crate::block::BasicBlock;
+use crate::function::Function;
+use crate::ids::{BlockId, CallSiteId, ClassId, FieldSym, FuncId, LocalId, MethodSym};
+use crate::inst::{Inst, Term};
+use crate::module::{build_class, Class, Module};
+
+/// Incrementally constructs a [`Function`].
+///
+/// The builder maintains a *current block*; [`push`](Self::push) appends to
+/// it and [`terminate`](Self::terminate) seals it. Sealed blocks can be
+/// revisited with [`switch_to`](Self::switch_to) only if still open.
+///
+/// Call instructions pushed through [`push`](Self::push) get their [`CallSiteId`]
+/// assigned automatically, in push order, mirroring bytecode offsets.
+#[derive(Debug)]
+pub struct FunctionBuilder {
+    name: String,
+    arity: usize,
+    num_locals: usize,
+    blocks: Vec<(Vec<Inst>, Option<Term>)>,
+    current: BlockId,
+    next_site: u32,
+}
+
+impl FunctionBuilder {
+    /// Starts building a function with `arity` parameters. Parameters occupy
+    /// locals `0..arity`; the entry block is created and made current.
+    pub fn new(name: impl Into<String>, arity: usize) -> Self {
+        Self {
+            name: name.into(),
+            arity,
+            num_locals: arity,
+            blocks: vec![(Vec::new(), None)],
+            current: BlockId::new(0),
+            next_site: 0,
+        }
+    }
+
+    /// The local holding parameter `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= arity`.
+    pub fn param(&self, i: usize) -> LocalId {
+        assert!(i < self.arity, "parameter index out of range");
+        LocalId::new(i as u32)
+    }
+
+    /// Allocates a fresh virtual register.
+    pub fn new_local(&mut self) -> LocalId {
+        let l = LocalId::new(self.num_locals as u32);
+        self.num_locals += 1;
+        l
+    }
+
+    /// Creates a new, empty, unterminated block (does not switch to it).
+    pub fn new_block(&mut self) -> BlockId {
+        let id = BlockId::new(self.blocks.len() as u32);
+        self.blocks.push((Vec::new(), None));
+        id
+    }
+
+    /// Makes `block` the current insertion point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block is already terminated.
+    pub fn switch_to(&mut self, block: BlockId) {
+        assert!(
+            self.blocks[block.index()].1.is_none(),
+            "cannot append to a terminated block"
+        );
+        self.current = block;
+    }
+
+    /// The current insertion block.
+    pub fn current_block(&self) -> BlockId {
+        self.current
+    }
+
+    /// Appends an instruction to the current block. Call instructions get a
+    /// fresh call-site id; the id the instruction carried is ignored.
+    ///
+    /// Returns the builder for chaining.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the current block is terminated.
+    pub fn push(&mut self, mut inst: Inst) -> &mut Self {
+        match &mut inst {
+            Inst::Call { site, .. } | Inst::CallMethod { site, .. } => {
+                *site = CallSiteId::new(self.next_site);
+                self.next_site += 1;
+            }
+            _ => {}
+        }
+        let (insts, term) = &mut self.blocks[self.current.index()];
+        assert!(term.is_none(), "cannot append to a terminated block");
+        insts.push(inst);
+        self
+    }
+
+    /// Seals the current block with `term`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the current block is already terminated.
+    pub fn terminate(&mut self, term: Term) {
+        let slot = &mut self.blocks[self.current.index()].1;
+        assert!(slot.is_none(), "block already terminated");
+        *slot = Some(term);
+    }
+
+    /// Returns `true` if the current block already has a terminator.
+    pub fn is_terminated(&self) -> bool {
+        self.blocks[self.current.index()].1.is_some()
+    }
+
+    /// Finishes the function.
+    ///
+    /// Any block left unterminated gets an implicit `ret` (unit), which is
+    /// convenient for front-end lowering of functions that fall off the end.
+    pub fn finish(self) -> Function {
+        let blocks = self
+            .blocks
+            .into_iter()
+            .map(|(insts, term)| BasicBlock::new(insts, term.unwrap_or(Term::Ret(None))))
+            .collect();
+        Function::new(self.name, self.arity, self.num_locals, blocks, self.next_site)
+    }
+}
+
+/// Incrementally constructs a [`Module`]: interns field/method names,
+/// registers classes and functions.
+#[derive(Debug, Default)]
+pub struct ModuleBuilder {
+    functions: Vec<Function>,
+    classes: Vec<Class>,
+    field_names: Vec<String>,
+    field_index: HashMap<String, FieldSym>,
+    method_names: Vec<String>,
+    method_index: HashMap<String, MethodSym>,
+}
+
+impl ModuleBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns a field name.
+    pub fn intern_field(&mut self, name: &str) -> FieldSym {
+        if let Some(&s) = self.field_index.get(name) {
+            return s;
+        }
+        let s = FieldSym::new(self.field_names.len() as u32);
+        self.field_names.push(name.to_owned());
+        self.field_index.insert(name.to_owned(), s);
+        s
+    }
+
+    /// Interns a method name.
+    pub fn intern_method(&mut self, name: &str) -> MethodSym {
+        if let Some(&s) = self.method_index.get(name) {
+            return s;
+        }
+        let s = MethodSym::new(self.method_names.len() as u32);
+        self.method_names.push(name.to_owned());
+        self.method_index.insert(name.to_owned(), s);
+        s
+    }
+
+    /// Adds a function, returning its id.
+    pub fn add_function(&mut self, f: Function) -> FuncId {
+        let id = FuncId::new(self.functions.len() as u32);
+        self.functions.push(f);
+        id
+    }
+
+    /// Reserves a function id for a forward reference; the definition must
+    /// be supplied later via [`define_function`](Self::define_function).
+    pub fn declare_function(&mut self, name: &str, arity: usize) -> FuncId {
+        let placeholder = FunctionBuilder::new(name, arity).finish();
+        self.add_function(placeholder)
+    }
+
+    /// Replaces the body of a previously declared function.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn define_function(&mut self, id: FuncId, f: Function) {
+        self.functions[id.index()] = f;
+    }
+
+    /// Registers a class. `parent` must already be registered. Field and
+    /// method symbols must come from this builder's interner.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parent` is out of range.
+    pub fn add_class(
+        &mut self,
+        name: &str,
+        parent: Option<ClassId>,
+        fields: &[FieldSym],
+        methods: &[(MethodSym, FuncId)],
+    ) -> ClassId {
+        let parent_ref = parent.map(|p| (p, &self.classes[p.index()]));
+        let class = build_class(name.to_owned(), parent_ref, fields, methods);
+        let id = ClassId::new(self.classes.len() as u32);
+        self.classes.push(class);
+        id
+    }
+
+    /// Finishes the module with `main` as the entry point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `main` is out of range.
+    pub fn finish(self, main: FuncId) -> Module {
+        assert!(main.index() < self.functions.len(), "main out of range");
+        Module::from_parts(
+            self.functions,
+            self.classes,
+            self.field_names,
+            self.method_names,
+            main,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::{BinOp, Const};
+
+    #[test]
+    fn call_sites_assigned_in_push_order() {
+        let mut mb = ModuleBuilder::new();
+        let callee = {
+            let mut fb = FunctionBuilder::new("callee", 0);
+            fb.terminate(Term::Ret(None));
+            mb.add_function(fb.finish())
+        };
+        let mut fb = FunctionBuilder::new("caller", 0);
+        fb.push(Inst::Call {
+            dst: None,
+            callee,
+            args: vec![],
+            site: CallSiteId::new(99),
+        });
+        fb.push(Inst::Call {
+            dst: None,
+            callee,
+            args: vec![],
+            site: CallSiteId::new(99),
+        });
+        fb.terminate(Term::Ret(None));
+        let f = fb.finish();
+        assert_eq!(f.num_call_sites(), 2);
+        let sites: Vec<_> = f
+            .insts()
+            .filter_map(|(_, _, i)| match i {
+                Inst::Call { site, .. } => Some(*site),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(sites, vec![CallSiteId::new(0), CallSiteId::new(1)]);
+    }
+
+    #[test]
+    fn unterminated_blocks_get_implicit_ret() {
+        let mut fb = FunctionBuilder::new("f", 0);
+        let l = fb.new_local();
+        fb.push(Inst::Const {
+            dst: l,
+            value: Const::I64(1),
+        });
+        let f = fb.finish();
+        assert_eq!(f.block(f.entry()).term(), &Term::Ret(None));
+    }
+
+    #[test]
+    #[should_panic(expected = "terminated")]
+    fn pushing_after_terminate_panics() {
+        let mut fb = FunctionBuilder::new("f", 0);
+        fb.terminate(Term::Ret(None));
+        fb.push(Inst::Yield);
+    }
+
+    #[test]
+    fn interning_is_idempotent() {
+        let mut mb = ModuleBuilder::new();
+        let a = mb.intern_field("x");
+        let b = mb.intern_field("x");
+        let c = mb.intern_field("y");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        let m1 = mb.intern_method("run");
+        assert_eq!(mb.intern_method("run"), m1);
+    }
+
+    #[test]
+    fn class_inheritance_flattens_layout_and_overrides() {
+        let mut mb = ModuleBuilder::new();
+        let x = mb.intern_field("x");
+        let y = mb.intern_field("y");
+        let run = mb.intern_method("run");
+        let base_run = {
+            let mut fb = FunctionBuilder::new("Base::run", 1);
+            fb.terminate(Term::Ret(None));
+            mb.add_function(fb.finish())
+        };
+        let derived_run = {
+            let mut fb = FunctionBuilder::new("Derived::run", 1);
+            fb.terminate(Term::Ret(None));
+            mb.add_function(fb.finish())
+        };
+        let base = mb.add_class("Base", None, &[x], &[(run, base_run)]);
+        let derived = mb.add_class("Derived", Some(base), &[y], &[(run, derived_run)]);
+        let m = mb.finish(base_run);
+        let d = m.class(derived);
+        assert_eq!(d.num_fields(), 2);
+        assert_eq!(d.field_offset(x), Some(0));
+        assert_eq!(d.field_offset(y), Some(1));
+        assert_eq!(d.resolve_method(run), Some(derived_run));
+        assert_eq!(m.class(base).resolve_method(run), Some(base_run));
+        assert_eq!(m.class_by_name("Derived"), Some(derived));
+    }
+
+    #[test]
+    fn forward_declarations() {
+        let mut mb = ModuleBuilder::new();
+        let id = mb.declare_function("later", 2);
+        let mut fb = FunctionBuilder::new("later", 2);
+        let d = fb.new_local();
+        fb.push(Inst::Bin {
+            op: BinOp::Add,
+            dst: d,
+            lhs: fb.param(0),
+            rhs: fb.param(1),
+        });
+        fb.terminate(Term::Ret(Some(d)));
+        mb.define_function(id, fb.finish());
+        let m = mb.finish(id);
+        assert_eq!(m.function(id).num_insts(), 1);
+        assert_eq!(m.function_by_name("later"), Some(id));
+    }
+}

@@ -1,0 +1,201 @@
+//! Control-flow graph utilities: predecessors, traversal orders,
+//! reachability.
+
+use crate::function::Function;
+use crate::ids::BlockId;
+
+/// Predecessor lists for every block of a function.
+///
+/// A block appears once per incoming *edge*, so a two-armed branch with both
+/// arms on the same target contributes two entries.
+#[derive(Clone, Debug)]
+pub struct Predecessors {
+    preds: Vec<Vec<BlockId>>,
+}
+
+impl Predecessors {
+    /// Computes predecessor lists for `f`.
+    pub fn compute(f: &Function) -> Self {
+        let mut preds = vec![Vec::new(); f.num_blocks()];
+        for (from, to) in f.edges() {
+            preds[to.index()].push(from);
+        }
+        Self { preds }
+    }
+
+    /// Predecessors of `b` (one entry per incoming edge).
+    pub fn of(&self, b: BlockId) -> &[BlockId] {
+        &self.preds[b.index()]
+    }
+}
+
+/// Blocks reachable from the entry.
+pub fn reachable(f: &Function) -> Vec<bool> {
+    let mut seen = vec![false; f.num_blocks()];
+    let mut stack = vec![f.entry()];
+    seen[f.entry().index()] = true;
+    while let Some(b) = stack.pop() {
+        for s in f.block(b).successors() {
+            if !seen[s.index()] {
+                seen[s.index()] = true;
+                stack.push(s);
+            }
+        }
+    }
+    seen
+}
+
+/// Postorder over the blocks reachable from the entry (iterative DFS,
+/// successors visited in branch order).
+pub fn postorder(f: &Function) -> Vec<BlockId> {
+    let mut order = Vec::with_capacity(f.num_blocks());
+    let mut seen = vec![false; f.num_blocks()];
+    // (block, next successor index)
+    let mut stack: Vec<(BlockId, usize)> = vec![(f.entry(), 0)];
+    seen[f.entry().index()] = true;
+    while let Some(&mut (b, ref mut i)) = stack.last_mut() {
+        let succs = f.block(b).successors();
+        if *i < succs.len() {
+            let s = succs[*i];
+            *i += 1;
+            if !seen[s.index()] {
+                seen[s.index()] = true;
+                stack.push((s, 0));
+            }
+        } else {
+            order.push(b);
+            stack.pop();
+        }
+    }
+    order
+}
+
+/// Reverse postorder over the blocks reachable from the entry. The entry is
+/// always first.
+pub fn reverse_postorder(f: &Function) -> Vec<BlockId> {
+    let mut order = postorder(f);
+    order.reverse();
+    order
+}
+
+/// Edges `u -> v` where `v` is an ancestor of `u` on the DFS tree
+/// ("retreating edges"). On reducible CFGs these coincide with the natural
+/// backedges of [`crate::loops`]; on irreducible graphs they are a
+/// conservative superset, which is what check placement needs to bound the
+/// work between checks (paper §2, Property 1).
+pub fn retreating_edges(f: &Function) -> Vec<(BlockId, BlockId)> {
+    #[derive(Copy, Clone, PartialEq)]
+    enum State {
+        Unvisited,
+        OnStack,
+        Done,
+    }
+    let mut state = vec![State::Unvisited; f.num_blocks()];
+    let mut edges = Vec::new();
+    let mut stack: Vec<(BlockId, usize)> = vec![(f.entry(), 0)];
+    state[f.entry().index()] = State::OnStack;
+    while let Some(&mut (b, ref mut i)) = stack.last_mut() {
+        let succs = f.block(b).successors();
+        if *i < succs.len() {
+            let s = succs[*i];
+            *i += 1;
+            match state[s.index()] {
+                State::Unvisited => {
+                    state[s.index()] = State::OnStack;
+                    stack.push((s, 0));
+                }
+                State::OnStack => edges.push((b, s)),
+                State::Done => {}
+            }
+        } else {
+            state[b.index()] = State::Done;
+            stack.pop();
+        }
+    }
+    edges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::BasicBlock;
+    use crate::ids::LocalId;
+    use crate::inst::Term;
+
+    /// bb0 -> bb1 -> bb2 -> bb1 (loop), bb2 -> bb3 (exit)
+    fn looped() -> Function {
+        let blocks = vec![
+            BasicBlock::jump_to(BlockId::new(1)),
+            BasicBlock::jump_to(BlockId::new(2)),
+            BasicBlock::new(
+                vec![],
+                Term::Br {
+                    cond: LocalId::new(0),
+                    t: BlockId::new(1),
+                    f: BlockId::new(3),
+                },
+            ),
+            BasicBlock::new(vec![], Term::Ret(None)),
+        ];
+        Function::new("looped", 1, 1, blocks, 0)
+    }
+
+    #[test]
+    fn preds_count_edges() {
+        let f = looped();
+        let p = Predecessors::compute(&f);
+        assert_eq!(p.of(BlockId::new(1)), &[BlockId::new(0), BlockId::new(2)]);
+        assert_eq!(p.of(BlockId::new(0)), &[] as &[BlockId]);
+    }
+
+    #[test]
+    fn rpo_starts_at_entry_and_respects_edges() {
+        let f = looped();
+        let rpo = reverse_postorder(&f);
+        assert_eq!(rpo[0], f.entry());
+        assert_eq!(rpo.len(), 4);
+        let pos = |b: BlockId| rpo.iter().position(|&x| x == b).unwrap();
+        assert!(pos(BlockId::new(1)) < pos(BlockId::new(2)));
+        assert!(pos(BlockId::new(2)) < pos(BlockId::new(3)));
+    }
+
+    #[test]
+    fn retreating_edge_found() {
+        let f = looped();
+        assert_eq!(
+            retreating_edges(&f),
+            vec![(BlockId::new(2), BlockId::new(1))]
+        );
+    }
+
+    #[test]
+    fn unreachable_blocks_excluded() {
+        let blocks = vec![
+            BasicBlock::new(vec![], Term::Ret(None)),
+            BasicBlock::new(vec![], Term::Ret(None)), // unreachable
+        ];
+        let f = Function::new("dead", 0, 0, blocks, 0);
+        assert_eq!(reachable(&f), vec![true, false]);
+        assert_eq!(postorder(&f).len(), 1);
+    }
+
+    #[test]
+    fn self_loop_is_retreating() {
+        let blocks = vec![
+            BasicBlock::new(
+                vec![],
+                Term::Br {
+                    cond: LocalId::new(0),
+                    t: BlockId::new(0),
+                    f: BlockId::new(1),
+                },
+            ),
+            BasicBlock::new(vec![], Term::Ret(None)),
+        ];
+        let f = Function::new("selfloop", 1, 1, blocks, 0);
+        assert_eq!(
+            retreating_edges(&f),
+            vec![(BlockId::new(0), BlockId::new(0))]
+        );
+    }
+}

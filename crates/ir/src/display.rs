@@ -1,0 +1,216 @@
+//! Textual IR dumps for debugging and golden tests.
+
+use std::fmt;
+
+use crate::function::Function;
+use crate::inst::{Inst, Term};
+use crate::module::Module;
+
+impl fmt::Display for Function {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "fn {}({} params, {} locals) {{", self.name(), self.arity(), self.num_locals())?;
+        for (id, b) in self.blocks() {
+            writeln!(f, "{id}:")?;
+            for inst in b.insts() {
+                writeln!(f, "    {}", InstDisplay(inst))?;
+            }
+            writeln!(f, "    {}", TermDisplay(b.term()))?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl fmt::Display for Module {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (id, c) in self.classes() {
+            write!(f, "class {} /* {id} */", c.name())?;
+            if let Some(p) = c.parent() {
+                write!(f, " : {}", self.class(p).name())?;
+            }
+            writeln!(f, " {{ {} fields, {} methods }}", c.num_fields(), c.methods().count())?;
+        }
+        for (id, func) in self.functions() {
+            writeln!(f, "// {id}{}", if id == self.main() { " (main)" } else { "" })?;
+            writeln!(f, "{func}")?;
+        }
+        Ok(())
+    }
+}
+
+struct InstDisplay<'a>(&'a Inst);
+
+impl fmt::Display for InstDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.0 {
+            Inst::Const { dst, value } => match value {
+                crate::inst::Const::I64(v) => write!(f, "{dst} = const {v}"),
+                crate::inst::Const::Bool(b) => write!(f, "{dst} = const {b}"),
+                crate::inst::Const::Null => write!(f, "{dst} = const null"),
+            },
+            Inst::Move { dst, src } => write!(f, "{dst} = {src}"),
+            Inst::Un { op, dst, src } => write!(f, "{dst} = {} {src}", un_mnemonic(*op)),
+            Inst::Bin { op, dst, lhs, rhs } => {
+                write!(f, "{dst} = {} {lhs}, {rhs}", bin_mnemonic(*op))
+            }
+            Inst::New { dst, class } => write!(f, "{dst} = new {class}"),
+            Inst::GetField { dst, obj, field } => write!(f, "{dst} = {obj}.{field}"),
+            Inst::SetField { obj, field, src } => write!(f, "{obj}.{field} = {src}"),
+            Inst::NewArray { dst, len } => write!(f, "{dst} = new_array {len}"),
+            Inst::ArrayGet { dst, arr, idx } => write!(f, "{dst} = {arr}[{idx}]"),
+            Inst::ArraySet { arr, idx, src } => write!(f, "{arr}[{idx}] = {src}"),
+            Inst::ArrayLen { dst, arr } => write!(f, "{dst} = len {arr}"),
+            Inst::Call {
+                dst, callee, args, site,
+            } => {
+                if let Some(d) = dst {
+                    write!(f, "{d} = ")?;
+                }
+                write!(f, "call {callee}({}) @{site}", Args(args))
+            }
+            Inst::CallMethod {
+                dst, obj, method, args, site,
+            } => {
+                if let Some(d) = dst {
+                    write!(f, "{d} = ")?;
+                }
+                write!(f, "callmethod {obj}.{method}({}) @{site}", Args(args))
+            }
+            Inst::Print { src } => write!(f, "print {src}"),
+            Inst::Spawn { dst, callee, args } => {
+                write!(f, "{dst} = spawn {callee}({})", Args(args))
+            }
+            Inst::Join { thread } => write!(f, "join {thread}"),
+            Inst::Yield => write!(f, "yieldpoint"),
+            Inst::Busy { cycles } => write!(f, "busy {cycles}"),
+            Inst::Instr(op) => match op {
+                crate::inst::InstrOp::CallEdge => write!(f, "instr call_edge"),
+                crate::inst::InstrOp::FieldAccess { obj, field, write } => write!(
+                    f,
+                    "instr field_access {} {obj}.{field}",
+                    if *write { "write" } else { "read" }
+                ),
+                crate::inst::InstrOp::BlockCount { block } => {
+                    write!(f, "instr block_count {block}")
+                }
+                crate::inst::InstrOp::EdgeCount { from, to } => {
+                    write!(f, "instr edge_count {from} -> {to}")
+                }
+                crate::inst::InstrOp::ValueProfile { local, site } => {
+                    write!(f, "instr value_profile {local} @{site}")
+                }
+                crate::inst::InstrOp::PathStart { value } => {
+                    write!(f, "instr path_start {value}")
+                }
+                crate::inst::InstrOp::PathIncr { delta } => {
+                    write!(f, "instr path_incr {delta}")
+                }
+                crate::inst::InstrOp::PathEnd { site } => write!(f, "instr path_end @{site}"),
+            },
+        }
+    }
+}
+
+/// The textual mnemonic of a binary operator (shared with the parser).
+pub(crate) fn bin_mnemonic(op: crate::inst::BinOp) -> &'static str {
+    use crate::inst::BinOp::*;
+    match op {
+        Add => "add",
+        Sub => "sub",
+        Mul => "mul",
+        Div => "div",
+        Rem => "rem",
+        And => "and",
+        Or => "or",
+        Xor => "xor",
+        Shl => "shl",
+        Shr => "shr",
+        Eq => "eq",
+        Ne => "ne",
+        Lt => "lt",
+        Le => "le",
+        Gt => "gt",
+        Ge => "ge",
+    }
+}
+
+/// The textual mnemonic of a unary operator (shared with the parser).
+pub(crate) fn un_mnemonic(op: crate::inst::UnOp) -> &'static str {
+    match op {
+        crate::inst::UnOp::Neg => "neg",
+        crate::inst::UnOp::Not => "not",
+    }
+}
+
+struct TermDisplay<'a>(&'a Term);
+
+impl fmt::Display for TermDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.0 {
+            Term::Jump(b) => write!(f, "jump {b}"),
+            Term::Br { cond, t, f: fb } => write!(f, "br {cond} ? {t} : {fb}"),
+            Term::Ret(Some(v)) => write!(f, "ret {v}"),
+            Term::Ret(None) => write!(f, "ret"),
+            Term::Check { sample, cont } => write!(f, "check ? {sample} : {cont}"),
+        }
+    }
+}
+
+struct Args<'a>(&'a [crate::ids::LocalId]);
+
+impl fmt::Display for Args<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, a) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builder::FunctionBuilder;
+    use crate::ids::LocalId;
+    use crate::inst::{BinOp, Const, Inst, Term};
+
+    #[test]
+    fn function_dump_contains_blocks_and_insts() {
+        let mut fb = FunctionBuilder::new("f", 1);
+        let d = fb.new_local();
+        fb.push(Inst::Bin {
+            op: BinOp::Add,
+            dst: d,
+            lhs: LocalId::new(0),
+            rhs: LocalId::new(0),
+        });
+        fb.push(Inst::Const {
+            dst: d,
+            value: Const::I64(3),
+        });
+        fb.terminate(Term::Ret(Some(d)));
+        let text = fb.finish().to_string();
+        assert!(text.contains("fn f(1 params"));
+        assert!(text.contains("bb0:"));
+        assert!(text.contains("%1 = add %0, %0"));
+        assert!(text.contains("ret %1"));
+    }
+
+    #[test]
+    fn check_terminator_renders() {
+        let mut fb = FunctionBuilder::new("g", 0);
+        let b1 = fb.new_block();
+        let b2 = fb.new_block();
+        fb.terminate(Term::Check {
+            sample: b1,
+            cont: b2,
+        });
+        fb.switch_to(b1);
+        fb.terminate(Term::Ret(None));
+        fb.switch_to(b2);
+        fb.terminate(Term::Ret(None));
+        let text = fb.finish().to_string();
+        assert!(text.contains("check ? bb1 : bb2"));
+    }
+}

@@ -1,0 +1,175 @@
+//! Dominator tree via the Cooper–Harvey–Kennedy iterative algorithm.
+
+use crate::cfg::{reverse_postorder, Predecessors};
+use crate::function::Function;
+use crate::ids::BlockId;
+
+/// The dominator tree of a function's reachable blocks.
+#[derive(Clone, Debug)]
+pub struct DomTree {
+    /// Immediate dominator per block; entry maps to itself; unreachable
+    /// blocks map to `None`.
+    idom: Vec<Option<BlockId>>,
+    /// Position in reverse postorder, used for intersection; `usize::MAX`
+    /// for unreachable blocks.
+    rpo_pos: Vec<usize>,
+    entry: BlockId,
+}
+
+impl DomTree {
+    /// Computes the dominator tree of `f`.
+    pub fn compute(f: &Function) -> Self {
+        let rpo = reverse_postorder(f);
+        let preds = Predecessors::compute(f);
+        let mut rpo_pos = vec![usize::MAX; f.num_blocks()];
+        for (i, &b) in rpo.iter().enumerate() {
+            rpo_pos[b.index()] = i;
+        }
+        let entry = f.entry();
+        let mut idom: Vec<Option<BlockId>> = vec![None; f.num_blocks()];
+        idom[entry.index()] = Some(entry);
+
+        let intersect = |idom: &[Option<BlockId>], rpo_pos: &[usize], a: BlockId, b: BlockId| {
+            let (mut x, mut y) = (a, b);
+            while x != y {
+                while rpo_pos[x.index()] > rpo_pos[y.index()] {
+                    x = idom[x.index()].expect("processed block");
+                }
+                while rpo_pos[y.index()] > rpo_pos[x.index()] {
+                    y = idom[y.index()].expect("processed block");
+                }
+            }
+            x
+        };
+
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in rpo.iter().skip(1) {
+                let mut new_idom: Option<BlockId> = None;
+                for &p in preds.of(b) {
+                    if idom[p.index()].is_none() {
+                        continue; // unprocessed or unreachable predecessor
+                    }
+                    new_idom = Some(match new_idom {
+                        None => p,
+                        Some(cur) => intersect(&idom, &rpo_pos, cur, p),
+                    });
+                }
+                if new_idom.is_some() && idom[b.index()] != new_idom {
+                    idom[b.index()] = new_idom;
+                    changed = true;
+                }
+            }
+        }
+        Self {
+            idom,
+            rpo_pos,
+            entry,
+        }
+    }
+
+    /// The immediate dominator of `b`, or `None` for the entry and
+    /// unreachable blocks.
+    pub fn idom(&self, b: BlockId) -> Option<BlockId> {
+        if b == self.entry {
+            return None;
+        }
+        self.idom[b.index()]
+    }
+
+    /// Returns `true` if `a` dominates `b` (reflexively). Unreachable blocks
+    /// dominate nothing and are dominated by nothing.
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        if self.rpo_pos[a.index()] == usize::MAX || self.rpo_pos[b.index()] == usize::MAX {
+            return false;
+        }
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            if cur == self.entry {
+                return false;
+            }
+            cur = match self.idom[cur.index()] {
+                Some(d) => d,
+                None => return false,
+            };
+        }
+    }
+
+    /// Returns `true` if `b` is reachable from the entry.
+    pub fn is_reachable(&self, b: BlockId) -> bool {
+        self.rpo_pos[b.index()] != usize::MAX
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::BasicBlock;
+    use crate::ids::LocalId;
+    use crate::inst::Term;
+
+    fn br(t: u32, f: u32) -> Term {
+        Term::Br {
+            cond: LocalId::new(0),
+            t: BlockId::new(t),
+            f: BlockId::new(f),
+        }
+    }
+
+    /// Classic diamond: 0 -> {1,2} -> 3.
+    fn diamond() -> Function {
+        let blocks = vec![
+            BasicBlock::new(vec![], br(1, 2)),
+            BasicBlock::jump_to(BlockId::new(3)),
+            BasicBlock::jump_to(BlockId::new(3)),
+            BasicBlock::new(vec![], Term::Ret(None)),
+        ];
+        Function::new("diamond", 1, 1, blocks, 0)
+    }
+
+    #[test]
+    fn diamond_idoms() {
+        let f = diamond();
+        let d = DomTree::compute(&f);
+        assert_eq!(d.idom(BlockId::new(0)), None);
+        assert_eq!(d.idom(BlockId::new(1)), Some(BlockId::new(0)));
+        assert_eq!(d.idom(BlockId::new(2)), Some(BlockId::new(0)));
+        // The join is dominated by the fork, not by either arm.
+        assert_eq!(d.idom(BlockId::new(3)), Some(BlockId::new(0)));
+        assert!(d.dominates(BlockId::new(0), BlockId::new(3)));
+        assert!(!d.dominates(BlockId::new(1), BlockId::new(3)));
+        assert!(d.dominates(BlockId::new(3), BlockId::new(3)));
+    }
+
+    #[test]
+    fn loop_header_dominates_body() {
+        // 0 -> 1(header) -> 2(body) -> 1 ; 1 -> 3(exit)
+        let blocks = vec![
+            BasicBlock::jump_to(BlockId::new(1)),
+            BasicBlock::new(vec![], br(2, 3)),
+            BasicBlock::jump_to(BlockId::new(1)),
+            BasicBlock::new(vec![], Term::Ret(None)),
+        ];
+        let f = Function::new("loop", 1, 1, blocks, 0);
+        let d = DomTree::compute(&f);
+        assert!(d.dominates(BlockId::new(1), BlockId::new(2)));
+        assert_eq!(d.idom(BlockId::new(3)), Some(BlockId::new(1)));
+    }
+
+    #[test]
+    fn unreachable_blocks_have_no_idom() {
+        let blocks = vec![
+            BasicBlock::new(vec![], Term::Ret(None)),
+            BasicBlock::new(vec![], Term::Ret(None)),
+        ];
+        let f = Function::new("dead", 0, 0, blocks, 0);
+        let d = DomTree::compute(&f);
+        assert_eq!(d.idom(BlockId::new(1)), None);
+        assert!(!d.is_reachable(BlockId::new(1)));
+        assert!(!d.dominates(BlockId::new(0), BlockId::new(1)));
+    }
+}

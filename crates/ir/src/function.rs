@@ -1,0 +1,249 @@
+//! Functions: CFGs of basic blocks plus register bookkeeping.
+
+use crate::block::BasicBlock;
+use crate::ids::{BlockId, LocalId};
+use crate::inst::{Inst, Term};
+
+/// A function: a named CFG with `arity` parameters passed in locals
+/// `0..arity` and `num_locals` virtual registers in total.
+///
+/// Block 0 is always the entry block.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Function {
+    name: String,
+    arity: usize,
+    num_locals: usize,
+    blocks: Vec<BasicBlock>,
+    num_call_sites: u32,
+}
+
+impl Function {
+    /// Creates a function from parts. `blocks` must be non-empty; block 0 is
+    /// the entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `blocks` is empty or `num_locals < arity`.
+    pub fn new(
+        name: impl Into<String>,
+        arity: usize,
+        num_locals: usize,
+        blocks: Vec<BasicBlock>,
+        num_call_sites: u32,
+    ) -> Self {
+        assert!(!blocks.is_empty(), "a function needs at least one block");
+        assert!(num_locals >= arity, "locals must include the parameters");
+        Self {
+            name: name.into(),
+            arity,
+            num_locals,
+            blocks,
+            num_call_sites,
+        }
+    }
+
+    /// The function's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of parameters.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Total number of virtual registers (including parameters).
+    pub fn num_locals(&self) -> usize {
+        self.num_locals
+    }
+
+    /// Number of call sites assigned so far (sites are `0..num_call_sites`).
+    pub fn num_call_sites(&self) -> u32 {
+        self.num_call_sites
+    }
+
+    /// The entry block id (always block 0).
+    pub fn entry(&self) -> BlockId {
+        BlockId::new(0)
+    }
+
+    /// Number of blocks.
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// All block ids, in index order.
+    pub fn block_ids(&self) -> impl Iterator<Item = BlockId> + '_ {
+        (0..self.blocks.len() as u32).map(BlockId::new)
+    }
+
+    /// Returns the block with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn block(&self, id: BlockId) -> &BasicBlock {
+        &self.blocks[id.index()]
+    }
+
+    /// Mutable access to a block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn block_mut(&mut self, id: BlockId) -> &mut BasicBlock {
+        &mut self.blocks[id.index()]
+    }
+
+    /// Iterates over `(id, block)` pairs.
+    pub fn blocks(&self) -> impl Iterator<Item = (BlockId, &BasicBlock)> {
+        self.blocks
+            .iter()
+            .enumerate()
+            .map(|(i, b)| (BlockId::new(i as u32), b))
+    }
+
+    /// Appends a block, returning its id.
+    pub fn add_block(&mut self, block: BasicBlock) -> BlockId {
+        let id = BlockId::new(self.blocks.len() as u32);
+        self.blocks.push(block);
+        id
+    }
+
+    /// Allocates a fresh virtual register.
+    pub fn new_local(&mut self) -> LocalId {
+        let id = LocalId::new(self.num_locals as u32);
+        self.num_locals += 1;
+        id
+    }
+
+    /// Splits the CFG edge `from -> to` by inserting a fresh empty block
+    /// `S` with `from -> S -> to`, returning `S`.
+    ///
+    /// If the terminator of `from` mentions `to` several times (e.g. both
+    /// arms of a branch), **all** of those edges are routed through the
+    /// single new block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there is no `from -> to` edge.
+    pub fn split_edge(&mut self, from: BlockId, to: BlockId) -> BlockId {
+        let split = self.add_block(BasicBlock::jump_to(to));
+        let n = self.blocks[from.index()].term_mut().retarget(to, split);
+        assert!(n > 0, "no edge {from} -> {to} to split");
+        split
+    }
+
+    /// Total number of instructions (excluding terminators).
+    pub fn num_insts(&self) -> usize {
+        self.blocks.iter().map(|b| b.insts().len()).sum()
+    }
+
+    /// Total number of instrumentation operations in the body.
+    pub fn instrumentation_count(&self) -> usize {
+        self.blocks.iter().map(|b| b.instrumentation_count()).sum()
+    }
+
+    /// Iterates over every instruction with its position.
+    pub fn insts(&self) -> impl Iterator<Item = (BlockId, usize, &Inst)> {
+        self.blocks().flat_map(|(id, b)| {
+            b.insts()
+                .iter()
+                .enumerate()
+                .map(move |(i, inst)| (id, i, inst))
+        })
+    }
+
+    /// Iterates over all CFG edges `(from, to)` in branch order, including
+    /// duplicates when a terminator mentions the same target twice.
+    pub fn edges(&self) -> impl Iterator<Item = (BlockId, BlockId)> + '_ {
+        self.blocks()
+            .flat_map(|(id, b)| b.successors().into_iter().map(move |s| (id, s)))
+    }
+
+    /// Replaces the terminator of `block`, returning the old one.
+    pub fn set_term(&mut self, block: BlockId, term: Term) -> Term {
+        self.blocks[block.index()].set_term(term)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::LocalId;
+    use crate::inst::Const;
+
+    fn diamond() -> Function {
+        // bb0: br %0 -> bb1, bb2 ; bb1: jump bb3 ; bb2: jump bb3 ; bb3: ret
+        let blocks = vec![
+            BasicBlock::new(
+                vec![],
+                Term::Br {
+                    cond: LocalId::new(0),
+                    t: BlockId::new(1),
+                    f: BlockId::new(2),
+                },
+            ),
+            BasicBlock::jump_to(BlockId::new(3)),
+            BasicBlock::jump_to(BlockId::new(3)),
+            BasicBlock::new(vec![], Term::Ret(None)),
+        ];
+        Function::new("diamond", 1, 1, blocks, 0)
+    }
+
+    #[test]
+    fn split_edge_inserts_trampoline() {
+        let mut f = diamond();
+        let s = f.split_edge(BlockId::new(1), BlockId::new(3));
+        assert_eq!(f.block(BlockId::new(1)).successors(), vec![s]);
+        assert_eq!(f.block(s).successors(), vec![BlockId::new(3)]);
+        // The other incoming edge is untouched.
+        assert_eq!(
+            f.block(BlockId::new(2)).successors(),
+            vec![BlockId::new(3)]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "no edge")]
+    fn split_missing_edge_panics() {
+        let mut f = diamond();
+        f.split_edge(BlockId::new(1), BlockId::new(0));
+    }
+
+    #[test]
+    fn edge_iteration_includes_duplicates() {
+        let blocks = vec![BasicBlock::new(
+            vec![],
+            Term::Br {
+                cond: LocalId::new(0),
+                t: BlockId::new(0),
+                f: BlockId::new(0),
+            },
+        )];
+        let f = Function::new("self_loop", 1, 1, blocks, 0);
+        assert_eq!(f.edges().count(), 2);
+    }
+
+    #[test]
+    fn local_allocation_extends_frame() {
+        let mut f = diamond();
+        let before = f.num_locals();
+        let l = f.new_local();
+        assert_eq!(l.index(), before);
+        assert_eq!(f.num_locals(), before + 1);
+    }
+
+    #[test]
+    fn inst_iteration_in_order() {
+        let mut f = diamond();
+        f.block_mut(BlockId::new(1)).insts_mut().push(Inst::Const {
+            dst: LocalId::new(0),
+            value: Const::I64(7),
+        });
+        let all: Vec<_> = f.insts().collect();
+        assert_eq!(all.len(), 1);
+        assert_eq!(all[0].0, BlockId::new(1));
+        assert_eq!(f.num_insts(), 1);
+    }
+}

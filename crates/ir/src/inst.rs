@@ -1,0 +1,453 @@
+//! Instructions, terminators and instrumentation operations.
+
+use crate::ids::{BlockId, CallSiteId, ClassId, FieldSym, FuncId, LocalId, MethodSym};
+
+/// A compile-time constant.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Const {
+    /// A 64-bit signed integer.
+    I64(i64),
+    /// A boolean.
+    Bool(bool),
+    /// The null reference.
+    Null,
+}
+
+/// A unary operator.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum UnOp {
+    /// Arithmetic negation of an integer.
+    Neg,
+    /// Logical negation of a boolean.
+    Not,
+}
+
+/// A binary operator.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum BinOp {
+    /// Integer addition (wrapping).
+    Add,
+    /// Integer subtraction (wrapping).
+    Sub,
+    /// Integer multiplication (wrapping).
+    Mul,
+    /// Integer division; division by zero traps.
+    Div,
+    /// Integer remainder; division by zero traps.
+    Rem,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise xor.
+    Xor,
+    /// Left shift (modulo 64).
+    Shl,
+    /// Arithmetic right shift (modulo 64).
+    Shr,
+    /// Equality on any pair of values of the same kind.
+    Eq,
+    /// Inequality.
+    Ne,
+    /// Signed less-than on integers.
+    Lt,
+    /// Signed less-or-equal on integers.
+    Le,
+    /// Signed greater-than on integers.
+    Gt,
+    /// Signed greater-or-equal on integers.
+    Ge,
+}
+
+impl BinOp {
+    /// Returns `true` for the comparison operators, whose result is a boolean.
+    pub fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge
+        )
+    }
+}
+
+/// An *instrumentation operation*: the unit of profiling work that the
+/// sampling framework duplicates, guards and samples.
+///
+/// Keys stored inside an operation (call sites, fields, block/edge ids)
+/// always refer to the **original** (pre-transformation) program, so the
+/// profiles produced by exhaustive and sampled runs share one key space —
+/// a prerequisite of the paper's overlap-percentage accuracy metric (§4.4).
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum InstrOp {
+    /// The paper's first example (§4.2): placed at a method entry, examines
+    /// the call stack and increments a counter for the
+    /// (caller, call-site, callee) triple. Deliberately expensive.
+    CallEdge,
+    /// The paper's second example (§4.2): placed next to a `GetField`or
+    /// `SetField`, increments a per-(receiver class, field) counter.
+    /// `write` distinguishes `put_field` from `get_field`.
+    FieldAccess {
+        /// Register holding the receiver object.
+        obj: LocalId,
+        /// The accessed field.
+        field: FieldSym,
+        /// `true` for a field store.
+        write: bool,
+    },
+    /// Basic-block execution counting, keyed by the original block.
+    BlockCount {
+        /// The original block this operation was attached to.
+        block: BlockId,
+    },
+    /// Intraprocedural edge profiling (Ball–Larus-style event counting),
+    /// keyed by the original CFG edge. The paper notes backedge events are
+    /// attached to the duplicated-to-checking transfer edge (§2).
+    EdgeCount {
+        /// Source block of the original edge.
+        from: BlockId,
+        /// Target block of the original edge.
+        to: BlockId,
+    },
+    /// Value profiling of a register at a numbered site (Calder et al. \[16\],
+    /// one of the offline techniques the paper aims to make affordable
+    /// online).
+    ValueProfile {
+        /// Register whose runtime value is recorded.
+        local: LocalId,
+        /// Profiling site identifier (unique per function).
+        site: u32,
+    },
+    /// Ball–Larus path profiling: reset the frame's path register to the
+    /// start value of the path family beginning here (function entry or
+    /// loop header).
+    PathStart {
+        /// Initial path-register value for this start node.
+        value: u32,
+    },
+    /// Ball–Larus path profiling: add an edge increment to the frame's
+    /// path register.
+    PathIncr {
+        /// The edge's Ball–Larus increment.
+        delta: u32,
+    },
+    /// Ball–Larus path profiling: record the accumulated path id at a path
+    /// end (loop backedge or function return) and invalidate the register
+    /// until the next [`InstrOp::PathStart`].
+    PathEnd {
+        /// Path-end site identifier (unique per function).
+        site: u32,
+    },
+}
+
+impl InstrOp {
+    /// A short human-readable tag used in textual IR dumps.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            InstrOp::CallEdge => "call_edge",
+            InstrOp::FieldAccess { .. } => "field_access",
+            InstrOp::BlockCount { .. } => "block_count",
+            InstrOp::EdgeCount { .. } => "edge_count",
+            InstrOp::ValueProfile { .. } => "value_profile",
+            InstrOp::PathStart { .. } => "path_start",
+            InstrOp::PathIncr { .. } => "path_incr",
+            InstrOp::PathEnd { .. } => "path_end",
+        }
+    }
+}
+
+/// A non-terminating instruction.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Inst {
+    /// `dst = value`.
+    Const {
+        /// Destination register.
+        dst: LocalId,
+        /// The constant.
+        value: Const,
+    },
+    /// `dst = src`.
+    Move {
+        /// Destination register.
+        dst: LocalId,
+        /// Source register.
+        src: LocalId,
+    },
+    /// `dst = op src`.
+    Un {
+        /// The operator.
+        op: UnOp,
+        /// Destination register.
+        dst: LocalId,
+        /// Operand register.
+        src: LocalId,
+    },
+    /// `dst = lhs op rhs`.
+    Bin {
+        /// The operator.
+        op: BinOp,
+        /// Destination register.
+        dst: LocalId,
+        /// Left operand.
+        lhs: LocalId,
+        /// Right operand.
+        rhs: LocalId,
+    },
+    /// Allocates a new instance of `class` with all fields zeroed.
+    New {
+        /// Destination register.
+        dst: LocalId,
+        /// Class to instantiate.
+        class: ClassId,
+    },
+    /// `dst = obj.field` (the analogue of `get_field`).
+    GetField {
+        /// Destination register.
+        dst: LocalId,
+        /// Receiver object.
+        obj: LocalId,
+        /// Field symbol, resolved against the receiver's class at runtime.
+        field: FieldSym,
+    },
+    /// `obj.field = src` (the analogue of `put_field`).
+    SetField {
+        /// Receiver object.
+        obj: LocalId,
+        /// Field symbol.
+        field: FieldSym,
+        /// Value stored.
+        src: LocalId,
+    },
+    /// Allocates an integer array of length `len`, zero-filled.
+    NewArray {
+        /// Destination register.
+        dst: LocalId,
+        /// Register holding the requested length.
+        len: LocalId,
+    },
+    /// `dst = arr[idx]`; out-of-bounds traps.
+    ArrayGet {
+        /// Destination register.
+        dst: LocalId,
+        /// Array reference.
+        arr: LocalId,
+        /// Index register.
+        idx: LocalId,
+    },
+    /// `arr[idx] = src`; out-of-bounds traps.
+    ArraySet {
+        /// Array reference.
+        arr: LocalId,
+        /// Index register.
+        idx: LocalId,
+        /// Value stored.
+        src: LocalId,
+    },
+    /// `dst = arr.length`.
+    ArrayLen {
+        /// Destination register.
+        dst: LocalId,
+        /// Array reference.
+        arr: LocalId,
+    },
+    /// Direct call of a module function.
+    Call {
+        /// Register receiving the return value, if used.
+        dst: Option<LocalId>,
+        /// The callee.
+        callee: FuncId,
+        /// Argument registers, copied into the callee's parameter locals.
+        args: Vec<LocalId>,
+        /// Call-site identifier (bytecode-offset analogue).
+        site: CallSiteId,
+    },
+    /// Dynamically dispatched method call: the callee is looked up by
+    /// `method` in the runtime class of `obj` (single inheritance).
+    /// The receiver is passed as parameter 0.
+    CallMethod {
+        /// Register receiving the return value, if used.
+        dst: Option<LocalId>,
+        /// Receiver object.
+        obj: LocalId,
+        /// Method symbol resolved at runtime.
+        method: MethodSym,
+        /// Argument registers (excluding the receiver).
+        args: Vec<LocalId>,
+        /// Call-site identifier.
+        site: CallSiteId,
+    },
+    /// Prints the value of a register followed by a newline to the VM's
+    /// output buffer (used to check semantic equivalence of transformed
+    /// code).
+    Print {
+        /// Register to print.
+        src: LocalId,
+    },
+    /// Spawns a green thread running `callee(args)`; `dst` receives a
+    /// thread handle.
+    Spawn {
+        /// Register receiving the thread handle.
+        dst: LocalId,
+        /// Thread entry function.
+        callee: FuncId,
+        /// Argument registers.
+        args: Vec<LocalId>,
+    },
+    /// Blocks (cooperatively) until the thread held in `thread` terminates.
+    Join {
+        /// Register holding a thread handle.
+        thread: LocalId,
+    },
+    /// A *yieldpoint* (paper §4.5): checks the scheduler's threadswitch bit
+    /// and yields to the scheduler when set. The lowering pass places one on
+    /// every method entry and backedge, exactly as Jalapeño does; the
+    /// Jalapeño-specific sampling variant moves them into duplicated code.
+    Yield,
+    /// Simulates a long-latency operation (I/O, allocation burst) costing
+    /// `cycles` on the simulated clock. Exists to reproduce the paper's
+    /// timer-trigger mis-attribution pathology (§2.1, §4.6).
+    Busy {
+        /// Simulated cycle cost.
+        cycles: u32,
+    },
+    /// An instrumentation operation. Inserted by `isf-instr`, relocated and
+    /// guarded by the transforms in `isf-core`, executed by the profiling
+    /// runtime in `isf-exec`.
+    Instr(InstrOp),
+}
+
+impl Inst {
+    /// Returns `true` if this is an instrumentation operation.
+    pub fn is_instrumentation(&self) -> bool {
+        matches!(self, Inst::Instr(_))
+    }
+
+    /// Returns `true` if this is a yieldpoint.
+    pub fn is_yield(&self) -> bool {
+        matches!(self, Inst::Yield)
+    }
+}
+
+/// A block terminator. Every block has exactly one.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Term {
+    /// Unconditional jump.
+    Jump(BlockId),
+    /// Conditional branch on a boolean register.
+    Br {
+        /// Condition register.
+        cond: LocalId,
+        /// Target when true.
+        t: BlockId,
+        /// Target when false.
+        f: BlockId,
+    },
+    /// Function return, with an optional value (absent means unit).
+    Ret(Option<LocalId>),
+    /// A counter-based check (paper Figure 3): asks the trigger whether the
+    /// sample condition is true. If so control continues at `sample`
+    /// (duplicated / instrumented code); otherwise at `cont`.
+    ///
+    /// The trigger bookkeeping (decrement, reset) is performed by the
+    /// execution engine so that *all* checks in the program share one
+    /// global counter, distributing samples across every sample point
+    /// proportionally to execution frequency (§2.2).
+    Check {
+        /// Target when the sample condition is true.
+        sample: BlockId,
+        /// Target when the sample condition is false (the common case).
+        cont: BlockId,
+    },
+}
+
+impl Term {
+    /// Successor blocks in branch order.
+    pub fn successors(&self) -> Vec<BlockId> {
+        match self {
+            Term::Jump(b) => vec![*b],
+            Term::Br { t, f, .. } => vec![*t, *f],
+            Term::Ret(_) => vec![],
+            Term::Check { sample, cont } => vec![*sample, *cont],
+        }
+    }
+
+    /// Rewrites every successor equal to `from` into `to`. Returns how many
+    /// edges were retargeted.
+    pub fn retarget(&mut self, from: BlockId, to: BlockId) -> usize {
+        let mut n = 0;
+        let mut fix = |b: &mut BlockId| {
+            if *b == from {
+                *b = to;
+                n += 1;
+            }
+        };
+        match self {
+            Term::Jump(b) => fix(b),
+            Term::Br { t, f, .. } => {
+                fix(t);
+                fix(f);
+            }
+            Term::Ret(_) => {}
+            Term::Check { sample, cont } => {
+                fix(sample);
+                fix(cont);
+            }
+        }
+        n
+    }
+
+    /// Returns `true` for [`Term::Check`].
+    pub fn is_check(&self) -> bool {
+        matches!(self, Term::Check { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn successors_in_branch_order() {
+        let t = Term::Br {
+            cond: LocalId::new(0),
+            t: BlockId::new(1),
+            f: BlockId::new(2),
+        };
+        assert_eq!(t.successors(), vec![BlockId::new(1), BlockId::new(2)]);
+        assert_eq!(Term::Ret(None).successors(), vec![]);
+    }
+
+    #[test]
+    fn retarget_rewrites_all_matching_edges() {
+        let mut t = Term::Br {
+            cond: LocalId::new(0),
+            t: BlockId::new(3),
+            f: BlockId::new(3),
+        };
+        assert_eq!(t.retarget(BlockId::new(3), BlockId::new(9)), 2);
+        assert_eq!(t.successors(), vec![BlockId::new(9), BlockId::new(9)]);
+        assert_eq!(t.retarget(BlockId::new(3), BlockId::new(1)), 0);
+    }
+
+    #[test]
+    fn check_terminator_identified() {
+        let t = Term::Check {
+            sample: BlockId::new(1),
+            cont: BlockId::new(2),
+        };
+        assert!(t.is_check());
+        assert!(!Term::Jump(BlockId::new(0)).is_check());
+    }
+
+    #[test]
+    fn instr_op_classification() {
+        assert!(Inst::Instr(InstrOp::CallEdge).is_instrumentation());
+        assert!(!Inst::Yield.is_instrumentation());
+        assert!(Inst::Yield.is_yield());
+        assert_eq!(InstrOp::CallEdge.tag(), "call_edge");
+    }
+
+    #[test]
+    fn comparison_classification() {
+        assert!(BinOp::Lt.is_comparison());
+        assert!(!BinOp::Add.is_comparison());
+    }
+}

@@ -1,0 +1,177 @@
+//! Backedge detection and natural loops.
+//!
+//! The sampling framework places checks "on all method entries and backward
+//! branches" (paper §2). On the IR level, *backward branch* means a CFG
+//! backedge. [`backedges`] returns the union of dominance-based natural
+//! backedges and DFS retreating edges: on reducible CFGs (everything the
+//! front end produces) the two coincide; on hand-built irreducible graphs
+//! the union conservatively keeps the bounded-execution guarantee behind
+//! Property 1.
+
+use std::collections::BTreeSet;
+
+use crate::cfg::{retreating_edges, Predecessors};
+use crate::dom::DomTree;
+use crate::function::Function;
+use crate::ids::BlockId;
+
+/// A natural loop: the header plus every block that can reach a backedge
+/// source without leaving the loop.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NaturalLoop {
+    /// The loop header.
+    pub header: BlockId,
+    /// All blocks in the loop, including the header.
+    pub blocks: BTreeSet<BlockId>,
+}
+
+/// Returns the backedges of `f` as deduplicated `(source, header)` pairs in
+/// deterministic order: the union of natural backedges (target dominates
+/// source) and DFS retreating edges.
+pub fn backedges(f: &Function) -> Vec<(BlockId, BlockId)> {
+    let dom = DomTree::compute(f);
+    let mut set: BTreeSet<(BlockId, BlockId)> = BTreeSet::new();
+    for (from, to) in f.edges() {
+        if dom.is_reachable(from) && dom.dominates(to, from) {
+            set.insert((from, to));
+        }
+    }
+    for e in retreating_edges(f) {
+        set.insert(e);
+    }
+    set.into_iter().collect()
+}
+
+/// Computes the natural loop of each dominance-based backedge, merging
+/// loops that share a header.
+pub fn natural_loops(f: &Function) -> Vec<NaturalLoop> {
+    let dom = DomTree::compute(f);
+    let preds = Predecessors::compute(f);
+    let mut loops: Vec<NaturalLoop> = Vec::new();
+    for (src, header) in backedges(f) {
+        if !dom.dominates(header, src) {
+            continue; // retreating-only edge of an irreducible region
+        }
+        let mut blocks = BTreeSet::new();
+        blocks.insert(header);
+        let mut stack = vec![src];
+        while let Some(b) = stack.pop() {
+            if blocks.insert(b) {
+                for &p in preds.of(b) {
+                    stack.push(p);
+                }
+            }
+        }
+        if let Some(existing) = loops.iter_mut().find(|l| l.header == header) {
+            existing.blocks.extend(blocks);
+        } else {
+            loops.push(NaturalLoop { header, blocks });
+        }
+    }
+    loops
+}
+
+/// Returns `true` if every retreating edge is also a natural backedge,
+/// i.e. the CFG is reducible.
+pub fn is_reducible(f: &Function) -> bool {
+    let dom = DomTree::compute(f);
+    retreating_edges(f)
+        .into_iter()
+        .all(|(from, to)| dom.dominates(to, from))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::BasicBlock;
+    use crate::ids::LocalId;
+    use crate::inst::Term;
+
+    fn br(t: u32, f: u32) -> Term {
+        Term::Br {
+            cond: LocalId::new(0),
+            t: BlockId::new(t),
+            f: BlockId::new(f),
+        }
+    }
+
+    /// 0 -> 1(h) -> 2 -> 1 ; 1 -> 3
+    fn simple_loop() -> Function {
+        let blocks = vec![
+            BasicBlock::jump_to(BlockId::new(1)),
+            BasicBlock::new(vec![], br(2, 3)),
+            BasicBlock::jump_to(BlockId::new(1)),
+            BasicBlock::new(vec![], Term::Ret(None)),
+        ];
+        Function::new("loop", 1, 1, blocks, 0)
+    }
+
+    #[test]
+    fn finds_single_backedge() {
+        let f = simple_loop();
+        assert_eq!(backedges(&f), vec![(BlockId::new(2), BlockId::new(1))]);
+        assert!(is_reducible(&f));
+    }
+
+    #[test]
+    fn natural_loop_membership() {
+        let f = simple_loop();
+        let loops = natural_loops(&f);
+        assert_eq!(loops.len(), 1);
+        assert_eq!(loops[0].header, BlockId::new(1));
+        assert_eq!(
+            loops[0].blocks,
+            [BlockId::new(1), BlockId::new(2)].into_iter().collect()
+        );
+    }
+
+    #[test]
+    fn nested_loops_have_two_backedges() {
+        // 0 -> 1(outer h) -> 2(inner h) -> 3 -> 2 ; 3 -> 1 ; 1 -> 4
+        let blocks = vec![
+            BasicBlock::jump_to(BlockId::new(1)),
+            BasicBlock::new(vec![], br(2, 4)),
+            BasicBlock::jump_to(BlockId::new(3)),
+            BasicBlock::new(vec![], br(2, 1)),
+            BasicBlock::new(vec![], Term::Ret(None)),
+        ];
+        let f = Function::new("nested", 1, 1, blocks, 0);
+        let be = backedges(&f);
+        assert_eq!(
+            be,
+            vec![
+                (BlockId::new(3), BlockId::new(1)),
+                (BlockId::new(3), BlockId::new(2)),
+            ]
+        );
+        let loops = natural_loops(&f);
+        assert_eq!(loops.len(), 2);
+        let outer = loops.iter().find(|l| l.header == BlockId::new(1)).unwrap();
+        assert!(outer.blocks.contains(&BlockId::new(3)));
+    }
+
+    #[test]
+    fn irreducible_graph_detected() {
+        // 0 branches into the middle of a cycle 1 <-> 2: classic irreducible.
+        let blocks = vec![
+            BasicBlock::new(vec![], br(1, 2)),
+            BasicBlock::jump_to(BlockId::new(2)),
+            BasicBlock::jump_to(BlockId::new(1)),
+        ];
+        let f = Function::new("irreducible", 1, 1, blocks, 0);
+        assert!(!is_reducible(&f));
+        // Retreating edge still reported so checks can bound the cycle.
+        assert_eq!(backedges(&f).len(), 1);
+    }
+
+    #[test]
+    fn straight_line_has_no_backedges() {
+        let blocks = vec![
+            BasicBlock::jump_to(BlockId::new(1)),
+            BasicBlock::new(vec![], Term::Ret(None)),
+        ];
+        let f = Function::new("straight", 0, 0, blocks, 0);
+        assert!(backedges(&f).is_empty());
+        assert!(natural_loops(&f).is_empty());
+    }
+}

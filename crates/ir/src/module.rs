@@ -1,0 +1,228 @@
+//! Modules: the unit of compilation and execution.
+
+use std::collections::HashMap;
+
+use crate::function::Function;
+use crate::ids::{ClassId, FieldSym, FuncId, MethodSym};
+
+/// A class declaration with single inheritance.
+///
+/// Layout and method tables are *flattened*: they include everything
+/// inherited from ancestors, so the runtime never walks the superclass
+/// chain.
+#[derive(Clone, Debug)]
+pub struct Class {
+    name: String,
+    parent: Option<ClassId>,
+    /// Flattened field layout, ancestors first, in declaration order.
+    layout: Vec<FieldSym>,
+    /// Field symbol to slot index in an instance.
+    offsets: HashMap<FieldSym, usize>,
+    /// Flattened dispatch table: method symbol to implementing function.
+    methods: HashMap<MethodSym, FuncId>,
+}
+
+impl Class {
+    /// The class name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The direct superclass, if any.
+    pub fn parent(&self) -> Option<ClassId> {
+        self.parent
+    }
+
+    /// Number of field slots in an instance (including inherited fields).
+    pub fn num_fields(&self) -> usize {
+        self.layout.len()
+    }
+
+    /// Flattened field layout, ancestors first.
+    pub fn layout(&self) -> &[FieldSym] {
+        &self.layout
+    }
+
+    /// Slot index of `field`, or `None` if the class has no such field.
+    pub fn field_offset(&self, field: FieldSym) -> Option<usize> {
+        self.offsets.get(&field).copied()
+    }
+
+    /// The function implementing `method` for this class, following
+    /// inheritance and overrides.
+    pub fn resolve_method(&self, method: MethodSym) -> Option<FuncId> {
+        self.methods.get(&method).copied()
+    }
+
+    /// All (method, implementation) pairs, in unspecified order.
+    pub fn methods(&self) -> impl Iterator<Item = (MethodSym, FuncId)> + '_ {
+        self.methods.iter().map(|(m, f)| (*m, *f))
+    }
+}
+
+/// A complete program: functions, classes, interned symbols and a
+/// designated `main` function.
+#[derive(Clone, Debug)]
+pub struct Module {
+    functions: Vec<Function>,
+    classes: Vec<Class>,
+    field_names: Vec<String>,
+    method_names: Vec<String>,
+    main: FuncId,
+}
+
+impl Module {
+    pub(crate) fn from_parts(
+        functions: Vec<Function>,
+        classes: Vec<Class>,
+        field_names: Vec<String>,
+        method_names: Vec<String>,
+        main: FuncId,
+    ) -> Self {
+        Self {
+            functions,
+            classes,
+            field_names,
+            method_names,
+            main,
+        }
+    }
+
+    /// The entry-point function.
+    pub fn main(&self) -> FuncId {
+        self.main
+    }
+
+    /// Number of functions.
+    pub fn num_functions(&self) -> usize {
+        self.functions.len()
+    }
+
+    /// All function ids, in index order.
+    pub fn func_ids(&self) -> impl Iterator<Item = FuncId> + '_ {
+        (0..self.functions.len() as u32).map(FuncId::new)
+    }
+
+    /// Returns the function with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn function(&self, id: FuncId) -> &Function {
+        &self.functions[id.index()]
+    }
+
+    /// Mutable access to a function.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn function_mut(&mut self, id: FuncId) -> &mut Function {
+        &mut self.functions[id.index()]
+    }
+
+    /// Iterates over `(id, function)` pairs.
+    pub fn functions(&self) -> impl Iterator<Item = (FuncId, &Function)> {
+        self.functions
+            .iter()
+            .enumerate()
+            .map(|(i, f)| (FuncId::new(i as u32), f))
+    }
+
+    /// Looks a function up by name.
+    pub fn function_by_name(&self, name: &str) -> Option<FuncId> {
+        self.functions
+            .iter()
+            .position(|f| f.name() == name)
+            .map(|i| FuncId::new(i as u32))
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Returns the class with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn class(&self, id: ClassId) -> &Class {
+        &self.classes[id.index()]
+    }
+
+    /// Iterates over `(id, class)` pairs.
+    pub fn classes(&self) -> impl Iterator<Item = (ClassId, &Class)> {
+        self.classes
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (ClassId::new(i as u32), c))
+    }
+
+    /// Looks a class up by name.
+    pub fn class_by_name(&self, name: &str) -> Option<ClassId> {
+        self.classes
+            .iter()
+            .position(|c| c.name() == name)
+            .map(|i| ClassId::new(i as u32))
+    }
+
+    /// The interned name of a field symbol.
+    pub fn field_name(&self, sym: FieldSym) -> &str {
+        &self.field_names[sym.index()]
+    }
+
+    /// The interned name of a method symbol.
+    pub fn method_name(&self, sym: MethodSym) -> &str {
+        &self.method_names[sym.index()]
+    }
+
+    /// Number of interned field symbols.
+    pub fn num_field_syms(&self) -> usize {
+        self.field_names.len()
+    }
+
+    /// Number of interned method symbols.
+    pub fn num_method_syms(&self) -> usize {
+        self.method_names.len()
+    }
+
+    /// Total instruction count across all functions (a crude program-size
+    /// measure used by the space-overhead experiment, Table 2).
+    pub fn num_insts(&self) -> usize {
+        self.functions.iter().map(Function::num_insts).sum()
+    }
+}
+
+pub(crate) fn build_class(
+    name: String,
+    parent: Option<(ClassId, &Class)>,
+    own_fields: &[FieldSym],
+    own_methods: &[(MethodSym, FuncId)],
+) -> Class {
+    let (parent_id, mut layout, mut offsets, mut methods) = match parent {
+        Some((id, p)) => (
+            Some(id),
+            p.layout.clone(),
+            p.offsets.clone(),
+            p.methods.clone(),
+        ),
+        None => (None, Vec::new(), HashMap::new(), HashMap::new()),
+    };
+    for &f in own_fields {
+        if let std::collections::hash_map::Entry::Vacant(e) = offsets.entry(f) {
+            e.insert(layout.len());
+            layout.push(f);
+        }
+    }
+    for &(m, func) in own_methods {
+        methods.insert(m, func); // overrides shadow inherited entries
+    }
+    Class {
+        name,
+        parent: parent_id,
+        layout,
+        offsets,
+        methods,
+    }
+}

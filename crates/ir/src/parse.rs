@@ -1,0 +1,753 @@
+//! Parser for the textual IR form produced by the [`Display`] impl of
+//! [`Function`] — the usual compiler-developer loop of dumping a function,
+//! editing it, and reading it back, plus exact round-trip testing of every
+//! transform.
+//!
+//! The grammar is exactly what `Display` emits; see the module tests and
+//! the round-trip property tests in the integration crate. Module-level
+//! text is *not* parseable (class tables and interned symbol names are
+//! elided from dumps); this is a function-level facility.
+//!
+//! [`Display`]: std::fmt::Display
+
+use std::error::Error;
+use std::fmt;
+
+use crate::block::BasicBlock;
+use crate::function::Function;
+use crate::ids::{BlockId, CallSiteId, ClassId, FieldSym, FuncId, LocalId, MethodSym};
+use crate::inst::{BinOp, Const, Inst, InstrOp, Term, UnOp};
+
+/// A textual-IR parse error with its 1-based line number.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseIrError {
+    /// 1-based line of the offending text.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseIrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ir parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseIrError {}
+
+/// Parses one function from its textual form.
+///
+/// # Errors
+///
+/// Returns the first syntax error with its line number. The result is
+/// structurally faithful but not verified — run
+/// [`crate::verify::verify_function`] if the text came from an untrusted
+/// editor session.
+pub fn parse_function(text: &str) -> Result<Function, ParseIrError> {
+    Parser::new(text).parse()
+}
+
+struct Parser<'t> {
+    lines: Vec<(usize, &'t str)>,
+    at: usize,
+}
+
+fn err<T>(line: usize, message: impl Into<String>) -> Result<T, ParseIrError> {
+    Err(ParseIrError {
+        line,
+        message: message.into(),
+    })
+}
+
+impl<'t> Parser<'t> {
+    fn new(text: &'t str) -> Self {
+        let lines = text
+            .lines()
+            .enumerate()
+            .map(|(i, l)| (i + 1, l.trim()))
+            .filter(|(_, l)| !l.is_empty())
+            .collect();
+        Self { lines, at: 0 }
+    }
+
+    fn next_line(&mut self) -> Option<(usize, &'t str)> {
+        let l = self.lines.get(self.at).copied();
+        self.at += 1;
+        l
+    }
+
+    fn parse(&mut self) -> Result<Function, ParseIrError> {
+        let (ln, header) = self
+            .next_line()
+            .ok_or_else(|| ParseIrError {
+                line: 0,
+                message: "empty input".into(),
+            })?;
+        let (name, arity, num_locals) = parse_header(ln, header)?;
+
+        let mut blocks: Vec<BasicBlock> = Vec::new();
+        let mut current: Option<(Vec<Inst>, Option<Term>)> = None;
+        let mut max_site: Option<u32> = None;
+        let finish_block =
+            |cur: &mut Option<(Vec<Inst>, Option<Term>)>, ln: usize| -> Result<BasicBlock, ParseIrError> {
+                match cur.take() {
+                    Some((insts, Some(term))) => Ok(BasicBlock::new(insts, term)),
+                    Some((_, None)) => err(ln, "block has no terminator"),
+                    None => err(ln, "content outside of a block"),
+                }
+            };
+
+        loop {
+            let Some((ln, line)) = self.next_line() else {
+                return err(usize::MAX, "missing closing `}`");
+            };
+            if line == "}" {
+                if current.is_some() {
+                    blocks.push(finish_block(&mut current, ln)?);
+                }
+                break;
+            }
+            if let Some(label) = line.strip_suffix(':') {
+                if current.is_some() {
+                    blocks.push(finish_block(&mut current, ln)?);
+                }
+                let expected = format!("bb{}", blocks.len());
+                if label != expected {
+                    return err(ln, format!("expected label `{expected}`, found `{label}`"));
+                }
+                current = Some((Vec::new(), None));
+                continue;
+            }
+            let Some((_, term)) = current.as_mut() else {
+                return err(ln, "instruction outside of a block");
+            };
+            if term.is_some() {
+                return err(ln, "instruction after the block terminator");
+            }
+            if let Some(t) = parse_term(line) {
+                *term = Some(t);
+                continue;
+            }
+            let inst = parse_inst(ln, line)?;
+            if let Inst::Call { site, .. } | Inst::CallMethod { site, .. } = &inst {
+                max_site = Some(max_site.map_or(site.0, |m: u32| m.max(site.0)));
+            }
+            current
+                .as_mut()
+                .expect("checked above")
+                .0
+                .push(inst);
+        }
+        if blocks.is_empty() {
+            return err(usize::MAX, "function has no blocks");
+        }
+        Ok(Function::new(
+            name,
+            arity,
+            num_locals,
+            blocks,
+            max_site.map_or(0, |m| m + 1),
+        ))
+    }
+}
+
+fn parse_header(ln: usize, line: &str) -> Result<(String, usize, usize), ParseIrError> {
+    // fn NAME(N params, M locals) {
+    let rest = line
+        .strip_prefix("fn ")
+        .ok_or_else(|| ParseIrError {
+            line: ln,
+            message: "expected `fn <name>(...) {`".into(),
+        })?;
+    let open = rest.rfind('(').ok_or_else(|| ParseIrError {
+        line: ln,
+        message: "missing `(` in header".into(),
+    })?;
+    let name = rest[..open].to_owned();
+    let tail = &rest[open + 1..];
+    let close = tail.find(')').ok_or_else(|| ParseIrError {
+        line: ln,
+        message: "missing `)` in header".into(),
+    })?;
+    let mut parts = tail[..close].split(',');
+    let arity = parse_counted(ln, parts.next(), "params")?;
+    let num_locals = parse_counted(ln, parts.next(), "locals")?;
+    if !tail[close + 1..].trim_start().starts_with('{') {
+        return err(ln, "missing `{` after header");
+    }
+    Ok((name, arity, num_locals))
+}
+
+fn parse_counted(ln: usize, part: Option<&str>, unit: &str) -> Result<usize, ParseIrError> {
+    let part = part.ok_or_else(|| ParseIrError {
+        line: ln,
+        message: format!("missing `{unit}` count"),
+    })?;
+    let part = part.trim();
+    let number = part
+        .strip_suffix(unit)
+        .ok_or_else(|| ParseIrError {
+            line: ln,
+            message: format!("expected `<n> {unit}`, found `{part}`"),
+        })?
+        .trim();
+    number.parse().map_err(|_| ParseIrError {
+        line: ln,
+        message: format!("bad {unit} count `{number}`"),
+    })
+}
+
+fn parse_term(line: &str) -> Option<Term> {
+    let mut words = line.split_whitespace();
+    match words.next()? {
+        "jump" => Some(Term::Jump(block_id(words.next()?)?)),
+        "br" => {
+            // br %c ? bbA : bbB
+            let cond = local(words.next()?)?;
+            if words.next()? != "?" {
+                return None;
+            }
+            let t = block_id(words.next()?)?;
+            if words.next()? != ":" {
+                return None;
+            }
+            let f = block_id(words.next()?)?;
+            Some(Term::Br { cond, t, f })
+        }
+        "ret" => match words.next() {
+            None => Some(Term::Ret(None)),
+            Some(v) => Some(Term::Ret(Some(local(v)?))),
+        },
+        "check" => {
+            if words.next()? != "?" {
+                return None;
+            }
+            let sample = block_id(words.next()?)?;
+            if words.next()? != ":" {
+                return None;
+            }
+            let cont = block_id(words.next()?)?;
+            Some(Term::Check { sample, cont })
+        }
+        _ => None,
+    }
+}
+
+fn parse_inst(ln: usize, line: &str) -> Result<Inst, ParseIrError> {
+    // Keyword-led, no-destination forms first.
+    let mut words = line.split_whitespace();
+    let first = words.next().unwrap_or_default();
+    match first {
+        "yieldpoint" => return Ok(Inst::Yield),
+        "print" => {
+            let src = expect_local(ln, words.next())?;
+            return Ok(Inst::Print { src });
+        }
+        "join" => {
+            let thread = expect_local(ln, words.next())?;
+            return Ok(Inst::Join { thread });
+        }
+        "busy" => {
+            let cycles = expect_number(ln, words.next())?;
+            return Ok(Inst::Busy { cycles });
+        }
+        "instr" => return parse_instr_op(ln, line),
+        "call" | "callmethod" => return parse_call(ln, line, None),
+        _ => {}
+    }
+
+    // Assignment forms: LHS = RHS.
+    let eq = line.find(" = ").ok_or_else(|| ParseIrError {
+        line: ln,
+        message: format!("unrecognized instruction `{line}`"),
+    })?;
+    let lhs = line[..eq].trim();
+    let rhs = line[eq + 3..].trim();
+
+    // Store forms: %o.fieldN = %s and %a[%i] = %s.
+    if let Some((obj, field)) = split_field_ref(lhs) {
+        let src = expect_local(ln, Some(rhs))?;
+        return Ok(Inst::SetField { obj, field, src });
+    }
+    if let Some((arr, idx)) = split_index_ref(lhs) {
+        let src = expect_local(ln, Some(rhs))?;
+        return Ok(Inst::ArraySet { arr, idx, src });
+    }
+
+    let dst = expect_local(ln, Some(lhs))?;
+    // RHS dispatch.
+    if let Some((obj, field)) = split_field_ref(rhs) {
+        return Ok(Inst::GetField { dst, obj, field });
+    }
+    if let Some((arr, idx)) = split_index_ref(rhs) {
+        return Ok(Inst::ArrayGet { dst, arr, idx });
+    }
+    if let Some(src) = local(rhs) {
+        return Ok(Inst::Move { dst, src });
+    }
+    let mut words = rhs.split_whitespace();
+    let head = words.next().unwrap_or_default();
+    match head {
+        "const" => {
+            let v = words.next().ok_or_else(|| ParseIrError {
+                line: ln,
+                message: "missing constant".into(),
+            })?;
+            let value = match v {
+                "true" => Const::Bool(true),
+                "false" => Const::Bool(false),
+                "null" => Const::Null,
+                n => Const::I64(n.parse().map_err(|_| ParseIrError {
+                    line: ln,
+                    message: format!("bad constant `{n}`"),
+                })?),
+            };
+            Ok(Inst::Const { dst, value })
+        }
+        "neg" | "not" => {
+            let src = expect_local(ln, words.next())?;
+            let op = if head == "neg" { UnOp::Neg } else { UnOp::Not };
+            Ok(Inst::Un { op, dst, src })
+        }
+        "new" => {
+            let class = tagged_id(ln, words.next(), "class")?;
+            Ok(Inst::New {
+                dst,
+                class: ClassId::new(class),
+            })
+        }
+        "new_array" => {
+            let len = expect_local(ln, words.next())?;
+            Ok(Inst::NewArray { dst, len })
+        }
+        "len" => {
+            let arr = expect_local(ln, words.next())?;
+            Ok(Inst::ArrayLen { dst, arr })
+        }
+        "call" | "callmethod" => parse_call(ln, rhs, Some(dst)),
+        "spawn" => {
+            // spawn fnN(args)
+            let call_text = rhs.strip_prefix("spawn ").unwrap_or(rhs);
+            let (callee, args) = parse_target_and_args(ln, call_text)?;
+            Ok(Inst::Spawn {
+                dst,
+                callee: FuncId::new(callee),
+                args,
+            })
+        }
+        op => {
+            let bin = bin_op(op).ok_or_else(|| ParseIrError {
+                line: ln,
+                message: format!("unrecognized operation `{op}`"),
+            })?;
+            // op %a, %b
+            let a = expect_local(ln, words.next().map(|w| w.trim_end_matches(',')))?;
+            let b = expect_local(ln, words.next())?;
+            Ok(Inst::Bin {
+                op: bin,
+                dst,
+                lhs: a,
+                rhs: b,
+            })
+        }
+    }
+}
+
+/// Parses `call fnN(args) @siteK` / `callmethod %o.methodN(args) @siteK`.
+fn parse_call(ln: usize, text: &str, dst: Option<LocalId>) -> Result<Inst, ParseIrError> {
+    let (kw, rest) = text.split_once(' ').ok_or_else(|| ParseIrError {
+        line: ln,
+        message: "malformed call".into(),
+    })?;
+    let at = rest.rfind(" @site").ok_or_else(|| ParseIrError {
+        line: ln,
+        message: "missing `@site` on call".into(),
+    })?;
+    let site: u32 = rest[at + " @site".len()..].parse().map_err(|_| ParseIrError {
+        line: ln,
+        message: "bad call-site id".into(),
+    })?;
+    let call_text = &rest[..at];
+    match kw {
+        "call" => {
+            let (callee, args) = parse_target_and_args(ln, call_text)?;
+            Ok(Inst::Call {
+                dst,
+                callee: FuncId::new(callee),
+                args,
+                site: CallSiteId::new(site),
+            })
+        }
+        "callmethod" => {
+            // %o.methodN(args)
+            let dot = call_text.find('.').ok_or_else(|| ParseIrError {
+                line: ln,
+                message: "malformed method call".into(),
+            })?;
+            let obj = expect_local(ln, Some(&call_text[..dot]))?;
+            let open = call_text.find('(').ok_or_else(|| ParseIrError {
+                line: ln,
+                message: "missing `(`".into(),
+            })?;
+            let method = parse_tagged(&call_text[dot + 1..open], "method").ok_or_else(|| {
+                ParseIrError {
+                    line: ln,
+                    message: "malformed method symbol".into(),
+                }
+            })?;
+            let args = parse_args(ln, &call_text[open..])?;
+            Ok(Inst::CallMethod {
+                dst,
+                obj,
+                method: MethodSym::new(method),
+                args,
+                site: CallSiteId::new(site),
+            })
+        }
+        other => err(ln, format!("unrecognized call keyword `{other}`")),
+    }
+}
+
+/// Parses `fnN(args)` into the callee id and arguments.
+fn parse_target_and_args(ln: usize, text: &str) -> Result<(u32, Vec<LocalId>), ParseIrError> {
+    let open = text.find('(').ok_or_else(|| ParseIrError {
+        line: ln,
+        message: "missing `(`".into(),
+    })?;
+    let callee = parse_tagged(&text[..open], "fn").ok_or_else(|| ParseIrError {
+        line: ln,
+        message: format!("bad callee `{}`", &text[..open]),
+    })?;
+    Ok((callee, parse_args(ln, &text[open..])?))
+}
+
+fn parse_args(ln: usize, text: &str) -> Result<Vec<LocalId>, ParseIrError> {
+    let inner = text
+        .strip_prefix('(')
+        .and_then(|t| t.strip_suffix(')'))
+        .ok_or_else(|| ParseIrError {
+            line: ln,
+            message: "malformed argument list".into(),
+        })?;
+    if inner.trim().is_empty() {
+        return Ok(Vec::new());
+    }
+    inner
+        .split(',')
+        .map(|a| expect_local(ln, Some(a.trim())))
+        .collect()
+}
+
+fn parse_instr_op(ln: usize, line: &str) -> Result<Inst, ParseIrError> {
+    let mut words = line.split_whitespace().skip(1);
+    let kind = words.next().unwrap_or_default();
+    let op = match kind {
+        "call_edge" => InstrOp::CallEdge,
+        "field_access" => {
+            let mode = words.next().unwrap_or_default();
+            let write = match mode {
+                "read" => false,
+                "write" => true,
+                other => return err(ln, format!("bad access mode `{other}`")),
+            };
+            let place = words.next().unwrap_or_default();
+            let (obj, field) = split_field_ref(place).ok_or_else(|| ParseIrError {
+                line: ln,
+                message: format!("bad field reference `{place}`"),
+            })?;
+            InstrOp::FieldAccess { obj, field, write }
+        }
+        "block_count" => InstrOp::BlockCount {
+            block: BlockId::new(tagged_id(ln, words.next(), "bb")?),
+        },
+        "edge_count" => {
+            let from = BlockId::new(tagged_id(ln, words.next(), "bb")?);
+            if words.next() != Some("->") {
+                return err(ln, "expected `->` in edge_count");
+            }
+            let to = BlockId::new(tagged_id(ln, words.next(), "bb")?);
+            InstrOp::EdgeCount { from, to }
+        }
+        "value_profile" => {
+            let local = expect_local(ln, words.next())?;
+            let site = site_number(ln, words.next())?;
+            InstrOp::ValueProfile { local, site }
+        }
+        "path_start" => InstrOp::PathStart {
+            value: expect_number(ln, words.next())?,
+        },
+        "path_incr" => InstrOp::PathIncr {
+            delta: expect_number(ln, words.next())?,
+        },
+        "path_end" => InstrOp::PathEnd {
+            site: site_number(ln, words.next())?,
+        },
+        other => return err(ln, format!("unknown instrumentation `{other}`")),
+    };
+    Ok(Inst::Instr(op))
+}
+
+// --- Token helpers. -----------------------------------------------------
+
+fn parse_tagged(text: &str, prefix: &str) -> Option<u32> {
+    text.strip_prefix(prefix)?.parse().ok()
+}
+
+fn tagged_id(ln: usize, word: Option<&str>, prefix: &str) -> Result<u32, ParseIrError> {
+    word.and_then(|w| parse_tagged(w, prefix))
+        .ok_or_else(|| ParseIrError {
+            line: ln,
+            message: format!("expected `{prefix}<n>`"),
+        })
+}
+
+fn block_id(text: &str) -> Option<BlockId> {
+    parse_tagged(text, "bb").map(BlockId::new)
+}
+
+fn local(text: &str) -> Option<LocalId> {
+    parse_tagged(text, "%").map(LocalId::new)
+}
+
+fn expect_local(ln: usize, word: Option<&str>) -> Result<LocalId, ParseIrError> {
+    word.and_then(local).ok_or_else(|| ParseIrError {
+        line: ln,
+        message: format!("expected `%<n>`, found `{}`", word.unwrap_or("<eol>")),
+    })
+}
+
+fn expect_number(ln: usize, word: Option<&str>) -> Result<u32, ParseIrError> {
+    word.and_then(|w| w.parse().ok()).ok_or_else(|| ParseIrError {
+        line: ln,
+        message: "expected a number".into(),
+    })
+}
+
+fn site_number(ln: usize, word: Option<&str>) -> Result<u32, ParseIrError> {
+    word.and_then(|w| w.strip_prefix('@'))
+        .and_then(|w| w.strip_prefix("site").or(Some(w)))
+        .and_then(|w| w.parse().ok())
+        .ok_or_else(|| ParseIrError {
+            line: ln,
+            message: "expected `@<n>`".into(),
+        })
+}
+
+/// Splits `%o.fieldN` into its parts; also accepts any `.tagN` suffix for
+/// the field position.
+fn split_field_ref(text: &str) -> Option<(LocalId, FieldSym)> {
+    let dot = text.find('.')?;
+    let obj = local(&text[..dot])?;
+    let field = parse_tagged(&text[dot + 1..], "field")?;
+    Some((obj, FieldSym::new(field)))
+}
+
+/// Splits `%a[%i]` into its parts.
+fn split_index_ref(text: &str) -> Option<(LocalId, LocalId)> {
+    let open = text.find('[')?;
+    let arr = local(&text[..open])?;
+    let idx = local(text[open + 1..].strip_suffix(']')?)?;
+    Some((arr, idx))
+}
+
+fn bin_op(m: &str) -> Option<BinOp> {
+    use BinOp::*;
+    Some(match m {
+        "add" => Add,
+        "sub" => Sub,
+        "mul" => Mul,
+        "div" => Div,
+        "rem" => Rem,
+        "and" => And,
+        "or" => Or,
+        "xor" => Xor,
+        "shl" => Shl,
+        "shr" => Shr,
+        "eq" => Eq,
+        "ne" => Ne,
+        "lt" => Lt,
+        "le" => Le,
+        "gt" => Gt,
+        "ge" => Ge,
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+
+    fn roundtrip(f: &Function) {
+        let text = f.to_string();
+        let parsed = parse_function(&text)
+            .unwrap_or_else(|e| panic!("{e}\n--- text ---\n{text}"));
+        assert_eq!(
+            parsed.to_string(),
+            text,
+            "round-trip changed the function"
+        );
+        assert_eq!(parsed.arity(), f.arity());
+        assert_eq!(parsed.num_locals(), f.num_locals());
+        assert_eq!(parsed.num_blocks(), f.num_blocks());
+    }
+
+    #[test]
+    fn parses_handwritten_function() {
+        let text = "fn demo(1 params, 4 locals) {
+bb0:
+    %1 = const 41
+    %2 = add %0, %1
+    %3 = eq %2, %1
+    br %3 ? bb1 : bb2
+bb1:
+    print %2
+    ret %2
+bb2:
+    ret
+}";
+        let f = parse_function(text).unwrap();
+        assert_eq!(f.name(), "demo");
+        assert_eq!(f.num_blocks(), 3);
+        crate::verify::verify_function(&f, None).unwrap();
+        assert_eq!(f.to_string(), text);
+    }
+
+    #[test]
+    fn roundtrips_every_instruction_kind() {
+        let mut fb = FunctionBuilder::new("Kitchen::sink", 2);
+        let a = fb.param(0);
+        let b = fb.param(1);
+        let d = fb.new_local();
+        fb.push(Inst::Const {
+            dst: d,
+            value: Const::I64(-7),
+        });
+        fb.push(Inst::Const {
+            dst: d,
+            value: Const::Bool(true),
+        });
+        fb.push(Inst::Const {
+            dst: d,
+            value: Const::Null,
+        });
+        fb.push(Inst::Move { dst: d, src: a });
+        fb.push(Inst::Un {
+            op: UnOp::Neg,
+            dst: d,
+            src: a,
+        });
+        fb.push(Inst::Bin {
+            op: BinOp::Shr,
+            dst: d,
+            lhs: a,
+            rhs: b,
+        });
+        fb.push(Inst::New {
+            dst: d,
+            class: ClassId::new(3),
+        });
+        fb.push(Inst::GetField {
+            dst: d,
+            obj: a,
+            field: FieldSym::new(2),
+        });
+        fb.push(Inst::SetField {
+            obj: a,
+            field: FieldSym::new(2),
+            src: b,
+        });
+        fb.push(Inst::NewArray { dst: d, len: a });
+        fb.push(Inst::ArrayGet { dst: d, arr: a, idx: b });
+        fb.push(Inst::ArraySet { arr: a, idx: b, src: d });
+        fb.push(Inst::ArrayLen { dst: d, arr: a });
+        fb.push(Inst::Call {
+            dst: Some(d),
+            callee: FuncId::new(4),
+            args: vec![a, b],
+            site: CallSiteId::new(0),
+        });
+        fb.push(Inst::Call {
+            dst: None,
+            callee: FuncId::new(4),
+            args: vec![],
+            site: CallSiteId::new(0),
+        });
+        fb.push(Inst::CallMethod {
+            dst: Some(d),
+            obj: a,
+            method: MethodSym::new(1),
+            args: vec![b],
+            site: CallSiteId::new(0),
+        });
+        fb.push(Inst::Print { src: d });
+        fb.push(Inst::Spawn {
+            dst: d,
+            callee: FuncId::new(4),
+            args: vec![a],
+        });
+        fb.push(Inst::Join { thread: d });
+        fb.push(Inst::Yield);
+        fb.push(Inst::Busy { cycles: 250 });
+        fb.push(Inst::Instr(InstrOp::CallEdge));
+        fb.push(Inst::Instr(InstrOp::FieldAccess {
+            obj: a,
+            field: FieldSym::new(2),
+            write: true,
+        }));
+        fb.push(Inst::Instr(InstrOp::FieldAccess {
+            obj: a,
+            field: FieldSym::new(2),
+            write: false,
+        }));
+        fb.push(Inst::Instr(InstrOp::BlockCount {
+            block: BlockId::new(0),
+        }));
+        fb.push(Inst::Instr(InstrOp::EdgeCount {
+            from: BlockId::new(0),
+            to: BlockId::new(1),
+        }));
+        fb.push(Inst::Instr(InstrOp::ValueProfile { local: a, site: 3 }));
+        fb.push(Inst::Instr(InstrOp::PathStart { value: 5 }));
+        fb.push(Inst::Instr(InstrOp::PathIncr { delta: 9 }));
+        fb.push(Inst::Instr(InstrOp::PathEnd { site: 2 }));
+        let b1 = fb.new_block();
+        let b2 = fb.new_block();
+        let b3 = fb.new_block();
+        fb.terminate(Term::Br {
+            cond: d,
+            t: b1,
+            f: b2,
+        });
+        fb.switch_to(b1);
+        fb.terminate(Term::Check {
+            sample: b2,
+            cont: b3,
+        });
+        fb.switch_to(b2);
+        fb.terminate(Term::Jump(b3));
+        fb.switch_to(b3);
+        fb.terminate(Term::Ret(Some(d)));
+        roundtrip(&fb.finish());
+    }
+
+    #[test]
+    fn reports_errors_with_line_numbers() {
+        let e = parse_function("fn f(0 params, 0 locals) {\nbb0:\n    frobnicate\n    ret\n}")
+            .unwrap_err();
+        assert_eq!(e.line, 3);
+        assert!(e.message.contains("frobnicate"));
+
+        let e = parse_function("fn f(0 params, 0 locals) {\nbb0:\n}").unwrap_err();
+        assert!(e.message.contains("terminator"));
+
+        let e = parse_function("not a function").unwrap_err();
+        assert!(e.message.contains("fn"));
+    }
+
+    #[test]
+    fn rejects_out_of_order_labels() {
+        let e = parse_function("fn f(0 params, 0 locals) {\nbb1:\n    ret\n}").unwrap_err();
+        assert!(e.message.contains("expected label `bb0`"));
+    }
+}

@@ -1,0 +1,699 @@
+//! Optimization passes over the IR.
+//!
+//! Jalapeño compiled everything at O2 before instrumenting (paper §4.1);
+//! these passes are the reproduction's optimizer analogue. They are
+//! *opt-in*: the experiment harness runs the benchmarks exactly as
+//! lowered, and an ablation bench compares instrumenting optimized vs
+//! unoptimized code.
+//!
+//! Provided passes:
+//!
+//! * [`fold_constants`] — per-block constant folding and copy propagation;
+//!   branches on known conditions become jumps, enabling unreachable-code
+//!   removal.
+//! * [`simplify_cfg`] — jump threading through empty blocks, merging of
+//!   single-predecessor/single-successor block pairs, and removal of
+//!   unreachable blocks (with renumbering).
+//! * [`eliminate_dead_code`] — liveness-driven removal of pure
+//!   instructions whose results are never used. Memory operations, calls,
+//!   division (may trap) and instrumentation are never removed.
+//! * [`optimize`] — the standard bundle, iterated to a fixpoint.
+
+use std::collections::HashMap;
+
+use crate::cfg::{reachable, Predecessors};
+use crate::function::Function;
+use crate::ids::{BlockId, LocalId};
+use crate::inst::{Const, Inst, Term};
+use crate::BasicBlock;
+
+/// Applies the full pass bundle until nothing changes (bounded by a small
+/// iteration limit).
+pub fn optimize(f: &mut Function) {
+    for _ in 0..8 {
+        let folded = fold_constants(f);
+        let simplified = simplify_cfg(f);
+        let killed = eliminate_dead_code(f);
+        if folded == 0 && simplified == 0 && killed == 0 {
+            break;
+        }
+    }
+}
+
+/// Per-block constant folding and copy propagation. Returns the number of
+/// rewrites performed.
+///
+/// Locals are not SSA, so facts are tracked per block with a forward walk
+/// and invalidated on reassignment — sound without any global analysis.
+pub fn fold_constants(f: &mut Function) -> usize {
+    let mut rewrites = 0;
+    for b in 0..f.num_blocks() {
+        let block = f.block_mut(BlockId::new(b as u32));
+        // Known constant value per local, plus copy information.
+        let mut consts: HashMap<LocalId, Const> = HashMap::new();
+        let mut copies: HashMap<LocalId, LocalId> = HashMap::new();
+
+        // Resolve a local through the copy chain to its root name.
+        let resolve = |copies: &HashMap<LocalId, LocalId>, mut l: LocalId| -> LocalId {
+            let mut hops = 0;
+            while let Some(&src) = copies.get(&l) {
+                l = src;
+                hops += 1;
+                if hops > 64 {
+                    break; // defensive: copy chains are short in practice
+                }
+            }
+            l
+        };
+
+        let kill = |consts: &mut HashMap<LocalId, Const>,
+                        copies: &mut HashMap<LocalId, LocalId>,
+                        dst: LocalId| {
+            consts.remove(&dst);
+            copies.remove(&dst);
+            // Anything that was a copy of `dst` no longer is.
+            copies.retain(|_, src| *src != dst);
+        };
+
+        for inst in block.insts_mut().iter_mut() {
+            // First rewrite the instruction's operands/result if possible.
+            match inst {
+                Inst::Move { dst, src } => {
+                    let root = resolve(&copies, *src);
+                    if let Some(&c) = consts.get(&root) {
+                        *inst = Inst::Const { dst: *dst, value: c };
+                        rewrites += 1;
+                        // Re-process as a Const below.
+                    } else {
+                        let d = *dst;
+                        kill(&mut consts, &mut copies, d);
+                        if root != d {
+                            copies.insert(d, root);
+                        }
+                        continue;
+                    }
+                }
+                Inst::Bin { op, dst, lhs, rhs } => {
+                    let l = resolve(&copies, *lhs);
+                    let r = resolve(&copies, *rhs);
+                    *lhs = l;
+                    *rhs = r;
+                    if let (Some(&Const::I64(a)), Some(&Const::I64(b))) =
+                        (consts.get(&l), consts.get(&r))
+                    {
+                        if let Some(v) = fold_bin(*op, a, b) {
+                            *inst = Inst::Const {
+                                dst: *dst,
+                                value: v,
+                            };
+                            rewrites += 1;
+                        }
+                    }
+                }
+                Inst::Un { op, dst, src } => {
+                    let s = resolve(&copies, *src);
+                    *src = s;
+                    match (consts.get(&s), op) {
+                        (Some(&Const::I64(a)), crate::inst::UnOp::Neg) => {
+                            *inst = Inst::Const {
+                                dst: *dst,
+                                value: Const::I64(a.wrapping_neg()),
+                            };
+                            rewrites += 1;
+                        }
+                        (Some(&Const::Bool(a)), crate::inst::UnOp::Not) => {
+                            *inst = Inst::Const {
+                                dst: *dst,
+                                value: Const::Bool(!a),
+                            };
+                            rewrites += 1;
+                        }
+                        _ => {}
+                    }
+                }
+                _ => {}
+            }
+
+            // Then update the fact tables from the (possibly rewritten)
+            // instruction.
+            match inst {
+                Inst::Const { dst, value } => {
+                    let d = *dst;
+                    let v = *value;
+                    kill(&mut consts, &mut copies, d);
+                    consts.insert(d, v);
+                }
+                Inst::Move { .. } => unreachable!("moves handled above"),
+                Inst::Un { dst, .. }
+                | Inst::Bin { dst, .. }
+                | Inst::New { dst, .. }
+                | Inst::GetField { dst, .. }
+                | Inst::NewArray { dst, .. }
+                | Inst::ArrayGet { dst, .. }
+                | Inst::ArrayLen { dst, .. }
+                | Inst::Spawn { dst, .. } => {
+                    let d = *dst;
+                    kill(&mut consts, &mut copies, d);
+                }
+                Inst::Call { dst, .. } | Inst::CallMethod { dst, .. } => {
+                    if let Some(d) = *dst {
+                        kill(&mut consts, &mut copies, d);
+                    }
+                }
+                Inst::SetField { .. }
+                | Inst::ArraySet { .. }
+                | Inst::Print { .. }
+                | Inst::Join { .. }
+                | Inst::Yield
+                | Inst::Busy { .. }
+                | Inst::Instr(_) => {}
+            }
+        }
+
+        // Branch on a known condition becomes a jump.
+        if let Term::Br { cond, t, f: fb } = *block.term() {
+            let root = resolve(&copies, cond);
+            if let Some(&Const::Bool(v)) = consts.get(&root) {
+                block.set_term(Term::Jump(if v { t } else { fb }));
+                rewrites += 1;
+            }
+        }
+    }
+    rewrites
+}
+
+fn fold_bin(op: crate::inst::BinOp, a: i64, b: i64) -> Option<Const> {
+    use crate::inst::BinOp::*;
+    Some(match op {
+        Add => Const::I64(a.wrapping_add(b)),
+        Sub => Const::I64(a.wrapping_sub(b)),
+        Mul => Const::I64(a.wrapping_mul(b)),
+        Div => {
+            if b == 0 {
+                return None; // keep the trapping instruction
+            }
+            Const::I64(a.wrapping_div(b))
+        }
+        Rem => {
+            if b == 0 {
+                return None;
+            }
+            Const::I64(a.wrapping_rem(b))
+        }
+        And => Const::I64(a & b),
+        Or => Const::I64(a | b),
+        Xor => Const::I64(a ^ b),
+        Shl => Const::I64(a.wrapping_shl(b as u32)),
+        Shr => Const::I64(a.wrapping_shr(b as u32)),
+        Eq => Const::Bool(a == b),
+        Ne => Const::Bool(a != b),
+        Lt => Const::Bool(a < b),
+        Le => Const::Bool(a <= b),
+        Gt => Const::Bool(a > b),
+        Ge => Const::Bool(a >= b),
+    })
+}
+
+/// CFG simplification: jump threading through empty forwarding blocks,
+/// merging single-entry/single-exit pairs, and unreachable-block removal
+/// (with renumbering). Returns the number of changes.
+///
+/// Never touches `Check` terminators — sampling checks are placed by the
+/// framework and must survive optimization.
+pub fn simplify_cfg(f: &mut Function) -> usize {
+    let mut changes = 0;
+
+    // Jump threading: redirect edges through empty `jump`-only blocks.
+    // The entry block is never bypassed (it must stay block 0).
+    loop {
+        let mut forward: Option<(BlockId, BlockId)> = None;
+        for (id, b) in f.blocks() {
+            if id == f.entry() || !b.insts().is_empty() {
+                continue;
+            }
+            if let Term::Jump(t) = *b.term() {
+                if t != id && f.blocks().any(|(o, ob)| o != id && ob.successors().contains(&id))
+                {
+                    forward = Some((id, t));
+                    break;
+                }
+            }
+        }
+        let Some((hollow, target)) = forward else { break };
+        let mut retargeted = 0;
+        for b in 0..f.num_blocks() {
+            let id = BlockId::new(b as u32);
+            if id == hollow {
+                continue;
+            }
+            retargeted += f.block_mut(id).term_mut().retarget(hollow, target);
+        }
+        if retargeted == 0 {
+            break;
+        }
+        changes += retargeted;
+    }
+
+    // Merge b -> t when that is t's only incoming edge and b ends in a
+    // plain jump.
+    loop {
+        let preds = Predecessors::compute(f);
+        let mut merge: Option<(BlockId, BlockId)> = None;
+        for (id, b) in f.blocks() {
+            if let Term::Jump(t) = *b.term() {
+                if t != id && t != f.entry() && preds.of(t).len() == 1 {
+                    merge = Some((id, t));
+                    break;
+                }
+            }
+        }
+        let Some((b, t)) = merge else { break };
+        let absorbed = std::mem::replace(f.block_mut(t), BasicBlock::jump_to(t));
+        let target_term = absorbed.term().clone();
+        let mut absorbed_insts = absorbed.insts().to_vec();
+        let merged = f.block_mut(b);
+        merged.insts_mut().append(&mut absorbed_insts);
+        merged.set_term(target_term);
+        // `t` is now an unreachable self-loop; the removal step collects it.
+        changes += 1;
+    }
+
+    // Unreachable-block removal with renumbering (entry keeps index 0).
+    let live = reachable(f);
+    if live.iter().any(|&r| !r) {
+        let mut remap: Vec<Option<BlockId>> = vec![None; f.num_blocks()];
+        let mut kept: Vec<BasicBlock> = Vec::new();
+        for (i, is_live) in live.iter().enumerate() {
+            if *is_live {
+                remap[i] = Some(BlockId::new(kept.len() as u32));
+                kept.push(f.block(BlockId::new(i as u32)).clone());
+            }
+        }
+        // Remap all successor slots simultaneously: sequential
+        // `retarget` calls would collide when one block's new index
+        // equals another block's old index.
+        for b in &mut kept {
+            let map = |slot: &mut BlockId| {
+                *slot = remap[slot.index()].expect("live blocks only target live blocks");
+            };
+            match b.term_mut() {
+                Term::Jump(t) => map(t),
+                Term::Br { t, f, .. } => {
+                    map(t);
+                    map(f);
+                }
+                Term::Ret(_) => {}
+                Term::Check { sample, cont } => {
+                    map(sample);
+                    map(cont);
+                }
+            }
+        }
+        changes += f.num_blocks() - kept.len();
+        *f = Function::new(
+            f.name().to_owned(),
+            f.arity(),
+            f.num_locals(),
+            kept,
+            f.num_call_sites(),
+        );
+    }
+    changes
+}
+
+/// Liveness-driven dead-code elimination. Removes only side-effect-free
+/// instructions (constants, moves, pure arithmetic, array length) whose
+/// destination is dead. Returns the number of instructions removed.
+pub fn eliminate_dead_code(f: &mut Function) -> usize {
+    let nb = f.num_blocks();
+    let nl = f.num_locals();
+
+    // use/def summaries per block (upward-exposed uses).
+    let mut gen_sets: Vec<Vec<bool>> = Vec::with_capacity(nb);
+    let mut kill_sets: Vec<Vec<bool>> = Vec::with_capacity(nb);
+    for (_, b) in f.blocks() {
+        let mut gen = vec![false; nl];
+        let mut kill = vec![false; nl];
+        let use_local = |l: LocalId, kill: &[bool], gen: &mut [bool]| {
+            if !kill[l.index()] {
+                gen[l.index()] = true;
+            }
+        };
+        for inst in b.insts() {
+            for l in inst_uses(inst) {
+                use_local(l, &kill, &mut gen);
+            }
+            if let Some(d) = inst_def(inst) {
+                kill[d.index()] = true;
+            }
+        }
+        for l in term_uses(b.term()) {
+            use_local(l, &kill, &mut gen);
+        }
+        gen_sets.push(gen);
+        kill_sets.push(kill);
+    }
+
+    // live-out fixpoint.
+    let mut live_out: Vec<Vec<bool>> = vec![vec![false; nl]; nb];
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for b in (0..nb).rev() {
+            let id = BlockId::new(b as u32);
+            let mut out = vec![false; nl];
+            for s in f.block(id).successors() {
+                let si = s.index();
+                for l in 0..nl {
+                    // live-in(s) = gen(s) | (out(s) & !kill(s))
+                    if gen_sets[si][l] || (live_out[si][l] && !kill_sets[si][l]) {
+                        out[l] = true;
+                    }
+                }
+            }
+            if out != live_out[b] {
+                live_out[b] = out;
+                changed = true;
+            }
+        }
+    }
+
+    // Backward sweep per block, deleting pure dead instructions.
+    let mut removed = 0;
+    for (b, block_live_out) in live_out.iter().enumerate() {
+        let id = BlockId::new(b as u32);
+        let mut live = block_live_out.clone();
+        for l in term_uses(f.block(id).term()) {
+            live[l.index()] = true;
+        }
+        let insts = f.block_mut(id).insts_mut();
+        let mut keep: Vec<bool> = vec![true; insts.len()];
+        for (i, inst) in insts.iter().enumerate().rev() {
+            let dead_dst = inst_def(inst).map(|d| !live[d.index()]).unwrap_or(false);
+            if dead_dst && is_pure(inst) {
+                keep[i] = false;
+                removed += 1;
+                continue; // uses of a removed instruction stay dead
+            }
+            if let Some(d) = inst_def(inst) {
+                live[d.index()] = false;
+            }
+            for l in inst_uses(inst) {
+                live[l.index()] = true;
+            }
+        }
+        let mut it = keep.iter();
+        insts.retain(|_| *it.next().expect("keep mask covers all instructions"));
+    }
+    removed
+}
+
+fn is_pure(inst: &Inst) -> bool {
+    match inst {
+        Inst::Const { .. } | Inst::Move { .. } | Inst::Un { .. } | Inst::ArrayLen { .. } => true,
+        // Division can trap; everything else observes or mutates state.
+        Inst::Bin { op, .. } => !matches!(
+            op,
+            crate::inst::BinOp::Div | crate::inst::BinOp::Rem
+        ),
+        _ => false,
+    }
+}
+
+fn inst_def(inst: &Inst) -> Option<LocalId> {
+    match inst {
+        Inst::Const { dst, .. }
+        | Inst::Move { dst, .. }
+        | Inst::Un { dst, .. }
+        | Inst::Bin { dst, .. }
+        | Inst::New { dst, .. }
+        | Inst::GetField { dst, .. }
+        | Inst::NewArray { dst, .. }
+        | Inst::ArrayGet { dst, .. }
+        | Inst::ArrayLen { dst, .. }
+        | Inst::Spawn { dst, .. } => Some(*dst),
+        Inst::Call { dst, .. } | Inst::CallMethod { dst, .. } => *dst,
+        _ => None,
+    }
+}
+
+fn inst_uses(inst: &Inst) -> Vec<LocalId> {
+    match inst {
+        Inst::Const { .. } | Inst::Yield | Inst::Busy { .. } => vec![],
+        Inst::Move { src, .. } | Inst::Un { src, .. } => vec![*src],
+        Inst::Bin { lhs, rhs, .. } => vec![*lhs, *rhs],
+        Inst::New { .. } => vec![],
+        Inst::GetField { obj, .. } => vec![*obj],
+        Inst::SetField { obj, src, .. } => vec![*obj, *src],
+        Inst::NewArray { len, .. } => vec![*len],
+        Inst::ArrayGet { arr, idx, .. } => vec![*arr, *idx],
+        Inst::ArraySet { arr, idx, src } => vec![*arr, *idx, *src],
+        Inst::ArrayLen { arr, .. } => vec![*arr],
+        Inst::Call { args, .. } => args.clone(),
+        Inst::CallMethod { obj, args, .. } => {
+            let mut v = vec![*obj];
+            v.extend(args);
+            v
+        }
+        Inst::Print { src } => vec![*src],
+        Inst::Spawn { args, .. } => args.clone(),
+        Inst::Join { thread } => vec![*thread],
+        Inst::Instr(op) => match op {
+            crate::inst::InstrOp::FieldAccess { obj, .. } => vec![*obj],
+            crate::inst::InstrOp::ValueProfile { local, .. } => vec![*local],
+            _ => vec![],
+        },
+    }
+}
+
+fn term_uses(term: &Term) -> Vec<LocalId> {
+    match term {
+        Term::Br { cond, .. } => vec![*cond],
+        Term::Ret(Some(v)) => vec![*v],
+        _ => vec![],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::inst::BinOp;
+
+    fn two_plus_three() -> Function {
+        let mut fb = FunctionBuilder::new("f", 0);
+        let a = fb.new_local();
+        let b = fb.new_local();
+        let c = fb.new_local();
+        fb.push(Inst::Const {
+            dst: a,
+            value: Const::I64(2),
+        });
+        fb.push(Inst::Const {
+            dst: b,
+            value: Const::I64(3),
+        });
+        fb.push(Inst::Bin {
+            op: BinOp::Add,
+            dst: c,
+            lhs: a,
+            rhs: b,
+        });
+        fb.terminate(Term::Ret(Some(c)));
+        fb.finish()
+    }
+
+    #[test]
+    fn folds_constant_arithmetic() {
+        let mut f = two_plus_three();
+        assert!(fold_constants(&mut f) > 0);
+        let last = f.block(f.entry()).insts().last().unwrap();
+        assert_eq!(
+            *last,
+            Inst::Const {
+                dst: LocalId::new(2),
+                value: Const::I64(5)
+            }
+        );
+    }
+
+    #[test]
+    fn optimize_shrinks_and_preserves_verification() {
+        let mut f = two_plus_three();
+        let before = f.num_insts();
+        optimize(&mut f);
+        assert!(f.num_insts() <= before);
+        crate::verify::verify_function(&f, None).unwrap();
+        // The returned value must still be computed.
+        assert!(f
+            .block(f.entry())
+            .insts()
+            .iter()
+            .any(|i| inst_def(i) == Some(LocalId::new(2))));
+    }
+
+    #[test]
+    fn known_branch_becomes_jump_and_dead_arm_is_removed() {
+        let mut fb = FunctionBuilder::new("g", 0);
+        let c = fb.new_local();
+        let t = fb.new_block();
+        let e = fb.new_block();
+        fb.push(Inst::Const {
+            dst: c,
+            value: Const::Bool(true),
+        });
+        fb.terminate(Term::Br { cond: c, t, f: e });
+        fb.switch_to(t);
+        fb.terminate(Term::Ret(None));
+        fb.switch_to(e);
+        fb.push(Inst::Yield);
+        fb.terminate(Term::Ret(None));
+        let mut f = fb.finish();
+        optimize(&mut f);
+        crate::verify::verify_function(&f, None).unwrap();
+        // The false arm disappears entirely.
+        assert!(f.blocks().all(|(_, b)| !b.insts().iter().any(Inst::is_yield)));
+        assert!(f.num_blocks() <= 2);
+    }
+
+    #[test]
+    fn dead_pure_code_removed_but_effects_kept() {
+        let mut fb = FunctionBuilder::new("h", 1);
+        let dead = fb.new_local();
+        let printed = fb.new_local();
+        fb.push(Inst::Bin {
+            op: BinOp::Add,
+            dst: dead,
+            lhs: fb.param(0),
+            rhs: fb.param(0),
+        });
+        fb.push(Inst::Const {
+            dst: printed,
+            value: Const::I64(9),
+        });
+        fb.push(Inst::Print { src: printed });
+        fb.terminate(Term::Ret(None));
+        let mut f = fb.finish();
+        let removed = eliminate_dead_code(&mut f);
+        assert_eq!(removed, 1, "only the unused add is dead");
+        assert!(f
+            .block(f.entry())
+            .insts()
+            .iter()
+            .any(|i| matches!(i, Inst::Print { .. })));
+    }
+
+    #[test]
+    fn division_is_never_removed() {
+        let mut fb = FunctionBuilder::new("d", 2);
+        let q = fb.new_local();
+        fb.push(Inst::Bin {
+            op: BinOp::Div,
+            dst: q,
+            lhs: fb.param(0),
+            rhs: fb.param(1), // possibly zero: must keep the trap
+        });
+        fb.terminate(Term::Ret(None));
+        let mut f = fb.finish();
+        assert_eq!(eliminate_dead_code(&mut f), 0);
+        assert_eq!(f.num_insts(), 1);
+    }
+
+    #[test]
+    fn copy_propagation_threads_through_moves() {
+        let mut fb = FunctionBuilder::new("m", 0);
+        let a = fb.new_local();
+        let b = fb.new_local();
+        let c = fb.new_local();
+        fb.push(Inst::Const {
+            dst: a,
+            value: Const::I64(7),
+        });
+        fb.push(Inst::Move { dst: b, src: a });
+        fb.push(Inst::Bin {
+            op: BinOp::Mul,
+            dst: c,
+            lhs: b,
+            rhs: b,
+        });
+        fb.terminate(Term::Ret(Some(c)));
+        let mut f = fb.finish();
+        fold_constants(&mut f);
+        let last = f.block(f.entry()).insts().last().unwrap();
+        assert_eq!(
+            *last,
+            Inst::Const {
+                dst: LocalId::new(2),
+                value: Const::I64(49)
+            }
+        );
+    }
+
+    #[test]
+    fn renumbering_does_not_collide_block_names() {
+        // Regression: a branch `br ? bb8 : bb6` where unreachable-block
+        // removal renames bb8 -> bb6 and bb6 -> bb4 must not collapse both
+        // arms onto one target (sequential retargeting did exactly that).
+        let mut fb = FunctionBuilder::new("r", 1);
+        let dead = fb.new_block(); // becomes unreachable after folding
+        let header = fb.new_block();
+        let exit = fb.new_block();
+        let body = fb.new_block();
+        let c = fb.new_local();
+        fb.push(Inst::Const {
+            dst: c,
+            value: Const::Bool(false),
+        });
+        fb.terminate(Term::Br {
+            cond: c,
+            t: dead,
+            f: header,
+        });
+        fb.switch_to(dead);
+        fb.push(Inst::Print {
+            src: LocalId::new(0),
+        });
+        fb.terminate(Term::Jump(header));
+        fb.switch_to(header);
+        fb.terminate(Term::Br {
+            cond: LocalId::new(0),
+            t: body,
+            f: exit,
+        });
+        fb.switch_to(body);
+        fb.push(Inst::Yield);
+        fb.terminate(Term::Jump(header));
+        fb.switch_to(exit);
+        fb.terminate(Term::Ret(None));
+        let mut f = fb.finish();
+        optimize(&mut f);
+        crate::verify::verify_function(&f, None).unwrap();
+        // The loop must survive: some branch must still have two distinct
+        // targets.
+        let has_real_branch = f.blocks().any(|(_, b)| match b.term() {
+            Term::Br { t, f: fa, .. } => t != fa,
+            _ => false,
+        });
+        assert!(has_real_branch, "loop branch collapsed:\n{f}");
+    }
+
+    #[test]
+    fn check_terminators_survive_simplification() {
+        let mut fb = FunctionBuilder::new("s", 0);
+        let sample = fb.new_block();
+        let cont = fb.new_block();
+        fb.terminate(Term::Check { sample, cont });
+        fb.switch_to(sample);
+        fb.push(Inst::Instr(crate::inst::InstrOp::CallEdge));
+        fb.terminate(Term::Jump(cont));
+        fb.switch_to(cont);
+        fb.terminate(Term::Ret(None));
+        let mut f = fb.finish();
+        optimize(&mut f);
+        assert!(
+            f.blocks().any(|(_, b)| b.term().is_check()),
+            "sampling checks must survive optimization"
+        );
+        assert_eq!(f.instrumentation_count(), 1);
+    }
+}

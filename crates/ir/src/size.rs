@@ -1,0 +1,103 @@
+//! Code-size estimation.
+//!
+//! Table 2 of the paper reports the "Maximum Space Increase" of
+//! Full-Duplication as the summed size of the final optimized code for all
+//! methods. We model machine-code size with a fixed byte estimate per IR
+//! instruction/terminator, roughly proportional to what a simple code
+//! generator would emit.
+
+use crate::function::Function;
+use crate::inst::{Inst, Term};
+use crate::module::Module;
+
+/// Estimated machine-code bytes for one instruction.
+pub fn inst_bytes(inst: &Inst) -> usize {
+    match inst {
+        Inst::Const { .. } | Inst::Move { .. } => 4,
+        Inst::Un { .. } => 4,
+        Inst::Bin { .. } => 4,
+        Inst::New { .. } => 16,
+        Inst::GetField { .. } | Inst::SetField { .. } => 8,
+        Inst::NewArray { .. } => 16,
+        Inst::ArrayGet { .. } | Inst::ArraySet { .. } => 12, // bounds check included
+        Inst::ArrayLen { .. } => 4,
+        Inst::Call { args, .. } => 12 + 4 * args.len(),
+        Inst::CallMethod { args, .. } => 20 + 4 * args.len(), // dispatch lookup
+        Inst::Print { .. } => 8,
+        Inst::Spawn { args, .. } => 24 + 4 * args.len(),
+        Inst::Join { .. } => 12,
+        Inst::Yield => 12,        // load bit, test, conditional branch
+        Inst::Busy { .. } => 8,
+        Inst::Instr(op) => match op {
+            // Stack walk + hash update.
+            crate::inst::InstrOp::CallEdge => 48,
+            // Two loads, an increment, and a store (paper §4.3).
+            crate::inst::InstrOp::FieldAccess { .. } => 16,
+            crate::inst::InstrOp::BlockCount { .. } => 12,
+            crate::inst::InstrOp::EdgeCount { .. } => 12,
+            crate::inst::InstrOp::ValueProfile { .. } => 24,
+            // Path register manipulation compiles to one or two ALU ops;
+            // recording hashes the accumulated id.
+            crate::inst::InstrOp::PathStart { .. } => 4,
+            crate::inst::InstrOp::PathIncr { .. } => 4,
+            crate::inst::InstrOp::PathEnd { .. } => 16,
+        },
+    }
+}
+
+/// Estimated machine-code bytes for one terminator.
+pub fn term_bytes(term: &Term) -> usize {
+    match term {
+        Term::Jump(_) => 4,
+        Term::Br { .. } => 8,
+        Term::Ret(_) => 4,
+        // Load counter, decrement, compare, branch, store (paper Figure 3).
+        Term::Check { .. } => 20,
+    }
+}
+
+/// Estimated code size of a function in bytes.
+pub fn function_bytes(f: &Function) -> usize {
+    f.blocks()
+        .map(|(_, b)| {
+            b.insts().iter().map(inst_bytes).sum::<usize>() + term_bytes(b.term())
+        })
+        .sum()
+}
+
+/// Estimated code size of a whole module in bytes.
+pub fn module_bytes(m: &Module) -> usize {
+    m.functions().map(|(_, f)| function_bytes(f)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::inst::{Const, InstrOp};
+
+    #[test]
+    fn size_grows_with_instructions() {
+        let mut fb = FunctionBuilder::new("f", 0);
+        let base = function_bytes(&FunctionBuilder::new("g", 0).finish());
+        let l = fb.new_local();
+        fb.push(Inst::Const {
+            dst: l,
+            value: Const::I64(1),
+        });
+        fb.push(Inst::Instr(InstrOp::CallEdge));
+        let sized = function_bytes(&fb.finish());
+        assert!(sized > base);
+        assert_eq!(sized - base, 4 + 48);
+    }
+
+    #[test]
+    fn check_terminator_costs_more_than_jump() {
+        assert!(
+            term_bytes(&Term::Check {
+                sample: crate::ids::BlockId::new(0),
+                cont: crate::ids::BlockId::new(0),
+            }) > term_bytes(&Term::Jump(crate::ids::BlockId::new(0)))
+        );
+    }
+}

@@ -1,0 +1,147 @@
+//! Profile convergence detection — convergent profiling in the style of
+//! Calder & Feller (the paper's references \[15\], \[16\], \[26\]).
+//!
+//! Those systems "turn profiling off once the profiled values appear to
+//! have converged". In the framework's terms: run a sampling epoch,
+//! compare the epoch's profile against the accumulated one, and when the
+//! distributions stop moving, set the sample condition permanently to
+//! false (the paper's §2 shutdown mode, [`Trigger::Never`] here).
+//!
+//! [`Trigger::Never`]: ../isf_exec/enum.Trigger.html
+
+use crate::overlap;
+use crate::profile::ProfileData;
+
+/// Tracks profile stability across sampling epochs.
+#[derive(Clone, Debug)]
+pub struct ConvergenceTracker {
+    threshold: f64,
+    required_stable_epochs: usize,
+    previous: Option<ProfileData>,
+    stable_epochs: usize,
+    epochs: usize,
+}
+
+impl ConvergenceTracker {
+    /// A tracker that declares convergence once the epoch-over-epoch
+    /// overlap of every non-empty profile family stays at or above
+    /// `threshold` percent for `required_stable_epochs` consecutive
+    /// epochs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold` is not within `0.0..=100.0` or
+    /// `required_stable_epochs` is zero.
+    pub fn new(threshold: f64, required_stable_epochs: usize) -> Self {
+        assert!((0.0..=100.0).contains(&threshold), "threshold is a percent");
+        assert!(required_stable_epochs > 0);
+        Self {
+            threshold,
+            required_stable_epochs,
+            previous: None,
+            stable_epochs: 0,
+            epochs: 0,
+        }
+    }
+
+    /// Feeds the profile observed in one epoch. Returns `true` once the
+    /// profile has converged.
+    pub fn observe(&mut self, epoch_profile: &ProfileData) -> bool {
+        self.epochs += 1;
+        if let Some(prev) = &self.previous {
+            if self.epoch_stability(prev, epoch_profile) >= self.threshold {
+                self.stable_epochs += 1;
+            } else {
+                self.stable_epochs = 0;
+            }
+        }
+        self.previous = Some(epoch_profile.clone());
+        self.is_converged()
+    }
+
+    /// Minimum overlap across the non-empty profile families of the two
+    /// epochs (100 when both epochs are empty).
+    fn epoch_stability(&self, a: &ProfileData, b: &ProfileData) -> f64 {
+        let mut min = 100.0f64;
+        let mut any = false;
+        if !a.call_edges().is_empty() || !b.call_edges().is_empty() {
+            min = min.min(overlap::call_edge_overlap(a, b));
+            any = true;
+        }
+        if !a.field_accesses().is_empty() || !b.field_accesses().is_empty() {
+            min = min.min(overlap::field_access_overlap(a, b));
+            any = true;
+        }
+        if !a.paths().is_empty() || !b.paths().is_empty() {
+            min = min.min(overlap::path_overlap(a, b));
+            any = true;
+        }
+        if any {
+            min
+        } else {
+            100.0
+        }
+    }
+
+    /// Whether convergence has been reached.
+    pub fn is_converged(&self) -> bool {
+        self.stable_epochs >= self.required_stable_epochs
+    }
+
+    /// Epochs observed so far.
+    pub fn epochs(&self) -> usize {
+        self.epochs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use isf_ir::{CallSiteId, FuncId};
+
+    fn epoch(hot: u64, cold: u64) -> ProfileData {
+        let mut p = ProfileData::new();
+        for _ in 0..hot {
+            p.record_call_edge(FuncId::new(0), CallSiteId::new(0), FuncId::new(1));
+        }
+        for _ in 0..cold {
+            p.record_call_edge(FuncId::new(0), CallSiteId::new(1), FuncId::new(2));
+        }
+        p
+    }
+
+    #[test]
+    fn stable_epochs_converge() {
+        let mut t = ConvergenceTracker::new(95.0, 2);
+        assert!(!t.observe(&epoch(90, 10))); // first epoch: no comparison
+        assert!(!t.observe(&epoch(89, 11))); // 1 stable epoch
+        assert!(t.observe(&epoch(90, 10))); // 2 stable epochs -> converged
+        assert_eq!(t.epochs(), 3);
+    }
+
+    #[test]
+    fn a_shift_resets_stability() {
+        let mut t = ConvergenceTracker::new(95.0, 2);
+        t.observe(&epoch(90, 10));
+        t.observe(&epoch(90, 10));
+        // Phase change: distribution flips.
+        assert!(!t.observe(&epoch(10, 90)));
+        assert!(!t.is_converged());
+        // Needs two fresh stable epochs again.
+        assert!(!t.observe(&epoch(10, 90)));
+        assert!(t.observe(&epoch(10, 90)));
+    }
+
+    #[test]
+    fn empty_epochs_count_as_stable() {
+        let mut t = ConvergenceTracker::new(99.0, 1);
+        t.observe(&ProfileData::new());
+        assert!(t.observe(&ProfileData::new()));
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold")]
+    fn rejects_bad_threshold() {
+        ConvergenceTracker::new(150.0, 1);
+    }
+}

@@ -1,0 +1,95 @@
+//! Hotness ranking: pick the methods an adaptive system would instrument.
+//!
+//! The paper's deployment story (§3, §4.1) has the adaptive optimization
+//! system instrument only the hottest methods. This module turns a coarse
+//! profile (from a previous sampling epoch, or the VM's method-entry
+//! counters) into that selection.
+
+use std::collections::HashMap;
+
+use isf_ir::FuncId;
+
+use crate::profile::ProfileData;
+
+/// Per-function heat: how many profiled events landed in it.
+///
+/// Counts call-edge events by callee and block events by owner; the two
+/// sources are simply summed — either alone gives a usable ranking.
+pub fn function_heat(profile: &ProfileData) -> HashMap<FuncId, u64> {
+    let mut heat: HashMap<FuncId, u64> = HashMap::new();
+    for (&(_, _, callee), &count) in profile.call_edges() {
+        *heat.entry(callee).or_insert(0) += count;
+    }
+    for (&(func, _), &count) in profile.blocks() {
+        *heat.entry(func).or_insert(0) += count;
+    }
+    heat
+}
+
+/// The `n` hottest functions, hottest first; ties break toward lower
+/// function ids for determinism.
+pub fn hottest_functions(profile: &ProfileData, n: usize) -> Vec<FuncId> {
+    let mut ranked: Vec<(FuncId, u64)> = function_heat(profile).into_iter().collect();
+    ranked.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    ranked.into_iter().take(n).map(|(f, _)| f).collect()
+}
+
+/// Functions accounting for at least `fraction` (0.0–1.0) of all heat,
+/// hottest first — the "cover the hot 90%" selection policy.
+pub fn functions_covering(profile: &ProfileData, fraction: f64) -> Vec<FuncId> {
+    let mut ranked: Vec<(FuncId, u64)> = function_heat(profile).into_iter().collect();
+    ranked.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    let total: u64 = ranked.iter().map(|&(_, h)| h).sum();
+    if total == 0 {
+        return Vec::new();
+    }
+    let target = (total as f64 * fraction.clamp(0.0, 1.0)).ceil() as u64;
+    let mut out = Vec::new();
+    let mut acc = 0;
+    for (f, h) in ranked {
+        if acc >= target {
+            break;
+        }
+        acc += h;
+        out.push(f);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use isf_ir::{BlockId, CallSiteId};
+
+    fn sample() -> ProfileData {
+        let mut p = ProfileData::new();
+        for _ in 0..90 {
+            p.record_call_edge(FuncId::new(0), CallSiteId::new(0), FuncId::new(1));
+        }
+        for _ in 0..9 {
+            p.record_call_edge(FuncId::new(0), CallSiteId::new(1), FuncId::new(2));
+        }
+        p.record_block(FuncId::new(3), BlockId::new(0));
+        p
+    }
+
+    #[test]
+    fn ranking_orders_by_heat() {
+        let p = sample();
+        assert_eq!(
+            hottest_functions(&p, 2),
+            vec![FuncId::new(1), FuncId::new(2)]
+        );
+        assert_eq!(hottest_functions(&p, 10).len(), 3);
+    }
+
+    #[test]
+    fn coverage_selection_stops_at_fraction() {
+        let p = sample();
+        // Function 1 alone covers 90% of the heat.
+        assert_eq!(functions_covering(&p, 0.9), vec![FuncId::new(1)]);
+        // Full coverage needs all three.
+        assert_eq!(functions_covering(&p, 1.0).len(), 3);
+        assert!(functions_covering(&ProfileData::new(), 0.9).is_empty());
+    }
+}

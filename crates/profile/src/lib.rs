@@ -1,0 +1,24 @@
+//! Profile data structures and the paper's accuracy methodology.
+//!
+//! The execution engine records profiling events into a [`ProfileData`];
+//! the *overlap percentage* metric of the paper's §4.4 ([`overlap`] module)
+//! compares a sampled profile against a perfect (exhaustive) one:
+//!
+//! > "the overlap of two profiles represents the percent of profiled
+//! > information, weighted by execution frequency, that exists in both
+//! > profiles."
+//!
+//! A sampled profile identical in *shape* to the perfect profile scores
+//! 100% even though its absolute counts are roughly `1/sample_interval` of
+//! the perfect counts — overlap is computed on normalized distributions.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod convergence;
+pub mod hotness;
+pub mod overlap;
+mod profile;
+pub mod report;
+
+pub use profile::{CallEdgeKey, FieldKey, PathKey, ProfileData, ValueSiteKey};

@@ -1,0 +1,935 @@
+//! The Jive sources of the ten benchmarks. Each generator takes the scale
+//! factor and substitutes iteration counts into a fixed template via the
+//! `@N@` markers, keeping the program *shape* (and therefore its
+//! instrumentation character) constant across scales.
+//!
+//! The bodies are sized against the execution engine's cost model so that
+//! the per-benchmark overhead columns land in the paper's regimes: method
+//! bodies of one to a few hundred simulated cycles (entry checks cost ~1%,
+//! call-edge instrumentation tens of percent), loop iterations from ~60
+//! cycles (`compress`, `mpegaudio` — high backedge-check cost) to several
+//! hundred (`db`, `volano` — negligible backedge-check cost), and field
+//! densities from ~2% of cycles (`db`, `volano`) to ~15% (`compress`,
+//! `jack`). The LCG is written inline in hot loops — Jalapeño's optimizing
+//! compiler would have inlined such a helper at O2, and keeping it a call
+//! would drown every benchmark in tiny-call edges.
+
+fn fill(template: &str, substitutions: &[(&str, u64)]) -> String {
+    let mut out = template.to_owned();
+    for (marker, value) in substitutions {
+        out = out.replace(marker, &value.to_string());
+    }
+    debug_assert!(!out.contains('@'), "unsubstituted marker in template");
+    out
+}
+
+/// `_201_compress`: RLE/hash compression processing 4-byte blocks per
+/// method call; each byte touches the state object's fields many times.
+/// Suite extremes: field density and backedge-check cost.
+pub fn compress(f: u64) -> String {
+    fill(
+        r"
+class State {
+    field inPos; field outPos; field checksum; field prev; field runLen;
+    field hashA; field hashB; field window;
+    method compress_block(data, out) {
+        var stop = self.inPos + 4;
+        while (self.inPos < stop) {
+            var b = data[self.inPos];
+            self.hashA = (self.hashA * 31 + b) % 65521;
+            self.hashB = (self.hashB + self.hashA) % 65521;
+            self.window = ((self.window << 8) | (b & 255)) % 4294967296;
+            if (b == self.prev) {
+                self.runLen = self.runLen + 1;
+                if (self.runLen == 255) {
+                    out[self.outPos] = self.runLen;
+                    self.outPos = self.outPos + 1;
+                    self.runLen = 0;
+                }
+            } else {
+                if (self.runLen > 0) {
+                    out[self.outPos] = self.runLen;
+                    self.outPos = self.outPos + 1;
+                }
+                out[self.outPos] = b;
+                self.outPos = self.outPos + 1;
+                self.prev = b;
+                self.runLen = 0;
+            }
+            self.checksum = (self.checksum + b * 31 + self.hashB) % 1000000007;
+            self.inPos = self.inPos + 1;
+        }
+        return self.outPos;
+    }
+}
+fn main() {
+    var n = 512;
+    var data = array(n);
+    var seed = 42;
+    var i = 0;
+    while (i < n) {
+        seed = (seed * 1103515245 + 12345) % 2147483648;
+        // Skewed byte distribution so runs actually occur.
+        if (seed % 4 == 0) { data[i] = 7; } else { data[i] = seed % 256; }
+        i = i + 1;
+    }
+    var out = array(n * 2);
+    var s = new State;
+    s.prev = -1;
+    var pass = 0;
+    while (pass < @PASSES@) {
+        s.inPos = 0; s.outPos = 0; s.prev = -1; s.runLen = 0;
+        while (s.inPos < n) {
+            s.compress_block(data, out);
+        }
+        pass = pass + 1;
+    }
+    print(s.checksum);
+    print(s.outPos);
+}",
+        &[("@PASSES@", 3 * f)],
+    )
+}
+
+/// `_202_jess`: a forward-chaining rule engine; each (rule, fact) match is
+/// one straight-line scoring method of ~150 cycles — the call-dense tier.
+pub fn jess(f: u64) -> String {
+    fill(
+        r"
+class Fact { field kind; field value; field salience; field next; }
+class Rule {
+    field kind; field lo; field hi; field weight; field bias;
+    field firedCount; field score; field next;
+    method matches(fact) {
+        if (fact.kind != self.kind) { return 0; }
+        var v = fact.value;
+        var inRange = 0;
+        if (v >= self.lo) {
+            if (v <= self.hi) { inRange = 1; }
+        }
+        var sc = (v - self.lo) * self.weight + fact.salience * self.bias;
+        sc = (sc * 17 + v * 3 - self.hi) % 100003;
+        if (sc < 0) { sc = 0 - sc; }
+        // Alpha-memory hash probe and partial-match arithmetic.
+        var h1 = (v * 2654435761) % 1048576;
+        var h2 = (h1 ^ (h1 >> 7)) % 65536;
+        var slot = (h2 * self.weight + self.bias) % 8191;
+        var probe = (slot * 31 + v) % 127;
+        var beta = (probe * self.lo + h2 % 61) % 100003;
+        var join1 = (beta * 13 + fact.salience * 7) % 65536;
+        var join2 = (join1 ^ slot) % 8191;
+        sc = (sc + join2 % 211) % 100003;
+        self.score = (self.score + sc) % 1000000007;
+        if (inRange == 1) {
+            if (sc % 7 != 3) { return 1; }
+        }
+        return 0;
+    }
+    method fire(fact) {
+        self.firedCount = self.firedCount + 1;
+        var gain = (fact.value - self.lo) * self.weight;
+        fact.salience = (fact.salience + 1) % 1000003;
+        return gain % 100003;
+    }
+}
+fn main() {
+    var seed = 7;
+    var rules = null;
+    var r = 0;
+    while (r < 8) {
+        var rule = new Rule;
+        rule.kind = r % 4;
+        seed = (seed * 1103515245 + 12345) % 2147483648;
+        rule.lo = seed % 100;
+        rule.hi = rule.lo + 60;
+        rule.weight = 1 + seed % 9;
+        rule.bias = 1 + seed % 5;
+        rule.next = rules;
+        rules = rule;
+        r = r + 1;
+    }
+    var facts = null;
+    var fcount = 0;
+    while (fcount < 24) {
+        var fact = new Fact;
+        fact.kind = fcount % 4;
+        seed = (seed * 1103515245 + 12345) % 2147483648;
+        fact.value = seed % 200;
+        fact.salience = seed % 10;
+        fact.next = facts;
+        facts = fact;
+        fcount = fcount + 1;
+    }
+    var agenda = 0;
+    var round = 0;
+    while (round < @ROUNDS@) {
+        var rule = rules;
+        while (rule != null) {
+            var fact = facts;
+            while (fact != null) {
+                if (rule.matches(fact) == 1) {
+                    agenda = (agenda + rule.fire(fact)) % 1000000007;
+                }
+                fact = fact.next;
+            }
+            rule = rule.next;
+        }
+        round = round + 1;
+    }
+    var fired = 0;
+    var rule2 = rules;
+    while (rule2 != null) { fired = fired + rule2.firedCount; rule2 = rule2.next; }
+    print(agenda);
+    print(fired);
+}",
+        &[("@ROUNDS@", 4 * f)],
+    )
+}
+
+/// `_209_db`: an in-memory database; each query is one call that scans 128
+/// records eight at a time with straight-line per-record math, so checks
+/// and instrumentation alike vanish in the noise — the cheap extreme.
+pub fn db(f: u64) -> String {
+    fill(
+        r"
+class Db { field size; field hits; field total; field peak; }
+fn scan_range(values, lo, needle) {
+    // 16 iterations x 8 records, straight-line inside the iteration.
+    var acc = 0;
+    var i = lo;
+    var stop = lo + 128;
+    while (i < stop) {
+        var v0 = values[i];
+        var v1 = values[i + 1];
+        var v2 = values[i + 2];
+        var v3 = values[i + 3];
+        var v4 = values[i + 4];
+        var v5 = values[i + 5];
+        var v6 = values[i + 6];
+        var v7 = values[i + 7];
+        acc = acc + (v0 ^ needle) % 127 + (v1 >> 2);
+        acc = acc + (v2 & 1023) - (v3 % 61);
+        acc = acc + (v4 ^ v5) % 255;
+        acc = acc + (v6 * 3 + v7) % 8191;
+        var key0 = (v0 * 31 + v4) % 65521;
+        var key1 = (v1 * 31 + v5) % 65521;
+        var key2 = (v2 * 31 + v6) % 65521;
+        var key3 = (v3 * 31 + v7) % 65521;
+        var sel = (key0 ^ key1) % 8191 + (key2 ^ key3) % 8191;
+        var rank = (sel * 13 + needle % 255) % 100003;
+        acc = acc + rank % 509;
+        if (acc > 1000000007) { acc = acc % 1000000007; }
+        i = i + 8;
+    }
+    return acc;
+}
+fn update_range(values, lo, delta) {
+    var i = lo;
+    var stop = lo + 128;
+    var touched = 0;
+    while (i < stop) {
+        values[i] = (values[i] + delta) % 1000003;
+        values[i + 1] = (values[i + 1] * 3 + delta) % 1000003;
+        values[i + 2] = (values[i + 2] + (delta >> 1)) % 1000003;
+        values[i + 3] = (values[i + 3] ^ delta) % 1000003;
+        values[i + 4] = (values[i + 4] + delta * 5) % 1000003;
+        values[i + 5] = (values[i + 5] * 7 - delta) % 1000003;
+        values[i + 6] = (values[i + 6] + (delta << 1)) % 1000003;
+        values[i + 7] = (values[i + 7] ^ (delta >> 2)) % 1000003;
+        touched = touched + 8;
+        i = i + 8;
+    }
+    return touched;
+}
+fn main() {
+    var n = 1024;
+    var values = array(n);
+    var seed = 99;
+    var i = 0;
+    while (i < n) {
+        seed = (seed * 1103515245 + 12345) % 2147483648;
+        values[i] = seed % 1000003;
+        i = i + 1;
+    }
+    var db = new Db;
+    db.size = n;
+    var q = 0;
+    var checksum = 0;
+    while (q < @QUERIES@) {
+        seed = (seed * 1103515245 + 12345) % 2147483648;
+        var lo = seed % (n - 128);
+        if (q % 8 == 0) { busy(400); }  // page fetch from simulated disk
+        if (q % 4 == 0) {
+            db.hits = db.hits + update_range(values, lo, q);
+        } else {
+            var got = scan_range(values, lo, seed);
+            checksum = (checksum + got) % 1000000007;
+            if (got > db.peak) { db.peak = got; }
+        }
+        db.total = db.total + 1;
+        q = q + 1;
+    }
+    print(checksum);
+    print(db.hits);
+    print(db.total);
+}",
+        &[("@QUERIES@", 40 * f)],
+    )
+}
+
+/// `_213_javac`: a recursive-descent expression compiler over a synthetic
+/// token stream, emitting three-address code into a buffer. Rich in
+/// distinct (caller, site, callee) edges — the Figure 7 benchmark.
+pub fn javac(f: u64) -> String {
+    fill(
+        r"
+// Token kinds: 0 = NUM, 1 = '+', 2 = '-', 3 = '*', 4 = '(', 5 = ')',
+// 6 = EOF, 7 = '~' (unary).
+class Emitter {
+    field code; field at; field regs; field checksum;
+    method emit(op, a, b) {
+        var r = self.regs;
+        self.regs = r + 1;
+        var slot = self.at;
+        var word = op * 16777216 + a * 4096 + b;
+        self.code[slot] = word;
+        self.at = slot + 1;
+        // Peephole window: look back two instructions for a fusable pair,
+        // and fold an addressing-mode estimate into the checksum.
+        var prev = 0;
+        if (slot > 0) { prev = self.code[slot - 1]; }
+        var prevOp = prev / 16777216;
+        var fused = 0;
+        if (prevOp == op) {
+            fused = ((prev ^ word) >> 12) % 4096;
+        } else {
+            fused = (prev + word) % 4096;
+        }
+        var mode = (a * 3 + b * 5 + fused) % 97;
+        var sched = (word % 8191) * (1 + mode % 3);
+        var lat = (sched >> 4) % 61;
+        self.checksum = (self.checksum * 31 + op * 7 + a * 3 + b + lat) % 1000000007;
+        if (self.at >= 8192) { self.at = 0; }
+        if (self.regs >= 4096) { self.regs = 0; }
+        return r;
+    }
+}
+class Parser {
+    field toks; field vals; field pos; field sum; field depth; field errors;
+    field em;
+    method expect(kind) {
+        if (self.toks[self.pos] == kind) { self.pos = self.pos + 1; return 1; }
+        self.errors = self.errors + 1;
+        return 0;
+    }
+    method parse_primary() {
+        var t = self.toks[self.pos];
+        if (t == 0) {
+            var v = self.vals[self.pos];
+            self.pos = self.pos + 1;
+            // Constant-pool canonicalization before emitting the load.
+            var canon = (v * 2654435761) % 1048576;
+            canon = (canon ^ (canon >> 9)) % 65536;
+            var pool = (canon * 13 + v % 251) % 4096;
+            return self.em.emit(1, pool, v % 17);
+        }
+        if (t == 4) {
+            self.pos = self.pos + 1;
+            self.depth = self.depth + 1;
+            var inner = self.parse_expr();
+            self.depth = self.depth - 1;
+            self.expect(5);
+            return inner;
+        }
+        self.errors = self.errors + 1;
+        self.pos = self.pos + 1;
+        return 0;
+    }
+    method parse_unary() {
+        if (self.toks[self.pos] == 7) {
+            self.pos = self.pos + 1;
+            var r = self.parse_unary();
+            return self.em.emit(5, r % 4096, 0);
+        }
+        return self.parse_primary();
+    }
+    method parse_factor() {
+        var v = self.parse_unary();
+        while (self.toks[self.pos] == 3) {
+            self.pos = self.pos + 1;
+            var rhs = self.parse_unary();
+            v = self.em.emit(4, v % 4096, rhs % 4096);
+        }
+        return v;
+    }
+    method parse_expr() {
+        var v = self.parse_factor();
+        var going = true;
+        while (going) {
+            var t = self.toks[self.pos];
+            if (t == 1) {
+                self.pos = self.pos + 1;
+                v = self.em.emit(2, v % 4096, self.parse_factor() % 4096);
+            } else {
+                if (t == 2) {
+                    self.pos = self.pos + 1;
+                    v = self.em.emit(3, v % 4096, self.parse_factor() % 4096);
+                } else {
+                    going = false;
+                }
+            }
+        }
+        return v;
+    }
+    method parse_program() {
+        self.pos = 0;
+        while (self.toks[self.pos] != 6) {
+            self.sum = (self.sum + self.parse_expr()) % 1000000007;
+        }
+        return self.sum;
+    }
+}
+fn emit_token(toks, vals, at, kind, value) {
+    toks[at] = kind;
+    vals[at] = value;
+    return at + 1;
+}
+fn main() {
+    // Generate a valid token stream: units are NUM, ~NUM, or
+    // ( NUM op NUM ), joined by +, -, *.
+    var cap = 2048;
+    var toks = array(cap);
+    var vals = array(cap);
+    var seed = 1234;
+    var at = 0;
+    var units = 0;
+    while (units < 220) {
+        seed = (seed * 1103515245 + 12345) % 2147483648;
+        var pick = seed % 4;
+        if (pick == 0) {
+            at = emit_token(toks, vals, at, 4, 0);
+            seed = (seed * 1103515245 + 12345) % 2147483648;
+            at = emit_token(toks, vals, at, 0, seed % 997);
+            seed = (seed * 1103515245 + 12345) % 2147483648;
+            at = emit_token(toks, vals, at, 1 + seed % 3, 0);
+            seed = (seed * 1103515245 + 12345) % 2147483648;
+            at = emit_token(toks, vals, at, 0, seed % 997);
+            at = emit_token(toks, vals, at, 5, 0);
+        } else {
+            if (pick == 1) {
+                at = emit_token(toks, vals, at, 7, 0);
+            }
+            seed = (seed * 1103515245 + 12345) % 2147483648;
+            at = emit_token(toks, vals, at, 0, seed % 997);
+        }
+        units = units + 1;
+        if (units < 220) {
+            seed = (seed * 1103515245 + 12345) % 2147483648;
+            at = emit_token(toks, vals, at, 1 + seed % 3, 0);
+        }
+    }
+    at = emit_token(toks, vals, at, 6, 0);
+    var p = new Parser;
+    p.toks = toks;
+    p.vals = vals;
+    var em = new Emitter;
+    em.code = array(8192);
+    p.em = em;
+    var pass = 0;
+    while (pass < @PASSES@) {
+        p.sum = 0;
+        print(p.parse_program());
+        pass = pass + 1;
+    }
+    print(p.errors);
+    print(em.checksum);
+}",
+        &[("@PASSES@", f)],
+    )
+}
+
+/// `_222_mpegaudio`: subband synthesis — an 8-tap filter method per sample
+/// plus a tight windowing loop. High call *and* field density, high
+/// backedge-check cost.
+pub fn mpegaudio(f: u64) -> String {
+    fill(
+        r"
+class Filter {
+    field c0; field c1; field c2; field c3;
+    field c4; field c5; field c6; field c7;
+    field h0; field h1; field acc;
+    method step(x) {
+        var t = x * self.c0 + self.h0 * self.c1 + self.h1 * self.c2;
+        t = t + (x >> 2) * self.c3 - self.h0 * self.c4;
+        t = (t + self.h1 * self.c5) % 1000000007;
+        var u = (x ^ self.h0) * self.c6 + self.h1 * self.c7;
+        u = (u + (t >> 3)) % 1000000007;
+        self.h1 = self.h0;
+        self.h0 = x;
+        self.acc = (self.acc + t + u) % 1000000007;
+        return t % 65536;
+    }
+}
+fn main() {
+    var n = 384;
+    var samples = array(n);
+    var seed = 5150;
+    var i = 0;
+    while (i < n) {
+        seed = (seed * 1103515245 + 12345) % 2147483648;
+        samples[i] = seed % 65536 - 32768;
+        i = i + 1;
+    }
+    var fl = new Filter;
+    fl.c0 = 31; fl.c1 = 17; fl.c2 = 7; fl.c3 = 3;
+    fl.c4 = 11; fl.c5 = 13; fl.c6 = 5; fl.c7 = 2;
+    var out = 0;
+    var frame = 0;
+    while (frame < @FRAMES@) {
+        var s = 0;
+        while (s < n) {
+            out = (out + fl.step(samples[s])) % 1000000007;
+            s = s + 1;
+        }
+        // Windowing pass: tight array loop, no calls.
+        var w = 0;
+        while (w < n) {
+            samples[w] = (samples[w] * 3 + w) % 65536;
+            samples[w + 1] = (samples[w + 1] * 5 - w) % 65536;
+            samples[w + 2] = (samples[w + 2] + 7) % 65536;
+            samples[w + 3] = (samples[w + 3] ^ w) % 65536;
+            w = w + 4;
+        }
+        frame = frame + 1;
+    }
+    print(out);
+    print(fl.acc);
+}",
+        &[("@FRAMES@", 2 * f)],
+    )
+}
+
+/// `_227_mtrt`: a miniature ray tracer — per-pixel sphere intersection and
+/// shading methods of ~180 cycles each; call-dense, moderate fields.
+pub fn mtrt(f: u64) -> String {
+    fill(
+        r"
+class Sphere {
+    field cx; field cy; field cz; field r2; field albedo; field id; field next;
+    method hit(ox, oy, oz, dx, dy, dz) {
+        // Fixed-point discriminant test against the squared radius,
+        // followed by a cheap shading estimate when hit.
+        var lx = self.cx - ox;
+        var ly = self.cy - oy;
+        var lz = self.cz - oz;
+        var tca = lx * dx + ly * dy + lz * dz;
+        if (tca < 0) { return -1; }
+        var ll = lx * lx + ly * ly + lz * lz;
+        var d2 = ll - (tca * tca) / 1024;
+        if (d2 > self.r2) { return -1; }
+        var thc = self.r2 - d2;
+        var depth = tca - thc / 64;
+        var ndotl = (lx * 3 + ly * 5 + lz * 7) % 255;
+        if (ndotl < 0) { ndotl = 0 - ndotl; }
+        var shade = (self.albedo * ndotl + depth % 97) % 65536;
+        shade = (shade * 13 + ll % 31) % 65536;
+        var spec = (ndotl * ndotl) % 4096;
+        var fog = (depth * 3 + tca) % 255;
+        shade = (shade + spec % 61 + fog % 17) % 65536;
+        return self.id * 65536 + shade;
+    }
+}
+fn trace(spheres, ox, oy, oz, dx, dy, dz) {
+    var s = spheres;
+    var best = -1;
+    while (s != null) {
+        var h = s.hit(ox, oy, oz, dx, dy, dz);
+        if (h >= 0) { best = h; }
+        s = s.next;
+    }
+    return best;
+}
+fn main() {
+    var seed = 31337;
+    var spheres = null;
+    var k = 0;
+    while (k < 6) {
+        var sp = new Sphere;
+        seed = (seed * 1103515245 + 12345) % 2147483648;
+        sp.cx = seed % 64 - 32;
+        seed = (seed * 1103515245 + 12345) % 2147483648;
+        sp.cy = seed % 64 - 32;
+        sp.cz = 64 + k * 16;
+        sp.r2 = 300 + k * 40;
+        sp.albedo = 50 + k * 31;
+        sp.id = k;
+        sp.next = spheres;
+        spheres = sp;
+        k = k + 1;
+    }
+    var image = 0;
+    var frame = 0;
+    while (frame < @FRAMES@) {
+        var y = 0;
+        while (y < 12) {
+            var x = 0;
+            while (x < 12) {
+                var hit = trace(spheres, 0, 0, 0, x - 6, y - 6, 32);
+                image = (image * 31 + hit + 2) % 1000000007;
+                x = x + 1;
+            }
+            y = y + 1;
+        }
+        frame = frame + 1;
+    }
+    print(image);
+}",
+        &[("@FRAMES@", 2 * f)],
+    )
+}
+
+/// `_228_jack`: a parser generator — a very field-heavy lexer state
+/// machine (~14 field touches per character) with occasional emit calls.
+pub fn jack(f: u64) -> String {
+    fill(
+        r"
+class Lexer {
+    field state; field pos; field line; field col; field tokens;
+    field sum; field runs; field lastKind; field width;
+    method emit(kind) {
+        self.tokens = self.tokens + 1;
+        self.lastKind = kind;
+        var w = self.width;
+        self.width = 0;
+        self.sum = (self.sum * 31 + kind * 7 + self.line * 3 + w) % 1000000007;
+        return self.tokens;
+    }
+}
+fn main() {
+    var n = 768;
+    var input = array(n);
+    var seed = 2020;
+    var i = 0;
+    while (i < n) {
+        seed = (seed * 1103515245 + 12345) % 2147483648;
+        input[i] = seed % 96;
+        i = i + 1;
+    }
+    var lx = new Lexer;
+    var pass = 0;
+    while (pass < @PASSES@) {
+        lx.state = 0; lx.pos = 0; lx.line = 1; lx.col = 0; lx.runs = lx.runs + 1;
+        while (lx.pos < n) {
+            var c = input[lx.pos];
+            lx.col = lx.col + 1;
+            lx.width = lx.width + 1;
+            if (lx.state == 0) {
+                if (c < 26) { lx.state = 1; }
+                else {
+                    if (c < 36) { lx.state = 2; }
+                    else {
+                        if (c == 90) {
+                            lx.line = lx.line + 1;
+                            lx.col = 0;
+                        }
+                        lx.width = 0;
+                    }
+                }
+            } else {
+                if (lx.state == 1) {
+                    if (c >= 26) { lx.emit(1); lx.state = 0; }
+                } else {
+                    if (c >= 36 || c < 26) { lx.emit(2); lx.state = 0; }
+                }
+            }
+            lx.sum = (lx.sum + c * lx.state) % 1000000007;
+            lx.pos = lx.pos + 1;
+        }
+        pass = pass + 1;
+    }
+    print(lx.sum);
+    print(lx.tokens);
+}",
+        &[("@PASSES@", 2 * f)],
+    )
+}
+
+/// `opt-compiler`: the optimizing compiler run on (a stand-in for) its own
+/// IR — virtually-dispatched folding/evaluation passes over an expression
+/// tree. The call-edge extreme; almost no backedges.
+pub fn opt_compiler(f: u64) -> String {
+    fill(
+        r"
+class Node {
+    field left; field right; field value; field kind; field flags;
+    method eval(env) { return 0; }
+    method size() { return 1; }
+}
+class ConstNode : Node {
+    method eval(env) {
+        var v = self.value;
+        var folded = (v * 3 + env % 17) % 1000000007;
+        self.flags = (self.flags | 1) % 256;
+        return (v + folded % 5) % 1000000007;
+    }
+    method size() { return 1; }
+}
+class VarNode : Node {
+    method eval(env) {
+        var slot = self.value;
+        var looked = (env * 31 + slot * 7) % 100003;
+        self.flags = (self.flags | 2) % 256;
+        return (looked * 5 + slot) % 1000000007;
+    }
+    method size() { return 1; }
+}
+class AddNode : Node {
+    method eval(env) {
+        var l = self.left.eval(env);
+        var r = self.right.eval(env + 1);
+        var folded = (l + r) % 1000000007;
+        // Strength-reduction and availability bookkeeping the real pass
+        // would do.
+        var cse = (l * 31 + r) % 65536;
+        if (cse % 64 == self.flags % 64) { self.flags = (self.flags + 4) % 256; }
+        var range = (l % 1024) + (r % 1024);
+        if (range > 1024) { folded = (folded + 1) % 1000000007; }
+        var avail = (cse * 2654435761) % 1048576;
+        avail = (avail ^ (avail >> 11)) % 65536;
+        var vn = (avail * 7 + l % 8191) % 100003;
+        var parity = (vn ^ r) % 127;
+        folded = (folded + parity % 3) % 1000000007;
+        return folded;
+    }
+    method size() { return 1 + self.left.size() + self.right.size(); }
+}
+class MulNode : Node {
+    method eval(env) {
+        var l = self.left.eval(env);
+        var r = self.right.eval(env + 2);
+        var folded = (l * r) % 1000000007;
+        var shift = r % 63;
+        if (shift % 2 == 0) { folded = (folded + (l << 1) % 65536) % 1000000007; }
+        var cse = (l ^ r) % 65536;
+        if (cse % 32 == self.flags % 32) { self.flags = (self.flags + 8) % 256; }
+        var vn = (cse * 2654435761) % 1048576;
+        vn = (vn ^ (vn >> 13)) % 65536;
+        var lat = (vn * 5 + shift) % 8191;
+        folded = (folded + lat % 7) % 1000000007;
+        return folded;
+    }
+    method size() { return 1 + self.left.size() + self.right.size(); }
+}
+fn build(depth, seed) {
+    if (depth == 0) {
+        seed = (seed * 1103515245 + 12345) % 2147483648;
+        if (seed % 2 == 0) {
+            var c = new ConstNode;
+            c.value = seed % 1000;
+            return c;
+        }
+        var v = new VarNode;
+        v.value = seed % 50;
+        return v;
+    }
+    seed = (seed * 1103515245 + 12345) % 2147483648;
+    var n = null;
+    if (seed % 2 == 0) { n = new AddNode; } else { n = new MulNode; }
+    n.left = build(depth - 1, seed);
+    n.right = build(depth - 1, seed + depth * 101);
+    return n;
+}
+fn main() {
+    var tree = build(7, 4242);
+    print(tree.size());
+    var acc = 0;
+    var pass = 0;
+    while (pass < @PASSES@) {
+        acc = (acc + tree.eval(pass)) % 1000000007;
+        pass = pass + 1;
+    }
+    print(acc);
+}",
+        &[("@PASSES@", 5 * f)],
+    )
+}
+
+/// `pBOB`: the portable business object benchmark — threaded order
+/// transactions of a few hundred cycles each against per-thread
+/// warehouses.
+pub fn pbob(f: u64) -> String {
+    fill(
+        r"
+class Warehouse {
+    field stock; field orders; field cash; field tax; field discount; field id;
+    method new_order(amount, seed) {
+        if (self.stock < amount) {
+            self.stock = self.stock + 1000;
+        }
+        self.stock = self.stock - amount;
+        self.orders = self.orders + 1;
+        var price = amount * 3 + seed % 17;
+        var taxed = price + (price * self.tax) / 100;
+        var disc = (taxed * self.discount) / 100;
+        var net = taxed - disc;
+        // Order-line pricing for five lines, straight-line.
+        var l1 = (net * 7 + amount) % 100003;
+        var l2 = (l1 * 13 + seed) % 100003;
+        var l3 = (l2 * 11 + amount * amount) % 100003;
+        var l4 = (l3 * 5 + (seed >> 3)) % 100003;
+        var l5 = (l4 * 3 + 1) % 100003;
+        var freight = (amount * 19 + seed % 43) % 8191;
+        var credit = (net * 3 - freight) % 100003;
+        if (credit < 0) { credit = 0 - credit; }
+        var ledger = (l5 ^ credit) % 65536;
+        self.cash = (self.cash + net + l5 + ledger % 13) % 1000000007;
+        return self.orders;
+    }
+    method payment(amount) {
+        var fee = amount / 50 + 1;
+        var credited = amount - fee;
+        if (credited < 0) { credited = 0; }
+        self.cash = (self.cash + credited) % 1000000007;
+        self.tax = (self.tax + fee) % 23;
+        return self.cash;
+    }
+}
+class Result { field value; }
+fn worker(wh, out, txns, seed) {
+    var t = 0;
+    while (t < txns) {
+        seed = (seed * 1103515245 + 12345) % 2147483648;
+        if (seed % 3 == 0) {
+            wh.payment(seed % 500);
+        } else {
+            wh.new_order(seed % 20 + 1, seed);
+        }
+        t = t + 1;
+    }
+    out.value = (wh.cash + wh.orders * 31 + wh.stock) % 1000000007;
+}
+fn main() {
+    var txns = @TXNS@;
+    var wh0 = new Warehouse; wh0.stock = 5000; wh0.tax = 7; wh0.discount = 3;
+    var wh1 = new Warehouse; wh1.stock = 5000; wh1.tax = 8; wh1.discount = 2;
+    var wh2 = new Warehouse; wh2.stock = 5000; wh2.tax = 6; wh2.discount = 4;
+    var wh3 = new Warehouse; wh3.stock = 5000; wh3.tax = 9; wh3.discount = 1;
+    var r0 = new Result; var r1 = new Result; var r2 = new Result; var r3 = new Result;
+    var t0 = spawn worker(wh0, r0, txns, 11);
+    var t1 = spawn worker(wh1, r1, txns, 22);
+    var t2 = spawn worker(wh2, r2, txns, 33);
+    var t3 = spawn worker(wh3, r3, txns, 44);
+    join(t0); join(t1); join(t2); join(t3);
+    var total = (r0.value + r1.value + r2.value + r3.value) % 1000000007;
+    print(total);
+    print(wh0.orders + wh1.orders + wh2.orders + wh3.orders);
+}",
+        &[("@TXNS@", 70 * f)],
+    )
+}
+
+/// `VolanoMark`: chat rooms — per-message encode + straight-line fan-out to
+/// eight subscriber slots plus a simulated socket flush; chunky iterations,
+/// few fields.
+pub fn volano(f: u64) -> String {
+    fill(
+        r"
+class Room { field seq; field checksum; }
+fn broadcast(buffer, base, msg) {
+    // Straight-line fan-out to eight subscriber slots.
+    var k0 = (msg * 31 + 1) % 65536;
+    var k1 = (k0 * 31 + 2) % 65536;
+    var k2 = (k1 * 31 + 3) % 65536;
+    var k3 = (k2 * 31 + 4) % 65536;
+    var k4 = (k3 * 31 + 5) % 65536;
+    var k5 = (k4 * 31 + 6) % 65536;
+    var k6 = (k5 * 31 + 7) % 65536;
+    var k7 = (k6 * 31 + 8) % 65536;
+    buffer[base] = k0;
+    buffer[base + 1] = k1;
+    buffer[base + 2] = k2;
+    buffer[base + 3] = k3;
+    buffer[base + 4] = k4;
+    buffer[base + 5] = k5;
+    buffer[base + 6] = k6;
+    buffer[base + 7] = k7;
+    return (k7 + k3) % 97;
+}
+fn encode(msg, seed) {
+    // Frame header + escaping arithmetic, straight-line.
+    var h = (msg * 2654435761) % 4294967296;
+    h = (h ^ (h >> 13)) % 4294967296;
+    h = (h * 97 + seed % 255) % 4294967296;
+    var crc = (h % 65521) * 3 + (msg % 255);
+    var flen = 16 + msg % 48;
+    var esc1 = ((h >> 8) & 255) % 127;
+    var esc2 = ((h >> 16) & 255) % 127;
+    var esc3 = ((h >> 24) & 255) % 127;
+    var pad = (flen + esc1 + esc2 + esc3) % 64;
+    var mac = (crc * 31 + pad) % 65521;
+    mac = (mac ^ (mac >> 5)) % 65521;
+    var framed = h % 1000003 + crc * flen % 100003 + mac % 251;
+    return framed % 1000003;
+}
+fn connection(room, buffer, base, messages, seed) {
+    var m = 0;
+    while (m < messages) {
+        seed = (seed * 1103515245 + 12345) % 2147483648;
+        if (m % 16 == 0) { busy(250); }  // simulated socket flush
+        var framed = encode(seed % 100000, seed);
+        var ack = broadcast(buffer, base, framed);
+        room.seq = room.seq + 1;
+        // Commutative update: two connections share a room, and thread
+        // interleaving legitimately varies with instrumentation timing.
+        room.checksum = (room.checksum + ack * 31 + framed % 97) % 1000000007;
+        m = m + 1;
+    }
+}
+fn main() {
+    var messages = @MESSAGES@;
+    var buffer = array(4 * 32);
+    var room0 = new Room;
+    var room1 = new Room;
+    var c0 = spawn connection(room0, buffer, 0, messages, 101);
+    var c1 = spawn connection(room0, buffer, 32, messages, 202);
+    var c2 = spawn connection(room1, buffer, 64, messages, 303);
+    var c3 = spawn connection(room1, buffer, 96, messages, 404);
+    join(c0); join(c1); join(c2); join(c3);
+    print(room0.checksum);
+    print(room1.checksum);
+    print(room0.seq + room1.seq);
+}",
+        &[("@MESSAGES@", 90 * f)],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn templates_fully_substituted() {
+        for f in [1, 12] {
+            for src in [
+                compress(f),
+                jess(f),
+                db(f),
+                javac(f),
+                mpegaudio(f),
+                mtrt(f),
+                jack(f),
+                opt_compiler(f),
+                pbob(f),
+                volano(f),
+            ] {
+                assert!(!src.contains('@'));
+            }
+        }
+    }
+
+    #[test]
+    fn scale_factor_appears_in_source() {
+        assert!(compress(7).contains("pass < 21"));
+        assert!(pbob(2).contains("var txns = 140"));
+    }
+}

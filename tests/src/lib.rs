@@ -1,0 +1,17 @@
+//! Integration-test crate. All tests live in `tests/`; this library only
+//! hosts shared helpers.
+
+/// Compiles Jive source, panicking with the error on failure.
+pub fn compile(src: &str) -> isf_ir::Module {
+    isf_frontend::compile(src).expect("test program compiles")
+}
+
+/// Runs a module with the given trigger and default configuration.
+pub fn run_with(module: &isf_ir::Module, trigger: isf_exec::Trigger) -> isf_exec::Outcome {
+    let cfg = isf_exec::VmConfig {
+        trigger,
+        max_cycles: Some(500_000_000),
+        ..isf_exec::VmConfig::default()
+    };
+    isf_exec::run(module, &cfg).expect("test program runs")
+}

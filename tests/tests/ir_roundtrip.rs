@@ -1,0 +1,69 @@
+//! Textual-IR round-trip tests: `display → parse → display` must be the
+//! identity for every function the system can produce — front-end output,
+//! optimizer output, and the output of every sampling transform with every
+//! instrumentation kind.
+
+use isf_core::{instrument_module, Options, Strategy};
+use isf_instr::{
+    BlockCountInstrumentation, CallEdgeInstrumentation, EdgeCountInstrumentation,
+    FieldAccessInstrumentation, Instrumentation, ModulePlan, PathProfileInstrumentation,
+    ValueProfileInstrumentation,
+};
+use isf_ir::{parse::parse_function, Module};
+use isf_workloads::{suite, Scale};
+
+fn assert_roundtrips(m: &Module, context: &str) {
+    for (_, f) in m.functions() {
+        let text = f.to_string();
+        let parsed = parse_function(&text)
+            .unwrap_or_else(|e| panic!("{context}/{}: {e}\n{text}", f.name()));
+        assert_eq!(
+            parsed.to_string(),
+            text,
+            "{context}/{}: round-trip not identity",
+            f.name()
+        );
+        isf_ir::verify::verify_function(&parsed, None)
+            .unwrap_or_else(|e| panic!("{context}/{}: parsed IR invalid: {e}", f.name()));
+    }
+}
+
+#[test]
+fn frontend_output_roundtrips() {
+    for w in suite(Scale::Smoke) {
+        assert_roundtrips(&w.compile(), w.name());
+    }
+}
+
+#[test]
+fn optimizer_output_roundtrips() {
+    for w in suite(Scale::Smoke) {
+        let m = isf_frontend::compile_optimized(w.source()).unwrap();
+        assert_roundtrips(&m, &format!("{}+opt", w.name()));
+    }
+}
+
+#[test]
+fn transform_output_roundtrips_with_every_instrumentation() {
+    let kinds: Vec<&dyn Instrumentation> = vec![
+        &CallEdgeInstrumentation,
+        &FieldAccessInstrumentation,
+        &BlockCountInstrumentation,
+        &EdgeCountInstrumentation,
+        &ValueProfileInstrumentation,
+        &PathProfileInstrumentation,
+    ];
+    for name in ["jess", "javac"] {
+        let module = isf_workloads::by_name(name, Scale::Smoke).unwrap().compile();
+        let plan = ModulePlan::build(&module, &kinds);
+        for strategy in [
+            Strategy::Exhaustive,
+            Strategy::FullDuplication,
+            Strategy::PartialDuplication,
+            Strategy::NoDuplication,
+        ] {
+            let (out, _) = instrument_module(&module, &plan, &Options::new(strategy)).unwrap();
+            assert_roundtrips(&out, &format!("{name}/{strategy}"));
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! Sampled Ball–Larus path profiling — the claim of the paper's §2 that
+//! path profiling "works effectively when inserted as-is into the
+//! duplicated code", and that one sampled burst is one complete path.
+
+use isf_core::{instrument_module, Options, Strategy};
+use isf_exec::Trigger;
+use isf_instr::{ModulePlan, PathProfileInstrumentation};
+use isf_integration_tests::{compile, run_with};
+
+const THREE_WAY: &str = "
+    fn step(x) {
+        if (x % 3 == 0) { return x * 2; }
+        if (x % 3 == 1) { return x + 7; }
+        return x - 1;
+    }
+    fn main() {
+        var i = 0;
+        var acc = 0;
+        while (i < 600) { acc = (acc + step(i)) % 1000003; i = i + 1; }
+        print(acc);
+    }";
+
+#[test]
+fn sampled_path_profile_matches_exhaustive_shape() {
+    let module = compile(THREE_WAY);
+    let plan = ModulePlan::build(&module, &[&PathProfileInstrumentation]);
+    let (exh, _) =
+        instrument_module(&module, &plan, &Options::new(Strategy::Exhaustive)).unwrap();
+    let perfect = run_with(&exh, Trigger::Never).profile;
+    assert!(perfect.total_path_events() > 600);
+
+    let (sampled_m, _) =
+        instrument_module(&module, &plan, &Options::new(Strategy::FullDuplication)).unwrap();
+    // Interval 1: everything in duplicated code — identical profile.
+    let all = run_with(&sampled_m, Trigger::Always).profile;
+    assert_eq!(perfect.paths(), all.paths());
+
+    // Moderate interval: fewer events, but high overlap — one burst is one
+    // complete path.
+    let sampled = run_with(&sampled_m, Trigger::Counter { interval: 7 }).profile;
+    assert!(sampled.total_path_events() > 50);
+    let overlap = isf_profile::overlap::path_overlap(&perfect, &sampled);
+    assert!(overlap > 70.0, "path overlap {overlap:.1}% too low");
+}
+
+#[test]
+fn partial_paths_are_dropped_not_misrecorded() {
+    // Sampled bursts that enter mid-path must record nothing. Every
+    // recorded id must also appear in the exhaustive run.
+    let src = "
+        fn main() {
+            var i = 0;
+            while (i < 400) {
+                if (i % 5 == 0) { i = i + 2; } else { i = i + 1; }
+            }
+            print(i);
+        }";
+    let module = compile(src);
+    let plan = ModulePlan::build(&module, &[&PathProfileInstrumentation]);
+    let (exh, _) =
+        instrument_module(&module, &plan, &Options::new(Strategy::Exhaustive)).unwrap();
+    let perfect = run_with(&exh, Trigger::Never).profile;
+    let (sampled_m, _) =
+        instrument_module(&module, &plan, &Options::new(Strategy::FullDuplication)).unwrap();
+    let sampled = run_with(&sampled_m, Trigger::Counter { interval: 11 }).profile;
+    for key in sampled.paths().keys() {
+        assert!(
+            perfect.paths().contains_key(key),
+            "sampled run invented path {key:?}"
+        );
+    }
+}
+
+#[test]
+fn path_profiling_preserves_semantics_on_benchmarks() {
+    for name in ["javac", "mtrt"] {
+        let module = isf_workloads::by_name(name, isf_workloads::Scale::Smoke)
+            .unwrap()
+            .compile();
+        let baseline = run_with(&module, Trigger::Never);
+        let plan = ModulePlan::build(&module, &[&PathProfileInstrumentation]);
+        for strategy in [Strategy::Exhaustive, Strategy::FullDuplication] {
+            let (out, _) = instrument_module(&module, &plan, &Options::new(strategy)).unwrap();
+            isf_ir::verify::verify_module(&out).unwrap();
+            let o = run_with(&out, Trigger::Counter { interval: 13 });
+            assert_eq!(o.output, baseline.output, "{name}/{strategy} diverged");
+            assert!(o.profile.total_path_events() > 0, "{name}/{strategy}");
+        }
+    }
+}
+
+#[test]
+fn path_profile_under_partial_duplication() {
+    let module = compile(THREE_WAY);
+    let plan = ModulePlan::build(&module, &[&PathProfileInstrumentation]);
+    let (exh, _) =
+        instrument_module(&module, &plan, &Options::new(Strategy::Exhaustive)).unwrap();
+    let perfect = run_with(&exh, Trigger::Never).profile;
+    let (partial, _) =
+        instrument_module(&module, &plan, &Options::new(Strategy::PartialDuplication)).unwrap();
+    let all = run_with(&partial, Trigger::Always).profile;
+    assert_eq!(perfect.paths(), all.paths());
+}

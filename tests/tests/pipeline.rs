@@ -1,0 +1,244 @@
+//! End-to-end pipeline tests: every strategy, on real benchmark programs,
+//! preserves semantics, verifies structurally, and honours Property 1.
+
+use isf_core::{instrument_module, property, Options, Strategy};
+use isf_exec::Trigger;
+use isf_instr::{
+    CallEdgeInstrumentation, FieldAccessInstrumentation, Instrumentation, ModulePlan,
+};
+use isf_integration_tests::run_with;
+use isf_workloads::{by_name, Scale};
+
+const BENCHES: [&str; 4] = ["compress", "jess", "javac", "pbob"];
+
+fn kinds() -> Vec<&'static dyn Instrumentation> {
+    vec![&CallEdgeInstrumentation, &FieldAccessInstrumentation]
+}
+
+#[test]
+fn all_strategies_preserve_benchmark_semantics() {
+    for name in BENCHES {
+        let module = by_name(name, Scale::Smoke).unwrap().compile();
+        let plan = ModulePlan::build(&module, &kinds());
+        let baseline = run_with(&module, Trigger::Never);
+        for strategy in [
+            Strategy::Exhaustive,
+            Strategy::FullDuplication,
+            Strategy::PartialDuplication,
+            Strategy::NoDuplication,
+            Strategy::ChecksOnly {
+                entries: true,
+                backedges: true,
+            },
+        ] {
+            let (out, _) = instrument_module(&module, &plan, &Options::new(strategy)).unwrap();
+            isf_ir::verify::verify_module(&out)
+                .unwrap_or_else(|e| panic!("{name}/{strategy}: {e}"));
+            for trigger in [
+                Trigger::Never,
+                Trigger::Always,
+                Trigger::Counter { interval: 23 },
+            ] {
+                let o = run_with(&out, trigger);
+                assert_eq!(
+                    o.output, baseline.output,
+                    "{name}/{strategy} diverged under {trigger:?}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn duplicating_strategies_satisfy_property1_against_baseline() {
+    for name in BENCHES {
+        let module = by_name(name, Scale::Smoke).unwrap().compile();
+        let plan = ModulePlan::build(&module, &kinds());
+        let baseline = run_with(&module, Trigger::Never);
+        for strategy in [Strategy::FullDuplication, Strategy::PartialDuplication] {
+            let (out, _) = instrument_module(&module, &plan, &Options::new(strategy)).unwrap();
+            for trigger in [
+                Trigger::Never,
+                Trigger::Always,
+                Trigger::Counter { interval: 7 },
+            ] {
+                let o = run_with(&out, trigger);
+                assert!(
+                    o.satisfies_property1_vs(&baseline),
+                    "{name}/{strategy}/{trigger:?}: {} checks vs {} entries + {} backedges",
+                    o.checks_executed,
+                    baseline.entries_executed,
+                    baseline.backedges_executed
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn structural_validators_pass_on_benchmarks() {
+    for name in BENCHES {
+        let module = by_name(name, Scale::Smoke).unwrap().compile();
+        let plan = ModulePlan::build(&module, &kinds());
+        for strategy in [
+            Strategy::FullDuplication,
+            Strategy::PartialDuplication,
+            Strategy::NoDuplication,
+        ] {
+            let (out, stats) =
+                instrument_module(&module, &plan, &Options::new(strategy)).unwrap();
+            for (id, f) in out.functions() {
+                let fs = &stats.functions[id.index()];
+                property::dup_region_is_dag(f, fs)
+                    .unwrap_or_else(|e| panic!("{name}/{strategy}/{}: {e}", f.name()));
+                property::instrumentation_confined_to_dup_code(f, fs)
+                    .unwrap_or_else(|e| panic!("{name}/{strategy}/{}: {e}", f.name()));
+                if strategy == Strategy::FullDuplication {
+                    property::checks_on_entries_and_backedges(f, fs)
+                        .unwrap_or_else(|e| panic!("{name}/{}: {e}", f.name()));
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn interval_one_profiles_equal_exhaustive_on_benchmarks() {
+    for name in BENCHES {
+        let module = by_name(name, Scale::Smoke).unwrap().compile();
+        let plan = ModulePlan::build(&module, &kinds());
+        let (exh, _) =
+            instrument_module(&module, &plan, &Options::new(Strategy::Exhaustive)).unwrap();
+        let perfect = run_with(&exh, Trigger::Never).profile;
+        for strategy in [
+            Strategy::FullDuplication,
+            Strategy::PartialDuplication,
+            Strategy::NoDuplication,
+        ] {
+            let (out, _) = instrument_module(&module, &plan, &Options::new(strategy)).unwrap();
+            let sampled = run_with(&out, Trigger::Always).profile;
+            assert_eq!(
+                perfect.call_edges(),
+                sampled.call_edges(),
+                "{name}/{strategy}: call edges differ at interval 1"
+            );
+            assert_eq!(
+                perfect.field_accesses(),
+                sampled.field_accesses(),
+                "{name}/{strategy}: field accesses differ at interval 1"
+            );
+        }
+    }
+}
+
+#[test]
+fn yieldpoint_optimization_on_benchmarks() {
+    for name in ["compress", "mpegaudio"] {
+        let module = by_name(name, Scale::Smoke).unwrap().compile();
+        let plan = ModulePlan::build(&module, &kinds());
+        let baseline = run_with(&module, Trigger::Never);
+        let (plain, _) =
+            instrument_module(&module, &plan, &Options::new(Strategy::FullDuplication)).unwrap();
+        let (opt, _) = instrument_module(
+            &module,
+            &plan,
+            &Options::new(Strategy::FullDuplication).with_yieldpoint_optimization(),
+        )
+        .unwrap();
+        let o_plain = run_with(&plain, Trigger::Counter { interval: 101 });
+        let o_opt = run_with(&opt, Trigger::Counter { interval: 101 });
+        assert_eq!(o_plain.output, baseline.output);
+        assert_eq!(o_opt.output, baseline.output);
+        assert!(
+            o_opt.cycles < o_plain.cycles,
+            "{name}: yieldpoint optimization must reduce cycles"
+        );
+        // Same samples, same profile: accuracy untouched (§4.5).
+        assert_eq!(o_plain.samples_taken, o_opt.samples_taken);
+        assert_eq!(
+            o_plain.profile.field_accesses(),
+            o_opt.profile.field_accesses()
+        );
+    }
+}
+
+#[test]
+fn multithreaded_benchmarks_sample_under_every_trigger() {
+    for name in ["pbob", "volano"] {
+        let module = by_name(name, Scale::Smoke).unwrap().compile();
+        let plan = ModulePlan::build(&module, &kinds());
+        let baseline = run_with(&module, Trigger::Never);
+        let (out, _) =
+            instrument_module(&module, &plan, &Options::new(Strategy::FullDuplication)).unwrap();
+        // Small intervals: each worker thread only executes a few hundred
+        // checks at smoke scale, and a sample must land on a check whose
+        // duplicated region actually contains instrumentation (a method
+        // entry) to record anything.
+        for trigger in [
+            Trigger::Counter { interval: 13 },
+            Trigger::CounterPerThread { interval: 13 },
+            Trigger::CounterRandomized {
+                interval: 13,
+                jitter: 4,
+                seed: 5,
+            },
+            Trigger::TimerBit { period: 2_003 },
+        ] {
+            let o = run_with(&out, trigger);
+            assert_eq!(o.output, baseline.output, "{name} diverged under {trigger:?}");
+            assert!(o.samples_taken > 0, "{name}/{trigger:?} took no samples");
+            assert!(
+                !o.profile.is_empty(),
+                "{name}/{trigger:?} collected nothing"
+            );
+        }
+    }
+}
+
+#[test]
+fn optimizer_preserves_benchmark_semantics_and_shrinks_code() {
+    for w in isf_workloads::suite(Scale::Smoke) {
+        let plain = w.compile();
+        let optimized = isf_frontend::compile_optimized(w.source())
+            .unwrap_or_else(|e| panic!("{}: {e}", w.name()));
+        let a = run_with(&plain, Trigger::Never);
+        let b = run_with(&optimized, Trigger::Never);
+        assert_eq!(a.output, b.output, "{} diverged under -O", w.name());
+        assert!(
+            b.instructions <= a.instructions,
+            "{}: optimizer added work",
+            w.name()
+        );
+    }
+}
+
+#[test]
+fn selective_instrumentation_on_benchmarks() {
+    use std::collections::HashSet;
+    for name in ["jess", "javac"] {
+        let module = by_name(name, Scale::Smoke).unwrap().compile();
+        let baseline = run_with(&module, Trigger::Never);
+        let plan = ModulePlan::build(&module, &kinds());
+        // Scout epoch over everything.
+        let (all, all_stats) =
+            instrument_module(&module, &plan, &Options::new(Strategy::FullDuplication)).unwrap();
+        let scout = run_with(&all, Trigger::Counter { interval: 53 });
+        let hot: HashSet<_> = isf_profile::hotness::functions_covering(&scout.profile, 0.9)
+            .into_iter()
+            .collect();
+        assert!(!hot.is_empty(), "{name}: no hot methods found");
+        // Selective epoch.
+        let (sel, sel_stats) = isf_core::instrument_module_selective(
+            &module,
+            &plan,
+            &Options::new(Strategy::FullDuplication),
+            &hot,
+        )
+        .unwrap();
+        assert!(sel_stats.space_increase_bytes() < all_stats.space_increase_bytes());
+        let o = run_with(&sel, Trigger::Counter { interval: 53 });
+        assert_eq!(o.output, baseline.output, "{name} diverged");
+        assert!(o.cycles <= run_with(&all, Trigger::Counter { interval: 53 }).cycles);
+        assert!(!o.profile.is_empty());
+    }
+}

@@ -1,0 +1,136 @@
+//! Property-based tests of the measurement substrate: the overlap metric
+//! (paper §4.4) and the sampling triggers (§2.2).
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+
+use isf_profile::overlap::distribution_overlap;
+
+fn dist_strategy() -> impl Strategy<Value = HashMap<u16, u64>> {
+    prop::collection::hash_map(0u16..40, 1u64..10_000, 0..25)
+}
+
+proptest! {
+    #[test]
+    fn overlap_is_symmetric(a in dist_strategy(), b in dist_strategy()) {
+        let ab = distribution_overlap(&a, &b);
+        let ba = distribution_overlap(&b, &a);
+        prop_assert!((ab - ba).abs() < 1e-9);
+    }
+
+    #[test]
+    fn overlap_is_bounded(a in dist_strategy(), b in dist_strategy()) {
+        let o = distribution_overlap(&a, &b);
+        prop_assert!((0.0..=100.0 + 1e-9).contains(&o));
+    }
+
+    #[test]
+    fn overlap_with_self_is_perfect(a in dist_strategy()) {
+        prop_assume!(!a.is_empty());
+        prop_assert!((distribution_overlap(&a, &a) - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn overlap_is_scale_invariant(a in dist_strategy(), k in 1u64..50) {
+        // A sampled profile is roughly the perfect profile divided by the
+        // sample interval; exact proportional scaling must score 100.
+        prop_assume!(!a.is_empty());
+        let scaled: HashMap<u16, u64> = a.iter().map(|(&key, &v)| (key, v * k)).collect();
+        prop_assert!((distribution_overlap(&a, &scaled) - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dropping_keys_only_lowers_overlap(a in dist_strategy()) {
+        prop_assume!(a.len() >= 2);
+        let mut b = a.clone();
+        let &key = b.keys().next().unwrap();
+        b.remove(&key);
+        let o = distribution_overlap(&a, &b);
+        prop_assert!(o <= 100.0 + 1e-9);
+        // Everything remaining still overlaps by at least the smaller
+        // proportions, so the score stays positive.
+        prop_assert!(o > 0.0);
+    }
+}
+
+mod triggers {
+    use super::*;
+    use isf_core::{instrument_module, Options, Strategy};
+    use isf_exec::Trigger;
+    use isf_instr::ModulePlan;
+    use isf_integration_tests::{compile, run_with};
+
+    fn looped_module(iters: u32) -> isf_ir::Module {
+        compile(&format!(
+            "fn main() {{ var i = 0; while (i < {iters}) {{ i = i + 1; }} }}"
+        ))
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(40))]
+
+        #[test]
+        fn counter_takes_floor_n_over_interval_samples(
+            iters in 1u32..400,
+            interval in 1u64..50,
+        ) {
+            // A bare counting loop instrumented with full duplication
+            // executes exactly (1 entry + iters backedge) checks when no
+            // samples redirect control... sampling redirects but the
+            // number of checks per logical iteration stays 1 (Property 1
+            // at equality), so the trigger must fire exactly
+            // floor(checks / interval) times.
+            let module = looped_module(iters);
+            let plan = ModulePlan::build(&module, &[]);
+            let (out, _) = instrument_module(
+                &module, &plan, &Options::new(Strategy::FullDuplication),
+            ).unwrap();
+            let o = run_with(&out, Trigger::Counter { interval });
+            prop_assert_eq!(o.checks_executed, 1 + u64::from(iters));
+            prop_assert_eq!(o.samples_taken, o.checks_executed / interval);
+        }
+
+        #[test]
+        fn randomized_trigger_is_reproducible_and_near_target(
+            iters in 200u32..600,
+            seed in 1u64..1000,
+        ) {
+            let module = looped_module(iters);
+            let plan = ModulePlan::build(&module, &[]);
+            let (out, _) = instrument_module(
+                &module, &plan, &Options::new(Strategy::FullDuplication),
+            ).unwrap();
+            let trigger = Trigger::CounterRandomized { interval: 10, jitter: 4, seed };
+            let a = run_with(&out, trigger);
+            let b = run_with(&out, trigger);
+            prop_assert_eq!(a.samples_taken, b.samples_taken, "same seed, same run");
+            // Expected samples ≈ checks / 10; jitter keeps it within
+            // [checks/14, checks/6].
+            let checks = a.checks_executed;
+            prop_assert!(a.samples_taken >= checks / 14);
+            prop_assert!(a.samples_taken <= checks / 6 + 1);
+        }
+
+        #[test]
+        fn timer_takes_roughly_cycles_over_period_samples(
+            iters in 200u32..800,
+            period in 200u64..2000,
+        ) {
+            let module = looped_module(iters);
+            let plan = ModulePlan::build(&module, &[]);
+            let (out, _) = instrument_module(
+                &module, &plan, &Options::new(Strategy::FullDuplication),
+            ).unwrap();
+            let o = run_with(&out, Trigger::TimerBit { period });
+            let expected = o.cycles / period;
+            // Each period sets the bit at most once and every set bit is
+            // consumed by some later check (the loop checks constantly).
+            prop_assert!(o.samples_taken <= expected + 1);
+            prop_assert!(
+                o.samples_taken + 2 >= expected.min(o.checks_executed),
+                "{} samples for {} expected", o.samples_taken, expected
+            );
+        }
+    }
+}

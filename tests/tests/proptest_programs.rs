@@ -1,0 +1,324 @@
+//! Property-based end-to-end testing: generate random (but always valid)
+//! Jive programs and check that every sampling strategy preserves their
+//! semantics, verifies structurally, and keeps Property 1 — the framework
+//! must be meaning-preserving on *arbitrary* code, not just the benchmark
+//! suite.
+
+use proptest::prelude::*;
+// `isf_core::Strategy` (the sampling strategy) shadows the prelude's
+// `proptest::strategy::Strategy`; re-import the trait anonymously so
+// combinator methods stay available.
+use proptest::strategy::Strategy as _;
+
+use isf_core::{instrument_module, Options, Strategy};
+use isf_exec::Trigger;
+use isf_instr::{
+    BlockCountInstrumentation, CallEdgeInstrumentation, EdgeCountInstrumentation,
+    FieldAccessInstrumentation, Instrumentation, ModulePlan,
+};
+use isf_integration_tests::{compile, run_with};
+
+/// A tiny expression language rendered into Jive source. Every operation
+/// is total (no division, bounded loop counts), so generated programs
+/// always terminate and never trap.
+#[derive(Debug, Clone)]
+enum Expr {
+    Lit(i8),
+    Var(u8),
+    FieldF,
+    FieldG,
+    Add(Box<Expr>, Box<Expr>),
+    Sub(Box<Expr>, Box<Expr>),
+    Mul(Box<Expr>, Box<Expr>),
+    Xor(Box<Expr>, Box<Expr>),
+    Mod(Box<Expr>, u8),
+    Helper(Box<Expr>),
+    Bump(Box<Expr>),
+}
+
+#[derive(Debug, Clone)]
+enum Stmt {
+    Assign(u8, Expr),
+    SetF(Expr),
+    SetG(Expr),
+    Print(Expr),
+    If(Expr, Vec<Stmt>, Vec<Stmt>),
+    Loop(u8, Vec<Stmt>),
+}
+
+fn expr_strategy() -> impl proptest::strategy::Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        any::<i8>().prop_map(Expr::Lit),
+        (0u8..4).prop_map(Expr::Var),
+        Just(Expr::FieldF),
+        Just(Expr::FieldG),
+    ];
+    leaf.prop_recursive(3, 24, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Add(a.into(), b.into())),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Sub(a.into(), b.into())),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Mul(a.into(), b.into())),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Xor(a.into(), b.into())),
+            (inner.clone(), 1u8..17).prop_map(|(a, k)| Expr::Mod(a.into(), k)),
+            inner.clone().prop_map(|a| Expr::Helper(a.into())),
+            inner.prop_map(|a| Expr::Bump(a.into())),
+        ]
+    })
+}
+
+fn stmt_strategy() -> impl proptest::strategy::Strategy<Value = Stmt> {
+    let simple = prop_oneof![
+        ((0u8..4), expr_strategy()).prop_map(|(v, e)| Stmt::Assign(v, e)),
+        expr_strategy().prop_map(Stmt::SetF),
+        expr_strategy().prop_map(Stmt::SetG),
+        expr_strategy().prop_map(Stmt::Print),
+    ];
+    simple.prop_recursive(2, 16, 4, |inner| {
+        prop_oneof![
+            (
+                expr_strategy(),
+                prop::collection::vec(inner.clone(), 0..4),
+                prop::collection::vec(inner.clone(), 0..4)
+            )
+                .prop_map(|(c, t, e)| Stmt::If(c, t, e)),
+            ((0u8..5), prop::collection::vec(inner, 1..4)).prop_map(|(n, b)| Stmt::Loop(n, b)),
+        ]
+    })
+}
+
+fn render_expr(e: &Expr, out: &mut String) {
+    match e {
+        Expr::Lit(v) => out.push_str(&format!("({v})")),
+        Expr::Var(v) => out.push_str(&format!("v{v}")),
+        Expr::FieldF => out.push_str("p.f"),
+        Expr::FieldG => out.push_str("p.g"),
+        Expr::Add(a, b) | Expr::Sub(a, b) | Expr::Mul(a, b) | Expr::Xor(a, b) => {
+            let op = match e {
+                Expr::Add(..) => "+",
+                Expr::Sub(..) => "-",
+                Expr::Mul(..) => "*",
+                _ => "^",
+            };
+            out.push('(');
+            render_expr(a, out);
+            out.push_str(&format!(" {op} "));
+            render_expr(b, out);
+            out.push(')');
+        }
+        Expr::Mod(a, k) => {
+            out.push('(');
+            render_expr(a, out);
+            out.push_str(&format!(" % {k}"));
+            out.push(')');
+        }
+        Expr::Helper(a) => {
+            out.push_str("helper(");
+            render_expr(a, out);
+            out.push(')');
+        }
+        Expr::Bump(a) => {
+            out.push_str("p.bump(");
+            render_expr(a, out);
+            out.push(')');
+        }
+    }
+}
+
+fn render_stmts(stmts: &[Stmt], out: &mut String, indent: usize, loop_id: &mut u32) {
+    let pad = "    ".repeat(indent);
+    for s in stmts {
+        match s {
+            Stmt::Assign(v, e) => {
+                out.push_str(&format!("{pad}v{v} = "));
+                render_expr(e, out);
+                out.push_str(";\n");
+            }
+            Stmt::SetF(e) => {
+                out.push_str(&format!("{pad}p.f = "));
+                render_expr(e, out);
+                out.push_str(";\n");
+            }
+            Stmt::SetG(e) => {
+                out.push_str(&format!("{pad}p.g = "));
+                render_expr(e, out);
+                out.push_str(";\n");
+            }
+            Stmt::Print(e) => {
+                out.push_str(&format!("{pad}print("));
+                render_expr(e, out);
+                out.push_str(");\n");
+            }
+            Stmt::If(c, t, e) => {
+                out.push_str(&format!("{pad}if (("));
+                render_expr(c, out);
+                out.push_str(") % 2 == 0) {\n");
+                render_stmts(t, out, indent + 1, loop_id);
+                out.push_str(&format!("{pad}}} else {{\n"));
+                render_stmts(e, out, indent + 1, loop_id);
+                out.push_str(&format!("{pad}}}\n"));
+            }
+            Stmt::Loop(n, body) => {
+                let id = *loop_id;
+                *loop_id += 1;
+                out.push_str(&format!("{pad}var loop{id} = 0;\n"));
+                out.push_str(&format!("{pad}while (loop{id} < {n}) {{\n"));
+                render_stmts(body, out, indent + 1, loop_id);
+                out.push_str(&format!("{pad}    loop{id} = loop{id} + 1;\n"));
+                out.push_str(&format!("{pad}}}\n"));
+            }
+        }
+    }
+}
+
+fn render_program(stmts: &[Stmt]) -> String {
+    let mut body = String::new();
+    let mut loop_id = 0;
+    render_stmts(stmts, &mut body, 1, &mut loop_id);
+    format!(
+        "class P {{
+    field f; field g;
+    method bump(x) {{ self.f = self.f + x; return self.f; }}
+}}
+fn helper(x) {{ return (x * 7 + 3) % 1000003; }}
+fn main() {{
+    var v0 = 1; var v1 = 2; var v2 = 3; var v3 = 5;
+    var p = new P;
+{body}    print(v0); print(v1); print(v2); print(v3);
+    print(p.f); print(p.g);
+}}"
+    )
+}
+
+fn all_kinds() -> Vec<&'static dyn Instrumentation> {
+    vec![
+        &CallEdgeInstrumentation,
+        &FieldAccessInstrumentation,
+        &BlockCountInstrumentation,
+        &EdgeCountInstrumentation,
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn every_strategy_preserves_random_program_semantics(
+        stmts in prop::collection::vec(stmt_strategy(), 1..8)
+    ) {
+        let src = render_program(&stmts);
+        let module = compile(&src);
+        let baseline = run_with(&module, Trigger::Never);
+        let plan = ModulePlan::build(&module, &all_kinds());
+        for strategy in [
+            Strategy::Exhaustive,
+            Strategy::FullDuplication,
+            Strategy::PartialDuplication,
+            Strategy::NoDuplication,
+        ] {
+            let (out, stats) =
+                instrument_module(&module, &plan, &Options::new(strategy)).unwrap();
+            isf_ir::verify::verify_module(&out).unwrap();
+            for trigger in [Trigger::Always, Trigger::Counter { interval: 3 }] {
+                let o = run_with(&out, trigger);
+                prop_assert_eq!(&o.output, &baseline.output,
+                    "{} diverged under {:?}\nprogram:\n{}", strategy, trigger, src);
+                if matches!(strategy, Strategy::FullDuplication | Strategy::PartialDuplication) {
+                    prop_assert!(o.satisfies_property1_vs(&baseline));
+                }
+            }
+            // Exhaustive instrumentation intentionally leaves operations
+            // in the original code; the structural guarantees below only
+            // apply to the sampling strategies.
+            if strategy != Strategy::Exhaustive {
+                for (id, f) in out.functions() {
+                    let fs = &stats.functions[id.index()];
+                    prop_assert!(isf_core::property::dup_region_is_dag(f, fs).is_ok());
+                    prop_assert!(
+                        isf_core::property::instrumentation_confined_to_dup_code(f, fs).is_ok()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn interval_one_matches_exhaustive_on_random_programs(
+        stmts in prop::collection::vec(stmt_strategy(), 1..6)
+    ) {
+        let src = render_program(&stmts);
+        let module = compile(&src);
+        let plan = ModulePlan::build(&module, &all_kinds());
+        let (exh, _) =
+            instrument_module(&module, &plan, &Options::new(Strategy::Exhaustive)).unwrap();
+        let perfect = run_with(&exh, Trigger::Never).profile;
+        for strategy in [
+            Strategy::FullDuplication,
+            Strategy::PartialDuplication,
+            Strategy::NoDuplication,
+        ] {
+            let (out, _) = instrument_module(&module, &plan, &Options::new(strategy)).unwrap();
+            let sampled = run_with(&out, Trigger::Always).profile;
+            prop_assert_eq!(perfect.call_edges(), sampled.call_edges());
+            prop_assert_eq!(perfect.field_accesses(), sampled.field_accesses());
+            prop_assert_eq!(perfect.blocks(), sampled.blocks());
+            prop_assert_eq!(perfect.edges(), sampled.edges());
+        }
+    }
+
+    #[test]
+    fn trigger_off_collects_nothing_on_random_programs(
+        stmts in prop::collection::vec(stmt_strategy(), 1..6)
+    ) {
+        let src = render_program(&stmts);
+        let module = compile(&src);
+        let plan = ModulePlan::build(&module, &all_kinds());
+        for strategy in [
+            Strategy::FullDuplication,
+            Strategy::PartialDuplication,
+            Strategy::NoDuplication,
+        ] {
+            let (out, _) = instrument_module(&module, &plan, &Options::new(strategy)).unwrap();
+            let o = run_with(&out, Trigger::Never);
+            prop_assert!(o.profile.is_empty());
+            prop_assert_eq!(o.samples_taken, 0);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn optimizer_preserves_random_program_semantics(
+        stmts in prop::collection::vec(stmt_strategy(), 1..8)
+    ) {
+        let src = render_program(&stmts);
+        let module = compile(&src);
+        let optimized = isf_frontend::compile_optimized(&src).unwrap();
+        let a = run_with(&module, Trigger::Never);
+        let b = run_with(&optimized, Trigger::Never);
+        prop_assert_eq!(&a.output, &b.output, "optimizer diverged\nprogram:\n{}", src);
+        prop_assert!(
+            b.instructions <= a.instructions,
+            "optimizer must not add work: {} vs {}", b.instructions, a.instructions
+        );
+    }
+
+    #[test]
+    fn optimized_code_samples_correctly(
+        stmts in prop::collection::vec(stmt_strategy(), 1..6)
+    ) {
+        // The real pipeline: optimize first, instrument second.
+        let src = render_program(&stmts);
+        let optimized = isf_frontend::compile_optimized(&src).unwrap();
+        let baseline = run_with(&optimized, Trigger::Never);
+        let plan = ModulePlan::build(&optimized, &all_kinds());
+        let (out, _) = instrument_module(
+            &optimized, &plan, &Options::new(Strategy::FullDuplication),
+        ).unwrap();
+        isf_ir::verify::verify_module(&out).unwrap();
+        let o = run_with(&out, Trigger::Counter { interval: 5 });
+        prop_assert_eq!(&o.output, &baseline.output);
+        prop_assert!(o.satisfies_property1_vs(&baseline));
+    }
+}
