@@ -18,11 +18,9 @@ fn transform_time(c: &mut Criterion) {
         Strategy::PartialDuplication,
         Strategy::NoDuplication,
     ] {
-        g.bench_with_input(
-            BenchmarkId::from_parameter(strategy),
-            &strategy,
-            |b, &s| b.iter(|| instrument_module(&base, &plan, &opts(s)).unwrap()),
-        );
+        g.bench_with_input(BenchmarkId::from_parameter(strategy), &strategy, |b, &s| {
+            b.iter(|| instrument_module(&base, &plan, &opts(s)).unwrap())
+        });
     }
     g.finish();
 }
@@ -89,13 +87,9 @@ fn selective_instrumentation(c: &mut Criterion) {
     let hot: HashSet<_> = isf_profile::hotness::functions_covering(&scout.profile, 0.9)
         .into_iter()
         .collect();
-    let (selective, _) = isf_core::instrument_module_selective(
-        &base,
-        &plan,
-        &opts(Strategy::FullDuplication),
-        &hot,
-    )
-    .unwrap();
+    let (selective, _) =
+        isf_core::instrument_module_selective(&base, &plan, &opts(Strategy::FullDuplication), &hot)
+            .unwrap();
     let mut g = c.benchmark_group("ablation/selective");
     g.bench_function("all_methods", |b| {
         b.iter(|| run_with(&all, Trigger::Counter { interval: 101 }))

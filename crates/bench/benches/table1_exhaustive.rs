@@ -10,7 +10,11 @@ use isf_instr::{CallEdgeInstrumentation, FieldAccessInstrumentation};
 fn bench(c: &mut Criterion) {
     for name in ["compress", "jess", "db", "opt_compiler"] {
         let base = module(name);
-        let call = instrumented(&base, &[&CallEdgeInstrumentation], &opts(Strategy::Exhaustive));
+        let call = instrumented(
+            &base,
+            &[&CallEdgeInstrumentation],
+            &opts(Strategy::Exhaustive),
+        );
         let field = instrumented(
             &base,
             &[&FieldAccessInstrumentation],

@@ -12,9 +12,7 @@ use criterion::Criterion;
 
 use isf_core::{instrument_module, Options, Strategy};
 use isf_exec::{run, Outcome, Trigger, VmConfig};
-use isf_instr::{
-    CallEdgeInstrumentation, FieldAccessInstrumentation, Instrumentation, ModulePlan,
-};
+use isf_instr::{CallEdgeInstrumentation, FieldAccessInstrumentation, Instrumentation, ModulePlan};
 use isf_ir::Module;
 use isf_workloads::Scale;
 

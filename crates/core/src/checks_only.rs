@@ -26,30 +26,22 @@ pub(crate) fn checks_only_transform(
     stats.blocks_before = f.num_blocks();
     if entries {
         let o = hoist_entry(f);
-        f.set_term(
-            BlockId::new(0),
-            Term::Check {
-                sample: o,
-                cont: o,
-            },
-        );
+        f.set_term(BlockId::new(0), Term::Check { sample: o, cont: o });
         stats.checks_inserted += 1;
         stats.check_blocks.push((BlockId::new(0), CheckKind::Entry));
     }
     if backedges {
         for (b, h) in loops::backedges(f) {
             let check = f.split_edge(b, h);
-            f.set_term(
-                check,
-                Term::Check {
-                    sample: h,
-                    cont: h,
-                },
-            );
+            f.set_term(check, Term::Check { sample: h, cont: h });
             stats.checks_inserted += 1;
-            stats
-                .check_blocks
-                .push((check, CheckKind::Backedge { source: b, header: h }));
+            stats.check_blocks.push((
+                check,
+                CheckKind::Backedge {
+                    source: b,
+                    header: h,
+                },
+            ));
         }
     }
 }

@@ -261,7 +261,13 @@ pub(crate) fn duplicate_transform(
         };
         f.set_term(check, Term::Check { sample, cont: h });
         stats.checks_inserted += 1;
-        stats.check_blocks.push((check, CheckKind::Backedge { source: b, header: h }));
+        stats.check_blocks.push((
+            check,
+            CheckKind::Backedge {
+                source: b,
+                header: h,
+            },
+        ));
     }
 
     // Compensating checks for removed top-nodes (paper §3.1, adjustment 2):

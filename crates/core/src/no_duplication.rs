@@ -89,11 +89,7 @@ pub(crate) fn no_duplication_transform(
     }
 }
 
-fn push_point(
-    points: &mut Vec<(usize, Vec<isf_ir::InstrOp>)>,
-    index: usize,
-    op: isf_ir::InstrOp,
-) {
+fn push_point(points: &mut Vec<(usize, Vec<isf_ir::InstrOp>)>, index: usize, op: isf_ir::InstrOp) {
     if let Some((_, ops)) = points.iter_mut().find(|(i, _)| *i == index) {
         ops.push(op);
     } else {

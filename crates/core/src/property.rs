@@ -55,9 +55,7 @@ pub fn dup_region_is_dag(f: &Function, stats: &FunctionStats) -> Result<(), Stri
                         stack.push((s, next, 0));
                     }
                     State::OnStack => {
-                        return Err(format!(
-                            "duplicated code contains a cycle: {b} -> {s}"
-                        ));
+                        return Err(format!("duplicated code contains a cycle: {b} -> {s}"));
                     }
                     State::Done => {}
                 }
@@ -284,7 +282,9 @@ mod tests {
         let (exh, _) =
             instrument_module(&base, &plan, &Options::new(Strategy::Exhaustive)).unwrap();
         let perfect = run(&exh, &cfg(Trigger::Never)).unwrap().profile;
-        let sampled = run(&out, &cfg(Trigger::Counter { interval: 10 })).unwrap().profile;
+        let sampled = run(&out, &cfg(Trigger::Counter { interval: 10 }))
+            .unwrap()
+            .profile;
         let overlap = isf_profile::overlap::field_access_overlap(&perfect, &sampled);
         assert!(overlap > 80.0, "overlap {overlap:.1}% too low");
     }

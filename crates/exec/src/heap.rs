@@ -202,7 +202,10 @@ mod tests {
     #[test]
     fn null_and_kind_errors() {
         let h = Heap::new();
-        assert_eq!(h.object(Value::Null).unwrap_err(), TrapKind::NullDereference);
+        assert_eq!(
+            h.object(Value::Null).unwrap_err(),
+            TrapKind::NullDereference
+        );
         assert!(matches!(
             h.array_get(Value::I64(0), 0),
             Err(TrapKind::TypeError { .. })

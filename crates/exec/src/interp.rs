@@ -1,15 +1,28 @@
-//! The interpreter: green threads, yieldpoints, sampling checks, cost
-//! accounting and profiling.
+//! The execution engine: green threads, yieldpoints, sampling checks, cost
+//! accounting and profiling, dispatching over pre-decoded ops.
+//!
+//! The hot loop here runs the dense form built by [`PreparedModule`]: one
+//! flat op arena per function, absolute branch targets, pre-folded cycle
+//! costs and pre-classified backedges, so `step()` is a single fetch of
+//! `ops[ip]` and a straight `match` on the decoded [`OpKind`] — no block
+//! lookup, no cost re-derivation, no backedge-set probe. The semantic
+//! reference for this engine is the tree-walking interpreter in
+//! [`crate::naive`]; the two are differentially tested to produce
+//! identical [`Outcome`]s.
+//!
+//! [`run`] keeps the classic entry point (it prepares internally);
+//! [`run_prepared`] lets callers amortize one preparation over many runs
+//! of the same (module, cost) cell, which is how the harness executes its
+//! interval sweeps.
 
-use std::collections::HashSet;
-
-use isf_ir::{loops, BlockId, CallSiteId, FuncId, Inst, InstrOp, LocalId, Module, Term};
+use isf_ir::{CallSiteId, FuncId, LocalId, Module};
 use isf_profile::ProfileData;
 
 use crate::cost::CostModel;
 use crate::error::{TrapKind, VmError};
 use crate::heap::Heap;
 use crate::outcome::Outcome;
+use crate::prepared::{Op, OpKind, PreparedModule};
 use crate::trigger::{Trigger, TriggerState};
 use crate::value::Value;
 
@@ -41,14 +54,42 @@ impl Default for VmConfig {
     }
 }
 
-/// Runs `module` to completion under `config`.
+/// Runs `module` to completion under `config`, preparing it internally.
+///
+/// For repeated runs of the same module under the same cost model, build a
+/// [`PreparedModule`] once and call [`run_prepared`] instead.
 ///
 /// # Errors
 ///
 /// Returns a [`VmError`] on any runtime trap (type errors, null
 /// dereference, out-of-bounds access, deadlock, exceeded budgets).
 pub fn run(module: &Module, config: &VmConfig) -> Result<Outcome, VmError> {
-    let mut machine = Machine::new(module, config);
+    let prepared = PreparedModule::prepare(module, &config.cost);
+    run_prepared(&prepared, config)
+}
+
+/// Runs an already-prepared module to completion under `config`,
+/// amortizing the preparation cost across repeated runs.
+///
+/// `config.trigger`, `config.timeslice`, `config.max_cycles` and
+/// `config.max_stack` may vary freely between runs of one preparation;
+/// `config.cost` must equal the cost model the module was prepared with,
+/// because per-op costs were folded in at prepare time.
+///
+/// # Panics
+///
+/// Panics if `config.cost` differs from the preparation cost model.
+///
+/// # Errors
+///
+/// Returns a [`VmError`] on any runtime trap, exactly as [`run`] does.
+pub fn run_prepared(prepared: &PreparedModule, config: &VmConfig) -> Result<Outcome, VmError> {
+    assert_eq!(
+        &config.cost,
+        prepared.cost(),
+        "run_prepared: config cost model differs from the preparation cost model"
+    );
+    let mut machine = Machine::new(prepared, config);
     let result = machine.run_to_completion();
     match result {
         Ok(()) => Ok(machine.into_outcome()),
@@ -59,9 +100,12 @@ pub fn run(module: &Module, config: &VmConfig) -> Result<Outcome, VmError> {
     }
 }
 
-struct Frame {
+struct Frame<'p> {
     func: FuncId,
-    block: BlockId,
+    /// The function's decoded op arena, cached at call time so the fetch
+    /// in `step()` is a single slice index.
+    ops: &'p [Op],
+    /// Absolute index into the function's op arena.
     ip: usize,
     locals: Vec<Value>,
     ret_dst: Option<LocalId>,
@@ -80,8 +124,8 @@ enum ThreadState {
     Done,
 }
 
-struct Thread {
-    frames: Vec<Frame>,
+struct Thread<'p> {
+    frames: Vec<Frame<'p>>,
     state: ThreadState,
 }
 
@@ -90,19 +134,19 @@ enum Step {
     SwitchRequested,
 }
 
-struct Machine<'m> {
-    module: &'m Module,
-    cost: CostModel,
+struct Machine<'p> {
+    prepared: &'p PreparedModule,
+    sample_switch: u64,
     trigger: TriggerState,
+    /// Whether the trigger observes the clock at all (only the timer-bit
+    /// trigger does), letting `charge` skip the per-instruction tick.
+    timer_active: bool,
     timeslice: u64,
     max_cycles: Option<u64>,
     max_stack: usize,
     heap: Heap,
-    threads: Vec<Thread>,
+    threads: Vec<Thread<'p>>,
     current: usize,
-    /// Per-function backedge sets of the *executed* module, for the
-    /// Property 1 accounting.
-    backedges: Vec<HashSet<(BlockId, BlockId)>>,
     // Clock and scheduler bit.
     cycles: u64,
     next_switch: u64,
@@ -119,25 +163,23 @@ struct Machine<'m> {
     profile: ProfileData,
 }
 
-impl<'m> Machine<'m> {
-    fn new(module: &'m Module, config: &VmConfig) -> Self {
-        let backedges = module
-            .functions()
-            .map(|(_, f)| loops::backedges(f).into_iter().collect())
-            .collect();
+impl<'p> Machine<'p> {
+    fn new(prepared: &'p PreparedModule, config: &VmConfig) -> Self {
+        let main = prepared.module().main();
         let main_frame = Frame {
-            func: module.main(),
-            block: BlockId::new(0),
+            func: main,
+            ops: &prepared.func(main).ops,
             ip: 0,
-            locals: vec![Value::Unit; module.function(module.main()).num_locals()],
+            locals: vec![Value::Unit; prepared.func(main).num_locals],
             ret_dst: None,
             caller: None,
             path_reg: None,
         };
         Machine {
-            module,
-            cost: config.cost,
+            prepared,
+            sample_switch: prepared.cost().sample_switch,
             trigger: TriggerState::new(config.trigger),
+            timer_active: matches!(config.trigger, Trigger::TimerBit { .. }),
             timeslice: config.timeslice.max(1),
             max_cycles: config.max_cycles,
             max_stack: config.max_stack,
@@ -147,7 +189,6 @@ impl<'m> Machine<'m> {
                 state: ThreadState::Runnable,
             }],
             current: 0,
-            backedges,
             cycles: 0,
             next_switch: config.timeslice.max(1),
             switch_bit: false,
@@ -182,7 +223,7 @@ impl<'m> Machine<'m> {
         self.threads
             .get(self.current)
             .and_then(|t| t.frames.last())
-            .map(|f| self.module.function(f.func).name().to_owned())
+            .map(|f| self.prepared.module().function(f.func).name().to_owned())
             .unwrap_or_else(|| "<no frame>".to_owned())
     }
 
@@ -203,9 +244,7 @@ impl<'m> Machine<'m> {
                                     }
                                     return Err(TrapKind::Deadlock);
                                 }
-                                ThreadState::Blocked(_) => {
-                                    return Err(TrapKind::Deadlock)
-                                }
+                                ThreadState::Blocked(_) => return Err(TrapKind::Deadlock),
                             }
                         }
                     }
@@ -257,7 +296,11 @@ impl<'m> Machine<'m> {
     fn charge(&mut self, c: u64) -> Result<(), TrapKind> {
         self.cycles += c;
         self.instructions += 1;
-        self.trigger.on_tick(self.cycles);
+        if self.timer_active {
+            // `on_tick` is a no-op for every non-timer trigger; skipping
+            // the call keeps the branch out of the untimed hot path.
+            self.trigger.on_tick(self.cycles);
+        }
         if self.cycles >= self.next_switch {
             self.switch_bit = true;
             while self.cycles >= self.next_switch {
@@ -273,7 +316,7 @@ impl<'m> Machine<'m> {
     }
 
     #[inline]
-    fn frame(&self) -> &Frame {
+    fn frame(&self) -> &Frame<'p> {
         self.threads[self.current]
             .frames
             .last()
@@ -281,7 +324,7 @@ impl<'m> Machine<'m> {
     }
 
     #[inline]
-    fn frame_mut(&mut self) -> &mut Frame {
+    fn frame_mut(&mut self) -> &mut Frame<'p> {
         self.threads[self.current]
             .frames
             .last_mut()
@@ -303,15 +346,15 @@ impl<'m> Machine<'m> {
         self.frame_mut().ip += 1;
     }
 
-    fn goto(&mut self, to: BlockId) {
-        let frame = self.frame();
-        let from = frame.block;
-        if self.backedges[frame.func.index()].contains(&(from, to)) {
+    /// Transfers control to a pre-resolved arena index, bumping the
+    /// Property 1 accounting when the edge was classified as a backedge at
+    /// prepare time.
+    #[inline]
+    fn goto(&mut self, target: u32, backedge: bool) {
+        if backedge {
             self.backedges_executed += 1;
         }
-        let frame = self.frame_mut();
-        frame.block = to;
-        frame.ip = 0;
+        self.frame_mut().ip = target as usize;
     }
 
     fn push_frame(
@@ -325,13 +368,14 @@ impl<'m> Machine<'m> {
         if self.threads[thread].frames.len() >= self.max_stack {
             return Err(TrapKind::StackOverflow(self.max_stack));
         }
-        let f = self.module.function(callee);
-        debug_assert_eq!(f.arity(), args.len());
-        let mut locals = vec![Value::Unit; f.num_locals()];
+        let prepared: &'p PreparedModule = self.prepared;
+        let f = prepared.func(callee);
+        debug_assert_eq!(f.arity, args.len());
+        let mut locals = vec![Value::Unit; f.num_locals];
         locals[..args.len()].copy_from_slice(args);
         self.threads[thread].frames.push(Frame {
             func: callee,
-            block: BlockId::new(0),
+            ops: &f.ops,
             ip: 0,
             locals,
             ret_dst,
@@ -343,180 +387,144 @@ impl<'m> Machine<'m> {
     }
 
     fn step(&mut self) -> Result<Step, TrapKind> {
-        let frame = self.frame();
+        let cur = self.current;
+        let frame = self.threads[cur]
+            .frames
+            .last()
+            .expect("runnable thread has a frame");
         let func_id = frame.func;
-        let block = frame.block;
-        let ip = frame.ip;
-        let f = self.module.function(func_id);
-        let b = f.block(block);
-
-        if ip < b.insts().len() {
-            let inst = &b.insts()[ip];
-            self.charge(self.cost.inst_cost(inst))?;
-            return self.exec_inst(func_id, inst);
-        }
-
-        // Terminator.
-        let term = b.term();
-        self.charge(self.cost.term_cost(term))?;
-        match term {
-            Term::Jump(t) => self.goto(*t),
-            Term::Br { cond, t, f } => {
-                let c = self.get(*cond).as_bool()?;
-                let target = if c { *t } else { *f };
-                self.goto(target);
+        // The op borrow comes through the frame's cached `&'p [Op]` slice,
+        // leaving `self` free for mutation during execution.
+        let ops = frame.ops;
+        let op = &ops[frame.ip];
+        self.charge(op.cost)?;
+        // Hot arms take one `last_mut` borrow of the current frame, index
+        // locals directly and advance `ip` inline; the heap, the dispatch
+        // tables and the counters live in disjoint fields of `self`, so
+        // they stay reachable while the frame borrow is live.
+        match &op.kind {
+            OpKind::Const { dst, value } => {
+                let f = self.threads[cur].frames.last_mut().expect("frame");
+                f.locals[dst.index()] = *value;
+                f.ip += 1;
             }
-            Term::Ret(v) => {
-                let value = v.map(|l| self.get(l)).unwrap_or(Value::Unit);
-                let frame = self.threads[self.current]
-                    .frames
-                    .pop()
-                    .expect("ret pops the current frame");
-                if self.threads[self.current].frames.is_empty() {
-                    self.threads[self.current].state = ThreadState::Done;
-                    return Ok(Step::SwitchRequested);
-                }
-                if let Some(dst) = frame.ret_dst {
-                    self.set(dst, value);
-                }
+            OpKind::Move { dst, src } => {
+                let f = self.threads[cur].frames.last_mut().expect("frame");
+                f.locals[dst.index()] = f.locals[src.index()];
+                f.ip += 1;
             }
-            Term::Check { sample, cont } => {
-                self.checks_executed += 1;
-                let fire = self.trigger.on_check(self.current);
-                if fire {
-                    self.samples_taken += 1;
-                    // Jumping into cold duplicated code costs extra
-                    // (instruction-cache effects, §4.4 footnote 6).
-                    self.cycles += self.cost.sample_switch;
-                    self.goto(*sample);
-                } else {
-                    self.goto(*cont);
-                }
+            OpKind::Un { op, dst, src } => {
+                let f = self.threads[cur].frames.last_mut().expect("frame");
+                f.locals[dst.index()] = Value::unary(*op, f.locals[src.index()])?;
+                f.ip += 1;
             }
-        }
-        Ok(Step::Ran)
-    }
-
-    fn exec_inst(&mut self, func_id: FuncId, inst: &Inst) -> Result<Step, TrapKind> {
-        match inst {
-            Inst::Const { dst, value } => {
-                let v = match value {
-                    isf_ir::Const::I64(n) => Value::I64(*n),
-                    isf_ir::Const::Bool(b) => Value::Bool(*b),
-                    isf_ir::Const::Null => Value::Null,
-                };
-                self.set(*dst, v);
+            OpKind::Bin { op, dst, lhs, rhs } => {
+                let f = self.threads[cur].frames.last_mut().expect("frame");
+                f.locals[dst.index()] =
+                    Value::binary(*op, f.locals[lhs.index()], f.locals[rhs.index()])?;
+                f.ip += 1;
             }
-            Inst::Move { dst, src } => {
-                let v = self.get(*src);
-                self.set(*dst, v);
+            OpKind::New {
+                dst,
+                class,
+                num_fields,
+            } => {
+                let v = self.heap.alloc_object(*class, *num_fields);
+                let f = self.threads[cur].frames.last_mut().expect("frame");
+                f.locals[dst.index()] = v;
+                f.ip += 1;
             }
-            Inst::Un { op, dst, src } => {
-                let v = Value::unary(*op, self.get(*src))?;
-                self.set(*dst, v);
-            }
-            Inst::Bin { op, dst, lhs, rhs } => {
-                let v = Value::binary(*op, self.get(*lhs), self.get(*rhs))?;
-                self.set(*dst, v);
-            }
-            Inst::New { dst, class } => {
-                let num_fields = self.module.class(*class).num_fields();
-                let v = self.heap.alloc_object(*class, num_fields);
-                self.set(*dst, v);
-            }
-            Inst::GetField { dst, obj, field } => {
-                let o = self.get(*obj);
-                let object = self.heap.object(o)?;
+            OpKind::GetField { dst, obj, field } => {
+                let f = self.threads[cur].frames.last_mut().expect("frame");
+                let object = self.heap.object(f.locals[obj.index()])?;
                 let offset = self
-                    .module
-                    .class(object.class)
-                    .field_offset(*field)
+                    .prepared
+                    .field_offset(object.class, *field)
                     .ok_or_else(|| {
-                        TrapKind::NoSuchField(self.module.field_name(*field).to_owned())
+                        TrapKind::NoSuchField(self.prepared.module().field_name(*field).to_owned())
                     })?;
-                let v = object.fields[offset];
-                self.set(*dst, v);
+                f.locals[dst.index()] = object.fields[offset as usize];
+                f.ip += 1;
             }
-            Inst::SetField { obj, field, src } => {
-                let o = self.get(*obj);
-                let v = self.get(*src);
+            OpKind::SetField { obj, field, src } => {
+                let f = self.threads[cur].frames.last_mut().expect("frame");
+                let o = f.locals[obj.index()];
+                let v = f.locals[src.index()];
                 let class = self.heap.object(o)?.class;
-                let offset = self
-                    .module
-                    .class(class)
-                    .field_offset(*field)
-                    .ok_or_else(|| {
-                        TrapKind::NoSuchField(self.module.field_name(*field).to_owned())
-                    })?;
-                self.heap.object_mut(o)?.fields[offset] = v;
+                let offset = self.prepared.field_offset(class, *field).ok_or_else(|| {
+                    TrapKind::NoSuchField(self.prepared.module().field_name(*field).to_owned())
+                })?;
+                self.heap.object_mut(o)?.fields[offset as usize] = v;
+                f.ip += 1;
             }
-            Inst::NewArray { dst, len } => {
-                let n = self.get(*len).as_i64()?;
-                let v = self.heap.alloc_array(n)?;
-                self.set(*dst, v);
+            OpKind::NewArray { dst, len } => {
+                let f = self.threads[cur].frames.last_mut().expect("frame");
+                let n = f.locals[len.index()].as_i64()?;
+                f.locals[dst.index()] = self.heap.alloc_array(n)?;
+                f.ip += 1;
             }
-            Inst::ArrayGet { dst, arr, idx } => {
-                let a = self.get(*arr);
-                let i = self.get(*idx).as_i64()?;
-                let v = self.heap.array_get(a, i)?;
-                self.set(*dst, Value::I64(v));
+            OpKind::ArrayGet { dst, arr, idx } => {
+                let f = self.threads[cur].frames.last_mut().expect("frame");
+                let i = f.locals[idx.index()].as_i64()?;
+                let v = self.heap.array_get(f.locals[arr.index()], i)?;
+                f.locals[dst.index()] = Value::I64(v);
+                f.ip += 1;
             }
-            Inst::ArraySet { arr, idx, src } => {
-                let a = self.get(*arr);
-                let i = self.get(*idx).as_i64()?;
-                let v = self.get(*src).as_i64()?;
+            OpKind::ArraySet { arr, idx, src } => {
+                let f = self.threads[cur].frames.last_mut().expect("frame");
+                let a = f.locals[arr.index()];
+                let i = f.locals[idx.index()].as_i64()?;
+                let v = f.locals[src.index()].as_i64()?;
                 self.heap.array_set(a, i, v)?;
+                f.ip += 1;
             }
-            Inst::ArrayLen { dst, arr } => {
-                let a = self.get(*arr);
-                let n = self.heap.array_len(a)?;
-                self.set(*dst, Value::I64(n));
+            OpKind::ArrayLen { dst, arr } => {
+                let f = self.threads[cur].frames.last_mut().expect("frame");
+                let n = self.heap.array_len(f.locals[arr.index()])?;
+                f.locals[dst.index()] = Value::I64(n);
+                f.ip += 1;
             }
-            Inst::Call {
+            OpKind::Call {
                 dst,
                 callee,
                 args,
                 site,
             } => {
-                let vals: Vec<Value> = args.iter().map(|a| self.get(*a)).collect();
-                self.advance();
-                self.push_frame(*callee, &vals, *dst, Some((func_id, *site)), self.current)?;
-                return Ok(Step::Ran);
+                let f = self.threads[cur].frames.last_mut().expect("frame");
+                let vals: Vec<Value> = args.iter().map(|a| f.locals[a.index()]).collect();
+                f.ip += 1;
+                self.push_frame(*callee, &vals, *dst, Some((func_id, *site)), cur)?;
             }
-            Inst::CallMethod {
+            OpKind::CallMethod {
                 dst,
                 obj,
                 method,
                 args,
                 site,
             } => {
-                let o = self.get(*obj);
+                let f = self.threads[cur].frames.last_mut().expect("frame");
+                let o = f.locals[obj.index()];
                 let class = self.heap.object(o)?.class;
-                let callee = self
-                    .module
-                    .class(class)
-                    .resolve_method(*method)
-                    .ok_or_else(|| {
-                        TrapKind::NoSuchMethod(self.module.method_name(*method).to_owned())
-                    })?;
-                let expected = self.module.function(callee).arity();
+                let callee = self.prepared.method_impl(class, *method).ok_or_else(|| {
+                    TrapKind::NoSuchMethod(self.prepared.module().method_name(*method).to_owned())
+                })?;
+                let expected = self.prepared.func(callee).arity;
                 if expected != args.len() + 1 {
                     return Err(TrapKind::ArityMismatch {
-                        method: self.module.function(callee).name().to_owned(),
+                        method: self.prepared.module().function(callee).name().to_owned(),
                         given: args.len() + 1,
                         expected,
                     });
                 }
                 let mut vals = Vec::with_capacity(args.len() + 1);
                 vals.push(o);
-                vals.extend(args.iter().map(|a| self.get(*a)));
-                self.advance();
-                self.push_frame(callee, &vals, *dst, Some((func_id, *site)), self.current)?;
-                return Ok(Step::Ran);
+                vals.extend(args.iter().map(|a| f.locals[a.index()]));
+                f.ip += 1;
+                self.push_frame(callee, &vals, *dst, Some((func_id, *site)), cur)?;
             }
-            Inst::Print { src } => {
-                let v = self.get(*src);
-                let n = match v {
+            OpKind::Print { src } => {
+                let f = self.threads[cur].frames.last_mut().expect("frame");
+                let n = match f.locals[src.index()] {
                     Value::I64(n) => n,
                     Value::Bool(b) => i64::from(b),
                     other => {
@@ -527,8 +535,9 @@ impl<'m> Machine<'m> {
                     }
                 };
                 self.output.push(n);
+                f.ip += 1;
             }
-            Inst::Spawn { dst, callee, args } => {
+            OpKind::Spawn { dst, callee, args } => {
                 let vals: Vec<Value> = args.iter().map(|a| self.get(*a)).collect();
                 let tid = self.threads.len();
                 self.threads.push(Thread {
@@ -537,8 +546,9 @@ impl<'m> Machine<'m> {
                 });
                 self.push_frame(*callee, &vals, None, None, tid)?;
                 self.set(*dst, Value::Thread(tid as u32));
+                self.advance();
             }
-            Inst::Join { thread } => {
+            OpKind::Join { thread } => {
                 let t = match self.get(*thread) {
                     Value::Thread(t) => t as usize,
                     other => {
@@ -549,64 +559,67 @@ impl<'m> Machine<'m> {
                     }
                 };
                 if self.threads[t].state != ThreadState::Done {
-                    self.threads[self.current].state = ThreadState::Blocked(t);
+                    self.threads[cur].state = ThreadState::Blocked(t);
                     // Do not advance: the join re-executes when unblocked.
                     return Ok(Step::SwitchRequested);
                 }
+                self.advance();
             }
-            Inst::Yield => {
+            OpKind::Yield => {
                 self.yields_executed += 1;
+                self.advance();
                 if self.switch_bit {
                     self.switch_bit = false;
-                    self.advance();
                     return Ok(Step::SwitchRequested);
                 }
             }
-            Inst::Busy { .. } => {
+            OpKind::Busy => {
                 // The cost was already charged; nothing else happens.
+                self.advance();
             }
-            Inst::Instr(op) => self.exec_instr_op(func_id, op)?,
-        }
-        self.advance();
-        Ok(Step::Ran)
-    }
-
-    fn exec_instr_op(&mut self, func_id: FuncId, op: &InstrOp) -> Result<(), TrapKind> {
-        match op {
-            InstrOp::CallEdge => {
+            OpKind::CallEdge => {
                 // Examine the call stack (paper §4.2): the caller and the
                 // call site were stashed in the frame at call time.
-                if let Some((caller, site)) = self.frame().caller {
+                let f = self.threads[cur].frames.last_mut().expect("frame");
+                if let Some((caller, site)) = f.caller {
                     self.profile.record_call_edge(caller, site, func_id);
                 }
+                f.ip += 1;
             }
-            InstrOp::FieldAccess { obj, field, write } => {
-                let o = self.get(*obj);
-                let class = self.heap.object(o)?.class;
+            OpKind::FieldAccessProf { obj, field, write } => {
+                let f = self.threads[cur].frames.last_mut().expect("frame");
+                let class = self.heap.object(f.locals[obj.index()])?.class;
                 self.profile.record_field_access(class, *field, *write);
+                f.ip += 1;
             }
-            InstrOp::BlockCount { block } => {
+            OpKind::BlockCount { block } => {
                 self.profile.record_block(func_id, *block);
+                self.advance();
             }
-            InstrOp::EdgeCount { from, to } => {
+            OpKind::EdgeCount { from, to } => {
                 self.profile.record_edge(func_id, *from, *to);
+                self.advance();
             }
-            InstrOp::PathStart { value } => {
-                self.frame_mut().path_reg = Some(i64::from(*value));
+            OpKind::PathStart { value } => {
+                let f = self.threads[cur].frames.last_mut().expect("frame");
+                f.path_reg = Some(*value);
+                f.ip += 1;
             }
-            InstrOp::PathIncr { delta } => {
-                let d = i64::from(*delta);
-                if let Some(r) = self.frame_mut().path_reg.as_mut() {
-                    *r += d;
+            OpKind::PathIncr { delta } => {
+                let f = self.threads[cur].frames.last_mut().expect("frame");
+                if let Some(r) = f.path_reg.as_mut() {
+                    *r += *delta;
                 }
+                f.ip += 1;
             }
-            InstrOp::PathEnd { site } => {
-                let site = *site;
-                if let Some(id) = self.frame_mut().path_reg.take() {
-                    self.profile.record_path(func_id, site, id);
+            OpKind::PathEnd { site } => {
+                let f = self.threads[cur].frames.last_mut().expect("frame");
+                if let Some(id) = f.path_reg.take() {
+                    self.profile.record_path(func_id, *site, id);
                 }
+                f.ip += 1;
             }
-            InstrOp::ValueProfile { local, site } => {
+            OpKind::ValueProfile { local, site } => {
                 let v = match self.get(*local) {
                     Value::I64(n) => n,
                     Value::Bool(b) => i64::from(b),
@@ -616,15 +629,75 @@ impl<'m> Machine<'m> {
                     Value::Unit => 0,
                 };
                 self.profile.record_value(func_id, *site, v);
+                self.advance();
+            }
+            // Terminators (inlined into the arena as the block's last op).
+            OpKind::Jump { target, backedge } => {
+                if *backedge {
+                    self.backedges_executed += 1;
+                }
+                self.threads[cur].frames.last_mut().expect("frame").ip = *target as usize;
+            }
+            OpKind::Br {
+                cond,
+                t,
+                f: f_target,
+                t_backedge,
+                f_backedge,
+            } => {
+                let f = self.threads[cur].frames.last_mut().expect("frame");
+                let c = f.locals[cond.index()].as_bool()?;
+                let (target, backedge) = if c {
+                    (*t, *t_backedge)
+                } else {
+                    (*f_target, *f_backedge)
+                };
+                if backedge {
+                    self.backedges_executed += 1;
+                }
+                f.ip = target as usize;
+            }
+            OpKind::Ret { val } => {
+                let value = val.map(|l| self.get(l)).unwrap_or(Value::Unit);
+                let frame = self.threads[cur]
+                    .frames
+                    .pop()
+                    .expect("ret pops the current frame");
+                if self.threads[cur].frames.is_empty() {
+                    self.threads[cur].state = ThreadState::Done;
+                    return Ok(Step::SwitchRequested);
+                }
+                if let Some(dst) = frame.ret_dst {
+                    self.set(dst, value);
+                }
+            }
+            OpKind::Check {
+                sample,
+                cont,
+                sample_backedge,
+                cont_backedge,
+            } => {
+                self.checks_executed += 1;
+                if self.trigger.on_check(cur) {
+                    self.samples_taken += 1;
+                    // Jumping into cold duplicated code costs extra
+                    // (instruction-cache effects, §4.4 footnote 6).
+                    self.cycles += self.sample_switch;
+                    self.goto(*sample, *sample_backedge);
+                } else {
+                    self.goto(*cont, *cont_backedge);
+                }
             }
         }
-        Ok(())
+        Ok(Step::Ran)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::naive::run_naive;
+    use crate::prepared::thread_preparations;
 
     fn compile(src: &str) -> Module {
         isf_frontend::compile(src).expect("test program compiles")
@@ -794,5 +867,68 @@ mod tests {
         let quiet = run_src("fn main() { }");
         let busy = run_src("fn main() { busy(100000); }");
         assert!(busy.cycles >= quiet.cycles + 100_000);
+    }
+
+    #[test]
+    fn prepared_engine_matches_naive_reference() {
+        // Exercise every op class: arithmetic, control flow, calls, method
+        // dispatch, arrays, threads, yieldpoints.
+        let srcs = [
+            "fn fib(n) { if (n < 2) { return n; } return fib(n - 1) + fib(n - 2); }
+             fn main() { print(fib(14)); }",
+            "class Acc { field total; method add(x) { self.total = self.total + x; } }
+             fn main() {
+                 var a = new Acc; a.total = 0;
+                 var i = 0;
+                 while (i < 50) { a.add(i); i = i + 1; }
+                 print(a.total);
+             }",
+            "fn work(n) { var s = 0; var i = 0; while (i < n) { s = s + i; i = i + 1; } return s; }
+             fn main() {
+                 var t = spawn work(1000);
+                 var local = work(500);
+                 join(t);
+                 print(local);
+             }",
+        ];
+        for src in srcs {
+            let m = compile(src);
+            let cfg = VmConfig::default();
+            let fast = run(&m, &cfg).expect("prepared engine runs");
+            let slow = run_naive(&m, &cfg).expect("naive engine runs");
+            assert_eq!(fast, slow, "engines diverged on: {src}");
+        }
+    }
+
+    #[test]
+    fn run_prepared_amortizes_one_preparation() {
+        let m = compile("fn main() { var i = 0; while (i < 100) { i = i + 1; } print(i); }");
+        let cfg = VmConfig::default();
+        let prepared = PreparedModule::prepare(&m, &cfg.cost);
+        // Thread-local count: immune to concurrent test threads preparing.
+        let before = thread_preparations();
+        let a = run_prepared(&prepared, &cfg).unwrap();
+        let b = run_prepared(&prepared, &cfg).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(
+            thread_preparations(),
+            before,
+            "run_prepared must not re-prepare"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "cost model differs")]
+    fn run_prepared_rejects_mismatched_cost_model() {
+        let m = compile("fn main() { }");
+        let prepared = PreparedModule::prepare(&m, &CostModel::default());
+        let cfg = VmConfig {
+            cost: CostModel {
+                alu: 99,
+                ..CostModel::default()
+            },
+            ..VmConfig::default()
+        };
+        let _ = run_prepared(&prepared, &cfg);
     }
 }

@@ -46,14 +46,18 @@ mod cost;
 mod error;
 mod heap;
 mod interp;
+mod naive;
 mod outcome;
+mod prepared;
 mod trigger;
 mod value;
 
 pub use cost::CostModel;
 pub use error::{TrapKind, VmError};
 pub use heap::Heap;
-pub use interp::{run, VmConfig};
+pub use interp::{run, run_prepared, VmConfig};
+pub use naive::run_naive;
 pub use outcome::Outcome;
+pub use prepared::{preparations, thread_preparations, PreparedModule};
 pub use trigger::Trigger;
 pub use value::Value;

@@ -1,0 +1,609 @@
+//! The reference tree-walking interpreter.
+//!
+//! This is the original execution engine: it walks the [`Module`] IR
+//! directly, re-deriving instruction costs from the [`CostModel`] on every
+//! step, resolving block targets through the function on every transfer,
+//! and probing a per-run `HashSet<(BlockId, BlockId)>` on every control
+//! transfer for the Property 1 backedge accounting (the set itself is
+//! recomputed by `loops::backedges` on every [`run_naive`] call).
+//!
+//! Production code goes through the pre-decoded engine in `interp` /
+//! `prepared`; this module exists as the *semantic reference* the fast
+//! engine is differentially tested against (the `tests` crate asserts
+//! identical [`Outcome`]s on generated programs) and as the naive side of
+//! the `interp_dispatch` ablation bench. Keep its behaviour frozen: any
+//! observable divergence from `run` is a bug in one of the two engines.
+
+use std::collections::HashSet;
+
+use isf_ir::{loops, BlockId, CallSiteId, FuncId, Inst, InstrOp, LocalId, Module, Term};
+use isf_profile::ProfileData;
+
+use crate::error::{TrapKind, VmError};
+use crate::heap::Heap;
+use crate::interp::VmConfig;
+use crate::outcome::Outcome;
+use crate::trigger::TriggerState;
+use crate::value::Value;
+
+/// Runs `module` to completion on the reference tree-walking interpreter.
+///
+/// Semantically identical to [`crate::run`] (which uses the pre-decoded
+/// engine); kept for differential testing and dispatch-cost ablation.
+///
+/// # Errors
+///
+/// Returns a [`VmError`] on any runtime trap, exactly as [`crate::run`]
+/// does.
+pub fn run_naive(module: &Module, config: &VmConfig) -> Result<Outcome, VmError> {
+    let mut machine = Machine::new(module, config);
+    let result = machine.run_to_completion();
+    match result {
+        Ok(()) => Ok(machine.into_outcome()),
+        Err(kind) => Err(VmError {
+            function: machine.current_function_name(),
+            kind,
+        }),
+    }
+}
+
+struct Frame {
+    func: FuncId,
+    block: BlockId,
+    ip: usize,
+    locals: Vec<Value>,
+    ret_dst: Option<LocalId>,
+    caller: Option<(FuncId, CallSiteId)>,
+    /// Ball–Larus path register. `None` means "no path in progress": set
+    /// by `PathStart`, consumed by `PathEnd`. The option makes sampled
+    /// runs sound — a burst that enters duplicated code mid-path simply
+    /// records nothing until the next path start.
+    path_reg: Option<i64>,
+}
+
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+enum ThreadState {
+    Runnable,
+    Blocked(usize),
+    Done,
+}
+
+struct Thread {
+    frames: Vec<Frame>,
+    state: ThreadState,
+}
+
+enum Step {
+    Ran,
+    SwitchRequested,
+}
+
+struct Machine<'m> {
+    module: &'m Module,
+    cost: crate::cost::CostModel,
+    trigger: TriggerState,
+    timeslice: u64,
+    max_cycles: Option<u64>,
+    max_stack: usize,
+    heap: Heap,
+    threads: Vec<Thread>,
+    current: usize,
+    /// Per-function backedge sets of the *executed* module, for the
+    /// Property 1 accounting.
+    backedges: Vec<HashSet<(BlockId, BlockId)>>,
+    // Clock and scheduler bit.
+    cycles: u64,
+    next_switch: u64,
+    switch_bit: bool,
+    // Counters.
+    instructions: u64,
+    checks_executed: u64,
+    samples_taken: u64,
+    yields_executed: u64,
+    entries_executed: u64,
+    backedges_executed: u64,
+    thread_switches: u64,
+    output: Vec<i64>,
+    profile: ProfileData,
+}
+
+impl<'m> Machine<'m> {
+    fn new(module: &'m Module, config: &VmConfig) -> Self {
+        let backedges = module
+            .functions()
+            .map(|(_, f)| loops::backedges(f).into_iter().collect())
+            .collect();
+        let main_frame = Frame {
+            func: module.main(),
+            block: BlockId::new(0),
+            ip: 0,
+            locals: vec![Value::Unit; module.function(module.main()).num_locals()],
+            ret_dst: None,
+            caller: None,
+            path_reg: None,
+        };
+        Machine {
+            module,
+            cost: config.cost,
+            trigger: TriggerState::new(config.trigger),
+            timeslice: config.timeslice.max(1),
+            max_cycles: config.max_cycles,
+            max_stack: config.max_stack,
+            heap: Heap::new(),
+            threads: vec![Thread {
+                frames: vec![main_frame],
+                state: ThreadState::Runnable,
+            }],
+            current: 0,
+            backedges,
+            cycles: 0,
+            next_switch: config.timeslice.max(1),
+            switch_bit: false,
+            instructions: 0,
+            checks_executed: 0,
+            samples_taken: 0,
+            yields_executed: 0,
+            entries_executed: 1, // main's method entry
+            backedges_executed: 0,
+            thread_switches: 0,
+            output: Vec::new(),
+            profile: ProfileData::new(),
+        }
+    }
+
+    fn into_outcome(self) -> Outcome {
+        Outcome {
+            output: self.output,
+            cycles: self.cycles,
+            instructions: self.instructions,
+            profile: self.profile,
+            checks_executed: self.checks_executed,
+            samples_taken: self.samples_taken,
+            yields_executed: self.yields_executed,
+            entries_executed: self.entries_executed,
+            backedges_executed: self.backedges_executed,
+            thread_switches: self.thread_switches,
+        }
+    }
+
+    fn current_function_name(&self) -> String {
+        self.threads
+            .get(self.current)
+            .and_then(|t| t.frames.last())
+            .map(|f| self.module.function(f.func).name().to_owned())
+            .unwrap_or_else(|| "<no frame>".to_owned())
+    }
+
+    fn run_to_completion(&mut self) -> Result<(), TrapKind> {
+        loop {
+            match self.threads[self.current].state {
+                ThreadState::Runnable => match self.step()? {
+                    Step::Ran => {}
+                    Step::SwitchRequested => {
+                        if !self.reschedule(true) {
+                            // No other runnable thread; stay on the current
+                            // one if it can still run.
+                            match self.threads[self.current].state {
+                                ThreadState::Runnable => {}
+                                ThreadState::Done => {
+                                    if self.all_done() {
+                                        return Ok(());
+                                    }
+                                    return Err(TrapKind::Deadlock);
+                                }
+                                ThreadState::Blocked(_) => return Err(TrapKind::Deadlock),
+                            }
+                        }
+                    }
+                },
+                ThreadState::Done | ThreadState::Blocked(_) => {
+                    if self.all_done() {
+                        return Ok(());
+                    }
+                    if !self.reschedule(false) {
+                        return Err(TrapKind::Deadlock);
+                    }
+                }
+            }
+        }
+    }
+
+    fn all_done(&self) -> bool {
+        self.threads.iter().all(|t| t.state == ThreadState::Done)
+    }
+
+    /// Rotates to the next runnable thread (unblocking joiners whose target
+    /// finished). Returns `false` if no *other* thread could be scheduled
+    /// (`require_other = true`) or no thread at all is runnable.
+    fn reschedule(&mut self, require_other: bool) -> bool {
+        let n = self.threads.len();
+        for offset in 1..=n {
+            let idx = (self.current + offset) % n;
+            if require_other && idx == self.current {
+                continue;
+            }
+            // Unblock if the join target has finished.
+            if let ThreadState::Blocked(target) = self.threads[idx].state {
+                if self.threads[target].state == ThreadState::Done {
+                    self.threads[idx].state = ThreadState::Runnable;
+                }
+            }
+            if self.threads[idx].state == ThreadState::Runnable {
+                if idx != self.current {
+                    self.thread_switches += 1;
+                }
+                self.current = idx;
+                return true;
+            }
+        }
+        false
+    }
+
+    #[inline]
+    fn charge(&mut self, c: u64) -> Result<(), TrapKind> {
+        self.cycles += c;
+        self.instructions += 1;
+        self.trigger.on_tick(self.cycles);
+        if self.cycles >= self.next_switch {
+            self.switch_bit = true;
+            while self.cycles >= self.next_switch {
+                self.next_switch += self.timeslice;
+            }
+        }
+        if let Some(max) = self.max_cycles {
+            if self.cycles > max {
+                return Err(TrapKind::CycleBudgetExceeded(max));
+            }
+        }
+        Ok(())
+    }
+
+    #[inline]
+    fn frame(&self) -> &Frame {
+        self.threads[self.current]
+            .frames
+            .last()
+            .expect("runnable thread has a frame")
+    }
+
+    #[inline]
+    fn frame_mut(&mut self) -> &mut Frame {
+        self.threads[self.current]
+            .frames
+            .last_mut()
+            .expect("runnable thread has a frame")
+    }
+
+    #[inline]
+    fn get(&self, l: LocalId) -> Value {
+        self.frame().locals[l.index()]
+    }
+
+    #[inline]
+    fn set(&mut self, l: LocalId, v: Value) {
+        self.frame_mut().locals[l.index()] = v;
+    }
+
+    #[inline]
+    fn advance(&mut self) {
+        self.frame_mut().ip += 1;
+    }
+
+    fn goto(&mut self, to: BlockId) {
+        let frame = self.frame();
+        let from = frame.block;
+        if self.backedges[frame.func.index()].contains(&(from, to)) {
+            self.backedges_executed += 1;
+        }
+        let frame = self.frame_mut();
+        frame.block = to;
+        frame.ip = 0;
+    }
+
+    fn push_frame(
+        &mut self,
+        callee: FuncId,
+        args: &[Value],
+        ret_dst: Option<LocalId>,
+        caller: Option<(FuncId, CallSiteId)>,
+        thread: usize,
+    ) -> Result<(), TrapKind> {
+        if self.threads[thread].frames.len() >= self.max_stack {
+            return Err(TrapKind::StackOverflow(self.max_stack));
+        }
+        let f = self.module.function(callee);
+        debug_assert_eq!(f.arity(), args.len());
+        let mut locals = vec![Value::Unit; f.num_locals()];
+        locals[..args.len()].copy_from_slice(args);
+        self.threads[thread].frames.push(Frame {
+            func: callee,
+            block: BlockId::new(0),
+            ip: 0,
+            locals,
+            ret_dst,
+            caller,
+            path_reg: None,
+        });
+        self.entries_executed += 1;
+        Ok(())
+    }
+
+    fn step(&mut self) -> Result<Step, TrapKind> {
+        let frame = self.frame();
+        let func_id = frame.func;
+        let block = frame.block;
+        let ip = frame.ip;
+        let f = self.module.function(func_id);
+        let b = f.block(block);
+
+        if ip < b.insts().len() {
+            let inst = &b.insts()[ip];
+            self.charge(self.cost.inst_cost(inst))?;
+            return self.exec_inst(func_id, inst);
+        }
+
+        // Terminator.
+        let term = b.term();
+        self.charge(self.cost.term_cost(term))?;
+        match term {
+            Term::Jump(t) => self.goto(*t),
+            Term::Br { cond, t, f } => {
+                let c = self.get(*cond).as_bool()?;
+                let target = if c { *t } else { *f };
+                self.goto(target);
+            }
+            Term::Ret(v) => {
+                let value = v.map(|l| self.get(l)).unwrap_or(Value::Unit);
+                let frame = self.threads[self.current]
+                    .frames
+                    .pop()
+                    .expect("ret pops the current frame");
+                if self.threads[self.current].frames.is_empty() {
+                    self.threads[self.current].state = ThreadState::Done;
+                    return Ok(Step::SwitchRequested);
+                }
+                if let Some(dst) = frame.ret_dst {
+                    self.set(dst, value);
+                }
+            }
+            Term::Check { sample, cont } => {
+                self.checks_executed += 1;
+                let fire = self.trigger.on_check(self.current);
+                if fire {
+                    self.samples_taken += 1;
+                    // Jumping into cold duplicated code costs extra
+                    // (instruction-cache effects, §4.4 footnote 6).
+                    self.cycles += self.cost.sample_switch;
+                    self.goto(*sample);
+                } else {
+                    self.goto(*cont);
+                }
+            }
+        }
+        Ok(Step::Ran)
+    }
+
+    fn exec_inst(&mut self, func_id: FuncId, inst: &Inst) -> Result<Step, TrapKind> {
+        match inst {
+            Inst::Const { dst, value } => {
+                let v = match value {
+                    isf_ir::Const::I64(n) => Value::I64(*n),
+                    isf_ir::Const::Bool(b) => Value::Bool(*b),
+                    isf_ir::Const::Null => Value::Null,
+                };
+                self.set(*dst, v);
+            }
+            Inst::Move { dst, src } => {
+                let v = self.get(*src);
+                self.set(*dst, v);
+            }
+            Inst::Un { op, dst, src } => {
+                let v = Value::unary(*op, self.get(*src))?;
+                self.set(*dst, v);
+            }
+            Inst::Bin { op, dst, lhs, rhs } => {
+                let v = Value::binary(*op, self.get(*lhs), self.get(*rhs))?;
+                self.set(*dst, v);
+            }
+            Inst::New { dst, class } => {
+                let num_fields = self.module.class(*class).num_fields();
+                let v = self.heap.alloc_object(*class, num_fields);
+                self.set(*dst, v);
+            }
+            Inst::GetField { dst, obj, field } => {
+                let o = self.get(*obj);
+                let object = self.heap.object(o)?;
+                let offset = self
+                    .module
+                    .class(object.class)
+                    .field_offset(*field)
+                    .ok_or_else(|| {
+                        TrapKind::NoSuchField(self.module.field_name(*field).to_owned())
+                    })?;
+                let v = object.fields[offset];
+                self.set(*dst, v);
+            }
+            Inst::SetField { obj, field, src } => {
+                let o = self.get(*obj);
+                let v = self.get(*src);
+                let class = self.heap.object(o)?.class;
+                let offset = self
+                    .module
+                    .class(class)
+                    .field_offset(*field)
+                    .ok_or_else(|| {
+                        TrapKind::NoSuchField(self.module.field_name(*field).to_owned())
+                    })?;
+                self.heap.object_mut(o)?.fields[offset] = v;
+            }
+            Inst::NewArray { dst, len } => {
+                let n = self.get(*len).as_i64()?;
+                let v = self.heap.alloc_array(n)?;
+                self.set(*dst, v);
+            }
+            Inst::ArrayGet { dst, arr, idx } => {
+                let a = self.get(*arr);
+                let i = self.get(*idx).as_i64()?;
+                let v = self.heap.array_get(a, i)?;
+                self.set(*dst, Value::I64(v));
+            }
+            Inst::ArraySet { arr, idx, src } => {
+                let a = self.get(*arr);
+                let i = self.get(*idx).as_i64()?;
+                let v = self.get(*src).as_i64()?;
+                self.heap.array_set(a, i, v)?;
+            }
+            Inst::ArrayLen { dst, arr } => {
+                let a = self.get(*arr);
+                let n = self.heap.array_len(a)?;
+                self.set(*dst, Value::I64(n));
+            }
+            Inst::Call {
+                dst,
+                callee,
+                args,
+                site,
+            } => {
+                let vals: Vec<Value> = args.iter().map(|a| self.get(*a)).collect();
+                self.advance();
+                self.push_frame(*callee, &vals, *dst, Some((func_id, *site)), self.current)?;
+                return Ok(Step::Ran);
+            }
+            Inst::CallMethod {
+                dst,
+                obj,
+                method,
+                args,
+                site,
+            } => {
+                let o = self.get(*obj);
+                let class = self.heap.object(o)?.class;
+                let callee = self
+                    .module
+                    .class(class)
+                    .resolve_method(*method)
+                    .ok_or_else(|| {
+                        TrapKind::NoSuchMethod(self.module.method_name(*method).to_owned())
+                    })?;
+                let expected = self.module.function(callee).arity();
+                if expected != args.len() + 1 {
+                    return Err(TrapKind::ArityMismatch {
+                        method: self.module.function(callee).name().to_owned(),
+                        given: args.len() + 1,
+                        expected,
+                    });
+                }
+                let mut vals = Vec::with_capacity(args.len() + 1);
+                vals.push(o);
+                vals.extend(args.iter().map(|a| self.get(*a)));
+                self.advance();
+                self.push_frame(callee, &vals, *dst, Some((func_id, *site)), self.current)?;
+                return Ok(Step::Ran);
+            }
+            Inst::Print { src } => {
+                let v = self.get(*src);
+                let n = match v {
+                    Value::I64(n) => n,
+                    Value::Bool(b) => i64::from(b),
+                    other => {
+                        return Err(TrapKind::TypeError {
+                            expected: "printable value",
+                            found: other.kind_name(),
+                        })
+                    }
+                };
+                self.output.push(n);
+            }
+            Inst::Spawn { dst, callee, args } => {
+                let vals: Vec<Value> = args.iter().map(|a| self.get(*a)).collect();
+                let tid = self.threads.len();
+                self.threads.push(Thread {
+                    frames: Vec::new(),
+                    state: ThreadState::Runnable,
+                });
+                self.push_frame(*callee, &vals, None, None, tid)?;
+                self.set(*dst, Value::Thread(tid as u32));
+            }
+            Inst::Join { thread } => {
+                let t = match self.get(*thread) {
+                    Value::Thread(t) => t as usize,
+                    other => {
+                        return Err(TrapKind::TypeError {
+                            expected: "thread handle",
+                            found: other.kind_name(),
+                        })
+                    }
+                };
+                if self.threads[t].state != ThreadState::Done {
+                    self.threads[self.current].state = ThreadState::Blocked(t);
+                    // Do not advance: the join re-executes when unblocked.
+                    return Ok(Step::SwitchRequested);
+                }
+            }
+            Inst::Yield => {
+                self.yields_executed += 1;
+                if self.switch_bit {
+                    self.switch_bit = false;
+                    self.advance();
+                    return Ok(Step::SwitchRequested);
+                }
+            }
+            Inst::Busy { .. } => {
+                // The cost was already charged; nothing else happens.
+            }
+            Inst::Instr(op) => self.exec_instr_op(func_id, op)?,
+        }
+        self.advance();
+        Ok(Step::Ran)
+    }
+
+    fn exec_instr_op(&mut self, func_id: FuncId, op: &InstrOp) -> Result<(), TrapKind> {
+        match op {
+            InstrOp::CallEdge => {
+                // Examine the call stack (paper §4.2): the caller and the
+                // call site were stashed in the frame at call time.
+                if let Some((caller, site)) = self.frame().caller {
+                    self.profile.record_call_edge(caller, site, func_id);
+                }
+            }
+            InstrOp::FieldAccess { obj, field, write } => {
+                let o = self.get(*obj);
+                let class = self.heap.object(o)?.class;
+                self.profile.record_field_access(class, *field, *write);
+            }
+            InstrOp::BlockCount { block } => {
+                self.profile.record_block(func_id, *block);
+            }
+            InstrOp::EdgeCount { from, to } => {
+                self.profile.record_edge(func_id, *from, *to);
+            }
+            InstrOp::PathStart { value } => {
+                self.frame_mut().path_reg = Some(i64::from(*value));
+            }
+            InstrOp::PathIncr { delta } => {
+                let d = i64::from(*delta);
+                if let Some(r) = self.frame_mut().path_reg.as_mut() {
+                    *r += d;
+                }
+            }
+            InstrOp::PathEnd { site } => {
+                let site = *site;
+                if let Some(id) = self.frame_mut().path_reg.take() {
+                    self.profile.record_path(func_id, site, id);
+                }
+            }
+            InstrOp::ValueProfile { local, site } => {
+                let v = match self.get(*local) {
+                    Value::I64(n) => n,
+                    Value::Bool(b) => i64::from(b),
+                    // Reference values are profiled by identity.
+                    Value::Obj(h) | Value::Arr(h) | Value::Thread(h) => i64::from(h),
+                    Value::Null => -1,
+                    Value::Unit => 0,
+                };
+                self.profile.record_value(func_id, *site, v);
+            }
+        }
+        Ok(())
+    }
+}

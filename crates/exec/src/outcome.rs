@@ -4,7 +4,7 @@ use isf_profile::ProfileData;
 
 /// Everything a run produces: program output, the collected profile, and
 /// the event counters the experiments are built from.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Outcome {
     /// Values printed by the program, in order (used to prove semantic
     /// equivalence of transformed code).

@@ -1,0 +1,583 @@
+//! Pre-decoded modules: the one-time `prepare` pass that flattens a
+//! [`Module`] into the dense form the interpreter's hot loop executes.
+//!
+//! Preparation does, once per (module, cost model):
+//!
+//! * **Arena flattening.** Each function's blocks are laid out back to back
+//!   in one contiguous [`Op`] vector, with the terminator inlined as the
+//!   block's final op. The hot loop fetches `ops[ip]` — no block lookup,
+//!   no separate instruction/terminator fetch.
+//! * **Target pre-resolution.** Branch targets are absolute arena indices,
+//!   not [`BlockId`]s resolved through the function on every transfer.
+//! * **Cost pre-folding.** Every op carries its cycle cost, folded from
+//!   the [`CostModel`] at prepare time; the hot loop never re-derives a
+//!   cost from instruction shape.
+//! * **Backedge pre-classification.** The per-function `loops::backedges`
+//!   analysis runs once here and is baked into per-edge flags on each
+//!   terminator, replacing the per-run analysis and per-transfer
+//!   `HashSet<(BlockId, BlockId)>` probes of the naive interpreter.
+//! * **Operand pre-resolution.** Constants become runtime [`Value`]s,
+//!   `new` carries its class's field count, and Ball–Larus path constants
+//!   are widened to `i64` up front.
+//! * **Dense dispatch tables.** Field offsets and method implementations
+//!   are resolved for every (class, symbol) pair into flat arrays, so a
+//!   field access or a virtual call in the hot loop is one indexed load
+//!   instead of a per-access hash-map probe through the class table.
+//!
+//! The pass is observable through [`preparations`], a process-wide counter
+//! the harness asserts against to prove each experiment cell prepares its
+//! module exactly once, however many times it re-runs it.
+
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use isf_ir::{
+    loops, BinOp, BlockId, CallSiteId, ClassId, Const, FieldSym, FuncId, Function, Inst, InstrOp,
+    LocalId, MethodSym, Module, Term, UnOp,
+};
+
+use crate::cost::CostModel;
+use crate::value::Value;
+
+/// Process-wide count of [`PreparedModule::prepare`] calls, used by the
+/// harness to assert preparation happens once per experiment cell.
+static PREPARATIONS: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    /// Per-thread preparation count. An experiment cell runs entirely on
+    /// one thread, so this gives a race-free once-per-cell assertion even
+    /// while other threads prepare their own cells concurrently.
+    static THREAD_PREPARATIONS: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+/// Number of `prepare` passes executed by this process so far.
+pub fn preparations() -> u64 {
+    PREPARATIONS.load(Ordering::Relaxed)
+}
+
+/// Number of `prepare` passes executed by the *calling thread*. Immune to
+/// concurrent preparations on other threads, unlike [`preparations`].
+pub fn thread_preparations() -> u64 {
+    THREAD_PREPARATIONS.with(|c| c.get())
+}
+
+/// One decoded operation: its pre-folded cycle cost plus the decoded form.
+#[derive(Clone, Debug)]
+pub(crate) struct Op {
+    /// Cycles charged when this op executes (the check's sample-switch
+    /// surcharge is the one cost still applied conditionally at runtime).
+    pub(crate) cost: u64,
+    pub(crate) kind: OpKind,
+}
+
+/// The decoded instruction set the hot loop dispatches on. Instructions
+/// and terminators share one enum so a block is a flat run of ops ending
+/// in a control transfer.
+#[derive(Clone, Debug)]
+pub(crate) enum OpKind {
+    /// `dst = value`, with the constant already converted to a [`Value`].
+    Const {
+        dst: LocalId,
+        value: Value,
+    },
+    Move {
+        dst: LocalId,
+        src: LocalId,
+    },
+    Un {
+        op: UnOp,
+        dst: LocalId,
+        src: LocalId,
+    },
+    Bin {
+        op: BinOp,
+        dst: LocalId,
+        lhs: LocalId,
+        rhs: LocalId,
+    },
+    /// Allocation with the field count pre-resolved from the class table.
+    New {
+        dst: LocalId,
+        class: ClassId,
+        num_fields: usize,
+    },
+    GetField {
+        dst: LocalId,
+        obj: LocalId,
+        field: FieldSym,
+    },
+    SetField {
+        obj: LocalId,
+        field: FieldSym,
+        src: LocalId,
+    },
+    NewArray {
+        dst: LocalId,
+        len: LocalId,
+    },
+    ArrayGet {
+        dst: LocalId,
+        arr: LocalId,
+        idx: LocalId,
+    },
+    ArraySet {
+        arr: LocalId,
+        idx: LocalId,
+        src: LocalId,
+    },
+    ArrayLen {
+        dst: LocalId,
+        arr: LocalId,
+    },
+    Call {
+        dst: Option<LocalId>,
+        callee: FuncId,
+        args: Box<[LocalId]>,
+        site: CallSiteId,
+    },
+    CallMethod {
+        dst: Option<LocalId>,
+        obj: LocalId,
+        method: MethodSym,
+        args: Box<[LocalId]>,
+        site: CallSiteId,
+    },
+    Print {
+        src: LocalId,
+    },
+    Spawn {
+        dst: LocalId,
+        callee: FuncId,
+        args: Box<[LocalId]>,
+    },
+    Join {
+        thread: LocalId,
+    },
+    Yield,
+    /// The cost field carries the whole effect.
+    Busy,
+    // Instrumentation operations, decoded from `Inst::Instr`.
+    CallEdge,
+    FieldAccessProf {
+        obj: LocalId,
+        field: FieldSym,
+        write: bool,
+    },
+    BlockCount {
+        block: BlockId,
+    },
+    EdgeCount {
+        from: BlockId,
+        to: BlockId,
+    },
+    ValueProfile {
+        local: LocalId,
+        site: u32,
+    },
+    PathStart {
+        value: i64,
+    },
+    PathIncr {
+        delta: i64,
+    },
+    PathEnd {
+        site: u32,
+    },
+    // Terminators, with targets as absolute arena indices and backedge
+    // membership pre-classified per edge.
+    Jump {
+        target: u32,
+        backedge: bool,
+    },
+    Br {
+        cond: LocalId,
+        t: u32,
+        f: u32,
+        t_backedge: bool,
+        f_backedge: bool,
+    },
+    Ret {
+        val: Option<LocalId>,
+    },
+    Check {
+        sample: u32,
+        cont: u32,
+        sample_backedge: bool,
+        cont_backedge: bool,
+    },
+}
+
+/// One function flattened into a contiguous op arena. The entry point is
+/// always arena index 0 (block 0 is laid out first).
+#[derive(Clone, Debug)]
+pub(crate) struct PreparedFunction {
+    pub(crate) ops: Vec<Op>,
+    pub(crate) num_locals: usize,
+    pub(crate) arity: usize,
+}
+
+/// A module flattened for execution: the decoded op arenas plus the owned
+/// source [`Module`] (still needed for runtime name/class resolution) and
+/// the [`CostModel`] the costs were folded from.
+///
+/// Build once with [`PreparedModule::prepare`], then execute any number of
+/// times with [`crate::run_prepared`] — Table 4, for example, runs the same
+/// instrumented program at six sampling intervals, amortizing one
+/// preparation over all of them.
+#[derive(Clone, Debug)]
+pub struct PreparedModule {
+    module: Module,
+    cost: CostModel,
+    funcs: Vec<PreparedFunction>,
+    /// Field slot per (class, field symbol), row-major by class.
+    field_offsets: Box<[Option<u32>]>,
+    num_field_syms: usize,
+    /// Implementing function per (class, method symbol), row-major by
+    /// class.
+    method_impls: Box<[Option<FuncId>]>,
+    num_method_syms: usize,
+}
+
+impl PreparedModule {
+    /// Flattens `module` under `cost`. This is the only place the
+    /// per-function backedge analysis runs.
+    pub fn prepare(module: &Module, cost: &CostModel) -> Self {
+        PREPARATIONS.fetch_add(1, Ordering::Relaxed);
+        THREAD_PREPARATIONS.with(|c| c.set(c.get() + 1));
+        let funcs = module
+            .functions()
+            .map(|(_, f)| prepare_function(module, f, cost))
+            .collect();
+        let num_field_syms = module.num_field_syms();
+        let num_method_syms = module.num_method_syms();
+        let num_classes = module.num_classes();
+        let mut field_offsets = vec![None; num_classes * num_field_syms];
+        let mut method_impls = vec![None; num_classes * num_method_syms];
+        for (id, class) in module.classes() {
+            for s in 0..num_field_syms {
+                field_offsets[id.index() * num_field_syms + s] = class
+                    .field_offset(FieldSym::new(s as u32))
+                    .map(|o| o as u32);
+            }
+            for s in 0..num_method_syms {
+                method_impls[id.index() * num_method_syms + s] =
+                    class.resolve_method(MethodSym::new(s as u32));
+            }
+        }
+        PreparedModule {
+            module: module.clone(),
+            cost: *cost,
+            funcs,
+            field_offsets: field_offsets.into_boxed_slice(),
+            num_field_syms,
+            method_impls: method_impls.into_boxed_slice(),
+            num_method_syms,
+        }
+    }
+
+    /// The source module (for name, class and method resolution).
+    pub fn module(&self) -> &Module {
+        &self.module
+    }
+
+    /// The cost model the op costs were folded from.
+    pub fn cost(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// Total decoded ops across all functions.
+    pub fn num_ops(&self) -> usize {
+        self.funcs.iter().map(|f| f.ops.len()).sum()
+    }
+
+    #[inline]
+    pub(crate) fn func(&self, id: FuncId) -> &PreparedFunction {
+        &self.funcs[id.index()]
+    }
+
+    /// Pre-resolved field slot of `field` on `class`.
+    #[inline]
+    pub(crate) fn field_offset(&self, class: ClassId, field: FieldSym) -> Option<u32> {
+        self.field_offsets[class.index() * self.num_field_syms + field.index()]
+    }
+
+    /// Pre-resolved implementation of `method` on `class`.
+    #[inline]
+    pub(crate) fn method_impl(&self, class: ClassId, method: MethodSym) -> Option<FuncId> {
+        self.method_impls[class.index() * self.num_method_syms + method.index()]
+    }
+}
+
+fn prepare_function(module: &Module, f: &Function, cost: &CostModel) -> PreparedFunction {
+    let back: HashSet<(BlockId, BlockId)> = loops::backedges(f).into_iter().collect();
+    // First pass: arena offset of each block (insts + inlined terminator).
+    let mut starts = Vec::with_capacity(f.num_blocks());
+    let mut offset = 0u32;
+    for (_, b) in f.blocks() {
+        starts.push(offset);
+        offset += b.insts().len() as u32 + 1;
+    }
+    // Second pass: decode.
+    let mut ops = Vec::with_capacity(offset as usize);
+    for (id, b) in f.blocks() {
+        for inst in b.insts() {
+            ops.push(decode_inst(module, inst, cost));
+        }
+        ops.push(decode_term(id, b.term(), cost, &back, &starts));
+    }
+    PreparedFunction {
+        ops,
+        num_locals: f.num_locals(),
+        arity: f.arity(),
+    }
+}
+
+fn decode_inst(module: &Module, inst: &Inst, cost: &CostModel) -> Op {
+    let c = cost.inst_cost(inst);
+    let kind = match inst {
+        Inst::Const { dst, value } => OpKind::Const {
+            dst: *dst,
+            value: match value {
+                Const::I64(n) => Value::I64(*n),
+                Const::Bool(b) => Value::Bool(*b),
+                Const::Null => Value::Null,
+            },
+        },
+        Inst::Move { dst, src } => OpKind::Move {
+            dst: *dst,
+            src: *src,
+        },
+        Inst::Un { op, dst, src } => OpKind::Un {
+            op: *op,
+            dst: *dst,
+            src: *src,
+        },
+        Inst::Bin { op, dst, lhs, rhs } => OpKind::Bin {
+            op: *op,
+            dst: *dst,
+            lhs: *lhs,
+            rhs: *rhs,
+        },
+        Inst::New { dst, class } => OpKind::New {
+            dst: *dst,
+            class: *class,
+            num_fields: module.class(*class).num_fields(),
+        },
+        Inst::GetField { dst, obj, field } => OpKind::GetField {
+            dst: *dst,
+            obj: *obj,
+            field: *field,
+        },
+        Inst::SetField { obj, field, src } => OpKind::SetField {
+            obj: *obj,
+            field: *field,
+            src: *src,
+        },
+        Inst::NewArray { dst, len } => OpKind::NewArray {
+            dst: *dst,
+            len: *len,
+        },
+        Inst::ArrayGet { dst, arr, idx } => OpKind::ArrayGet {
+            dst: *dst,
+            arr: *arr,
+            idx: *idx,
+        },
+        Inst::ArraySet { arr, idx, src } => OpKind::ArraySet {
+            arr: *arr,
+            idx: *idx,
+            src: *src,
+        },
+        Inst::ArrayLen { dst, arr } => OpKind::ArrayLen {
+            dst: *dst,
+            arr: *arr,
+        },
+        Inst::Call {
+            dst,
+            callee,
+            args,
+            site,
+        } => OpKind::Call {
+            dst: *dst,
+            callee: *callee,
+            args: args.clone().into_boxed_slice(),
+            site: *site,
+        },
+        Inst::CallMethod {
+            dst,
+            obj,
+            method,
+            args,
+            site,
+        } => OpKind::CallMethod {
+            dst: *dst,
+            obj: *obj,
+            method: *method,
+            args: args.clone().into_boxed_slice(),
+            site: *site,
+        },
+        Inst::Print { src } => OpKind::Print { src: *src },
+        Inst::Spawn { dst, callee, args } => OpKind::Spawn {
+            dst: *dst,
+            callee: *callee,
+            args: args.clone().into_boxed_slice(),
+        },
+        Inst::Join { thread } => OpKind::Join { thread: *thread },
+        Inst::Yield => OpKind::Yield,
+        Inst::Busy { .. } => OpKind::Busy,
+        Inst::Instr(op) => match op {
+            InstrOp::CallEdge => OpKind::CallEdge,
+            InstrOp::FieldAccess { obj, field, write } => OpKind::FieldAccessProf {
+                obj: *obj,
+                field: *field,
+                write: *write,
+            },
+            InstrOp::BlockCount { block } => OpKind::BlockCount { block: *block },
+            InstrOp::EdgeCount { from, to } => OpKind::EdgeCount {
+                from: *from,
+                to: *to,
+            },
+            InstrOp::ValueProfile { local, site } => OpKind::ValueProfile {
+                local: *local,
+                site: *site,
+            },
+            InstrOp::PathStart { value } => OpKind::PathStart {
+                value: i64::from(*value),
+            },
+            InstrOp::PathIncr { delta } => OpKind::PathIncr {
+                delta: i64::from(*delta),
+            },
+            InstrOp::PathEnd { site } => OpKind::PathEnd { site: *site },
+        },
+    };
+    Op { cost: c, kind }
+}
+
+fn decode_term(
+    from: BlockId,
+    term: &Term,
+    cost: &CostModel,
+    back: &HashSet<(BlockId, BlockId)>,
+    starts: &[u32],
+) -> Op {
+    let c = cost.term_cost(term);
+    let target = |to: BlockId| starts[to.index()];
+    let backedge = |to: BlockId| back.contains(&(from, to));
+    let kind = match term {
+        Term::Jump(t) => OpKind::Jump {
+            target: target(*t),
+            backedge: backedge(*t),
+        },
+        Term::Br { cond, t, f } => OpKind::Br {
+            cond: *cond,
+            t: target(*t),
+            f: target(*f),
+            t_backedge: backedge(*t),
+            f_backedge: backedge(*f),
+        },
+        Term::Ret(val) => OpKind::Ret { val: *val },
+        Term::Check { sample, cont } => OpKind::Check {
+            sample: target(*sample),
+            cont: target(*cont),
+            sample_backedge: backedge(*sample),
+            cont_backedge: backedge(*cont),
+        },
+    };
+    Op { cost: c, kind }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn compile(src: &str) -> Module {
+        isf_frontend::compile(src).expect("test program compiles")
+    }
+
+    #[test]
+    fn arena_layout_matches_source() {
+        let m = compile("fn main() { var i = 0; while (i < 3) { i = i + 1; } print(i); }");
+        let p = PreparedModule::prepare(&m, &CostModel::default());
+        let f = m.function(m.main());
+        // One op per instruction plus one inlined terminator per block.
+        let expected: usize = f.blocks().map(|(_, b)| b.insts().len() + 1).sum();
+        assert_eq!(p.func(m.main()).ops.len(), expected);
+        assert_eq!(p.func(m.main()).num_locals, f.num_locals());
+    }
+
+    #[test]
+    fn loop_backedge_is_preclassified() {
+        let m = compile("fn main() { var i = 0; while (i < 3) { i = i + 1; } }");
+        let p = PreparedModule::prepare(&m, &CostModel::default());
+        let flagged = p
+            .func(m.main())
+            .ops
+            .iter()
+            .filter(|op| {
+                matches!(
+                    op.kind,
+                    OpKind::Jump { backedge: true, .. }
+                        | OpKind::Br {
+                            t_backedge: true,
+                            ..
+                        }
+                        | OpKind::Br {
+                            f_backedge: true,
+                            ..
+                        }
+                )
+            })
+            .count();
+        assert_eq!(flagged, 1, "exactly one backedge in a single while loop");
+    }
+
+    #[test]
+    fn costs_are_prefolded() {
+        let cost = CostModel::default();
+        let m = compile("fn main() { print(2 * 3); }");
+        let p = PreparedModule::prepare(&m, &cost);
+        let ops = &p.func(m.main()).ops;
+        assert!(
+            ops.iter()
+                .any(|op| matches!(op.kind, OpKind::Bin { op: BinOp::Mul, .. })
+                    && op.cost == cost.mul)
+        );
+        assert!(ops
+            .iter()
+            .any(|op| matches!(op.kind, OpKind::Print { .. }) && op.cost == cost.print));
+        assert!(matches!(
+            ops.last().map(|op| (&op.kind, op.cost)),
+            Some((OpKind::Ret { .. }, c)) if c == cost.ret
+        ));
+    }
+
+    #[test]
+    fn dispatch_tables_match_class_lookups() {
+        let m = compile(
+            "class Shape { field tag; method area() { return 0; } }
+             class Square : Shape { field side; method area() { return self.side * self.side; } }
+             fn main() { var s = new Square; s.side = 2; print(s.area()); }",
+        );
+        let p = PreparedModule::prepare(&m, &CostModel::default());
+        for (id, class) in m.classes() {
+            for s in 0..m.num_field_syms() {
+                let sym = FieldSym::new(s as u32);
+                assert_eq!(
+                    p.field_offset(id, sym),
+                    class.field_offset(sym).map(|o| o as u32)
+                );
+            }
+            for s in 0..m.num_method_syms() {
+                let sym = MethodSym::new(s as u32);
+                assert_eq!(p.method_impl(id, sym), class.resolve_method(sym));
+            }
+        }
+    }
+
+    #[test]
+    fn preparation_counter_increments() {
+        let m = compile("fn main() { }");
+        let before = preparations();
+        let _p = PreparedModule::prepare(&m, &CostModel::default());
+        assert_eq!(preparations(), before + 1);
+    }
+}

@@ -134,7 +134,9 @@ impl TriggerState {
     #[inline]
     pub(crate) fn on_tick(&mut self, now: u64) {
         if let TriggerState::Timer {
-            bit, next_fire, period,
+            bit,
+            next_fire,
+            period,
         } = self
         {
             if now >= *next_fire {

@@ -8,8 +8,7 @@ use crate::error::TrapKind;
 
 /// A runtime value. All values are word-sized and `Copy`; objects, arrays
 /// and threads are handles into the [`crate::Heap`] / scheduler.
-#[derive(Copy, Clone, PartialEq, Eq, Debug)]
-#[derive(Default)]
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
 pub enum Value {
     /// A 64-bit signed integer.
     I64(i64),
@@ -27,7 +26,6 @@ pub enum Value {
     #[default]
     Unit,
 }
-
 
 impl fmt::Display for Value {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {

@@ -195,9 +195,7 @@ impl<'src> Lexer<'src> {
                     value = value
                         .checked_mul(10)
                         .and_then(|v| v.checked_add((n as u8 - b'0') as i64))
-                        .ok_or_else(|| {
-                            CompileError::lex(pos, "integer literal overflows i64")
-                        })?;
+                        .ok_or_else(|| CompileError::lex(pos, "integer literal overflows i64"))?;
                 }
                 TokenKind::Int(value)
             }

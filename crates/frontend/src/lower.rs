@@ -8,8 +8,8 @@
 use std::collections::HashMap;
 
 use isf_ir::{
-    BinOp, CallSiteId, ClassId, Const, FieldSym, FuncId, FunctionBuilder, Inst, LocalId,
-    MethodSym, Module, ModuleBuilder, Term, UnOp,
+    BinOp, CallSiteId, ClassId, Const, FieldSym, FuncId, FunctionBuilder, Inst, LocalId, MethodSym,
+    Module, ModuleBuilder, Term, UnOp,
 };
 
 use crate::ast::*;
@@ -37,10 +37,7 @@ pub fn lower(program: &Program) -> Module {
             .iter()
             .map(|m| {
                 // `self` is the implicit parameter 0.
-                mb.declare_function(
-                    &format!("{}::{}", class.name, m.name),
-                    m.params.len() + 1,
-                )
+                mb.declare_function(&format!("{}::{}", class.name, m.name), m.params.len() + 1)
             })
             .collect();
         method_ids.push(ids);
@@ -347,7 +344,12 @@ impl<'p, 'mb> FnLowerer<'p, 'mb> {
                         BinaryOp::Ge => BinOp::Ge,
                         BinaryOp::And | BinaryOp::Or => unreachable!(),
                     };
-                    self.fb.push(Inst::Bin { op, dst, lhs: l, rhs: r });
+                    self.fb.push(Inst::Bin {
+                        op,
+                        dst,
+                        lhs: l,
+                        rhs: r,
+                    });
                     dst
                 }
             },
@@ -383,11 +385,7 @@ impl<'p, 'mb> FnLowerer<'p, 'mb> {
                 let o = self.expr(obj);
                 let field = self.mb.intern_field(field);
                 let dst = self.fb.new_local();
-                self.fb.push(Inst::GetField {
-                    dst,
-                    obj: o,
-                    field,
-                });
+                self.fb.push(Inst::GetField { dst, obj: o, field });
                 dst
             }
             Expr::Index { arr, idx, .. } => {
@@ -454,7 +452,11 @@ impl<'p, 'mb> FnLowerer<'p, 'mb> {
         let rhs_b = self.fb.new_block();
         let short_b = self.fb.new_block();
         let merge = self.fb.new_block();
-        let (t, f) = if and { (rhs_b, short_b) } else { (short_b, rhs_b) };
+        let (t, f) = if and {
+            (rhs_b, short_b)
+        } else {
+            (short_b, rhs_b)
+        };
         self.fb.terminate(Term::Br { cond: l, t, f });
         self.fb.switch_to(rhs_b);
         let r = self.expr(rhs);
@@ -498,10 +500,7 @@ mod tests {
             "backedge source must carry a yieldpoint"
         );
         // Exactly two yieldpoints total: entry + backedge.
-        let yields = f
-            .insts()
-            .filter(|(_, _, i)| i.is_yield())
-            .count();
+        let yields = f.insts().filter(|(_, _, i)| i.is_yield()).count();
         assert_eq!(yields, 2);
     }
 

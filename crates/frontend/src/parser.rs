@@ -554,10 +554,9 @@ mod tests {
 
     #[test]
     fn parses_class_with_inheritance() {
-        let p = parse(
-            "class A { field x; method get() { return self.x; } } class B : A { field y; }",
-        )
-        .unwrap();
+        let p =
+            parse("class A { field x; method get() { return self.x; } } class B : A { field y; }")
+                .unwrap();
         assert_eq!(p.classes.len(), 2);
         assert_eq!(p.classes[1].parent.as_deref(), Some("A"));
         assert_eq!(p.classes[0].methods.len(), 1);

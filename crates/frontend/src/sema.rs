@@ -286,10 +286,7 @@ impl Context {
                 if args.len() != arity {
                     return Err(CompileError::sema(
                         *pos,
-                        format!(
-                            "`{name}` takes {arity} argument(s), {} given",
-                            args.len()
-                        ),
+                        format!("`{name}` takes {arity} argument(s), {} given", args.len()),
                     ));
                 }
                 for a in args {
@@ -336,20 +333,14 @@ impl Context {
                 if self.classes.contains_key(class) {
                     Ok(())
                 } else {
-                    Err(CompileError::sema(
-                        *pos,
-                        format!("unknown class `{class}`"),
-                    ))
+                    Err(CompileError::sema(*pos, format!("unknown class `{class}`")))
                 }
             }
             Expr::NewArray { len, .. } => self.check_expr(len, scopes, is_method),
             Expr::Len { arr, .. } => self.check_expr(arr, scopes, is_method),
             Expr::Busy { cycles, pos } => {
                 if *cycles < 0 || *cycles > u32::MAX as i64 {
-                    Err(CompileError::sema(
-                        *pos,
-                        "`busy` cycle count out of range",
-                    ))
+                    Err(CompileError::sema(*pos, "`busy` cycle count out of range"))
                 } else {
                     Ok(())
                 }
@@ -427,7 +418,9 @@ mod tests {
     #[test]
     fn rejects_unknown_method_and_field() {
         assert!(check_src("class A { field x; } fn main() { var a = new A; a.nope(); }").is_err());
-        assert!(check_src("class A { field x; } fn main() { var a = new A; print(a.y); }").is_err());
+        assert!(
+            check_src("class A { field x; } fn main() { var a = new A; print(a.y); }").is_err()
+        );
     }
 
     #[test]
@@ -458,8 +451,7 @@ mod tests {
 
     #[test]
     fn block_scoping_allows_shadowing_in_inner_block() {
-        check_src("fn main() { var x = 1; if (true) { var x = 2; print(x); } print(x); }")
-            .unwrap();
+        check_src("fn main() { var x = 1; if (true) { var x = 2; print(x); } print(x); }").unwrap();
     }
 
     #[test]

@@ -11,8 +11,14 @@ use isf_instr::{ModulePlan, PathProfileInstrumentation};
 use isf_profile::hotness;
 use isf_profile::overlap::path_overlap;
 
-use crate::runner::{instrument, overhead_pct, plan_for, prepare_suite, run_module, Kinds};
+use crate::runner::{
+    cell, instrument, overhead_pct, par_cells, plan_for, prepare_for_runs, prepare_suite,
+    run_module, run_prepared_module, Kinds,
+};
 use crate::{mean, pct, Scale};
+
+/// The sample intervals of the path-profiling sweep.
+const PATH_INTERVALS: [u64; 4] = [1, 10, 100, 1_000];
 
 /// One row of the path-profiling sweep.
 #[derive(Clone, Debug)]
@@ -53,87 +59,106 @@ pub struct Extras {
     pub selective_rows: Vec<SelectiveRow>,
 }
 
-/// Runs both extra experiments.
+/// Runs both extra experiments, one cell per benchmark: the benchmark's
+/// path-profiling interval series (averaged across the suite afterwards)
+/// plus its selective-instrumentation row.
 pub fn run(scale: Scale) -> Extras {
     let benches = prepare_suite(scale);
 
-    // --- Sampled path profiling. ---------------------------------------
-    let preps: Vec<_> = benches
-        .iter()
-        .map(|b| {
-            let plan = ModulePlan::build(&b.module, &[&PathProfileInstrumentation]);
-            let (exh, _) =
-                instrument_module(&b.module, &plan, &Options::new(Strategy::Exhaustive))
-                    .expect("valid options");
-            let perfect = run_module(&exh, Trigger::Never).profile;
-            let (full, _) =
-                instrument_module(&b.module, &plan, &Options::new(Strategy::FullDuplication))
-                    .expect("valid options");
-            (full, perfect, b.baseline.cycles)
-        })
-        .collect();
-    let path_rows = [1u64, 10, 100, 1_000]
-        .iter()
-        .map(|&interval| {
-            let mut total = Vec::new();
-            let mut acc = Vec::new();
-            let mut events = Vec::new();
-            for (full, perfect, baseline_cycles) in &preps {
-                let o = run_module(full, Trigger::Counter { interval });
-                total.push(
-                    (o.cycles as f64 - *baseline_cycles as f64) / *baseline_cycles as f64 * 100.0,
-                );
-                acc.push(path_overlap(perfect, &o.profile));
-                events.push(o.profile.total_path_events() as f64);
-            }
-            PathRow {
-                interval,
-                total: mean(total),
-                accuracy: mean(acc),
-                paths_recorded: mean(events),
-            }
-        })
-        .collect();
+    // One benchmark's path measurements at one interval.
+    struct PathMeas {
+        total: f64,
+        accuracy: f64,
+        events: f64,
+    }
 
-    // --- Selective instrumentation. -------------------------------------
-    let selective_rows = benches
+    let per_bench: Vec<(Vec<PathMeas>, SelectiveRow)> = par_cells(
+        benches
+            .iter()
+            .map(|b| {
+                cell(format!("extras/{}", b.name), move || {
+                    // --- Sampled path profiling. --------------------------
+                    let plan = ModulePlan::build(&b.module, &[&PathProfileInstrumentation]);
+                    let (exh, _) =
+                        instrument_module(&b.module, &plan, &Options::new(Strategy::Exhaustive))
+                            .expect("valid options");
+                    let perfect = run_module(&exh, Trigger::Never).profile;
+                    let (full, _) = instrument_module(
+                        &b.module,
+                        &plan,
+                        &Options::new(Strategy::FullDuplication),
+                    )
+                    .expect("valid options");
+                    let prepared = prepare_for_runs(&full);
+                    let baseline_cycles = b.baseline.cycles as f64;
+                    let path: Vec<PathMeas> = PATH_INTERVALS
+                        .iter()
+                        .map(|&interval| {
+                            let o = run_prepared_module(&prepared, Trigger::Counter { interval });
+                            PathMeas {
+                                total: (o.cycles as f64 - baseline_cycles) / baseline_cycles
+                                    * 100.0,
+                                accuracy: path_overlap(&perfect, &o.profile),
+                                events: o.profile.total_path_events() as f64,
+                            }
+                        })
+                        .collect();
+
+                    // --- Selective instrumentation. -----------------------
+                    let (all, all_stats, _) = instrument(
+                        &b.module,
+                        Kinds::Both,
+                        &Options::new(Strategy::FullDuplication),
+                    );
+                    // One decode serves the scout and measurement runs.
+                    let prepared_all = prepare_for_runs(&all);
+                    let scout =
+                        run_prepared_module(&prepared_all, Trigger::Counter { interval: 13 });
+                    let mut hot: HashSet<_> = hotness::functions_covering(&scout.profile, 0.9)
+                        .into_iter()
+                        .collect();
+                    if hot.is_empty() {
+                        // A scout epoch too short to see any method entry:
+                        // an adaptive system would simply keep everything
+                        // instrumented for another epoch.
+                        hot = b.module.func_ids().collect();
+                    }
+                    let plan = plan_for(&b.module, Kinds::Both);
+                    let (sel, sel_stats) = instrument_module_selective(
+                        &b.module,
+                        &plan,
+                        &Options::new(Strategy::FullDuplication),
+                        &hot,
+                    )
+                    .expect("valid options");
+                    let o_all =
+                        run_prepared_module(&prepared_all, Trigger::Counter { interval: 499 });
+                    let o_sel = run_module(&sel, Trigger::Counter { interval: 499 });
+                    let selective = SelectiveRow {
+                        bench: b.name,
+                        all_methods: overhead_pct(&o_all, &b.baseline),
+                        hot_only: overhead_pct(&o_sel, &b.baseline),
+                        all_space: all_stats.space_increase_bytes(),
+                        hot_space: sel_stats.space_increase_bytes(),
+                        hot_count: hot.len(),
+                    };
+                    (path, selective)
+                })
+            })
+            .collect(),
+    );
+
+    let path_rows = PATH_INTERVALS
         .iter()
-        .map(|b| {
-            let (all, all_stats, _) = instrument(
-                &b.module,
-                Kinds::Both,
-                &Options::new(Strategy::FullDuplication),
-            );
-            let scout = run_module(&all, Trigger::Counter { interval: 13 });
-            let mut hot: HashSet<_> = hotness::functions_covering(&scout.profile, 0.9)
-                .into_iter()
-                .collect();
-            if hot.is_empty() {
-                // A scout epoch too short to see any method entry: an
-                // adaptive system would simply keep everything instrumented
-                // for another epoch.
-                hot = b.module.func_ids().collect();
-            }
-            let plan = plan_for(&b.module, Kinds::Both);
-            let (sel, sel_stats) = instrument_module_selective(
-                &b.module,
-                &plan,
-                &Options::new(Strategy::FullDuplication),
-                &hot,
-            )
-            .expect("valid options");
-            let o_all = run_module(&all, Trigger::Counter { interval: 499 });
-            let o_sel = run_module(&sel, Trigger::Counter { interval: 499 });
-            SelectiveRow {
-                bench: b.name,
-                all_methods: overhead_pct(&o_all, &b.baseline),
-                hot_only: overhead_pct(&o_sel, &b.baseline),
-                all_space: all_stats.space_increase_bytes(),
-                hot_space: sel_stats.space_increase_bytes(),
-                hot_count: hot.len(),
-            }
+        .enumerate()
+        .map(|(k, &interval)| PathRow {
+            interval,
+            total: mean(per_bench.iter().map(|(p, _)| p[k].total)),
+            accuracy: mean(per_bench.iter().map(|(p, _)| p[k].accuracy)),
+            paths_recorded: mean(per_bench.iter().map(|(p, _)| p[k].events)),
         })
         .collect();
+    let selective_rows = per_bench.into_iter().map(|(_, s)| s).collect();
 
     Extras {
         path_rows,

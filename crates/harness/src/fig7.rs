@@ -73,8 +73,7 @@ pub fn run(scale: Scale) -> Fig7 {
                     site.0
                 ),
                 perfect_pct: count as f64 / total_p.max(1) as f64 * 100.0,
-                sampled_pct: s_map.get(&key).copied().unwrap_or(0) as f64
-                    / total_s.max(1) as f64
+                sampled_pct: s_map.get(&key).copied().unwrap_or(0) as f64 / total_s.max(1) as f64
                     * 100.0,
             }
         })

@@ -11,7 +11,10 @@ use std::fmt;
 use isf_core::{Options, Strategy};
 use isf_exec::Trigger;
 
-use crate::runner::{instrument, overhead_pct, prepare_suite, run_module, Kinds};
+use crate::runner::{
+    cell, instrument, overhead_pct, par_cells, prepare_for_runs, prepare_suite, run_module,
+    run_prepared_module, Kinds,
+};
 use crate::{mean, pct, Scale};
 
 /// One row of part (A).
@@ -51,44 +54,55 @@ fn yieldpoint_options() -> Options {
     Options::new(Strategy::FullDuplication).with_yieldpoint_optimization()
 }
 
-/// Runs both parts.
+/// Runs both parts, one cell per benchmark: part (A)'s two framework
+/// measurements plus the benchmark's part (B) interval series, which is
+/// averaged across benchmarks afterwards.
 pub fn run(scale: Scale) -> Fig8 {
     let benches = prepare_suite(scale);
 
-    let rows_a: Vec<RowA> = benches
-        .iter()
-        .map(|b| {
-            let (opt, _, _) = instrument(&b.module, Kinds::None, &yieldpoint_options());
-            let framework = overhead_pct(&run_module(&opt, Trigger::Never), &b.baseline);
-            let (plain, _, _) = instrument(
-                &b.module,
-                Kinds::None,
-                &Options::new(Strategy::FullDuplication),
-            );
-            let unoptimized = overhead_pct(&run_module(&plain, Trigger::Never), &b.baseline);
-            RowA {
-                bench: b.name,
-                framework,
-                unoptimized,
-            }
-        })
-        .collect();
+    let per_bench: Vec<(RowA, Vec<f64>)> = par_cells(
+        benches
+            .iter()
+            .map(|b| {
+                cell(format!("fig8/{}", b.name), move || {
+                    let (opt, _, _) = instrument(&b.module, Kinds::None, &yieldpoint_options());
+                    let framework = overhead_pct(&run_module(&opt, Trigger::Never), &b.baseline);
+                    let (plain, _, _) = instrument(
+                        &b.module,
+                        Kinds::None,
+                        &Options::new(Strategy::FullDuplication),
+                    );
+                    let unoptimized =
+                        overhead_pct(&run_module(&plain, Trigger::Never), &b.baseline);
+                    let row_a = RowA {
+                        bench: b.name,
+                        framework,
+                        unoptimized,
+                    };
 
-    let instrumented: Vec<_> = benches
-        .iter()
-        .map(|b| {
-            let (m, _, _) = instrument(&b.module, Kinds::Both, &yieldpoint_options());
-            (m, b.baseline.cycles)
-        })
-        .collect();
+                    let (m, _, _) = instrument(&b.module, Kinds::Both, &yieldpoint_options());
+                    let prepared = prepare_for_runs(&m);
+                    let baseline = b.baseline.cycles as f64;
+                    let totals: Vec<f64> = crate::table4::INTERVALS
+                        .iter()
+                        .map(|&interval| {
+                            let o = run_prepared_module(&prepared, Trigger::Counter { interval });
+                            (o.cycles as f64 - baseline) / baseline * 100.0
+                        })
+                        .collect();
+                    (row_a, totals)
+                })
+            })
+            .collect(),
+    );
+
+    let rows_a: Vec<RowA> = per_bench.iter().map(|(a, _)| a.clone()).collect();
     let rows_b: Vec<RowB> = crate::table4::INTERVALS
         .iter()
-        .map(|&interval| {
-            let total = mean(instrumented.iter().map(|(m, baseline)| {
-                let o = run_module(m, Trigger::Counter { interval });
-                (o.cycles as f64 - *baseline as f64) / *baseline as f64 * 100.0
-            }));
-            RowB { interval, total }
+        .enumerate()
+        .map(|(k, &interval)| RowB {
+            interval,
+            total: mean(per_bench.iter().map(|(_, totals)| totals[k])),
         })
         .collect();
 

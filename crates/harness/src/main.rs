@@ -1,18 +1,24 @@
 //! Command-line entry point: regenerate any table or figure of the paper.
 //!
 //! ```text
-//! isf-harness [--scale smoke|default|paper] <experiment>...
+//! isf-harness [--scale smoke|default|paper] [--jobs N] <experiment>...
 //! experiments: table1 table2 table3 table4 table5 fig7 fig8 all
 //! ```
+//!
+//! Experiment cells run on `N` worker threads (default: `ISF_JOBS` or the
+//! machine's available parallelism). The VM is deterministic, so the
+//! tables on stdout are byte-identical for every job count; per-cell
+//! statistics go to stderr.
 
 use std::process::ExitCode;
 
-use isf_harness::{extras, fig7, fig8, table1, table2, table3, table4, table5, Scale};
+use isf_harness::{extras, fig7, fig8, runner, table1, table2, table3, table4, table5, Scale};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: isf-harness [--scale smoke|default|paper] <experiment>...\n\
-         experiments: table1 table2 table3 table4 table5 fig7 fig8 extras all"
+        "usage: isf-harness [--scale smoke|default|paper] [--jobs N] <experiment>...\n\
+         experiments: table1 table2 table3 table4 table5 fig7 fig8 extras all\n\
+         N defaults to $ISF_JOBS, then the machine's available parallelism"
     );
     ExitCode::FAILURE
 }
@@ -32,6 +38,13 @@ fn main() -> ExitCode {
                     _ => return usage(),
                 };
             }
+            "--jobs" => {
+                let Some(v) = args.next() else { return usage() };
+                match v.parse::<usize>() {
+                    Ok(n) if n > 0 => runner::set_jobs(n),
+                    _ => return usage(),
+                }
+            }
             "--help" | "-h" => {
                 usage();
                 return ExitCode::SUCCESS;
@@ -43,10 +56,12 @@ fn main() -> ExitCode {
         return usage();
     }
     if experiments.iter().any(|e| e == "all") {
-        experiments = ["table1", "table2", "table3", "table4", "table5", "fig7", "fig8"]
-            .iter()
-            .map(|s| (*s).to_owned())
-            .collect();
+        experiments = [
+            "table1", "table2", "table3", "table4", "table5", "fig7", "fig8",
+        ]
+        .iter()
+        .map(|s| (*s).to_owned())
+        .collect();
     }
     for (i, e) in experiments.iter().enumerate() {
         if i > 0 {

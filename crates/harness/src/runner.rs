@@ -1,16 +1,179 @@
 //! Shared experiment machinery: compiling the suite, instrumenting it,
 //! running it, and expressing results relative to the uninstrumented
 //! baseline — the paper's methodology of §4.1.
+//!
+//! Experiments decompose into independent *cells*, one (benchmark ×
+//! configuration) unit of work each, executed by [`par_cells`] on a scoped
+//! worker pool of [`jobs`] threads. The VM is deterministic and every cell
+//! is a pure function of its inputs, so a parallel run produces the same
+//! rows, bit for bit, as a serial one; results come back in submission
+//! order, so table output never depends on the schedule. Per-cell
+//! statistics (simulated cycles, wall time, effective simulated MIPS) go
+//! to stderr, keeping stdout byte-identical across job counts.
+//!
+//! Cells that run one module several times (interval sweeps, trigger
+//! comparisons) pre-decode it once with [`prepare_for_runs`] and replay
+//! the decoded form with [`run_prepared_module`], amortizing preparation
+//! over the whole sweep.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use isf_core::{instrument_module, Options, Strategy, TransformStats};
-use isf_exec::{run, Outcome, Trigger, VmConfig};
-use isf_instr::{
-    CallEdgeInstrumentation, FieldAccessInstrumentation, Instrumentation, ModulePlan,
-};
+use isf_exec::{run, run_prepared, CostModel, Outcome, PreparedModule, Trigger, VmConfig};
+use isf_instr::{CallEdgeInstrumentation, FieldAccessInstrumentation, Instrumentation, ModulePlan};
 use isf_ir::Module;
 use isf_workloads::{suite, Scale, Workload};
+
+// ---------------------------------------------------------------------
+// Worker-pool control.
+// ---------------------------------------------------------------------
+
+static JOBS_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Sets the number of worker threads experiment cells run on (`0` clears
+/// the override and restores the default resolution).
+pub fn set_jobs(n: usize) {
+    JOBS_OVERRIDE.store(n, Ordering::Relaxed);
+}
+
+/// The number of worker threads experiment cells run on: the [`set_jobs`]
+/// override if one is set, else the `ISF_JOBS` environment variable, else
+/// the machine's available parallelism.
+pub fn jobs() -> usize {
+    let n = JOBS_OVERRIDE.load(Ordering::Relaxed);
+    if n > 0 {
+        return n;
+    }
+    if let Some(n) = std::env::var("ISF_JOBS")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+    {
+        return n;
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Serializes tests that mutate the global jobs override.
+#[cfg(test)]
+pub(crate) static JOBS_TEST_LOCK: Mutex<()> = Mutex::new(());
+
+// ---------------------------------------------------------------------
+// The cell engine.
+// ---------------------------------------------------------------------
+
+/// One independent unit of experiment work: a label (for the per-cell
+/// statistics line on stderr) and a closure producing the cell's result.
+pub struct Cell<'scope, R> {
+    label: String,
+    work: Box<dyn FnOnce() -> R + Send + 'scope>,
+}
+
+/// Builds a [`Cell`] for [`par_cells`].
+pub fn cell<'scope, R>(
+    label: impl Into<String>,
+    work: impl FnOnce() -> R + Send + 'scope,
+) -> Cell<'scope, R> {
+    Cell {
+        label: label.into(),
+        work: Box::new(work),
+    }
+}
+
+/// Runs the cells on [`jobs`] worker threads and returns their results in
+/// submission order.
+///
+/// Workers claim cells from an atomic cursor, so the schedule is dynamic,
+/// but each cell computes the same result wherever it runs (the VM is
+/// deterministic), and the slot a result lands in is fixed by submission
+/// order — a table built from the returned vector is identical however
+/// many workers ran it. With one worker (or one cell) everything runs on
+/// the calling thread.
+///
+/// # Panics
+///
+/// Propagates panics from cell closures (e.g. assertion failures inside
+/// an experiment).
+pub fn par_cells<R: Send>(cells: Vec<Cell<'_, R>>) -> Vec<R> {
+    let n = cells.len();
+    let workers = jobs().min(n);
+    if workers <= 1 {
+        return cells.into_iter().map(run_cell).collect();
+    }
+    let queue: Vec<Mutex<Option<Cell<'_, R>>>> =
+        cells.into_iter().map(|c| Mutex::new(Some(c))).collect();
+    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let c = queue[i]
+                    .lock()
+                    .expect("cell queue poisoned")
+                    .take()
+                    .expect("each cell is claimed exactly once");
+                let r = run_cell(c);
+                *slots[i].lock().expect("result slot poisoned") = Some(r);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| {
+            s.into_inner()
+                .expect("result slot poisoned")
+                .expect("every claimed cell stores a result")
+        })
+        .collect()
+}
+
+thread_local! {
+    /// (simulated cycles, instructions) executed by the current cell, fed
+    /// by [`run_module`] and [`run_prepared_module`].
+    static CELL_STATS: std::cell::Cell<(u64, u64)> = const { std::cell::Cell::new((0, 0)) };
+}
+
+fn note_run(outcome: &Outcome) {
+    CELL_STATS.with(|c| {
+        let (cycles, instructions) = c.get();
+        c.set((cycles + outcome.cycles, instructions + outcome.instructions));
+    });
+}
+
+/// Runs one cell on the current thread, printing its statistics line —
+/// simulated cycles, wall time, and effective simulated MIPS (interpreted
+/// instructions per wall-clock microsecond) — to stderr.
+fn run_cell<R>(c: Cell<'_, R>) -> R {
+    CELL_STATS.with(|s| s.set((0, 0)));
+    let start = Instant::now();
+    let result = (c.work)();
+    let wall = start.elapsed();
+    let (cycles, instructions) = CELL_STATS.with(|s| s.get());
+    let secs = wall.as_secs_f64();
+    let mips = if secs > 0.0 {
+        instructions as f64 / 1e6 / secs
+    } else {
+        0.0
+    };
+    eprintln!(
+        "[cell] {}: {} simulated cycles, {:.1} ms, {:.1} MIPS",
+        c.label,
+        cycles,
+        secs * 1e3,
+        mips
+    );
+    result
+}
+
+// ---------------------------------------------------------------------
+// Suite preparation.
+// ---------------------------------------------------------------------
 
 /// A compiled benchmark with its uninstrumented baseline run.
 pub struct PreparedBench {
@@ -25,9 +188,16 @@ pub struct PreparedBench {
     pub frontend_time: Duration,
 }
 
-/// Compiles and baselines the whole suite at `scale`.
+/// Compiles and baselines the whole suite at `scale`, one cell per
+/// benchmark.
 pub fn prepare_suite(scale: Scale) -> Vec<PreparedBench> {
-    suite(scale).iter().map(prepare).collect()
+    let workloads = suite(scale);
+    par_cells(
+        workloads
+            .iter()
+            .map(|w| cell(format!("prepare/{}", w.name()), move || prepare(w)))
+            .collect(),
+    )
 }
 
 /// Compiles and baselines one workload.
@@ -43,6 +213,10 @@ pub fn prepare(w: &Workload) -> PreparedBench {
         frontend_time,
     }
 }
+
+// ---------------------------------------------------------------------
+// Instrumentation and execution.
+// ---------------------------------------------------------------------
 
 /// Which of the paper's two example instrumentations to apply.
 #[derive(Copy, Clone, PartialEq, Eq, Debug)]
@@ -85,12 +259,15 @@ pub fn instrument(
 ) -> (Module, TransformStats, Duration) {
     let plan = plan_for(module, kinds);
     let start = Instant::now();
-    let (out, stats) = instrument_module(module, &plan, options)
-        .expect("experiment configurations are valid");
+    let (out, stats) =
+        instrument_module(module, &plan, options).expect("experiment configurations are valid");
     (out, stats, start.elapsed())
 }
 
-/// Runs a module under the harness VM configuration.
+/// Runs a module under the harness VM configuration, decoding it first.
+/// For a module run once, this is the whole story; a cell that runs the
+/// same module repeatedly should decode once with [`prepare_for_runs`]
+/// and replay with [`run_prepared_module`] instead.
 ///
 /// # Panics
 ///
@@ -100,7 +277,30 @@ pub fn run_module(module: &Module, trigger: Trigger) -> Outcome {
         trigger,
         ..VmConfig::default()
     };
-    run(module, &cfg).expect("benchmark programs do not trap")
+    let outcome = run(module, &cfg).expect("benchmark programs do not trap");
+    note_run(&outcome);
+    outcome
+}
+
+/// Pre-decodes a module once, under the harness cost model, for repeated
+/// [`run_prepared_module`] runs.
+pub fn prepare_for_runs(module: &Module) -> PreparedModule {
+    PreparedModule::prepare(module, &CostModel::default())
+}
+
+/// Runs an already-decoded module under the harness VM configuration.
+///
+/// # Panics
+///
+/// Panics if the program traps — benchmark programs never trap.
+pub fn run_prepared_module(prepared: &PreparedModule, trigger: Trigger) -> Outcome {
+    let cfg = VmConfig {
+        trigger,
+        ..VmConfig::default()
+    };
+    let outcome = run_prepared(prepared, &cfg).expect("benchmark programs do not trap");
+    note_run(&outcome);
+    outcome
 }
 
 /// Overhead of `outcome` relative to `baseline`, in percent.
@@ -156,5 +356,43 @@ mod tests {
         let p = perfect_profile(&b, Kinds::Both);
         assert!(p.total_field_access_events() > 0);
         assert!(p.total_call_edge_events() > 0);
+    }
+
+    #[test]
+    fn par_cells_preserves_submission_order() {
+        let cells = (0..37)
+            .map(|i| cell(format!("order/{i}"), move || i * 3))
+            .collect();
+        let results = par_cells(cells);
+        assert_eq!(results, (0..37).map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_cells_runs_borrowing_closures() {
+        let data: Vec<u64> = (0..8).collect();
+        let cells = data
+            .iter()
+            .map(|x| cell(format!("borrow/{x}"), move || x + 1))
+            .collect();
+        assert_eq!(par_cells(cells), (1..=8).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn jobs_override_takes_precedence() {
+        let _guard = JOBS_TEST_LOCK.lock().unwrap();
+        set_jobs(3);
+        assert_eq!(jobs(), 3);
+        set_jobs(0);
+        assert!(jobs() >= 1);
+    }
+
+    #[test]
+    fn prepared_run_matches_unprepared() {
+        let w = isf_workloads::by_name("db", Scale::Smoke).unwrap();
+        let m = w.compile();
+        let p = prepare_for_runs(&m);
+        let direct = run_module(&m, Trigger::Counter { interval: 7 });
+        let replay = run_prepared_module(&p, Trigger::Counter { interval: 7 });
+        assert_eq!(direct, replay);
     }
 }

@@ -7,7 +7,7 @@ use std::fmt;
 use isf_core::Strategy;
 use isf_exec::Trigger;
 
-use crate::runner::{overhead_of, prepare_suite, Kinds};
+use crate::runner::{cell, overhead_of, par_cells, prepare_suite, Kinds};
 use crate::{mean, pct, Scale};
 
 /// One benchmark row.
@@ -32,22 +32,27 @@ pub struct Table1 {
     pub avg_field_access: f64,
 }
 
-/// Runs the experiment.
+/// Runs the experiment, one cell per benchmark.
 pub fn run(scale: Scale) -> Table1 {
-    let rows: Vec<Row> = prepare_suite(scale)
-        .iter()
-        .map(|b| {
-            let (call_edge, _) =
-                overhead_of(b, Kinds::CallEdge, Strategy::Exhaustive, Trigger::Never);
-            let (field_access, _) =
-                overhead_of(b, Kinds::FieldAccess, Strategy::Exhaustive, Trigger::Never);
-            Row {
-                bench: b.name,
-                call_edge,
-                field_access,
-            }
-        })
-        .collect();
+    let benches = prepare_suite(scale);
+    let rows: Vec<Row> = par_cells(
+        benches
+            .iter()
+            .map(|b| {
+                cell(format!("table1/{}", b.name), move || {
+                    let (call_edge, _) =
+                        overhead_of(b, Kinds::CallEdge, Strategy::Exhaustive, Trigger::Never);
+                    let (field_access, _) =
+                        overhead_of(b, Kinds::FieldAccess, Strategy::Exhaustive, Trigger::Never);
+                    Row {
+                        bench: b.name,
+                        call_edge,
+                        field_access,
+                    }
+                })
+            })
+            .collect(),
+    );
     let avg_call_edge = mean(rows.iter().map(|r| r.call_edge));
     let avg_field_access = mean(rows.iter().map(|r| r.field_access));
     Table1 {
@@ -63,7 +68,11 @@ impl fmt::Display for Table1 {
             f,
             "Table 1: exhaustive instrumentation overhead (no framework)"
         )?;
-        writeln!(f, "{:<14} {:>14} {:>17}", "benchmark", "call-edge (%)", "field-access (%)")?;
+        writeln!(
+            f,
+            "{:<14} {:>14} {:>17}",
+            "benchmark", "call-edge (%)", "field-access (%)"
+        )?;
         for r in &self.rows {
             writeln!(
                 f,
@@ -111,9 +120,7 @@ mod tests {
             }
         }
         // compress is the field-access extreme (paper: 204.8%).
-        assert!(
-            by_name("compress").field_access >= by_name("db").field_access * 4.0
-        );
+        assert!(by_name("compress").field_access >= by_name("db").field_access * 4.0);
         // opt-compiler is the call-edge extreme (paper: 189%).
         assert!(by_name("opt_compiler").call_edge > t.avg_call_edge);
         // The table prints.

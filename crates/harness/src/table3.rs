@@ -8,7 +8,7 @@ use std::fmt;
 use isf_core::Strategy;
 use isf_exec::Trigger;
 
-use crate::runner::{overhead_of, prepare_suite, Kinds};
+use crate::runner::{cell, overhead_of, par_cells, prepare_suite, Kinds};
 use crate::{mean, pct, Scale};
 
 /// One benchmark row.
@@ -34,27 +34,32 @@ pub struct Table3 {
     pub avg_field_access: f64,
 }
 
-/// Runs the experiment.
+/// Runs the experiment, one cell per benchmark.
 pub fn run(scale: Scale) -> Table3 {
-    let rows: Vec<Row> = prepare_suite(scale)
-        .iter()
-        .map(|b| {
-            let (call_edge, o) =
-                overhead_of(b, Kinds::CallEdge, Strategy::NoDuplication, Trigger::Never);
-            debug_assert!(o.profile.is_empty());
-            let (field_access, _) = overhead_of(
-                b,
-                Kinds::FieldAccess,
-                Strategy::NoDuplication,
-                Trigger::Never,
-            );
-            Row {
-                bench: b.name,
-                call_edge,
-                field_access,
-            }
-        })
-        .collect();
+    let benches = prepare_suite(scale);
+    let rows: Vec<Row> = par_cells(
+        benches
+            .iter()
+            .map(|b| {
+                cell(format!("table3/{}", b.name), move || {
+                    let (call_edge, o) =
+                        overhead_of(b, Kinds::CallEdge, Strategy::NoDuplication, Trigger::Never);
+                    debug_assert!(o.profile.is_empty());
+                    let (field_access, _) = overhead_of(
+                        b,
+                        Kinds::FieldAccess,
+                        Strategy::NoDuplication,
+                        Trigger::Never,
+                    );
+                    Row {
+                        bench: b.name,
+                        call_edge,
+                        field_access,
+                    }
+                })
+            })
+            .collect(),
+    );
     Table3 {
         avg_call_edge: mean(rows.iter().map(|r| r.call_edge)),
         avg_field_access: mean(rows.iter().map(|r| r.field_access)),

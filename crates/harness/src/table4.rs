@@ -11,10 +11,13 @@
 use std::fmt;
 
 use isf_core::{Options, Strategy};
-use isf_exec::Trigger;
+use isf_exec::{thread_preparations, Trigger};
 use isf_profile::overlap::{call_edge_overlap, field_access_overlap};
 
-use crate::runner::{instrument, perfect_profile, prepare_suite, run_module, Kinds};
+use crate::runner::{
+    cell, instrument, par_cells, perfect_profile, prepare_for_runs, prepare_suite,
+    run_prepared_module, Kinds,
+};
 use crate::{mean, pct, Scale};
 
 /// The sample intervals of the paper's sweep.
@@ -57,56 +60,74 @@ pub fn run(scale: Scale) -> Table4 {
 
 fn sweep(scale: Scale, strategy: Strategy) -> Vec<Row> {
     let benches = prepare_suite(scale);
-    struct Prep {
-        baseline_cycles: u64,
-        framework_cycles: u64,
-        module: isf_ir::Module,
-        perfect: isf_profile::ProfileData,
+    // One benchmark's measurements at one interval.
+    struct Meas {
+        samples: f64,
+        sampled_instr: f64,
+        total: f64,
+        acc_call: f64,
+        acc_field: f64,
     }
-    let preps: Vec<Prep> = benches
-        .iter()
-        .map(|b| {
-            let (module, _, _) = instrument(&b.module, Kinds::Both, &Options::new(strategy));
-            let framework_cycles = run_module(&module, Trigger::Never).cycles;
-            Prep {
-                baseline_cycles: b.baseline.cycles,
-                framework_cycles,
-                module,
-                perfect: perfect_profile(b, Kinds::Both),
-            }
-        })
-        .collect();
+    // One cell per benchmark: instrument and pre-decode once, then run
+    // the whole interval sweep against the decoded form.
+    let per_bench: Vec<Vec<Meas>> = par_cells(
+        benches
+            .iter()
+            .map(|b| {
+                cell(format!("table4/{strategy:?}/{}", b.name), move || {
+                    let (module, _, _) =
+                        instrument(&b.module, Kinds::Both, &Options::new(strategy));
+                    let perfect = perfect_profile(b, Kinds::Both);
+                    let prepared = prepare_for_runs(&module);
+                    // The decoded form is built exactly once per cell;
+                    // every run of the sweep below replays it. The counter
+                    // is thread-local and a cell runs entirely on one
+                    // worker thread, so the assertion is race-free even
+                    // while other cells prepare concurrently.
+                    let preparations_before = thread_preparations();
+                    let framework_cycles =
+                        run_prepared_module(&prepared, Trigger::Never).cycles as f64;
+                    let baseline_cycles = b.baseline.cycles as f64;
+                    let meas: Vec<Meas> = INTERVALS
+                        .iter()
+                        .map(|&interval| {
+                            let o = run_prepared_module(&prepared, Trigger::Counter { interval });
+                            Meas {
+                                samples: o.samples_taken as f64,
+                                sampled_instr: (o.cycles as f64 - framework_cycles)
+                                    / baseline_cycles
+                                    * 100.0,
+                                total: (o.cycles as f64 - baseline_cycles) / baseline_cycles
+                                    * 100.0,
+                                acc_call: call_edge_overlap(&perfect, &o.profile),
+                                acc_field: field_access_overlap(&perfect, &o.profile),
+                            }
+                        })
+                        .collect();
+                    assert_eq!(
+                        thread_preparations(),
+                        preparations_before,
+                        "interval sweep re-prepared an already-decoded module"
+                    );
+                    meas
+                })
+            })
+            .collect(),
+    );
 
+    // Transpose: average each interval across benchmarks. The summation
+    // order is the fixed suite order, so the means are bit-identical
+    // however the cells were scheduled.
     INTERVALS
         .iter()
-        .map(|&interval| {
-            let mut samples = Vec::new();
-            let mut sampled_instr = Vec::new();
-            let mut total = Vec::new();
-            let mut acc_call = Vec::new();
-            let mut acc_field = Vec::new();
-            for p in &preps {
-                let o = run_module(&p.module, Trigger::Counter { interval });
-                samples.push(o.samples_taken as f64);
-                sampled_instr.push(
-                    (o.cycles as f64 - p.framework_cycles as f64) / p.baseline_cycles as f64
-                        * 100.0,
-                );
-                total.push(
-                    (o.cycles as f64 - p.baseline_cycles as f64) / p.baseline_cycles as f64
-                        * 100.0,
-                );
-                acc_call.push(call_edge_overlap(&p.perfect, &o.profile));
-                acc_field.push(field_access_overlap(&p.perfect, &o.profile));
-            }
-            Row {
-                interval,
-                num_samples: mean(samples),
-                sampled_instr: mean(sampled_instr),
-                total: mean(total),
-                call_edge_accuracy: mean(acc_call),
-                field_access_accuracy: mean(acc_field),
-            }
+        .enumerate()
+        .map(|(k, &interval)| Row {
+            interval,
+            num_samples: mean(per_bench.iter().map(|m| m[k].samples)),
+            sampled_instr: mean(per_bench.iter().map(|m| m[k].sampled_instr)),
+            total: mean(per_bench.iter().map(|m| m[k].total)),
+            call_edge_accuracy: mean(per_bench.iter().map(|m| m[k].acc_call)),
+            field_access_accuracy: mean(per_bench.iter().map(|m| m[k].acc_field)),
         })
         .collect()
 }
@@ -175,9 +196,7 @@ mod tests {
         // The paper's sweet spot: by interval 1000 the sampling surcharge
         // is small while accuracy is still high at smoke scale's ~1e4
         // checks (interval 100 here corresponds to ~100 samples).
-        let at = |i: u64, rows: &[Row]| {
-            rows.iter().find(|r| r.interval == i).cloned().unwrap()
-        };
+        let at = |i: u64, rows: &[Row]| rows.iter().find(|r| r.interval == i).cloned().unwrap();
         assert!(at(1_000, fd).sampled_instr < at(1, fd).sampled_instr / 5.0);
         assert!(at(100, fd).field_access_accuracy > 60.0);
 
@@ -194,5 +213,19 @@ mod tests {
             nd_floor > fd_floor,
             "no-dup floor {nd_floor:.1}% must exceed full-dup floor {fd_floor:.1}%"
         );
+    }
+
+    #[test]
+    fn rows_are_byte_identical_serial_and_parallel() {
+        // The determinism contract of the parallel harness: the rendered
+        // table — every formatted digit — must not depend on the worker
+        // count.
+        let _guard = crate::runner::JOBS_TEST_LOCK.lock().unwrap();
+        crate::runner::set_jobs(1);
+        let serial = run(Scale::Smoke).to_string();
+        crate::runner::set_jobs(4);
+        let parallel = run(Scale::Smoke).to_string();
+        crate::runner::set_jobs(0);
+        assert_eq!(serial, parallel, "table 4 output depends on the job count");
     }
 }

@@ -13,7 +13,10 @@ use isf_core::{Options, Strategy};
 use isf_exec::Trigger;
 use isf_profile::overlap::field_access_overlap;
 
-use crate::runner::{instrument, perfect_profile, prepare_suite, run_module, Kinds};
+use crate::runner::{
+    cell, instrument, par_cells, perfect_profile, prepare_for_runs, prepare_suite,
+    run_prepared_module, Kinds,
+};
 use crate::{mean, Scale};
 
 /// One benchmark row.
@@ -47,42 +50,50 @@ pub struct Table5 {
 /// benchmark sizes); the timer period is then matched to produce a similar
 /// sample count, mirroring the paper's fair-comparison setup.
 pub fn run(scale: Scale) -> Table5 {
-    let rows: Vec<Row> = prepare_suite(scale)
-        .iter()
-        .map(|b| {
-            let perfect = perfect_profile(b, Kinds::FieldAccess);
-            let (module, _, _) = instrument(
-                &b.module,
-                Kinds::FieldAccess,
-                &Options::new(Strategy::FullDuplication),
-            );
-            // Aim for ~120 samples per run. Nudge the interval away from
-            // multiples of small primes so it does not alias with loop
-            // periods — the paper's §4.4 caveat about deterministic
-            // sampling of periodic programs (their 30,000 is likewise
-            // coprime to the benchmarks' loop lengths).
-            let probe = run_module(&module, Trigger::Never);
-            let mut interval = (probe.checks_executed / 120).max(3);
-            while [2, 3, 5, 7].iter().any(|p| interval.is_multiple_of(*p)) {
-                interval += 1;
-            }
-            let counter = run_module(&module, Trigger::Counter { interval });
-            let counter_acc = field_access_overlap(&perfect, &counter.profile);
+    let benches = prepare_suite(scale);
+    let rows: Vec<Row> = par_cells(
+        benches
+            .iter()
+            .map(|b| {
+                cell(format!("table5/{}", b.name), move || {
+                    let perfect = perfect_profile(b, Kinds::FieldAccess);
+                    let (module, _, _) = instrument(
+                        &b.module,
+                        Kinds::FieldAccess,
+                        &Options::new(Strategy::FullDuplication),
+                    );
+                    // One decode serves the probe, counter and timer runs.
+                    let prepared = prepare_for_runs(&module);
+                    // Aim for ~120 samples per run. Nudge the interval away
+                    // from multiples of small primes so it does not alias
+                    // with loop periods — the paper's §4.4 caveat about
+                    // deterministic sampling of periodic programs (their
+                    // 30,000 is likewise coprime to the benchmarks' loop
+                    // lengths).
+                    let probe = run_prepared_module(&prepared, Trigger::Never);
+                    let mut interval = (probe.checks_executed / 120).max(3);
+                    while [2, 3, 5, 7].iter().any(|p| interval.is_multiple_of(*p)) {
+                        interval += 1;
+                    }
+                    let counter = run_prepared_module(&prepared, Trigger::Counter { interval });
+                    let counter_acc = field_access_overlap(&perfect, &counter.profile);
 
-            // Match the timer's sample count to the counter's.
-            let period = (counter.cycles / counter.samples_taken.max(1)).max(1);
-            let timer = run_module(&module, Trigger::TimerBit { period });
-            let timer_acc = field_access_overlap(&perfect, &timer.profile);
+                    // Match the timer's sample count to the counter's.
+                    let period = (counter.cycles / counter.samples_taken.max(1)).max(1);
+                    let timer = run_prepared_module(&prepared, Trigger::TimerBit { period });
+                    let timer_acc = field_access_overlap(&perfect, &timer.profile);
 
-            Row {
-                bench: b.name,
-                time_based: timer_acc,
-                counter_based: counter_acc,
-                counter_samples: counter.samples_taken,
-                timer_samples: timer.samples_taken,
-            }
-        })
-        .collect();
+                    Row {
+                        bench: b.name,
+                        time_based: timer_acc,
+                        counter_based: counter_acc,
+                        counter_samples: counter.samples_taken,
+                        timer_samples: timer.samples_taken,
+                    }
+                })
+            })
+            .collect(),
+    );
     Table5 {
         avg_time_based: mean(rows.iter().map(|r| r.time_based)),
         avg_counter_based: mean(rows.iter().map(|r| r.counter_based)),

@@ -162,15 +162,13 @@ mod tests {
         assert_eq!(plan.num_insertions(), 4);
         let get_id = m.function_by_name("get").unwrap();
         let reads = plan.for_function(get_id);
-        assert!(reads.iter().all(|i| matches!(
-            i.op,
-            InstrOp::FieldAccess { write: false, .. }
-        )));
+        assert!(reads
+            .iter()
+            .all(|i| matches!(i.op, InstrOp::FieldAccess { write: false, .. })));
         let writes = plan.for_function(m.main());
-        assert!(writes.iter().all(|i| matches!(
-            i.op,
-            InstrOp::FieldAccess { write: true, .. }
-        )));
+        assert!(writes
+            .iter()
+            .all(|i| matches!(i.op, InstrOp::FieldAccess { write: true, .. })));
     }
 
     #[test]

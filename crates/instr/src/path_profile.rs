@@ -240,7 +240,12 @@ mod tests {
     fn straight_line_function_has_one_path() {
         let (m, o) = profile_of("fn main() { print(1); print(2); }");
         let main = m.main();
-        let main_paths: Vec<_> = o.profile.paths().keys().filter(|(f, _, _)| *f == main).collect();
+        let main_paths: Vec<_> = o
+            .profile
+            .paths()
+            .keys()
+            .filter(|(f, _, _)| *f == main)
+            .collect();
         assert_eq!(main_paths.len(), 1);
         assert_eq!(o.profile.total_path_events(), 1);
     }
@@ -254,7 +259,8 @@ mod tests {
              fn main() { var i = 0; while (i < 10) { print(pick(i)); i = i + 1; } }",
         );
         let pick = m.function_by_name("pick").unwrap();
-        let pick_paths: Vec<(i64, u64)> = o.profile
+        let pick_paths: Vec<(i64, u64)> = o
+            .profile
             .paths()
             .iter()
             .filter(|((f, _, _), _)| *f == pick)
@@ -280,7 +286,8 @@ mod tests {
              fn main() { var i = 0; while (i < 12) { print(combo(i)); i = i + 1; } }",
         );
         let combo = m.function_by_name("combo").unwrap();
-        let ids: BTreeSet<i64> = o.profile
+        let ids: BTreeSet<i64> = o
+            .profile
             .paths()
             .keys()
             .filter(|(f, _, _)| *f == combo)
@@ -301,7 +308,8 @@ mod tests {
              }",
         );
         let main = m.main();
-        let total: u64 = o.profile
+        let total: u64 = o
+            .profile
             .paths()
             .iter()
             .filter(|((f, _, _), _)| *f == main)
@@ -312,12 +320,12 @@ mod tests {
         // iteration must be observed.
         assert!(total >= 8, "only {total} path events");
         // Even and odd iterations take different paths.
-        let distinct = o.profile
+        let distinct = o
+            .profile
             .paths()
             .keys()
             .filter(|(f, _, _)| *f == main)
             .count();
         assert!(distinct >= 2);
     }
-
 }

@@ -130,7 +130,13 @@ impl FunctionBuilder {
             .into_iter()
             .map(|(insts, term)| BasicBlock::new(insts, term.unwrap_or(Term::Ret(None))))
             .collect();
-        Function::new(self.name, self.arity, self.num_locals, blocks, self.next_site)
+        Function::new(
+            self.name,
+            self.arity,
+            self.num_locals,
+            blocks,
+            self.next_site,
+        )
     }
 }
 

@@ -8,7 +8,13 @@ use crate::module::Module;
 
 impl fmt::Display for Function {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "fn {}({} params, {} locals) {{", self.name(), self.arity(), self.num_locals())?;
+        writeln!(
+            f,
+            "fn {}({} params, {} locals) {{",
+            self.name(),
+            self.arity(),
+            self.num_locals()
+        )?;
         for (id, b) in self.blocks() {
             writeln!(f, "{id}:")?;
             for inst in b.insts() {
@@ -27,10 +33,19 @@ impl fmt::Display for Module {
             if let Some(p) = c.parent() {
                 write!(f, " : {}", self.class(p).name())?;
             }
-            writeln!(f, " {{ {} fields, {} methods }}", c.num_fields(), c.methods().count())?;
+            writeln!(
+                f,
+                " {{ {} fields, {} methods }}",
+                c.num_fields(),
+                c.methods().count()
+            )?;
         }
         for (id, func) in self.functions() {
-            writeln!(f, "// {id}{}", if id == self.main() { " (main)" } else { "" })?;
+            writeln!(
+                f,
+                "// {id}{}",
+                if id == self.main() { " (main)" } else { "" }
+            )?;
             writeln!(f, "{func}")?;
         }
         Ok(())
@@ -60,7 +75,10 @@ impl fmt::Display for InstDisplay<'_> {
             Inst::ArraySet { arr, idx, src } => write!(f, "{arr}[{idx}] = {src}"),
             Inst::ArrayLen { dst, arr } => write!(f, "{dst} = len {arr}"),
             Inst::Call {
-                dst, callee, args, site,
+                dst,
+                callee,
+                args,
+                site,
             } => {
                 if let Some(d) = dst {
                     write!(f, "{d} = ")?;
@@ -68,7 +86,11 @@ impl fmt::Display for InstDisplay<'_> {
                 write!(f, "call {callee}({}) @{site}", Args(args))
             }
             Inst::CallMethod {
-                dst, obj, method, args, site,
+                dst,
+                obj,
+                method,
+                args,
+                site,
             } => {
                 if let Some(d) = dst {
                     write!(f, "{d} = ")?;

@@ -198,10 +198,7 @@ mod tests {
         assert_eq!(f.block(BlockId::new(1)).successors(), vec![s]);
         assert_eq!(f.block(s).successors(), vec![BlockId::new(3)]);
         // The other incoming edge is untouched.
-        assert_eq!(
-            f.block(BlockId::new(2)).successors(),
-            vec![BlockId::new(3)]
-        );
+        assert_eq!(f.block(BlockId::new(2)).successors(), vec![BlockId::new(3)]);
     }
 
     #[test]

@@ -77,25 +77,24 @@ impl<'t> Parser<'t> {
     }
 
     fn parse(&mut self) -> Result<Function, ParseIrError> {
-        let (ln, header) = self
-            .next_line()
-            .ok_or_else(|| ParseIrError {
-                line: 0,
-                message: "empty input".into(),
-            })?;
+        let (ln, header) = self.next_line().ok_or_else(|| ParseIrError {
+            line: 0,
+            message: "empty input".into(),
+        })?;
         let (name, arity, num_locals) = parse_header(ln, header)?;
 
         let mut blocks: Vec<BasicBlock> = Vec::new();
         let mut current: Option<(Vec<Inst>, Option<Term>)> = None;
         let mut max_site: Option<u32> = None;
-        let finish_block =
-            |cur: &mut Option<(Vec<Inst>, Option<Term>)>, ln: usize| -> Result<BasicBlock, ParseIrError> {
-                match cur.take() {
-                    Some((insts, Some(term))) => Ok(BasicBlock::new(insts, term)),
-                    Some((_, None)) => err(ln, "block has no terminator"),
-                    None => err(ln, "content outside of a block"),
-                }
-            };
+        let finish_block = |cur: &mut Option<(Vec<Inst>, Option<Term>)>,
+                            ln: usize|
+         -> Result<BasicBlock, ParseIrError> {
+            match cur.take() {
+                Some((insts, Some(term))) => Ok(BasicBlock::new(insts, term)),
+                Some((_, None)) => err(ln, "block has no terminator"),
+                None => err(ln, "content outside of a block"),
+            }
+        };
 
         loop {
             let Some((ln, line)) = self.next_line() else {
@@ -132,11 +131,7 @@ impl<'t> Parser<'t> {
             if let Inst::Call { site, .. } | Inst::CallMethod { site, .. } = &inst {
                 max_site = Some(max_site.map_or(site.0, |m: u32| m.max(site.0)));
             }
-            current
-                .as_mut()
-                .expect("checked above")
-                .0
-                .push(inst);
+            current.as_mut().expect("checked above").0.push(inst);
         }
         if blocks.is_empty() {
             return err(usize::MAX, "function has no blocks");
@@ -153,12 +148,10 @@ impl<'t> Parser<'t> {
 
 fn parse_header(ln: usize, line: &str) -> Result<(String, usize, usize), ParseIrError> {
     // fn NAME(N params, M locals) {
-    let rest = line
-        .strip_prefix("fn ")
-        .ok_or_else(|| ParseIrError {
-            line: ln,
-            message: "expected `fn <name>(...) {`".into(),
-        })?;
+    let rest = line.strip_prefix("fn ").ok_or_else(|| ParseIrError {
+        line: ln,
+        message: "expected `fn <name>(...) {`".into(),
+    })?;
     let open = rest.rfind('(').ok_or_else(|| ParseIrError {
         line: ln,
         message: "missing `(` in header".into(),
@@ -363,10 +356,12 @@ fn parse_call(ln: usize, text: &str, dst: Option<LocalId>) -> Result<Inst, Parse
         line: ln,
         message: "missing `@site` on call".into(),
     })?;
-    let site: u32 = rest[at + " @site".len()..].parse().map_err(|_| ParseIrError {
-        line: ln,
-        message: "bad call-site id".into(),
-    })?;
+    let site: u32 = rest[at + " @site".len()..]
+        .parse()
+        .map_err(|_| ParseIrError {
+            line: ln,
+            message: "bad call-site id".into(),
+        })?;
     let call_text = &rest[..at];
     match kw {
         "call" => {
@@ -389,12 +384,11 @@ fn parse_call(ln: usize, text: &str, dst: Option<LocalId>) -> Result<Inst, Parse
                 line: ln,
                 message: "missing `(`".into(),
             })?;
-            let method = parse_tagged(&call_text[dot + 1..open], "method").ok_or_else(|| {
-                ParseIrError {
+            let method =
+                parse_tagged(&call_text[dot + 1..open], "method").ok_or_else(|| ParseIrError {
                     line: ln,
                     message: "malformed method symbol".into(),
-                }
-            })?;
+                })?;
             let args = parse_args(ln, &call_text[open..])?;
             Ok(Inst::CallMethod {
                 dst,
@@ -517,10 +511,11 @@ fn expect_local(ln: usize, word: Option<&str>) -> Result<LocalId, ParseIrError> 
 }
 
 fn expect_number(ln: usize, word: Option<&str>) -> Result<u32, ParseIrError> {
-    word.and_then(|w| w.parse().ok()).ok_or_else(|| ParseIrError {
-        line: ln,
-        message: "expected a number".into(),
-    })
+    word.and_then(|w| w.parse().ok())
+        .ok_or_else(|| ParseIrError {
+            line: ln,
+            message: "expected a number".into(),
+        })
 }
 
 fn site_number(ln: usize, word: Option<&str>) -> Result<u32, ParseIrError> {
@@ -580,13 +575,8 @@ mod tests {
 
     fn roundtrip(f: &Function) {
         let text = f.to_string();
-        let parsed = parse_function(&text)
-            .unwrap_or_else(|e| panic!("{e}\n--- text ---\n{text}"));
-        assert_eq!(
-            parsed.to_string(),
-            text,
-            "round-trip changed the function"
-        );
+        let parsed = parse_function(&text).unwrap_or_else(|e| panic!("{e}\n--- text ---\n{text}"));
+        assert_eq!(parsed.to_string(), text, "round-trip changed the function");
         assert_eq!(parsed.arity(), f.arity());
         assert_eq!(parsed.num_locals(), f.num_locals());
         assert_eq!(parsed.num_blocks(), f.num_blocks());
@@ -658,8 +648,16 @@ bb2:
             src: b,
         });
         fb.push(Inst::NewArray { dst: d, len: a });
-        fb.push(Inst::ArrayGet { dst: d, arr: a, idx: b });
-        fb.push(Inst::ArraySet { arr: a, idx: b, src: d });
+        fb.push(Inst::ArrayGet {
+            dst: d,
+            arr: a,
+            idx: b,
+        });
+        fb.push(Inst::ArraySet {
+            arr: a,
+            idx: b,
+            src: d,
+        });
         fb.push(Inst::ArrayLen { dst: d, arr: a });
         fb.push(Inst::Call {
             dst: Some(d),

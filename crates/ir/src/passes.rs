@@ -67,8 +67,8 @@ pub fn fold_constants(f: &mut Function) -> usize {
         };
 
         let kill = |consts: &mut HashMap<LocalId, Const>,
-                        copies: &mut HashMap<LocalId, LocalId>,
-                        dst: LocalId| {
+                    copies: &mut HashMap<LocalId, LocalId>,
+                    dst: LocalId| {
             consts.remove(&dst);
             copies.remove(&dst);
             // Anything that was a copy of `dst` no longer is.
@@ -81,7 +81,10 @@ pub fn fold_constants(f: &mut Function) -> usize {
                 Inst::Move { dst, src } => {
                     let root = resolve(&copies, *src);
                     if let Some(&c) = consts.get(&root) {
-                        *inst = Inst::Const { dst: *dst, value: c };
+                        *inst = Inst::Const {
+                            dst: *dst,
+                            value: c,
+                        };
                         rewrites += 1;
                         // Re-process as a Const below.
                     } else {
@@ -232,14 +235,18 @@ pub fn simplify_cfg(f: &mut Function) -> usize {
                 continue;
             }
             if let Term::Jump(t) = *b.term() {
-                if t != id && f.blocks().any(|(o, ob)| o != id && ob.successors().contains(&id))
+                if t != id
+                    && f.blocks()
+                        .any(|(o, ob)| o != id && ob.successors().contains(&id))
                 {
                     forward = Some((id, t));
                     break;
                 }
             }
         }
-        let Some((hollow, target)) = forward else { break };
+        let Some((hollow, target)) = forward else {
+            break;
+        };
         let mut retargeted = 0;
         for b in 0..f.num_blocks() {
             let id = BlockId::new(b as u32);
@@ -412,10 +419,7 @@ fn is_pure(inst: &Inst) -> bool {
     match inst {
         Inst::Const { .. } | Inst::Move { .. } | Inst::Un { .. } | Inst::ArrayLen { .. } => true,
         // Division can trap; everything else observes or mutates state.
-        Inst::Bin { op, .. } => !matches!(
-            op,
-            crate::inst::BinOp::Div | crate::inst::BinOp::Rem
-        ),
+        Inst::Bin { op, .. } => !matches!(op, crate::inst::BinOp::Div | crate::inst::BinOp::Rem),
         _ => false,
     }
 }
@@ -552,7 +556,9 @@ mod tests {
         optimize(&mut f);
         crate::verify::verify_function(&f, None).unwrap();
         // The false arm disappears entirely.
-        assert!(f.blocks().all(|(_, b)| !b.insts().iter().any(Inst::is_yield)));
+        assert!(f
+            .blocks()
+            .all(|(_, b)| !b.insts().iter().any(Inst::is_yield)));
         assert!(f.num_blocks() <= 2);
     }
 

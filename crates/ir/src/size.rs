@@ -26,7 +26,7 @@ pub fn inst_bytes(inst: &Inst) -> usize {
         Inst::Print { .. } => 8,
         Inst::Spawn { args, .. } => 24 + 4 * args.len(),
         Inst::Join { .. } => 12,
-        Inst::Yield => 12,        // load bit, test, conditional branch
+        Inst::Yield => 12, // load bit, test, conditional branch
         Inst::Busy { .. } => 8,
         Inst::Instr(op) => match op {
             // Stack walk + hash update.
@@ -59,9 +59,7 @@ pub fn term_bytes(term: &Term) -> usize {
 /// Estimated code size of a function in bytes.
 pub fn function_bytes(f: &Function) -> usize {
     f.blocks()
-        .map(|(_, b)| {
-            b.insts().iter().map(inst_bytes).sum::<usize>() + term_bytes(b.term())
-        })
+        .map(|(_, b)| b.insts().iter().map(inst_bytes).sum::<usize>() + term_bytes(b.term()))
         .sum()
 }
 

@@ -103,7 +103,12 @@ pub fn verify_function(f: &Function, id: Option<FuncId>) -> Result<(), VerifyErr
                     check_local(*dst)?;
                     check_local(*arr)?;
                 }
-                Inst::Call { dst, args, site, .. } | Inst::CallMethod { dst, args, site, .. } => {
+                Inst::Call {
+                    dst, args, site, ..
+                }
+                | Inst::CallMethod {
+                    dst, args, site, ..
+                } => {
                     if let Some(d) = dst {
                         check_local(*d)?;
                     }
@@ -164,18 +169,15 @@ pub fn verify_module(m: &Module) -> Result<(), VerifyError> {
                         ));
                     }
                 }
-                Inst::CallMethod { method, .. }
-                    if method.0 >= nms => {
-                        return Err(err(Some(id), format!("missing method symbol {method}")));
-                    }
-                Inst::New { class, .. }
-                    if class.0 >= nc => {
-                        return Err(err(Some(id), format!("missing class {class}")));
-                    }
-                Inst::GetField { field, .. } | Inst::SetField { field, .. }
-                    if field.0 >= nfs => {
-                        return Err(err(Some(id), format!("missing field symbol {field}")));
-                    }
+                Inst::CallMethod { method, .. } if method.0 >= nms => {
+                    return Err(err(Some(id), format!("missing method symbol {method}")));
+                }
+                Inst::New { class, .. } if class.0 >= nc => {
+                    return Err(err(Some(id), format!("missing class {class}")));
+                }
+                Inst::GetField { field, .. } | Inst::SetField { field, .. } if field.0 >= nfs => {
+                    return Err(err(Some(id), format!("missing field symbol {field}")));
+                }
                 _ => {}
             }
         }

@@ -147,7 +147,9 @@ impl ProfileData {
     pub fn top_value(&self, func: FuncId, site: u32) -> Option<(i64, f64)> {
         let hist = self.values.get(&(func, site))?;
         let total: u64 = hist.values().sum();
-        let (&v, &n) = hist.iter().max_by_key(|&(v, n)| (*n, std::cmp::Reverse(*v)))?;
+        let (&v, &n) = hist
+            .iter()
+            .max_by_key(|&(v, n)| (*n, std::cmp::Reverse(*v)))?;
         Some((v, n as f64 / total as f64))
     }
 }

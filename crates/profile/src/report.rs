@@ -1,13 +1,11 @@
-//! Human-readable and serializable profile reports.
-
-use serde::Serialize;
+//! Human-readable profile reports.
 
 use isf_ir::Module;
 
 use crate::profile::ProfileData;
 
 /// One row of a ranked call-edge report.
-#[derive(Clone, Debug, PartialEq, Serialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct CallEdgeRow {
     /// Caller function name.
     pub caller: String,
@@ -23,7 +21,7 @@ pub struct CallEdgeRow {
 }
 
 /// One row of a ranked field-access report.
-#[derive(Clone, Debug, PartialEq, Serialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct FieldRow {
     /// Receiver class name.
     pub class: String,

@@ -190,7 +190,12 @@ mod tests {
             let b = run(&m, &cfg).unwrap();
             assert_eq!(a.output, b.output, "{} must be deterministic", w.name());
             assert!(!a.output.is_empty(), "{} must print a checksum", w.name());
-            assert!(a.cycles > 10_000, "{} too small: {} cycles", w.name(), a.cycles);
+            assert!(
+                a.cycles > 10_000,
+                "{} too small: {} cycles",
+                w.name(),
+                a.cycles
+            );
         }
     }
 

@@ -67,19 +67,14 @@ fn main() {
         let want = layout_for(&perfect.profile, &module, class_id);
         let got = layout_for(&sampled.profile, &module, class_id);
         println!("\nclass {} — hot-first field layout:", class.name());
-        println!("{:<12} {:>12} | {:<12} {:>9}", "perfect", "count", "sampled", "count");
+        println!(
+            "{:<12} {:>12} | {:<12} {:>9}",
+            "perfect", "count", "sampled", "count"
+        );
         for (w, g) in want.iter().zip(&got) {
             println!("{:<12} {:>12} | {:<12} {:>9}", w.0, w.1, g.0, g.1);
         }
-        let agree = want
-            .iter()
-            .zip(&got)
-            .filter(|(w, g)| w.0 == g.0)
-            .count();
-        println!(
-            "layout agreement: {}/{} positions",
-            agree,
-            want.len()
-        );
+        let agree = want.iter().zip(&got).filter(|(w, g)| w.0 == g.0).count();
+        println!("layout agreement: {}/{} positions", agree, want.len());
     }
 }

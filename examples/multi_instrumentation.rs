@@ -33,8 +33,8 @@ fn main() {
     let mut exhaustive_sum = 0.0;
     for kind in &all {
         let plan = ModulePlan::build(&module, std::slice::from_ref(kind));
-        let (m, _) = instrument_module(&module, &plan, &Options::new(Strategy::Exhaustive))
-            .unwrap();
+        let (m, _) =
+            instrument_module(&module, &plan, &Options::new(Strategy::Exhaustive)).unwrap();
         let o = run(&m, &VmConfig::default()).unwrap();
         let pct = o.overhead_vs(&baseline);
         exhaustive_sum += pct;

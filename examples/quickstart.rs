@@ -37,7 +37,10 @@ fn main() {
 
     // 2. Plan call-edge instrumentation over every method.
     let plan = ModulePlan::build(&module, &[&CallEdgeInstrumentation]);
-    println!("planned {} instrumentation operations", plan.num_insertions());
+    println!(
+        "planned {} instrumentation operations",
+        plan.num_insertions()
+    );
 
     // 3. Exhaustive instrumentation: the expensive way (paper Table 1).
     let (exhaustive, _) =

@@ -15,8 +15,8 @@ use isf_workloads::{suite, Scale};
 fn assert_roundtrips(m: &Module, context: &str) {
     for (_, f) in m.functions() {
         let text = f.to_string();
-        let parsed = parse_function(&text)
-            .unwrap_or_else(|e| panic!("{context}/{}: {e}\n{text}", f.name()));
+        let parsed =
+            parse_function(&text).unwrap_or_else(|e| panic!("{context}/{}: {e}\n{text}", f.name()));
         assert_eq!(
             parsed.to_string(),
             text,
@@ -54,7 +54,9 @@ fn transform_output_roundtrips_with_every_instrumentation() {
         &PathProfileInstrumentation,
     ];
     for name in ["jess", "javac"] {
-        let module = isf_workloads::by_name(name, Scale::Smoke).unwrap().compile();
+        let module = isf_workloads::by_name(name, Scale::Smoke)
+            .unwrap()
+            .compile();
         let plan = ModulePlan::build(&module, &kinds);
         for strategy in [
             Strategy::Exhaustive,

@@ -24,8 +24,7 @@ const THREE_WAY: &str = "
 fn sampled_path_profile_matches_exhaustive_shape() {
     let module = compile(THREE_WAY);
     let plan = ModulePlan::build(&module, &[&PathProfileInstrumentation]);
-    let (exh, _) =
-        instrument_module(&module, &plan, &Options::new(Strategy::Exhaustive)).unwrap();
+    let (exh, _) = instrument_module(&module, &plan, &Options::new(Strategy::Exhaustive)).unwrap();
     let perfect = run_with(&exh, Trigger::Never).profile;
     assert!(perfect.total_path_events() > 600);
 
@@ -57,8 +56,7 @@ fn partial_paths_are_dropped_not_misrecorded() {
         }";
     let module = compile(src);
     let plan = ModulePlan::build(&module, &[&PathProfileInstrumentation]);
-    let (exh, _) =
-        instrument_module(&module, &plan, &Options::new(Strategy::Exhaustive)).unwrap();
+    let (exh, _) = instrument_module(&module, &plan, &Options::new(Strategy::Exhaustive)).unwrap();
     let perfect = run_with(&exh, Trigger::Never).profile;
     let (sampled_m, _) =
         instrument_module(&module, &plan, &Options::new(Strategy::FullDuplication)).unwrap();
@@ -93,8 +91,7 @@ fn path_profiling_preserves_semantics_on_benchmarks() {
 fn path_profile_under_partial_duplication() {
     let module = compile(THREE_WAY);
     let plan = ModulePlan::build(&module, &[&PathProfileInstrumentation]);
-    let (exh, _) =
-        instrument_module(&module, &plan, &Options::new(Strategy::Exhaustive)).unwrap();
+    let (exh, _) = instrument_module(&module, &plan, &Options::new(Strategy::Exhaustive)).unwrap();
     let perfect = run_with(&exh, Trigger::Never).profile;
     let (partial, _) =
         instrument_module(&module, &plan, &Options::new(Strategy::PartialDuplication)).unwrap();

@@ -3,9 +3,7 @@
 
 use isf_core::{instrument_module, property, Options, Strategy};
 use isf_exec::Trigger;
-use isf_instr::{
-    CallEdgeInstrumentation, FieldAccessInstrumentation, Instrumentation, ModulePlan,
-};
+use isf_instr::{CallEdgeInstrumentation, FieldAccessInstrumentation, Instrumentation, ModulePlan};
 use isf_integration_tests::run_with;
 use isf_workloads::{by_name, Scale};
 
@@ -85,8 +83,7 @@ fn structural_validators_pass_on_benchmarks() {
             Strategy::PartialDuplication,
             Strategy::NoDuplication,
         ] {
-            let (out, stats) =
-                instrument_module(&module, &plan, &Options::new(strategy)).unwrap();
+            let (out, stats) = instrument_module(&module, &plan, &Options::new(strategy)).unwrap();
             for (id, f) in out.functions() {
                 let fs = &stats.functions[id.index()];
                 property::dup_region_is_dag(f, fs)
@@ -185,7 +182,10 @@ fn multithreaded_benchmarks_sample_under_every_trigger() {
             Trigger::TimerBit { period: 2_003 },
         ] {
             let o = run_with(&out, trigger);
-            assert_eq!(o.output, baseline.output, "{name} diverged under {trigger:?}");
+            assert_eq!(
+                o.output, baseline.output,
+                "{name} diverged under {trigger:?}"
+            );
             assert!(o.samples_taken > 0, "{name}/{trigger:?} took no samples");
             assert!(
                 !o.profile.is_empty(),

@@ -1,0 +1,257 @@
+//! Differential property testing of the execution engines: the pre-decoded
+//! arena interpreter ([`isf_exec::run_prepared`], and [`isf_exec::run`]
+//! which prepares internally) must be observationally identical to the
+//! tree-walking reference ([`isf_exec::run_naive`]) — same output, same
+//! simulated cycles, same counters, same collected profile — on arbitrary
+//! programs, not just the benchmark suite. Instrumented and path-profiled
+//! variants are included so the decoded forms of `check`, the profiling
+//! ops and the Ball–Larus path ops are all exercised.
+
+use proptest::prelude::*;
+use proptest::strategy::Strategy as _;
+use proptest::test_runner::TestCaseError;
+
+use isf_core::{instrument_module, Options, Strategy};
+use isf_exec::{run, run_naive, run_prepared, PreparedModule, Trigger, VmConfig};
+use isf_instr::{
+    BlockCountInstrumentation, CallEdgeInstrumentation, EdgeCountInstrumentation,
+    FieldAccessInstrumentation, Instrumentation, ModulePlan, PathProfileInstrumentation,
+};
+use isf_integration_tests::compile;
+
+/// Statement fragments rendered into a Jive `main`. Every operation is
+/// total (no division, bounded loops), so programs terminate trap-free.
+#[derive(Debug, Clone)]
+enum Stmt {
+    Assign(u8, Expr),
+    SetF(Expr),
+    Print(Expr),
+    If(Expr, Vec<Stmt>, Vec<Stmt>),
+    Loop(u8, Vec<Stmt>),
+}
+
+#[derive(Debug, Clone)]
+enum Expr {
+    Lit(i8),
+    Var(u8),
+    FieldF,
+    Add(Box<Expr>, Box<Expr>),
+    Mul(Box<Expr>, Box<Expr>),
+    Mod(Box<Expr>, u8),
+    Helper(Box<Expr>),
+    Bump(Box<Expr>),
+}
+
+fn expr_strategy() -> impl proptest::strategy::Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        any::<i8>().prop_map(Expr::Lit),
+        (0u8..4).prop_map(Expr::Var),
+        Just(Expr::FieldF),
+    ];
+    leaf.prop_recursive(3, 20, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Add(a.into(), b.into())),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Mul(a.into(), b.into())),
+            (inner.clone(), 1u8..17).prop_map(|(a, k)| Expr::Mod(a.into(), k)),
+            inner.clone().prop_map(|a| Expr::Helper(a.into())),
+            inner.prop_map(|a| Expr::Bump(a.into())),
+        ]
+    })
+}
+
+fn stmt_strategy() -> impl proptest::strategy::Strategy<Value = Stmt> {
+    let simple = prop_oneof![
+        ((0u8..4), expr_strategy()).prop_map(|(v, e)| Stmt::Assign(v, e)),
+        expr_strategy().prop_map(Stmt::SetF),
+        expr_strategy().prop_map(Stmt::Print),
+    ];
+    simple.prop_recursive(2, 12, 4, |inner| {
+        prop_oneof![
+            (
+                expr_strategy(),
+                prop::collection::vec(inner.clone(), 0..3),
+                prop::collection::vec(inner.clone(), 0..3)
+            )
+                .prop_map(|(c, t, e)| Stmt::If(c, t, e)),
+            ((0u8..5), prop::collection::vec(inner, 1..3)).prop_map(|(n, b)| Stmt::Loop(n, b)),
+        ]
+    })
+}
+
+fn render_expr(e: &Expr, out: &mut String) {
+    match e {
+        Expr::Lit(v) => out.push_str(&format!("({v})")),
+        Expr::Var(v) => out.push_str(&format!("v{v}")),
+        Expr::FieldF => out.push_str("p.f"),
+        Expr::Add(a, b) | Expr::Mul(a, b) => {
+            let op = if matches!(e, Expr::Add(..)) { "+" } else { "*" };
+            out.push('(');
+            render_expr(a, out);
+            out.push_str(&format!(" {op} "));
+            render_expr(b, out);
+            out.push(')');
+        }
+        Expr::Mod(a, k) => {
+            out.push('(');
+            render_expr(a, out);
+            out.push_str(&format!(" % {k})"));
+        }
+        Expr::Helper(a) => {
+            out.push_str("helper(");
+            render_expr(a, out);
+            out.push(')');
+        }
+        Expr::Bump(a) => {
+            out.push_str("p.bump(");
+            render_expr(a, out);
+            out.push(')');
+        }
+    }
+}
+
+fn render_stmts(stmts: &[Stmt], out: &mut String, indent: usize, loop_id: &mut u32) {
+    let pad = "    ".repeat(indent);
+    for s in stmts {
+        match s {
+            Stmt::Assign(v, e) => {
+                out.push_str(&format!("{pad}v{v} = "));
+                render_expr(e, out);
+                out.push_str(";\n");
+            }
+            Stmt::SetF(e) => {
+                out.push_str(&format!("{pad}p.f = "));
+                render_expr(e, out);
+                out.push_str(";\n");
+            }
+            Stmt::Print(e) => {
+                out.push_str(&format!("{pad}print("));
+                render_expr(e, out);
+                out.push_str(");\n");
+            }
+            Stmt::If(c, t, e) => {
+                out.push_str(&format!("{pad}if (("));
+                render_expr(c, out);
+                out.push_str(") % 2 == 0) {\n");
+                render_stmts(t, out, indent + 1, loop_id);
+                out.push_str(&format!("{pad}}} else {{\n"));
+                render_stmts(e, out, indent + 1, loop_id);
+                out.push_str(&format!("{pad}}}\n"));
+            }
+            Stmt::Loop(n, body) => {
+                let id = *loop_id;
+                *loop_id += 1;
+                out.push_str(&format!("{pad}var loop{id} = 0;\n"));
+                out.push_str(&format!("{pad}while (loop{id} < {n}) {{\n"));
+                render_stmts(body, out, indent + 1, loop_id);
+                out.push_str(&format!("{pad}    loop{id} = loop{id} + 1;\n"));
+                out.push_str(&format!("{pad}}}\n"));
+            }
+        }
+    }
+}
+
+fn render_program(stmts: &[Stmt]) -> String {
+    let mut body = String::new();
+    let mut loop_id = 0;
+    render_stmts(stmts, &mut body, 1, &mut loop_id);
+    format!(
+        "class P {{
+    field f; field g;
+    method bump(x) {{ self.f = self.f + x; return self.f; }}
+}}
+fn helper(x) {{ return (x * 7 + 3) % 1000003; }}
+fn main() {{
+    var v0 = 1; var v1 = 2; var v2 = 3; var v3 = 5;
+    var p = new P;
+{body}    print(v0); print(v1); print(v2); print(v3);
+    print(p.f);
+}}"
+    )
+}
+
+/// Asserts all three engines agree on the complete [`isf_exec::Outcome`]
+/// for `module` under `trigger` — output, cycles, instructions, profile
+/// and every check/sample/yield/entry/backedge/switch counter.
+fn engines_agree(module: &isf_ir::Module, trigger: Trigger) -> Result<(), TestCaseError> {
+    let cfg = VmConfig {
+        trigger,
+        max_cycles: Some(500_000_000),
+        ..VmConfig::default()
+    };
+    let reference = run_naive(module, &cfg).expect("naive engine runs");
+    let via_run = run(module, &cfg).expect("run succeeds");
+    prop_assert_eq!(&via_run, &reference, "run() diverged from run_naive()");
+    // One preparation, two runs: repeated runs of one PreparedModule must
+    // be deterministic and equal to the reference as well.
+    let prepared = PreparedModule::prepare(module, &cfg.cost);
+    let first = run_prepared(&prepared, &cfg).expect("prepared run succeeds");
+    let second = run_prepared(&prepared, &cfg).expect("prepared rerun succeeds");
+    prop_assert_eq!(
+        &first,
+        &reference,
+        "run_prepared() diverged from run_naive()"
+    );
+    prop_assert_eq!(&first, &second, "repeated prepared runs diverged");
+    Ok(())
+}
+
+fn all_kinds() -> Vec<&'static dyn Instrumentation> {
+    vec![
+        &CallEdgeInstrumentation,
+        &FieldAccessInstrumentation,
+        &BlockCountInstrumentation,
+        &EdgeCountInstrumentation,
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn engines_agree_on_random_programs(
+        stmts in prop::collection::vec(stmt_strategy(), 1..8)
+    ) {
+        let module = compile(&render_program(&stmts));
+        engines_agree(&module, Trigger::Never)?;
+    }
+
+    #[test]
+    fn engines_agree_on_instrumented_programs(
+        stmts in prop::collection::vec(stmt_strategy(), 1..6)
+    ) {
+        // Sampled instrumentation decodes to Check plus the profiling ops;
+        // a counter trigger exercises both the sampled and deferred paths.
+        let module = compile(&render_program(&stmts));
+        let plan = ModulePlan::build(&module, &all_kinds());
+        for strategy in [Strategy::FullDuplication, Strategy::NoDuplication] {
+            let (out, _) = instrument_module(&module, &plan, &Options::new(strategy)).unwrap();
+            engines_agree(&out, Trigger::Counter { interval: 3 })?;
+        }
+    }
+
+    #[test]
+    fn engines_agree_on_path_profiled_programs(
+        stmts in prop::collection::vec(stmt_strategy(), 1..6)
+    ) {
+        // Ball–Larus instrumentation decodes to PathStart/PathIncr/PathEnd.
+        let module = compile(&render_program(&stmts));
+        let plan = ModulePlan::build(&module, &[&PathProfileInstrumentation]);
+        let (out, _) =
+            instrument_module(&module, &plan, &Options::new(Strategy::FullDuplication)).unwrap();
+        engines_agree(&out, Trigger::Counter { interval: 2 })?;
+    }
+
+    #[test]
+    fn engines_agree_under_timer_trigger(
+        stmts in prop::collection::vec(stmt_strategy(), 1..6)
+    ) {
+        // The timer trigger is the one path where `charge` consults the
+        // clock; both engines must attribute samples identically.
+        let module = compile(&render_program(&stmts));
+        let plan = ModulePlan::build(&module, &all_kinds());
+        let (out, _) = instrument_module(
+            &module, &plan, &Options::new(Strategy::FullDuplication),
+        ).unwrap();
+        engines_agree(&out, Trigger::TimerBit { period: 997 })?;
+    }
+}

@@ -1,0 +1,252 @@
+//! A minimal, dependency-free stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored shim
+//! implements the API surface the workspace's benches use: [`Criterion`],
+//! [`BenchmarkId`], benchmark groups with `bench_function` /
+//! `bench_with_input`, `Bencher::iter`, and [`black_box`].
+//!
+//! Measurement is simple and honest: each benchmark warms up for
+//! `warm_up_time`, then runs `sample_size` samples sized to fill
+//! `measurement_time`, and reports the median per-iteration time. There is
+//! no statistical regression analysis, plotting, or result persistence.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting benchmark
+/// bodies.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// A benchmark identifier: `name` or `name/parameter`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Just the parameter, for groups whose benchmarks differ only by it.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+/// Passed to benchmark closures; [`Bencher::iter`] performs the timing.
+pub struct Bencher<'a> {
+    config: &'a Config,
+    /// Median per-iteration nanoseconds, filled by `iter`.
+    result_ns: f64,
+}
+
+impl Bencher<'_> {
+    /// Times `f`, storing the median per-iteration duration.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        // Warm-up: run until the warm-up budget elapses, measuring the
+        // rough per-iteration cost to size samples.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.config.warm_up_time {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
+
+        // Sample: `sample_size` samples, each sized to fill an equal share
+        // of the measurement budget.
+        let samples = self.config.sample_size.max(2);
+        let budget = self.config.measurement_time.as_secs_f64() / samples as f64;
+        let iters_per_sample = ((budget / per_iter.max(1e-9)) as u64).max(1);
+        let mut sample_ns: Vec<f64> = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(f());
+            }
+            sample_ns.push(start.elapsed().as_nanos() as f64 / iters_per_sample as f64);
+        }
+        sample_ns.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+        self.result_ns = sample_ns[sample_ns.len() / 2];
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+#[derive(Clone, Debug)]
+struct Config {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    config: Config,
+    /// `(id, median per-iteration ns)` in completion order.
+    results: Vec<(String, f64)>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            config: Config {
+                sample_size: 10,
+                warm_up_time: Duration::from_millis(300),
+                measurement_time: Duration::from_secs(1),
+            },
+            results: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of samples per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.config.sample_size = n;
+        self
+    }
+
+    /// Warm-up budget per benchmark.
+    #[must_use]
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.config.warm_up_time = d;
+        self
+    }
+
+    /// Measurement budget per benchmark.
+    #[must_use]
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.config.measurement_time = d;
+        self
+    }
+
+    /// Accepted for API compatibility; command-line filtering is not
+    /// implemented.
+    #[must_use]
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function(&mut self, id: impl Into<BenchmarkId>, f: impl FnMut(&mut Bencher)) {
+        self.run_one(id.into().id, f);
+    }
+
+    fn run_one(&mut self, id: String, mut f: impl FnMut(&mut Bencher)) {
+        let mut b = Bencher {
+            config: &self.config,
+            result_ns: f64::NAN,
+        };
+        f(&mut b);
+        let ns = b.result_ns;
+        println!("{id:<60} time: {:>12}", format_ns(ns));
+        self.results.push((id, ns));
+    }
+
+    /// Prints a closing summary of every benchmark run.
+    pub fn final_summary(&self) {
+        println!("\n{} benchmarks completed", self.results.len());
+    }
+
+    /// Median per-iteration nanoseconds of a completed benchmark, by id.
+    /// Exposed so ablation benches can assert speedup ratios.
+    pub fn result_ns(&self, id: &str) -> Option<f64> {
+        self.results
+            .iter()
+            .find(|(name, _)| name == id)
+            .map(|&(_, ns)| ns)
+    }
+}
+
+/// A named collection of benchmarks; ids are printed as `group/bench`.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark in the group.
+    pub fn bench_function(&mut self, id: impl Into<BenchmarkId>, f: impl FnMut(&mut Bencher)) {
+        let full = format!("{}/{}", self.name, id.into().id);
+        self.criterion.run_one(full, f);
+    }
+
+    /// Runs one parameterized benchmark in the group.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) {
+        self.bench_function(id, |b| f(b, input));
+    }
+
+    /// Ends the group (accepted for API compatibility).
+    pub fn finish(self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_records() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        let mut g = c.benchmark_group("g");
+        g.bench_function("spin", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        g.bench_with_input(BenchmarkId::new("param", 7), &7u64, |b, &n| {
+            b.iter(|| (0..n).product::<u64>())
+        });
+        g.finish();
+        assert!(c.result_ns("g/spin").unwrap() > 0.0);
+        assert!(c.result_ns("g/param/7").unwrap() > 0.0);
+        assert!(c.result_ns("missing").is_none());
+        c.final_summary();
+    }
+}
