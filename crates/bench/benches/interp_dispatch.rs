@@ -10,7 +10,9 @@
 
 use criterion::Criterion;
 use isf_bench::{criterion, module};
-use isf_exec::{run_naive, run_prepared, PreparedModule, VmConfig};
+use isf_exec::{
+    run_naive, run_prepared, run_prepared_traced, PreparedModule, TraceBuffer, VmConfig,
+};
 
 fn dispatch(c: &mut Criterion) {
     let cfg = VmConfig::default();
@@ -31,6 +33,15 @@ fn dispatch(c: &mut Criterion) {
                 run_prepared(&p, &cfg).unwrap()
             })
         });
+        // Live burst tracing: the generic-sink variant with a real buffer.
+        // Uninstrumented modules take no samples, so this measures the
+        // plumbing (the `S::ENABLED` branches), not record volume.
+        c.bench_function(format!("interp_dispatch/traced/{name}"), |b| {
+            b.iter(|| {
+                let mut sink = TraceBuffer::new();
+                run_prepared_traced(&prepared, &cfg, &mut sink).unwrap()
+            })
+        });
     }
 }
 
@@ -49,6 +60,16 @@ fn main() {
     assert!(
         speedup >= 1.5,
         "prepared dispatch must be >= 1.5x faster than naive on compress, got {speedup:.2}x"
+    );
+    // The no-trace path is the zero-cost baseline: a live TraceBuffer on a
+    // sample-free run should cost within noise of it (the recording sites
+    // compile out entirely when the sink is NoTrace).
+    let traced = c
+        .result_ns("interp_dispatch/traced/compress")
+        .expect("traced/compress was measured");
+    println!(
+        "interp_dispatch: live tracing is {:.3}x the untraced prepared run on compress",
+        traced / fast
     );
     c.final_summary();
 }

@@ -23,6 +23,7 @@ use crate::error::{TrapKind, VmError};
 use crate::heap::Heap;
 use crate::outcome::Outcome;
 use crate::prepared::{Op, OpKind, PreparedModule};
+use crate::trace::{BurstRecord, NoTrace, TraceSink};
 use crate::trigger::{Trigger, TriggerState};
 use crate::value::Value;
 
@@ -84,12 +85,49 @@ pub fn run(module: &Module, config: &VmConfig) -> Result<Outcome, VmError> {
 ///
 /// Returns a [`VmError`] on any runtime trap, exactly as [`run`] does.
 pub fn run_prepared(prepared: &PreparedModule, config: &VmConfig) -> Result<Outcome, VmError> {
+    run_prepared_traced(prepared, config, &mut NoTrace)
+}
+
+/// [`run`] with a burst-trace sink: prepares internally, then records every
+/// sampling burst into `sink`. See [`crate::trace`] for the recording
+/// contract.
+///
+/// # Errors
+///
+/// Returns a [`VmError`] on any runtime trap, exactly as [`run`] does.
+pub fn run_traced<S: TraceSink>(
+    module: &Module,
+    config: &VmConfig,
+    sink: &mut S,
+) -> Result<Outcome, VmError> {
+    let prepared = PreparedModule::prepare(module, &config.cost);
+    run_prepared_traced(&prepared, config, sink)
+}
+
+/// [`run_prepared`] with a burst-trace sink.
+///
+/// The sink is a compile-time parameter: with [`NoTrace`] (what
+/// [`run_prepared`] passes) every recording site compiles away and this
+/// *is* the untraced hot loop.
+///
+/// # Panics
+///
+/// Panics if `config.cost` differs from the preparation cost model.
+///
+/// # Errors
+///
+/// Returns a [`VmError`] on any runtime trap, exactly as [`run`] does.
+pub fn run_prepared_traced<S: TraceSink>(
+    prepared: &PreparedModule,
+    config: &VmConfig,
+    sink: &mut S,
+) -> Result<Outcome, VmError> {
     assert_eq!(
         &config.cost,
         prepared.cost(),
         "run_prepared: config cost model differs from the preparation cost model"
     );
-    let mut machine = Machine::new(prepared, config);
+    let mut machine = Machine::new(prepared, config, sink);
     let result = machine.run_to_completion();
     match result {
         Ok(()) => Ok(machine.into_outcome()),
@@ -134,8 +172,13 @@ enum Step {
     SwitchRequested,
 }
 
-struct Machine<'p> {
+struct Machine<'p, 's, S: TraceSink> {
     prepared: &'p PreparedModule,
+    sink: &'s mut S,
+    /// Clock snapshots at the previous sample, for burst lengths. Only
+    /// maintained when the sink is enabled.
+    last_sample_cycles: u64,
+    last_sample_instructions: u64,
     sample_switch: u64,
     trigger: TriggerState,
     /// Whether the trigger observes the clock at all (only the timer-bit
@@ -163,8 +206,8 @@ struct Machine<'p> {
     profile: ProfileData,
 }
 
-impl<'p> Machine<'p> {
-    fn new(prepared: &'p PreparedModule, config: &VmConfig) -> Self {
+impl<'p, 's, S: TraceSink> Machine<'p, 's, S> {
+    fn new(prepared: &'p PreparedModule, config: &VmConfig, sink: &'s mut S) -> Self {
         let main = prepared.module().main();
         let main_frame = Frame {
             func: main,
@@ -177,6 +220,9 @@ impl<'p> Machine<'p> {
         };
         Machine {
             prepared,
+            sink,
+            last_sample_cycles: 0,
+            last_sample_instructions: 0,
             sample_switch: prepared.cost().sample_switch,
             trigger: TriggerState::new(config.trigger),
             timer_active: matches!(config.trigger, Trigger::TimerBit { .. }),
@@ -344,6 +390,23 @@ impl<'p> Machine<'p> {
     #[inline]
     fn advance(&mut self) {
         self.frame_mut().ip += 1;
+    }
+
+    /// Records a burst boundary at a firing check. Only reachable from
+    /// `if S::ENABLED` guards: the whole function compiles away when the
+    /// sink is [`NoTrace`].
+    #[cold]
+    fn record_sample(&mut self, thread: usize, func: FuncId, check_ip: u32, backedge: bool) {
+        self.sink.record(BurstRecord {
+            thread: thread as u32,
+            func: func.index() as u32,
+            check_ip,
+            backedge,
+            len_instructions: self.instructions - self.last_sample_instructions,
+            len_cycles: self.cycles - self.last_sample_cycles,
+        });
+        self.last_sample_instructions = self.instructions;
+        self.last_sample_cycles = self.cycles;
     }
 
     /// Transfers control to a pre-resolved arena index, bumping the
@@ -680,6 +743,15 @@ impl<'p> Machine<'p> {
                 self.checks_executed += 1;
                 if self.trigger.on_check(cur) {
                     self.samples_taken += 1;
+                    if S::ENABLED {
+                        let ip = self.threads[cur].frames.last().expect("frame").ip;
+                        self.record_sample(
+                            cur,
+                            func_id,
+                            ip as u32,
+                            *sample_backedge || *cont_backedge,
+                        );
+                    }
                     // Jumping into cold duplicated code costs extra
                     // (instruction-cache effects, §4.4 footnote 6).
                     self.cycles += self.sample_switch;

@@ -49,15 +49,17 @@ mod interp;
 mod naive;
 mod outcome;
 mod prepared;
+mod trace;
 mod trigger;
 mod value;
 
 pub use cost::CostModel;
 pub use error::{TrapKind, VmError};
 pub use heap::Heap;
-pub use interp::{run, run_prepared, VmConfig};
-pub use naive::run_naive;
-pub use outcome::Outcome;
+pub use interp::{run, run_prepared, run_prepared_traced, run_traced, VmConfig};
+pub use naive::{run_naive, run_naive_traced};
+pub use outcome::{Outcome, ZeroCycleBaseline};
 pub use prepared::{preparations, thread_preparations, PreparedModule};
+pub use trace::{BurstRecord, NoTrace, TraceBuffer, TraceSink};
 pub use trigger::Trigger;
 pub use value::Value;

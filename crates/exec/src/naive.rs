@@ -23,6 +23,7 @@ use crate::error::{TrapKind, VmError};
 use crate::heap::Heap;
 use crate::interp::VmConfig;
 use crate::outcome::Outcome;
+use crate::trace::{BurstRecord, NoTrace, TraceSink};
 use crate::trigger::TriggerState;
 use crate::value::Value;
 
@@ -36,7 +37,26 @@ use crate::value::Value;
 /// Returns a [`VmError`] on any runtime trap, exactly as [`crate::run`]
 /// does.
 pub fn run_naive(module: &Module, config: &VmConfig) -> Result<Outcome, VmError> {
-    let mut machine = Machine::new(module, config);
+    run_naive_traced(module, config, &mut NoTrace)
+}
+
+/// [`run_naive`] with a burst-trace sink.
+///
+/// Sample points are identified by the same `(func, check_ip)` arena
+/// coordinates the pre-decoded engine reports, so a naive trace is
+/// comparable — and, by the differential tests, identical — to a prepared
+/// trace of the same run.
+///
+/// # Errors
+///
+/// Returns a [`VmError`] on any runtime trap, exactly as [`crate::run`]
+/// does.
+pub fn run_naive_traced<S: TraceSink>(
+    module: &Module,
+    config: &VmConfig,
+    sink: &mut S,
+) -> Result<Outcome, VmError> {
+    let mut machine = Machine::new(module, config, sink);
     let result = machine.run_to_completion();
     match result {
         Ok(()) => Ok(machine.into_outcome()),
@@ -78,8 +98,17 @@ enum Step {
     SwitchRequested,
 }
 
-struct Machine<'m> {
+struct Machine<'m, 's, S: TraceSink> {
     module: &'m Module,
+    sink: &'s mut S,
+    /// Per-function arena offset of each block (instructions plus the
+    /// inlined terminator, as the prepared engine lays them out), so burst
+    /// records name sample points by the same `(func, check_ip)`
+    /// coordinates. Only computed when the sink is enabled.
+    block_starts: Vec<Vec<u32>>,
+    /// Clock snapshots at the previous sample, for burst lengths.
+    last_sample_cycles: u64,
+    last_sample_instructions: u64,
     cost: crate::cost::CostModel,
     trigger: TriggerState,
     timeslice: u64,
@@ -107,12 +136,28 @@ struct Machine<'m> {
     profile: ProfileData,
 }
 
-impl<'m> Machine<'m> {
-    fn new(module: &'m Module, config: &VmConfig) -> Self {
+impl<'m, 's, S: TraceSink> Machine<'m, 's, S> {
+    fn new(module: &'m Module, config: &VmConfig, sink: &'s mut S) -> Self {
         let backedges = module
             .functions()
             .map(|(_, f)| loops::backedges(f).into_iter().collect())
             .collect();
+        let block_starts = if S::ENABLED {
+            module
+                .functions()
+                .map(|(_, f)| {
+                    let mut starts = Vec::with_capacity(f.num_blocks());
+                    let mut offset = 0u32;
+                    for (_, b) in f.blocks() {
+                        starts.push(offset);
+                        offset += b.insts().len() as u32 + 1;
+                    }
+                    starts
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
         let main_frame = Frame {
             func: module.main(),
             block: BlockId::new(0),
@@ -124,6 +169,10 @@ impl<'m> Machine<'m> {
         };
         Machine {
             module,
+            sink,
+            block_starts,
+            last_sample_cycles: 0,
+            last_sample_instructions: 0,
             cost: config.cost,
             trigger: TriggerState::new(config.trigger),
             timeslice: config.timeslice.max(1),
@@ -289,6 +338,25 @@ impl<'m> Machine<'m> {
         self.frame_mut().ip += 1;
     }
 
+    /// Records a burst boundary at a firing check, naming the sample point
+    /// by the same arena coordinates the prepared engine uses: the block's
+    /// arena offset plus its instruction count (the inlined terminator).
+    fn record_sample(&mut self, func: FuncId, block: BlockId, sample: BlockId, cont: BlockId) {
+        let check_ip = self.block_starts[func.index()][block.index()]
+            + self.module.function(func).block(block).insts().len() as u32;
+        let back = &self.backedges[func.index()];
+        self.sink.record(BurstRecord {
+            thread: self.current as u32,
+            func: func.index() as u32,
+            check_ip,
+            backedge: back.contains(&(block, sample)) || back.contains(&(block, cont)),
+            len_instructions: self.instructions - self.last_sample_instructions,
+            len_cycles: self.cycles - self.last_sample_cycles,
+        });
+        self.last_sample_instructions = self.instructions;
+        self.last_sample_cycles = self.cycles;
+    }
+
     fn goto(&mut self, to: BlockId) {
         let frame = self.frame();
         let from = frame.block;
@@ -371,6 +439,9 @@ impl<'m> Machine<'m> {
                 let fire = self.trigger.on_check(self.current);
                 if fire {
                     self.samples_taken += 1;
+                    if S::ENABLED {
+                        self.record_sample(func_id, block, *sample, *cont);
+                    }
                     // Jumping into cold duplicated code costs extra
                     // (instruction-cache effects, §4.4 footnote 6).
                     self.cycles += self.cost.sample_switch;

@@ -32,16 +32,51 @@ pub struct Outcome {
     pub thread_switches: u64,
 }
 
+/// Error of [`Outcome::checked_overhead_vs`]: the baseline ran for zero
+/// cycles, so a relative overhead is undefined.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct ZeroCycleBaseline;
+
+impl std::fmt::Display for ZeroCycleBaseline {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "baseline ran for zero cycles; overhead is undefined")
+    }
+}
+
+impl std::error::Error for ZeroCycleBaseline {}
+
 impl Outcome {
     /// Overhead of this run relative to `baseline`, in percent:
     /// `(cycles / baseline.cycles - 1) * 100`.
     ///
-    /// # Panics
-    ///
-    /// Panics if the baseline ran for zero cycles.
+    /// A zero-cycle baseline saturates instead of panicking: the result is
+    /// `f64::INFINITY` when this run spent any cycles, and `0.0` when both
+    /// runs spent none. Use [`Outcome::checked_overhead_vs`] to surface the
+    /// degenerate baseline as an error instead.
     pub fn overhead_vs(&self, baseline: &Outcome) -> f64 {
-        assert!(baseline.cycles > 0, "baseline ran for zero cycles");
-        (self.cycles as f64 / baseline.cycles as f64 - 1.0) * 100.0
+        match self.checked_overhead_vs(baseline) {
+            Ok(pct) => pct,
+            Err(ZeroCycleBaseline) => {
+                if self.cycles == 0 {
+                    0.0
+                } else {
+                    f64::INFINITY
+                }
+            }
+        }
+    }
+
+    /// [`Outcome::overhead_vs`] that reports a zero-cycle baseline as an
+    /// error instead of a saturated value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ZeroCycleBaseline`] if `baseline.cycles == 0`.
+    pub fn checked_overhead_vs(&self, baseline: &Outcome) -> Result<f64, ZeroCycleBaseline> {
+        if baseline.cycles == 0 {
+            return Err(ZeroCycleBaseline);
+        }
+        Ok((self.cycles as f64 / baseline.cycles as f64 - 1.0) * 100.0)
     }
 
     /// Property 1 of the paper, evaluated dynamically: the number of checks
@@ -83,6 +118,20 @@ mod tests {
         };
         assert!((run.overhead_vs(&base) - 6.0).abs() < 1e-9);
         assert!((base.overhead_vs(&base)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_cycle_baseline_saturates_and_errors() {
+        let zero = Outcome::default();
+        let run = Outcome {
+            cycles: 10,
+            ..Outcome::default()
+        };
+        assert_eq!(run.overhead_vs(&zero), f64::INFINITY);
+        assert_eq!(zero.overhead_vs(&zero), 0.0);
+        assert_eq!(run.checked_overhead_vs(&zero), Err(ZeroCycleBaseline));
+        assert!(zero.checked_overhead_vs(&run).is_ok());
+        assert!(!ZeroCycleBaseline.to_string().is_empty());
     }
 
     #[test]

@@ -166,6 +166,40 @@ pub fn run(scale: Scale) -> Extras {
     }
 }
 
+impl Extras {
+    /// Emits the report as JSONL records (no-op when the emitter is off).
+    pub fn emit_jsonl(&self) {
+        use isf_obs::{emit, Json};
+        if !emit::enabled() {
+            return;
+        }
+        for r in &self.path_rows {
+            emit::record(&Json::obj([
+                ("type", "row".into()),
+                ("experiment", "extras".into()),
+                ("part", "path_profiling".into()),
+                ("interval", r.interval.into()),
+                ("total_pct", r.total.into()),
+                ("accuracy_pct", r.accuracy.into()),
+                ("paths_recorded", r.paths_recorded.into()),
+            ]));
+        }
+        for r in &self.selective_rows {
+            emit::record(&Json::obj([
+                ("type", "row".into()),
+                ("experiment", "extras".into()),
+                ("part", "selective".into()),
+                ("bench", r.bench.into()),
+                ("all_methods_pct", r.all_methods.into()),
+                ("hot_only_pct", r.hot_only.into()),
+                ("all_space_bytes", r.all_space.into()),
+                ("hot_space_bytes", r.hot_space.into()),
+                ("hot_count", r.hot_count.into()),
+            ]));
+        }
+    }
+}
+
 impl fmt::Display for Extras {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(

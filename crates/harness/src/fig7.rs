@@ -91,6 +91,32 @@ pub fn run(scale: Scale) -> Fig7 {
     }
 }
 
+impl Fig7 {
+    /// Emits the figure as JSONL records (no-op when the emitter is off).
+    pub fn emit_jsonl(&self) {
+        use isf_obs::{emit, Json};
+        if !emit::enabled() {
+            return;
+        }
+        for bar in &self.bars {
+            emit::record(&Json::obj([
+                ("type", "row".into()),
+                ("experiment", "fig7".into()),
+                ("edge", bar.edge.as_str().into()),
+                ("perfect_pct", bar.perfect_pct.into()),
+                ("sampled_pct", bar.sampled_pct.into()),
+            ]));
+        }
+        emit::record(&Json::obj([
+            ("type", "summary".into()),
+            ("experiment", "fig7".into()),
+            ("overlap_pct", self.overlap.into()),
+            ("interval", self.interval.into()),
+            ("edges", self.bars.len().into()),
+        ]));
+    }
+}
+
 impl fmt::Display for Fig7 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(

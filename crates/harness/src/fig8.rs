@@ -114,6 +114,41 @@ pub fn run(scale: Scale) -> Fig8 {
     }
 }
 
+impl Fig8 {
+    /// Emits the figure as JSONL records (no-op when the emitter is off).
+    pub fn emit_jsonl(&self) {
+        use isf_obs::{emit, Json};
+        if !emit::enabled() {
+            return;
+        }
+        for r in &self.rows_a {
+            emit::record(&Json::obj([
+                ("type", "row".into()),
+                ("experiment", "fig8".into()),
+                ("part", "a".into()),
+                ("bench", r.bench.into()),
+                ("framework_pct", r.framework.into()),
+                ("unoptimized_pct", r.unoptimized.into()),
+            ]));
+        }
+        for r in &self.rows_b {
+            emit::record(&Json::obj([
+                ("type", "row".into()),
+                ("experiment", "fig8".into()),
+                ("part", "b".into()),
+                ("interval", r.interval.into()),
+                ("total_pct", r.total.into()),
+            ]));
+        }
+        emit::record(&Json::obj([
+            ("type", "summary".into()),
+            ("experiment", "fig8".into()),
+            ("avg_framework_pct", self.avg_framework.into()),
+            ("avg_unoptimized_pct", self.avg_unoptimized.into()),
+        ]));
+    }
+}
+
 impl fmt::Display for Fig8 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "Figure 8 (A): yieldpoint-optimized framework overhead")?;

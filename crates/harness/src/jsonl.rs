@@ -1,0 +1,178 @@
+//! Validation of the harness's JSONL output stream against the contract
+//! recorded in `schemas/harness-jsonl.schema.json`.
+//!
+//! The checked-in schema file is the documentation of record; this module
+//! is its executable mirror, used by the `validate-jsonl` subcommand and
+//! by CI to reject malformed streams without external tooling. Keep the
+//! two in sync: every record type and required field here must appear in
+//! the schema, and vice versa.
+
+use isf_obs::{json, Json};
+
+/// One validation failure: the 1-based line and what is wrong with it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JsonlError {
+    /// 1-based line number in the stream.
+    pub line: usize,
+    /// What is wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for JsonlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for JsonlError {}
+
+fn fail(line: usize, message: impl Into<String>) -> JsonlError {
+    JsonlError {
+        line,
+        message: message.into(),
+    }
+}
+
+fn require(record: &Json, fields: &[(&str, Kind)], line: usize) -> Result<(), JsonlError> {
+    for &(name, kind) in fields {
+        let value = record
+            .get(name)
+            .ok_or_else(|| fail(line, format!("missing required field `{name}`")))?;
+        let ok = match kind {
+            Kind::Str => value.as_str().is_some(),
+            Kind::Num => value.is_number(),
+            Kind::Arr => matches!(value, Json::Arr(_)),
+        };
+        if !ok {
+            return Err(fail(line, format!("field `{name}` has the wrong type")));
+        }
+    }
+    Ok(())
+}
+
+#[derive(Copy, Clone)]
+enum Kind {
+    Str,
+    Num,
+    Arr,
+}
+
+/// Validates a JSONL stream: every non-empty line must parse as a JSON
+/// object of a known record type with its required fields. Returns the
+/// number of records validated.
+///
+/// # Errors
+///
+/// Returns the first [`JsonlError`] encountered.
+pub fn validate(stream: &str) -> Result<usize, JsonlError> {
+    let mut records = 0;
+    for (i, text) in stream.lines().enumerate() {
+        let line = i + 1;
+        if text.trim().is_empty() {
+            continue;
+        }
+        let record = json::parse(text).map_err(|e| fail(line, format!("not valid JSON: {e}")))?;
+        if !matches!(record, Json::Obj(_)) {
+            return Err(fail(line, "record is not a JSON object"));
+        }
+        let kind = record
+            .get("type")
+            .and_then(Json::as_str)
+            .ok_or_else(|| fail(line, "missing string field `type`"))?;
+        match kind {
+            "meta" => require(
+                &record,
+                &[
+                    ("schema", Kind::Str),
+                    ("scale", Kind::Str),
+                    ("experiments", Kind::Arr),
+                ],
+                line,
+            )?,
+            "cell" => require(
+                &record,
+                &[
+                    ("label", Kind::Str),
+                    ("sim_cycles", Kind::Num),
+                    ("instructions", Kind::Num),
+                    ("prepares", Kind::Num),
+                    ("wall_ns", Kind::Num),
+                    ("mips", Kind::Num),
+                ],
+                line,
+            )?,
+            "row" => require(&record, &[("experiment", Kind::Str)], line)?,
+            "summary" => require(&record, &[("experiment", Kind::Str)], line)?,
+            "phase" => require(
+                &record,
+                &[
+                    ("experiment", Kind::Str),
+                    ("name", Kind::Str),
+                    ("count", Kind::Num),
+                    ("wall_ns", Kind::Num),
+                ],
+                line,
+            )?,
+            other => return Err(fail(line, format!("unknown record type `{other}`"))),
+        }
+        records += 1;
+    }
+    Ok(records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_a_well_formed_stream() {
+        let stream = concat!(
+            "{\"type\":\"meta\",\"schema\":\"isf-harness-jsonl/1\",\"scale\":\"smoke\",\"experiments\":[\"table1\"]}\n",
+            "{\"type\":\"cell\",\"label\":\"prepare/db\",\"sim_cycles\":1,\"instructions\":2,\"prepares\":0,\"wall_ns\":0,\"mips\":0}\n",
+            "{\"type\":\"row\",\"experiment\":\"table1\",\"bench\":\"db\",\"call_edge_pct\":1.5}\n",
+            "\n",
+            "{\"type\":\"summary\",\"experiment\":\"table1\",\"avg_call_edge_pct\":1.5}\n",
+            "{\"type\":\"phase\",\"experiment\":\"table1\",\"name\":\"run\",\"count\":3,\"wall_ns\":0}\n",
+        );
+        assert_eq!(validate(stream), Ok(5));
+    }
+
+    #[test]
+    fn rejects_bad_records() {
+        let bad_json = "{\"type\":\"meta\",";
+        assert!(validate(bad_json)
+            .unwrap_err()
+            .message
+            .contains("not valid JSON"));
+
+        let no_type = "{\"label\":\"x\"}";
+        assert!(validate(no_type).unwrap_err().message.contains("`type`"));
+
+        let unknown = "{\"type\":\"mystery\"}";
+        assert!(validate(unknown).unwrap_err().message.contains("unknown"));
+
+        let missing = "{\"type\":\"cell\",\"label\":\"x\"}";
+        let e = validate(missing).unwrap_err();
+        assert!(e.message.contains("sim_cycles"), "{e}");
+
+        let wrong_type = "{\"type\":\"phase\",\"experiment\":\"t\",\"name\":\"run\",\"count\":\"three\",\"wall_ns\":0}";
+        assert!(validate(wrong_type)
+            .unwrap_err()
+            .message
+            .contains("wrong type"));
+
+        let not_object = "[1,2,3]";
+        assert!(validate(not_object)
+            .unwrap_err()
+            .message
+            .contains("not a JSON object"));
+    }
+
+    #[test]
+    fn error_reports_line_numbers() {
+        let stream = "{\"type\":\"row\",\"experiment\":\"t\"}\nnonsense\n";
+        let e = validate(stream).unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.to_string().starts_with("line 2:"));
+    }
+}

@@ -28,7 +28,9 @@
 pub mod extras;
 pub mod fig7;
 pub mod fig8;
+pub mod jsonl;
 pub mod runner;
+pub mod snapshot;
 pub mod table1;
 pub mod table2;
 pub mod table3;

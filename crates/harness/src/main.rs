@@ -1,42 +1,156 @@
-//! Command-line entry point: regenerate any table or figure of the paper.
+//! Command-line entry point: regenerate any table or figure of the paper,
+//! optionally as a machine-readable JSONL stream.
 //!
 //! ```text
-//! isf-harness [--scale smoke|default|paper] [--jobs N] <experiment>...
-//! experiments: table1 table2 table3 table4 table5 fig7 fig8 all
+//! isf-harness [--scale smoke|default|paper] [--jobs N]
+//!             [--emit json|off] [--emit-path FILE] <experiment>...
+//! isf-harness bench-snapshot [--scale ...] [--out DIR]
+//! isf-harness validate-jsonl <FILE>
+//! experiments: table1 table2 table3 table4 table5 fig7 fig8 extras all
 //! ```
 //!
 //! Experiment cells run on `N` worker threads (default: `ISF_JOBS` or the
 //! machine's available parallelism). The VM is deterministic, so the
 //! tables on stdout are byte-identical for every job count; per-cell
-//! statistics go to stderr.
+//! statistics go to stderr through the leveled logger
+//! (`ISF_LOG=off|cells|debug`).
+//!
+//! With `--emit json` (or `ISF_EMIT=json`) the run also produces a JSONL
+//! stream — one `meta` record, then per-cell metrics, table rows,
+//! summaries, and phase timings — written to stdout (replacing the human
+//! tables) or, with `--emit-path FILE`, to the file while the tables stay
+//! on stdout. The stream is byte-stable across `--jobs` counts when
+//! wall-clock fields are redacted (`ISF_EMIT_REDACT_WALL=1`); see
+//! `schemas/harness-jsonl.schema.json` for the record contract.
 
+use std::path::PathBuf;
 use std::process::ExitCode;
 
-use isf_harness::{extras, fig7, fig8, runner, table1, table2, table3, table4, table5, Scale};
+use isf_harness::{
+    extras, fig7, fig8, jsonl, runner, snapshot, table1, table2, table3, table4, table5, Scale,
+};
+use isf_obs::{emit, log, Json};
 
 fn usage() -> ExitCode {
-    eprintln!(
-        "usage: isf-harness [--scale smoke|default|paper] [--jobs N] <experiment>...\n\
+    log::error(
+        "usage: isf-harness [--scale smoke|default|paper] [--jobs N]\n\
+         \x20                  [--emit json|off] [--emit-path FILE] <experiment>...\n\
+         \x20      isf-harness bench-snapshot [--scale smoke|default|paper] [--jobs N] [--out DIR]\n\
+         \x20      isf-harness validate-jsonl <FILE>\n\
          experiments: table1 table2 table3 table4 table5 fig7 fig8 extras all\n\
-         N defaults to $ISF_JOBS, then the machine's available parallelism"
+         N defaults to $ISF_JOBS, then the machine's available parallelism",
     );
     ExitCode::FAILURE
 }
 
+fn parse_scale(v: &str) -> Option<Scale> {
+    match v {
+        "smoke" => Some(Scale::Smoke),
+        "default" => Some(Scale::Default),
+        "paper" => Some(Scale::Paper),
+        _ => None,
+    }
+}
+
+/// Emits one `phase` record per accumulated phase, draining the global
+/// accumulator. Called after each experiment so the timings attribute to
+/// it.
+fn emit_phases(experiment: &str) {
+    for p in emit::take_phases() {
+        if !emit::enabled() {
+            continue;
+        }
+        emit::record(&Json::obj([
+            ("type", "phase".into()),
+            ("experiment", experiment.to_owned().into()),
+            ("name", p.name.into()),
+            ("count", p.count.into()),
+            ("wall_ns", emit::wall_ns(p.wall_ns)),
+        ]));
+    }
+}
+
+fn bench_snapshot(args: &[String]) -> ExitCode {
+    let mut scale = Scale::Smoke;
+    let mut out = PathBuf::from(".");
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--scale" => {
+                let Some(v) = it.next().and_then(|v| parse_scale(v)) else {
+                    return usage();
+                };
+                scale = v;
+            }
+            "--jobs" => {
+                let Some(n) = it
+                    .next()
+                    .and_then(|v| v.parse::<usize>().ok())
+                    .filter(|&n| n > 0)
+                else {
+                    return usage();
+                };
+                runner::set_jobs(n);
+            }
+            "--out" => {
+                let Some(v) = it.next() else { return usage() };
+                out = PathBuf::from(v);
+            }
+            _ => return usage(),
+        }
+    }
+    match snapshot::write(scale, &out) {
+        Ok(path) => {
+            log::cells(&format!("wrote {}", path.display()));
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            log::error(&format!("bench-snapshot: {e}"));
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn validate_jsonl(args: &[String]) -> ExitCode {
+    let [path] = args else { return usage() };
+    let stream = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            log::error(&format!("validate-jsonl: {path}: {e}"));
+            return ExitCode::FAILURE;
+        }
+    };
+    match jsonl::validate(&stream) {
+        Ok(n) => {
+            println!("{path}: {n} records OK");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            log::error(&format!("validate-jsonl: {path}: {e}"));
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("bench-snapshot") => return bench_snapshot(&args[1..]),
+        Some("validate-jsonl") => return validate_jsonl(&args[1..]),
+        _ => {}
+    }
+
     let mut scale = Scale::Default;
+    let mut emit_path: Option<PathBuf> = None;
     let mut experiments: Vec<String> = Vec::new();
-    let mut args = std::env::args().skip(1);
+    let mut args = args.into_iter();
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--scale" => {
-                let Some(v) = args.next() else { return usage() };
-                scale = match v.as_str() {
-                    "smoke" => Scale::Smoke,
-                    "default" => Scale::Default,
-                    "paper" => Scale::Paper,
-                    _ => return usage(),
+                let Some(v) = args.next().and_then(|v| parse_scale(&v)) else {
+                    return usage();
                 };
+                scale = v;
             }
             "--jobs" => {
                 let Some(v) = args.next() else { return usage() };
@@ -44,6 +158,15 @@ fn main() -> ExitCode {
                     Ok(n) if n > 0 => runner::set_jobs(n),
                     _ => return usage(),
                 }
+            }
+            "--emit" => match args.next().as_deref() {
+                Some("json") => emit::set_mode(emit::EmitMode::Json),
+                Some("off") => emit::set_mode(emit::EmitMode::Off),
+                _ => return usage(),
+            },
+            "--emit-path" => {
+                let Some(v) = args.next() else { return usage() };
+                emit_path = Some(PathBuf::from(v));
             }
             "--help" | "-h" => {
                 usage();
@@ -63,20 +186,61 @@ fn main() -> ExitCode {
         .map(|s| (*s).to_owned())
         .collect();
     }
+
+    let emitting = emit::enabled();
+    // When the JSONL stream goes to stdout, stdout must stay pure JSONL;
+    // a file target keeps the human tables on stdout.
+    let tables_to_stdout = !emitting || emit_path.is_some();
+    if emitting {
+        emit::take_phases(); // start the accumulator fresh
+        emit::record(&Json::obj([
+            ("type", "meta".into()),
+            ("schema", "isf-harness-jsonl/1".into()),
+            ("scale", snapshot::scale_name(scale).into()),
+            (
+                "experiments",
+                Json::Arr(experiments.iter().map(|e| e.as_str().into()).collect()),
+            ),
+        ]));
+    }
+
     for (i, e) in experiments.iter().enumerate() {
-        if i > 0 {
+        if i > 0 && tables_to_stdout {
             println!();
         }
+        macro_rules! experiment {
+            ($module:ident) => {{
+                let t = $module::run(scale);
+                if tables_to_stdout {
+                    println!("{t}");
+                }
+                t.emit_jsonl();
+            }};
+        }
         match e.as_str() {
-            "table1" => println!("{}", table1::run(scale)),
-            "table2" => println!("{}", table2::run(scale)),
-            "table3" => println!("{}", table3::run(scale)),
-            "table4" => println!("{}", table4::run(scale)),
-            "table5" => println!("{}", table5::run(scale)),
-            "fig7" => println!("{}", fig7::run(scale)),
-            "extras" => println!("{}", extras::run(scale)),
-            "fig8" | "fig8a" | "fig8b" => println!("{}", fig8::run(scale)),
+            "table1" => experiment!(table1),
+            "table2" => experiment!(table2),
+            "table3" => experiment!(table3),
+            "table4" => experiment!(table4),
+            "table5" => experiment!(table5),
+            "fig7" => experiment!(fig7),
+            "extras" => experiment!(extras),
+            "fig8" | "fig8a" | "fig8b" => experiment!(fig8),
             _ => return usage(),
+        }
+        emit_phases(e);
+    }
+
+    if emitting {
+        let stream = emit::drain();
+        match emit_path {
+            Some(path) => {
+                if let Err(e) = std::fs::write(&path, &stream) {
+                    log::error(&format!("--emit-path {}: {e}", path.display()));
+                    return ExitCode::FAILURE;
+                }
+            }
+            None => print!("{stream}"),
         }
     }
     ExitCode::SUCCESS

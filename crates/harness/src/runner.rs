@@ -9,7 +9,10 @@
 //! rows, bit for bit, as a serial one; results come back in submission
 //! order, so table output never depends on the schedule. Per-cell
 //! statistics (simulated cycles, wall time, effective simulated MIPS) go
-//! to stderr, keeping stdout byte-identical across job counts.
+//! to stderr through the leveled [`isf_obs::log`] emitter
+//! (`ISF_LOG=off|cells|debug`), keeping stdout byte-identical across job
+//! counts; with `ISF_EMIT=json` the same metrics are also captured as
+//! machine-readable JSONL records, emitted in submission order.
 //!
 //! Cells that run one module several times (interval sweeps, trigger
 //! comparisons) pre-decode it once with [`prepare_for_runs`] and replay
@@ -21,9 +24,12 @@ use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use isf_core::{instrument_module, Options, Strategy, TransformStats};
-use isf_exec::{run, run_prepared, CostModel, Outcome, PreparedModule, Trigger, VmConfig};
+use isf_exec::{
+    run, run_prepared, thread_preparations, CostModel, Outcome, PreparedModule, Trigger, VmConfig,
+};
 use isf_instr::{CallEdgeInstrumentation, FieldAccessInstrumentation, Instrumentation, ModulePlan};
 use isf_ir::Module;
+use isf_obs::{emit, log, Json};
 use isf_workloads::{suite, Scale, Workload};
 
 // ---------------------------------------------------------------------
@@ -99,36 +105,51 @@ pub fn cell<'scope, R>(
 pub fn par_cells<R: Send>(cells: Vec<Cell<'_, R>>) -> Vec<R> {
     let n = cells.len();
     let workers = jobs().min(n);
-    if workers <= 1 {
-        return cells.into_iter().map(run_cell).collect();
-    }
-    let queue: Vec<Mutex<Option<Cell<'_, R>>>> =
-        cells.into_iter().map(|c| Mutex::new(Some(c))).collect();
-    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
-    let cursor = AtomicUsize::new(0);
-    std::thread::scope(|s| {
-        for _ in 0..workers {
-            s.spawn(|| loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let c = queue[i]
-                    .lock()
-                    .expect("cell queue poisoned")
-                    .take()
-                    .expect("each cell is claimed exactly once");
-                let r = run_cell(c);
-                *slots[i].lock().expect("result slot poisoned") = Some(r);
-            });
-        }
-    });
-    slots
+    let pairs: Vec<(R, CellMetrics)> = if workers <= 1 {
+        cells.into_iter().map(run_cell).collect()
+    } else {
+        let queue: Vec<Mutex<Option<Cell<'_, R>>>> =
+            cells.into_iter().map(|c| Mutex::new(Some(c))).collect();
+        let slots: Vec<Mutex<Option<(R, CellMetrics)>>> =
+            (0..n).map(|_| Mutex::new(None)).collect();
+        let cursor = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|| loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let c = queue[i]
+                        .lock()
+                        .expect("cell queue poisoned")
+                        .take()
+                        .expect("each cell is claimed exactly once");
+                    let r = run_cell(c);
+                    *slots[i].lock().expect("result slot poisoned") = Some(r);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|s| {
+                s.into_inner()
+                    .expect("result slot poisoned")
+                    .expect("every claimed cell stores a result")
+            })
+            .collect()
+    };
+    // JSONL cell records are emitted here, on the calling thread and in
+    // submission order, so the stream is byte-stable however many workers
+    // ran the cells (wall-clock fields are separately subject to
+    // redaction — see `isf_obs::emit`).
+    pairs
         .into_iter()
-        .map(|s| {
-            s.into_inner()
-                .expect("result slot poisoned")
-                .expect("every claimed cell stores a result")
+        .map(|(r, metrics)| {
+            if emit::enabled() {
+                emit::record(&metrics.to_json());
+            }
+            r
         })
         .collect()
 }
@@ -146,29 +167,72 @@ fn note_run(outcome: &Outcome) {
     });
 }
 
-/// Runs one cell on the current thread, printing its statistics line —
+/// Everything [`run_cell`] measures about one cell: the deterministic
+/// counters (simulated cycles, instructions, preparations) plus the
+/// wall-clock figures, which are redactable in JSONL output.
+struct CellMetrics {
+    label: String,
+    cycles: u64,
+    instructions: u64,
+    prepares: u64,
+    wall_ns: u64,
+    mips: f64,
+}
+
+impl CellMetrics {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("type", "cell".into()),
+            ("label", self.label.as_str().into()),
+            ("sim_cycles", self.cycles.into()),
+            ("instructions", self.instructions.into()),
+            ("prepares", self.prepares.into()),
+            ("wall_ns", emit::wall_ns(self.wall_ns)),
+            ("mips", emit::wall_rate(self.mips)),
+        ])
+    }
+}
+
+/// Runs one cell on the current thread, logging its statistics line —
 /// simulated cycles, wall time, and effective simulated MIPS (interpreted
-/// instructions per wall-clock microsecond) — to stderr.
-fn run_cell<R>(c: Cell<'_, R>) -> R {
+/// instructions per wall-clock microsecond) — at the `cells` level
+/// (`ISF_LOG=off` silences it) and returning the measurements alongside
+/// the result.
+fn run_cell<R>(c: Cell<'_, R>) -> (R, CellMetrics) {
     CELL_STATS.with(|s| s.set((0, 0)));
+    let prepares_before = thread_preparations();
     let start = Instant::now();
     let result = (c.work)();
     let wall = start.elapsed();
     let (cycles, instructions) = CELL_STATS.with(|s| s.get());
+    let prepares = thread_preparations() - prepares_before;
     let secs = wall.as_secs_f64();
     let mips = if secs > 0.0 {
         instructions as f64 / 1e6 / secs
     } else {
         0.0
     };
-    eprintln!(
-        "[cell] {}: {} simulated cycles, {:.1} ms, {:.1} MIPS",
-        c.label,
+    if log::enabled(log::Level::Cells) {
+        log::cells(&format!(
+            "[cell] {}: {} simulated cycles, {:.1} ms, {:.1} MIPS",
+            c.label,
+            cycles,
+            secs * 1e3,
+            mips
+        ));
+    }
+    if prepares > 0 {
+        log::debug(&format!("[cell] {}: {prepares} preparations", c.label));
+    }
+    let metrics = CellMetrics {
+        label: c.label,
         cycles,
-        secs * 1e3,
-        mips
-    );
-    result
+        instructions,
+        prepares,
+        wall_ns: u64::try_from(wall.as_nanos()).unwrap_or(u64::MAX),
+        mips,
+    };
+    (result, metrics)
 }
 
 // ---------------------------------------------------------------------
@@ -205,6 +269,7 @@ pub fn prepare(w: &Workload) -> PreparedBench {
     let start = Instant::now();
     let module = w.compile();
     let frontend_time = start.elapsed();
+    emit::phase("compile", frontend_time);
     let baseline = run_module(&module, Trigger::Never);
     PreparedBench {
         name: w.name(),
@@ -261,7 +326,9 @@ pub fn instrument(
     let start = Instant::now();
     let (out, stats) =
         instrument_module(module, &plan, options).expect("experiment configurations are valid");
-    (out, stats, start.elapsed())
+    let elapsed = start.elapsed();
+    emit::phase("instrument", elapsed);
+    (out, stats, elapsed)
 }
 
 /// Runs a module under the harness VM configuration, decoding it first.
@@ -277,7 +344,9 @@ pub fn run_module(module: &Module, trigger: Trigger) -> Outcome {
         trigger,
         ..VmConfig::default()
     };
+    let start = Instant::now();
     let outcome = run(module, &cfg).expect("benchmark programs do not trap");
+    emit::phase("run", start.elapsed());
     note_run(&outcome);
     outcome
 }
@@ -285,7 +354,10 @@ pub fn run_module(module: &Module, trigger: Trigger) -> Outcome {
 /// Pre-decodes a module once, under the harness cost model, for repeated
 /// [`run_prepared_module`] runs.
 pub fn prepare_for_runs(module: &Module) -> PreparedModule {
-    PreparedModule::prepare(module, &CostModel::default())
+    let start = Instant::now();
+    let prepared = PreparedModule::prepare(module, &CostModel::default());
+    emit::phase("prepare", start.elapsed());
+    prepared
 }
 
 /// Runs an already-decoded module under the harness VM configuration.
@@ -298,7 +370,9 @@ pub fn run_prepared_module(prepared: &PreparedModule, trigger: Trigger) -> Outco
         trigger,
         ..VmConfig::default()
     };
+    let start = Instant::now();
     let outcome = run_prepared(prepared, &cfg).expect("benchmark programs do not trap");
+    emit::phase("run", start.elapsed());
     note_run(&outcome);
     outcome
 }
@@ -384,6 +458,35 @@ mod tests {
         assert_eq!(jobs(), 3);
         set_jobs(0);
         assert!(jobs() >= 1);
+    }
+
+    #[test]
+    fn cell_jsonl_is_byte_identical_across_job_counts() {
+        // The machine-readable counterpart of table4's determinism test:
+        // with wall-clock fields redacted, the JSONL cell stream — labels,
+        // simulated cycles, instruction and preparation counts, order —
+        // must not depend on the worker count.
+        let _guard = JOBS_TEST_LOCK.lock().unwrap();
+        emit::set_mode(emit::EmitMode::Json);
+        emit::set_redact(true);
+        let run_once = |jobs: usize| {
+            set_jobs(jobs);
+            let t = crate::table1::run(Scale::Smoke);
+            t.emit_jsonl();
+            emit::drain()
+        };
+        let serial = run_once(1);
+        let parallel = run_once(8);
+        set_jobs(0);
+        emit::set_mode(emit::EmitMode::Off);
+        emit::set_redact(false);
+        assert!(!serial.is_empty());
+        assert_eq!(serial, parallel, "JSONL stream depends on the job count");
+        let records = crate::jsonl::validate(&serial).expect("stream validates");
+        // 10 prepare cells + 10 table cells + 10 rows + 1 summary.
+        assert_eq!(records, 31);
+        assert!(serial.contains("\"type\":\"cell\""));
+        assert!(serial.contains("\"wall_ns\":0"), "wall fields are redacted");
     }
 
     #[test]

@@ -1,0 +1,227 @@
+//! The `bench-snapshot` subcommand: a dated, machine-readable performance
+//! snapshot (`BENCH_<date>.json`) for tracking the harness's throughput
+//! over time.
+//!
+//! One sample per benchmark of the suite: the uninstrumented baseline,
+//! a Full-Duplication run with both example instrumentations at a fixed
+//! counter interval, and the wall-clock throughput of that run. Simulated
+//! quantities are deterministic; wall-clock fields respect the emitter's
+//! redaction mode so tests can pin the deterministic remainder.
+
+use std::io;
+use std::path::{Path, PathBuf};
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
+
+use isf_core::{Options, Strategy};
+use isf_exec::Trigger;
+use isf_obs::{emit, Json};
+
+use crate::runner::{cell, instrument, par_cells, prepare_suite, run_module, Kinds};
+use crate::Scale;
+
+/// The sample interval every snapshot run uses, so snapshots taken on
+/// different days measure the same work.
+pub const SNAPSHOT_INTERVAL: u64 = 499;
+
+/// One benchmark's snapshot sample.
+#[derive(Clone, Debug)]
+pub struct BenchSample {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Simulated cycles of the uninstrumented baseline.
+    pub baseline_cycles: u64,
+    /// Simulated cycles of the instrumented, sampled run.
+    pub instrumented_cycles: u64,
+    /// Overhead of that run over the baseline, percent.
+    pub overhead_pct: f64,
+    /// Samples taken by the run.
+    pub samples: u64,
+    /// Instructions interpreted by the run.
+    pub instructions: u64,
+    /// Wall time of the instrumented run, nanoseconds.
+    pub wall_ns: u64,
+    /// Interpreted instructions per wall-clock microsecond.
+    pub mips: f64,
+}
+
+/// Measures the whole suite at `scale`, one cell per benchmark.
+pub fn collect(scale: Scale) -> Vec<BenchSample> {
+    let benches = prepare_suite(scale);
+    par_cells(
+        benches
+            .iter()
+            .map(|b| {
+                cell(format!("snapshot/{}", b.name), move || {
+                    let (module, _, _) = instrument(
+                        &b.module,
+                        Kinds::Both,
+                        &Options::new(Strategy::FullDuplication),
+                    );
+                    let start = Instant::now();
+                    let o = run_module(
+                        &module,
+                        Trigger::Counter {
+                            interval: SNAPSHOT_INTERVAL,
+                        },
+                    );
+                    let wall = start.elapsed();
+                    let secs = wall.as_secs_f64();
+                    BenchSample {
+                        name: b.name,
+                        baseline_cycles: b.baseline.cycles,
+                        instrumented_cycles: o.cycles,
+                        overhead_pct: o.overhead_vs(&b.baseline),
+                        samples: o.samples_taken,
+                        instructions: o.instructions,
+                        wall_ns: u64::try_from(wall.as_nanos()).unwrap_or(u64::MAX),
+                        mips: if secs > 0.0 {
+                            o.instructions as f64 / 1e6 / secs
+                        } else {
+                            0.0
+                        },
+                    }
+                })
+            })
+            .collect(),
+    )
+}
+
+/// Renders a snapshot as its JSON document.
+pub fn to_json(scale: Scale, date: &str, samples: &[BenchSample]) -> Json {
+    Json::obj([
+        ("schema", "isf-bench-snapshot/1".into()),
+        ("date", date.into()),
+        ("scale", scale_name(scale).into()),
+        ("interval", SNAPSHOT_INTERVAL.into()),
+        (
+            "benches",
+            Json::Arr(
+                samples
+                    .iter()
+                    .map(|s| {
+                        Json::obj([
+                            ("name", s.name.into()),
+                            ("baseline_cycles", s.baseline_cycles.into()),
+                            ("instrumented_cycles", s.instrumented_cycles.into()),
+                            ("overhead_pct", s.overhead_pct.into()),
+                            ("samples", s.samples.into()),
+                            ("instructions", s.instructions.into()),
+                            ("wall_ns", emit::wall_ns(s.wall_ns)),
+                            ("mips", emit::wall_rate(s.mips)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// The CLI name of a scale (`smoke` / `default` / `paper`).
+pub fn scale_name(scale: Scale) -> &'static str {
+    match scale {
+        Scale::Smoke => "smoke",
+        Scale::Default => "default",
+        Scale::Paper => "paper",
+    }
+}
+
+/// Proleptic-Gregorian date for a day count since 1970-01-01
+/// (days-from-civil inverted; Howard Hinnant's `civil_from_days`).
+fn civil_from_days(days: i64) -> (i64, u32, u32) {
+    let z = days + 719_468;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = z - era * 146_097;
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32;
+    (y + i64::from(m <= 2), m, d)
+}
+
+/// Today's UTC date as `YYYY-MM-DD`.
+pub fn today() -> String {
+    let secs = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map_or(0, |d| d.as_secs());
+    let (y, m, d) = civil_from_days((secs / 86_400) as i64);
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+/// Runs the snapshot at `scale` and writes `BENCH_<date>.json` into
+/// `dir`, returning the path written.
+///
+/// # Errors
+///
+/// Propagates filesystem errors from writing the file.
+pub fn write(scale: Scale, dir: &Path) -> io::Result<PathBuf> {
+    let date = today();
+    let samples = collect(scale);
+    let doc = to_json(scale, &date, &samples);
+    let path = dir.join(format!("BENCH_{date}.json"));
+    std::fs::write(&path, format!("{doc}\n"))?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn civil_dates_are_correct() {
+        assert_eq!(civil_from_days(0), (1970, 1, 1));
+        assert_eq!(civil_from_days(19_723), (2024, 1, 1));
+        // Leap day.
+        assert_eq!(civil_from_days(19_782), (2024, 2, 29));
+        assert_eq!(civil_from_days(-1), (1969, 12, 31));
+    }
+
+    #[test]
+    fn today_is_iso_formatted() {
+        let t = today();
+        assert_eq!(t.len(), 10);
+        assert_eq!(t.as_bytes()[4], b'-');
+        assert_eq!(t.as_bytes()[7], b'-');
+    }
+
+    #[test]
+    fn snapshot_json_shape() {
+        let samples = vec![BenchSample {
+            name: "db",
+            baseline_cycles: 100,
+            instrumented_cycles: 110,
+            overhead_pct: 10.0,
+            samples: 3,
+            instructions: 50,
+            wall_ns: 1234,
+            mips: 2.5,
+        }];
+        let doc = to_json(Scale::Smoke, "2026-08-06", &samples);
+        assert_eq!(
+            doc.get("schema").and_then(Json::as_str),
+            Some("isf-bench-snapshot/1")
+        );
+        assert_eq!(doc.get("scale").and_then(Json::as_str), Some("smoke"));
+        let text = doc.to_string();
+        isf_obs::json::parse(&text).expect("snapshot JSON parses");
+        assert!(text.contains("\"name\":\"db\""));
+    }
+
+    #[test]
+    fn snapshot_collects_and_writes() {
+        let samples = collect(Scale::Smoke);
+        assert_eq!(samples.len(), 10);
+        for s in &samples {
+            assert!(s.instrumented_cycles > s.baseline_cycles, "{}", s.name);
+            assert!(s.overhead_pct > 0.0);
+            assert!(s.samples > 0, "{}: no samples at snapshot interval", s.name);
+        }
+        let dir = std::env::temp_dir().join("isf-snapshot-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = write(Scale::Smoke, &dir).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        isf_obs::json::parse(text.trim()).expect("written snapshot parses");
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -62,6 +62,31 @@ pub fn run(scale: Scale) -> Table1 {
     }
 }
 
+impl Table1 {
+    /// Emits the table as JSONL records (no-op when the emitter is off).
+    pub fn emit_jsonl(&self) {
+        use isf_obs::{emit, Json};
+        if !emit::enabled() {
+            return;
+        }
+        for r in &self.rows {
+            emit::record(&Json::obj([
+                ("type", "row".into()),
+                ("experiment", "table1".into()),
+                ("bench", r.bench.into()),
+                ("call_edge_pct", r.call_edge.into()),
+                ("field_access_pct", r.field_access.into()),
+            ]));
+        }
+        emit::record(&Json::obj([
+            ("type", "summary".into()),
+            ("experiment", "table1".into()),
+            ("avg_call_edge_pct", self.avg_call_edge.into()),
+            ("avg_field_access_pct", self.avg_field_access.into()),
+        ]));
+    }
+}
+
 impl fmt::Display for Table1 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(

@@ -111,6 +111,37 @@ pub fn run(scale: Scale) -> Table2 {
     }
 }
 
+impl Table2 {
+    /// Emits the table as JSONL records (no-op when the emitter is off).
+    pub fn emit_jsonl(&self) {
+        use isf_obs::{emit, Json};
+        if !emit::enabled() {
+            return;
+        }
+        for r in &self.rows {
+            emit::record(&Json::obj([
+                ("type", "row".into()),
+                ("experiment", "table2".into()),
+                ("bench", r.bench.into()),
+                ("total_pct", r.total.into()),
+                ("backedges_pct", r.backedges.into()),
+                ("entries_pct", r.entries.into()),
+                ("space_kb", r.space_kb.into()),
+                ("compile_time_pct", r.compile_time.into()),
+            ]));
+        }
+        emit::record(&Json::obj([
+            ("type", "summary".into()),
+            ("experiment", "table2".into()),
+            ("avg_total_pct", self.avg_total.into()),
+            ("avg_backedges_pct", self.avg_backedges.into()),
+            ("avg_entries_pct", self.avg_entries.into()),
+            ("avg_space_kb", self.avg_space_kb.into()),
+            ("avg_compile_time_pct", self.avg_compile_time.into()),
+        ]));
+    }
+}
+
 impl fmt::Display for Table2 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(

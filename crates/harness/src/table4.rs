@@ -132,6 +132,34 @@ fn sweep(scale: Scale, strategy: Strategy) -> Vec<Row> {
         .collect()
 }
 
+impl Table4 {
+    /// Emits the table as JSONL records (no-op when the emitter is off).
+    pub fn emit_jsonl(&self) {
+        use isf_obs::{emit, Json};
+        if !emit::enabled() {
+            return;
+        }
+        for (strategy, rows) in [
+            ("full_duplication", &self.full_duplication),
+            ("no_duplication", &self.no_duplication),
+        ] {
+            for r in rows {
+                emit::record(&Json::obj([
+                    ("type", "row".into()),
+                    ("experiment", "table4".into()),
+                    ("strategy", strategy.into()),
+                    ("interval", r.interval.into()),
+                    ("num_samples", r.num_samples.into()),
+                    ("sampled_instr_pct", r.sampled_instr.into()),
+                    ("total_pct", r.total.into()),
+                    ("call_edge_accuracy_pct", r.call_edge_accuracy.into()),
+                    ("field_access_accuracy_pct", r.field_access_accuracy.into()),
+                ]));
+            }
+        }
+    }
+}
+
 fn write_sweep(f: &mut fmt::Formatter<'_>, title: &str, rows: &[Row]) -> fmt::Result {
     writeln!(f, "{title}")?;
     writeln!(

@@ -101,6 +101,33 @@ pub fn run(scale: Scale) -> Table5 {
     }
 }
 
+impl Table5 {
+    /// Emits the table as JSONL records (no-op when the emitter is off).
+    pub fn emit_jsonl(&self) {
+        use isf_obs::{emit, Json};
+        if !emit::enabled() {
+            return;
+        }
+        for r in &self.rows {
+            emit::record(&Json::obj([
+                ("type", "row".into()),
+                ("experiment", "table5".into()),
+                ("bench", r.bench.into()),
+                ("time_based_pct", r.time_based.into()),
+                ("counter_based_pct", r.counter_based.into()),
+                ("counter_samples", r.counter_samples.into()),
+                ("timer_samples", r.timer_samples.into()),
+            ]));
+        }
+        emit::record(&Json::obj([
+            ("type", "summary".into()),
+            ("experiment", "table5".into()),
+            ("avg_time_based_pct", self.avg_time_based.into()),
+            ("avg_counter_based_pct", self.avg_counter_based.into()),
+        ]));
+    }
+}
+
 impl fmt::Display for Table5 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(

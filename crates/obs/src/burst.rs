@@ -1,0 +1,352 @@
+//! Analyses over sample-burst traces: per-sample-point attribution,
+//! burst-length histograms, and the counter-vs-timer skew comparison of
+//! the paper's §4.6.
+//!
+//! A *burst* is the stretch of execution between two consecutive samples
+//! (or from run start to the first sample). The executor's
+//! [`TraceSink`](isf_exec::TraceSink) records one [`BurstRecord`] per
+//! sample: which check fired, on which thread, and how long the burst ran
+//! in instructions and simulated cycles.
+//!
+//! The interesting question for §4.6 is *where samples land*. A
+//! counter-based trigger distributes samples over sample points in
+//! proportion to their execution frequency; a timer-bit trigger attributes
+//! each period to the first check executed **after** the bit is set, so a
+//! long stretch of check-free execution funnels its whole period onto
+//! whatever check follows it. [`SkewReport`] quantifies the difference
+//! between two attributions as a total-variation distance.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use isf_exec::BurstRecord;
+
+use crate::json::Json;
+
+/// Number of power-of-two burst-length buckets (`2^0` .. `2^63`, plus a
+/// zero bucket folded into index 0).
+const HIST_BUCKETS: usize = 64;
+
+/// Aggregated view of one burst trace: attribution of samples to sample
+/// points and a log₂ histogram of burst lengths.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BurstReport {
+    samples: u64,
+    backedge_samples: u64,
+    total_instructions: u64,
+    total_cycles: u64,
+    /// Samples per sample point, keyed by `(func, check_ip)` — the
+    /// engine-independent identity assigned by the executor.
+    attribution: BTreeMap<(u32, u32), u64>,
+    /// Bucket `i` counts bursts with `floor(log2(len_cycles)) == i`
+    /// (zero-length bursts land in bucket 0).
+    hist_cycles: [u64; HIST_BUCKETS],
+}
+
+impl Default for BurstReport {
+    fn default() -> Self {
+        BurstReport {
+            samples: 0,
+            backedge_samples: 0,
+            total_instructions: 0,
+            total_cycles: 0,
+            attribution: BTreeMap::new(),
+            hist_cycles: [0; HIST_BUCKETS],
+        }
+    }
+}
+
+fn bucket(len: u64) -> usize {
+    if len == 0 {
+        0
+    } else {
+        63 - len.leading_zeros() as usize
+    }
+}
+
+impl BurstReport {
+    /// Aggregates a trace into a report.
+    pub fn from_records(records: &[BurstRecord]) -> BurstReport {
+        let mut report = BurstReport::default();
+        for r in records {
+            report.samples += 1;
+            report.backedge_samples += u64::from(r.backedge);
+            report.total_instructions += r.len_instructions;
+            report.total_cycles += r.len_cycles;
+            *report.attribution.entry((r.func, r.check_ip)).or_insert(0) += 1;
+            report.hist_cycles[bucket(r.len_cycles)] += 1;
+        }
+        report
+    }
+
+    /// Total samples in the trace.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// Samples whose firing check sat on a CFG backedge (vs a method
+    /// entry).
+    pub fn backedge_samples(&self) -> u64 {
+        self.backedge_samples
+    }
+
+    /// Mean burst length in simulated cycles (`0.0` for an empty trace).
+    pub fn mean_burst_cycles(&self) -> f64 {
+        if self.samples == 0 {
+            0.0
+        } else {
+            self.total_cycles as f64 / self.samples as f64
+        }
+    }
+
+    /// Samples per sample point, keyed by `(func, check_ip)`.
+    pub fn attribution(&self) -> &BTreeMap<(u32, u32), u64> {
+        &self.attribution
+    }
+
+    /// Fraction of all samples landing on the single hottest sample point
+    /// (`0.0` for an empty trace). Timer-trigger skew shows up as a top
+    /// share near `1.0` on periodic workloads.
+    pub fn top_share(&self) -> f64 {
+        if self.samples == 0 {
+            return 0.0;
+        }
+        let top = self.attribution.values().copied().max().unwrap_or(0);
+        top as f64 / self.samples as f64
+    }
+
+    /// The log₂ burst-length histogram, trimmed of trailing empty
+    /// buckets. Entry `i` counts bursts of `2^i ..= 2^(i+1) - 1` cycles.
+    pub fn histogram(&self) -> &[u64] {
+        let last = self
+            .hist_cycles
+            .iter()
+            .rposition(|&c| c != 0)
+            .map_or(0, |i| i + 1);
+        &self.hist_cycles[..last]
+    }
+
+    /// Total-variation distance between this report's sample-point
+    /// distribution and `other`'s: `0.0` when they attribute identically,
+    /// `1.0` when they are disjoint. Empty traces compare as distance
+    /// `0.0` to each other and `1.0` to any non-empty trace.
+    pub fn total_variation(&self, other: &BurstReport) -> f64 {
+        match (self.samples, other.samples) {
+            (0, 0) => return 0.0,
+            (0, _) | (_, 0) => return 1.0,
+            _ => {}
+        }
+        let mut distance = 0.0;
+        let keys = self.attribution.keys().chain(other.attribution.keys());
+        let mut seen = std::collections::BTreeSet::new();
+        for key in keys {
+            if !seen.insert(*key) {
+                continue;
+            }
+            let p = self.attribution.get(key).copied().unwrap_or(0) as f64 / self.samples as f64;
+            let q = other.attribution.get(key).copied().unwrap_or(0) as f64 / other.samples as f64;
+            distance += (p - q).abs();
+        }
+        distance / 2.0
+    }
+
+    /// The report as a JSON object (deterministic key and entry order).
+    pub fn to_json(&self) -> Json {
+        let attribution = Json::Arr(
+            self.attribution
+                .iter()
+                .map(|(&(func, check_ip), &count)| {
+                    Json::obj([
+                        ("func", u64::from(func).into()),
+                        ("check_ip", u64::from(check_ip).into()),
+                        ("samples", count.into()),
+                    ])
+                })
+                .collect(),
+        );
+        Json::obj([
+            ("samples", self.samples.into()),
+            ("backedge_samples", self.backedge_samples.into()),
+            ("total_instructions", self.total_instructions.into()),
+            ("total_cycles", self.total_cycles.into()),
+            ("mean_burst_cycles", self.mean_burst_cycles().into()),
+            ("top_share", self.top_share().into()),
+            (
+                "hist_log2_cycles",
+                Json::Arr(self.histogram().iter().map(|&c| c.into()).collect()),
+            ),
+            ("attribution", attribution),
+        ])
+    }
+}
+
+impl fmt::Display for BurstReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} samples ({} on backedges), mean burst {:.1} cycles, top share {:.1}%",
+            self.samples,
+            self.backedge_samples,
+            self.mean_burst_cycles(),
+            self.top_share() * 100.0,
+        )?;
+        writeln!(f, "  burst length histogram (log2 cycles):")?;
+        let hist = self.histogram();
+        let max = hist.iter().copied().max().unwrap_or(0).max(1);
+        for (i, &count) in hist.iter().enumerate() {
+            if count == 0 {
+                continue;
+            }
+            let bar = "#".repeat((count * 40 / max).max(1) as usize);
+            writeln!(f, "    2^{i:<2} {count:>8} {bar}")?;
+        }
+        writeln!(f, "  samples by sample point (func, check_ip):")?;
+        for (&(func, check_ip), &count) in &self.attribution {
+            writeln!(
+                f,
+                "    f{func} ip{check_ip:<6} {count:>8} ({:.1}%)",
+                count as f64 / self.samples.max(1) as f64 * 100.0
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Quantified attribution skew between a counter-trigger trace and a
+/// timer-trigger trace of the same workload (§4.6).
+#[derive(Clone, Debug, PartialEq)]
+pub struct SkewReport {
+    /// Top sample-point share under the counter trigger.
+    pub counter_top_share: f64,
+    /// Top sample-point share under the timer trigger.
+    pub timer_top_share: f64,
+    /// Total-variation distance between the two attributions.
+    pub total_variation: f64,
+    /// Samples in the counter trace.
+    pub counter_samples: u64,
+    /// Samples in the timer trace.
+    pub timer_samples: u64,
+}
+
+impl SkewReport {
+    /// Compares the attribution of a counter-trigger trace against a
+    /// timer-trigger trace.
+    pub fn between(counter: &BurstReport, timer: &BurstReport) -> SkewReport {
+        SkewReport {
+            counter_top_share: counter.top_share(),
+            timer_top_share: timer.top_share(),
+            total_variation: counter.total_variation(timer),
+            counter_samples: counter.samples(),
+            timer_samples: timer.samples(),
+        }
+    }
+
+    /// The report as a JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("counter_samples", self.counter_samples.into()),
+            ("timer_samples", self.timer_samples.into()),
+            ("counter_top_share", self.counter_top_share.into()),
+            ("timer_top_share", self.timer_top_share.into()),
+            ("total_variation", self.total_variation.into()),
+        ])
+    }
+}
+
+impl fmt::Display for SkewReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "counter: {} samples, top share {:.1}% | timer: {} samples, top share {:.1}% | total variation {:.3}",
+            self.counter_samples,
+            self.counter_top_share * 100.0,
+            self.timer_samples,
+            self.timer_top_share * 100.0,
+            self.total_variation,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(func: u32, check_ip: u32, cycles: u64) -> BurstRecord {
+        BurstRecord {
+            thread: 0,
+            func,
+            check_ip,
+            backedge: false,
+            len_instructions: cycles / 2,
+            len_cycles: cycles,
+        }
+    }
+
+    #[test]
+    fn attribution_and_histogram() {
+        let records = vec![rec(0, 3, 1), rec(0, 3, 3), rec(1, 7, 8), rec(0, 3, 0)];
+        let report = BurstReport::from_records(&records);
+        assert_eq!(report.samples(), 4);
+        assert_eq!(report.attribution()[&(0, 3)], 3);
+        assert_eq!(report.attribution()[&(1, 7)], 1);
+        assert!((report.top_share() - 0.75).abs() < 1e-12);
+        assert!((report.mean_burst_cycles() - 3.0).abs() < 1e-12);
+        // Buckets: 0 -> 0, 1 -> 0, 3 -> 1, 8 -> 3.
+        assert_eq!(report.histogram(), &[2, 1, 0, 1]);
+    }
+
+    #[test]
+    fn backedge_counting() {
+        let mut r = rec(0, 1, 4);
+        r.backedge = true;
+        let report = BurstReport::from_records(&[r, rec(0, 2, 4)]);
+        assert_eq!(report.backedge_samples(), 1);
+    }
+
+    #[test]
+    fn total_variation_extremes() {
+        let same = BurstReport::from_records(&[rec(0, 1, 1), rec(0, 2, 1)]);
+        assert!(same.total_variation(&same).abs() < 1e-12);
+
+        let a = BurstReport::from_records(&[rec(0, 1, 1)]);
+        let b = BurstReport::from_records(&[rec(0, 2, 1)]);
+        assert!((a.total_variation(&b) - 1.0).abs() < 1e-12);
+        assert_eq!(a.total_variation(&b), b.total_variation(&a));
+
+        let empty = BurstReport::default();
+        assert_eq!(empty.total_variation(&empty), 0.0);
+        assert_eq!(empty.total_variation(&a), 1.0);
+        assert_eq!(empty.top_share(), 0.0);
+        assert_eq!(empty.mean_burst_cycles(), 0.0);
+    }
+
+    #[test]
+    fn skew_report_compares_shares() {
+        // Counter spreads over two points; timer funnels onto one.
+        let counter = BurstReport::from_records(&[rec(0, 1, 4), rec(0, 2, 4)]);
+        let timer = BurstReport::from_records(&[rec(0, 2, 64), rec(0, 2, 64)]);
+        let skew = SkewReport::between(&counter, &timer);
+        assert!((skew.counter_top_share - 0.5).abs() < 1e-12);
+        assert!((skew.timer_top_share - 1.0).abs() < 1e-12);
+        assert!((skew.total_variation - 0.5).abs() < 1e-12);
+        assert!(!skew.to_string().is_empty());
+    }
+
+    #[test]
+    fn json_shape() {
+        let report = BurstReport::from_records(&[rec(2, 9, 5)]);
+        let json = report.to_json();
+        assert_eq!(json.get("samples"), Some(&Json::UInt(1)));
+        let text = json.to_string();
+        assert!(text.contains("\"attribution\":[{\"func\":2,\"check_ip\":9,\"samples\":1}]"));
+        crate::json::parse(&text).expect("report JSON parses");
+    }
+
+    #[test]
+    fn display_renders() {
+        let report = BurstReport::from_records(&[rec(0, 1, 4), rec(0, 1, 1000)]);
+        let text = report.to_string();
+        assert!(text.contains("2 samples"));
+        assert!(text.contains("f0 ip1"));
+    }
+}

@@ -1,0 +1,228 @@
+//! Machine-readable experiment output: a JSONL record stream plus a
+//! phase-timing accumulator.
+//!
+//! The emitter is deliberately *thread-local*: the harness's worker pool
+//! computes cells on many threads, but every record is emitted by the
+//! main thread **in submission order** after the parallel section joins.
+//! That is what makes the stream byte-stable across `--jobs` counts, and
+//! it also keeps concurrently running tests from polluting each other's
+//! captured output.
+//!
+//! Wall-clock fields are inherently nondeterministic, so the emitter has
+//! a redaction mode ([`set_redact`], or `ISF_EMIT_REDACT_WALL=1`) that
+//! zeroes them; everything else in a record — simulated cycles,
+//! instruction counts, labels, ordering — is deterministic by
+//! construction.
+//!
+//! Phase timings (compile / instrument / prepare / run) are accumulated
+//! in a process-global table because the phases themselves run on worker
+//! threads; only the main thread drains it ([`take_phases`]).
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+use std::time::Duration;
+
+use crate::json::Json;
+
+/// What the thread-local emitter does with records.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum EmitMode {
+    /// Discard records (the default unless `ISF_EMIT=json`).
+    Off,
+    /// Buffer records as JSONL lines for [`drain`].
+    Json,
+}
+
+struct EmitState {
+    mode: EmitMode,
+    redact_wall: bool,
+    buffer: String,
+}
+
+impl EmitState {
+    fn from_env() -> Self {
+        let mode = match std::env::var("ISF_EMIT").ok().as_deref().map(str::trim) {
+            Some("json") => EmitMode::Json,
+            _ => EmitMode::Off,
+        };
+        let redact_wall = matches!(
+            std::env::var("ISF_EMIT_REDACT_WALL")
+                .ok()
+                .as_deref()
+                .map(str::trim),
+            Some("1") | Some("true")
+        );
+        EmitState {
+            mode,
+            redact_wall,
+            buffer: String::new(),
+        }
+    }
+}
+
+thread_local! {
+    static STATE: RefCell<EmitState> = RefCell::new(EmitState::from_env());
+}
+
+/// Sets this thread's emit mode, overriding `ISF_EMIT`.
+pub fn set_mode(mode: EmitMode) {
+    STATE.with(|s| s.borrow_mut().mode = mode);
+}
+
+/// This thread's emit mode (`ISF_EMIT=json` enables [`EmitMode::Json`]).
+pub fn mode() -> EmitMode {
+    STATE.with(|s| s.borrow().mode)
+}
+
+/// Whether records are currently being captured on this thread.
+pub fn enabled() -> bool {
+    mode() == EmitMode::Json
+}
+
+/// Sets wall-clock redaction for this thread, overriding
+/// `ISF_EMIT_REDACT_WALL`.
+pub fn set_redact(redact: bool) {
+    STATE.with(|s| s.borrow_mut().redact_wall = redact);
+}
+
+/// Whether wall-clock fields are being redacted to `0` on this thread.
+pub fn redacting_wall() -> bool {
+    STATE.with(|s| s.borrow().redact_wall)
+}
+
+/// A wall-clock nanosecond field: the measured value, or `0` under
+/// redaction so the stream stays byte-stable.
+pub fn wall_ns(ns: u64) -> Json {
+    if redacting_wall() {
+        Json::UInt(0)
+    } else {
+        Json::UInt(ns)
+    }
+}
+
+/// A wall-clock-derived rate field (e.g. MIPS): the measured value, or
+/// `0` under redaction.
+pub fn wall_rate(rate: f64) -> Json {
+    if redacting_wall() {
+        Json::UInt(0)
+    } else {
+        Json::Num(rate)
+    }
+}
+
+/// Appends one record to this thread's JSONL buffer (no-op when the
+/// emitter is off). Call only from the thread that will [`drain`].
+pub fn record(value: &Json) {
+    STATE.with(|s| {
+        let mut s = s.borrow_mut();
+        if s.mode == EmitMode::Json {
+            use std::fmt::Write;
+            writeln!(s.buffer, "{value}").expect("String write is infallible");
+        }
+    });
+}
+
+/// Takes everything buffered on this thread: a JSONL string, one record
+/// per `\n`-terminated line (empty when nothing was recorded).
+pub fn drain() -> String {
+    STATE.with(|s| std::mem::take(&mut s.borrow_mut().buffer))
+}
+
+/// Accumulated wall time for one named phase.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PhaseTotal {
+    /// The phase name (`compile`, `instrument`, `prepare`, `run`, ...).
+    pub name: String,
+    /// How many timed sections contributed.
+    pub count: u64,
+    /// Total wall nanoseconds across those sections.
+    pub wall_ns: u64,
+}
+
+static PHASES: Mutex<BTreeMap<String, (u64, u64)>> = Mutex::new(BTreeMap::new());
+
+/// Adds one timed section to the global accumulator for `name`. Safe to
+/// call from worker threads.
+pub fn phase(name: &str, wall: Duration) {
+    let ns = u64::try_from(wall.as_nanos()).unwrap_or(u64::MAX);
+    let mut phases = PHASES.lock().expect("phase accumulator poisoned");
+    let entry = phases.entry(name.to_owned()).or_insert((0, 0));
+    entry.0 += 1;
+    entry.1 = entry.1.saturating_add(ns);
+}
+
+/// Drains the global phase accumulator, returning totals sorted by phase
+/// name. Call from the main thread after parallel sections join.
+pub fn take_phases() -> Vec<PhaseTotal> {
+    let mut phases = PHASES.lock().expect("phase accumulator poisoned");
+    std::mem::take(&mut *phases)
+        .into_iter()
+        .map(|(name, (count, wall_ns))| PhaseTotal {
+            name,
+            count,
+            wall_ns,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_buffer_only_when_enabled() {
+        // Thread-local state: isolate from other tests by running on a
+        // dedicated thread.
+        std::thread::spawn(|| {
+            set_mode(EmitMode::Off);
+            record(&Json::obj([("type", "x".into())]));
+            assert_eq!(drain(), "");
+            set_mode(EmitMode::Json);
+            assert!(enabled());
+            record(&Json::obj([("type", "a".into())]));
+            record(&Json::obj([("type", "b".into())]));
+            assert_eq!(drain(), "{\"type\":\"a\"}\n{\"type\":\"b\"}\n");
+            assert_eq!(drain(), "", "drain takes the buffer");
+        })
+        .join()
+        .expect("emit test thread");
+    }
+
+    #[test]
+    fn redaction_zeroes_wall_fields() {
+        std::thread::spawn(|| {
+            set_redact(false);
+            assert_eq!(wall_ns(123), Json::UInt(123));
+            assert_eq!(wall_rate(1.5), Json::Num(1.5));
+            set_redact(true);
+            assert!(redacting_wall());
+            assert_eq!(wall_ns(123), Json::UInt(0));
+            assert_eq!(wall_rate(1.5), Json::UInt(0));
+        })
+        .join()
+        .expect("redact test thread");
+    }
+
+    #[test]
+    fn phases_aggregate_across_threads() {
+        let name = "test-phase-aggregation";
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                std::thread::spawn(move || {
+                    phase(name, Duration::from_nanos(10));
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().expect("phase worker");
+        }
+        let all = take_phases();
+        let total = all
+            .iter()
+            .find(|p| p.name == name)
+            .expect("aggregated phase");
+        assert_eq!(total.count, 4);
+        assert_eq!(total.wall_ns, 40);
+    }
+}

@@ -1,0 +1,33 @@
+//! Structured observability for the ISF reproduction: burst-trace
+//! analyses, a leveled stderr logger, and a machine-readable (JSONL)
+//! experiment-output emitter.
+//!
+//! The executor ([`isf_exec`]) can record one [`isf_exec::BurstRecord`]
+//! per sample through a compile-time-selected
+//! [`isf_exec::TraceSink`] — zero cost when the sink is
+//! [`isf_exec::NoTrace`]. This crate consumes those traces:
+//!
+//! * [`BurstReport`] aggregates a trace into per-sample-point attribution
+//!   and a burst-length histogram; [`SkewReport`] compares a
+//!   counter-trigger trace against a timer-trigger trace to quantify the
+//!   §4.6 attribution skew.
+//! * [`log`] is the leveled stderr emitter (`ISF_LOG=off|cells|debug`)
+//!   that replaces the harness's raw `eprintln!`s.
+//! * [`emit`] buffers JSONL records (`ISF_EMIT=json`) with wall-clock
+//!   redaction for byte-stable output across `--jobs` counts, and
+//!   accumulates phase timings across worker threads.
+//! * [`json`] is the dependency-free JSON value, encoder, and strict
+//!   parser everything above is built on.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod burst;
+pub mod emit;
+pub mod json;
+pub mod log;
+
+pub use burst::{BurstReport, SkewReport};
+pub use emit::{EmitMode, PhaseTotal};
+pub use json::{Json, JsonError};
+pub use log::Level;

@@ -1,0 +1,117 @@
+//! The leveled stderr emitter that replaces the harness's raw
+//! `eprintln!`s.
+//!
+//! Three levels, controlled by the `ISF_LOG` environment variable
+//! (`off | cells | debug`) or programmatically with [`set_level`]:
+//!
+//! * [`Level::Off`] — nothing but [`error`] output.
+//! * [`Level::Cells`] — the default: per-cell statistics lines, matching
+//!   the harness's historical stderr behaviour.
+//! * [`Level::Debug`] — adds diagnostic detail (per-cell preparation
+//!   counts, phase notes).
+//!
+//! Everything goes to stderr; stdout stays reserved for the deterministic
+//! table output.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Verbosity of the stderr emitter.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum Level {
+    /// Only [`error`] output.
+    Off = 0,
+    /// Per-cell statistics (the default).
+    Cells = 1,
+    /// Cells plus diagnostic detail.
+    Debug = 2,
+}
+
+const UNSET: u8 = u8::MAX;
+
+/// The resolved level; `UNSET` until first use or [`set_level`].
+static LEVEL: AtomicU8 = AtomicU8::new(UNSET);
+
+fn level_from_env() -> Level {
+    match std::env::var("ISF_LOG").ok().as_deref().map(str::trim) {
+        Some("off") | Some("0") => Level::Off,
+        Some("debug") | Some("2") => Level::Debug,
+        // `cells`, unset, or anything unrecognized: the historical default.
+        _ => Level::Cells,
+    }
+}
+
+/// The active level: the [`set_level`] override if any, else `ISF_LOG`,
+/// else [`Level::Cells`]. Cached after first resolution.
+pub fn level() -> Level {
+    match LEVEL.load(Ordering::Relaxed) {
+        UNSET => {
+            let resolved = level_from_env();
+            // A concurrent set_level may win; re-read rather than clobber.
+            let _ =
+                LEVEL.compare_exchange(UNSET, resolved as u8, Ordering::Relaxed, Ordering::Relaxed);
+            decode(LEVEL.load(Ordering::Relaxed))
+        }
+        v => decode(v),
+    }
+}
+
+fn decode(v: u8) -> Level {
+    match v {
+        0 => Level::Off,
+        2 => Level::Debug,
+        _ => Level::Cells,
+    }
+}
+
+/// Overrides the level (tests, CLI flags). Takes precedence over
+/// `ISF_LOG`.
+pub fn set_level(level: Level) {
+    LEVEL.store(level as u8, Ordering::Relaxed);
+}
+
+/// Whether messages at `at` would currently be printed.
+pub fn enabled(at: Level) -> bool {
+    at <= level() && at != Level::Off
+}
+
+/// Prints a per-cell statistics line (level [`Level::Cells`] and up).
+pub fn cells(message: &str) {
+    if enabled(Level::Cells) {
+        eprintln!("{message}");
+    }
+}
+
+/// Prints a diagnostic line (level [`Level::Debug`] only).
+pub fn debug(message: &str) {
+    if enabled(Level::Debug) {
+        eprintln!("{message}");
+    }
+}
+
+/// Prints an error or usage line unconditionally — user-facing failures
+/// must not be silenced by `ISF_LOG=off`.
+pub fn error(message: &str) {
+    eprintln!("{message}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_order_and_gate() {
+        // set_level wins over the environment; exercise each level. This
+        // mutates process-global state, so keep it to one test.
+        set_level(Level::Off);
+        assert!(!enabled(Level::Cells));
+        assert!(!enabled(Level::Debug));
+        assert!(!enabled(Level::Off), "Off is never an emitting level");
+        set_level(Level::Cells);
+        assert!(enabled(Level::Cells));
+        assert!(!enabled(Level::Debug));
+        set_level(Level::Debug);
+        assert!(enabled(Level::Cells));
+        assert!(enabled(Level::Debug));
+        assert_eq!(level(), Level::Debug);
+    }
+}

@@ -14,6 +14,12 @@ use crate::profile::ProfileData;
 ///
 /// Two empty distributions are in perfect agreement (100); if exactly one
 /// is empty the overlap is 0.
+///
+/// The sum runs in exact integer arithmetic over the common denominator
+/// `ta * tb` — `min(ca/ta, cb/tb) = min(ca*tb, cb*ta) / (ta*tb)` — so the
+/// result is independent of the map's iteration order. A floating-point
+/// accumulation would pick up order-dependent rounding from `HashMap`'s
+/// randomized hashing and break the byte-stable JSONL guarantee.
 pub fn distribution_overlap<K: Eq + Hash>(a: &HashMap<K, u64>, b: &HashMap<K, u64>) -> f64 {
     let ta: u64 = a.values().sum();
     let tb: u64 = b.values().sum();
@@ -22,15 +28,15 @@ pub fn distribution_overlap<K: Eq + Hash>(a: &HashMap<K, u64>, b: &HashMap<K, u6
         (0, _) | (_, 0) => return 0.0,
         _ => {}
     }
-    let mut overlap = 0.0;
+    let mut overlap: u128 = 0;
     for (k, &ca) in a {
         if let Some(&cb) = b.get(k) {
-            let pa = ca as f64 / ta as f64;
-            let pb = cb as f64 / tb as f64;
+            let pa = u128::from(ca) * u128::from(tb);
+            let pb = u128::from(cb) * u128::from(ta);
             overlap += pa.min(pb);
         }
     }
-    overlap * 100.0
+    overlap as f64 / (u128::from(ta) * u128::from(tb)) as f64 * 100.0
 }
 
 /// Overlap percentage between the call-edge portions of two profiles.
@@ -105,6 +111,22 @@ mod tests {
         assert_eq!(distribution_overlap(&empty, &empty), 100.0);
         assert_eq!(distribution_overlap(&empty, &full), 0.0);
         assert_eq!(distribution_overlap(&full, &empty), 0.0);
+    }
+
+    #[test]
+    fn result_is_independent_of_iteration_order() {
+        // Each HashMap instance gets its own random hash state, so two
+        // equal maps iterate in different orders; the exact integer
+        // accumulation must produce bit-identical results regardless.
+        // (With float accumulation this fails intermittently at the ulp
+        // level — that noise leaked into the raw JSONL row records.)
+        let pairs: Vec<(u32, u64)> = (0..100).map(|i| (i, u64::from(i) * 7 + 3)).collect();
+        let other: Vec<(u32, u64)> = (0..100).map(|i| (i, u64::from(i % 13) + 1)).collect();
+        let first = distribution_overlap(&dist(&pairs), &dist(&other));
+        for _ in 0..8 {
+            let again = distribution_overlap(&dist(&pairs), &dist(&other));
+            assert_eq!(first.to_bits(), again.to_bits());
+        }
     }
 
     #[test]

@@ -1,5 +1,8 @@
-//! Integration-test crate. All tests live in `tests/`; this library only
-//! hosts shared helpers.
+//! Integration-test crate. All tests live in `tests/`; this library hosts
+//! shared helpers and the random-program generator used by the
+//! differential suites.
+
+pub mod program_gen;
 
 /// Compiles Jive source, panicking with the error on failure.
 pub fn compile(src: &str) -> isf_ir::Module {

@@ -1,0 +1,175 @@
+//! A proptest generator of arbitrary trap-free Jive programs, shared by
+//! the differential test suites (engine equivalence, trace equivalence).
+//!
+//! Statement fragments are rendered into a `main` alongside a fixed class
+//! and helper function. Every operation is total (no division, bounded
+//! loops), so generated programs terminate without trapping.
+
+use proptest::prelude::*;
+
+/// Statement fragments rendered into a Jive `main`.
+#[derive(Debug, Clone)]
+pub enum Stmt {
+    /// `vN = <expr>;`
+    Assign(u8, Expr),
+    /// `p.f = <expr>;`
+    SetF(Expr),
+    /// `print(<expr>);`
+    Print(Expr),
+    /// `if ((<expr>) % 2 == 0) { ... } else { ... }`
+    If(Expr, Vec<Stmt>, Vec<Stmt>),
+    /// A bounded `while` loop running the body N times.
+    Loop(u8, Vec<Stmt>),
+}
+
+/// Expression fragments; all total.
+#[derive(Debug, Clone)]
+pub enum Expr {
+    /// A small literal.
+    Lit(i8),
+    /// One of the four pre-declared locals.
+    Var(u8),
+    /// The object field `p.f`.
+    FieldF,
+    /// Addition.
+    Add(Box<Expr>, Box<Expr>),
+    /// Multiplication.
+    Mul(Box<Expr>, Box<Expr>),
+    /// Modulo by a non-zero constant.
+    Mod(Box<Expr>, u8),
+    /// A call to the free function `helper`.
+    Helper(Box<Expr>),
+    /// A method call on `p`.
+    Bump(Box<Expr>),
+}
+
+/// Strategy for arbitrary [`Expr`] trees.
+pub fn expr_strategy() -> impl proptest::strategy::Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        any::<i8>().prop_map(Expr::Lit),
+        (0u8..4).prop_map(Expr::Var),
+        Just(Expr::FieldF),
+    ];
+    leaf.prop_recursive(3, 20, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Add(a.into(), b.into())),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Mul(a.into(), b.into())),
+            (inner.clone(), 1u8..17).prop_map(|(a, k)| Expr::Mod(a.into(), k)),
+            inner.clone().prop_map(|a| Expr::Helper(a.into())),
+            inner.prop_map(|a| Expr::Bump(a.into())),
+        ]
+    })
+}
+
+/// Strategy for arbitrary [`Stmt`] trees (conditionals and bounded loops
+/// included).
+pub fn stmt_strategy() -> impl proptest::strategy::Strategy<Value = Stmt> {
+    let simple = prop_oneof![
+        ((0u8..4), expr_strategy()).prop_map(|(v, e)| Stmt::Assign(v, e)),
+        expr_strategy().prop_map(Stmt::SetF),
+        expr_strategy().prop_map(Stmt::Print),
+    ];
+    simple.prop_recursive(2, 12, 4, |inner| {
+        prop_oneof![
+            (
+                expr_strategy(),
+                prop::collection::vec(inner.clone(), 0..3),
+                prop::collection::vec(inner.clone(), 0..3)
+            )
+                .prop_map(|(c, t, e)| Stmt::If(c, t, e)),
+            ((0u8..5), prop::collection::vec(inner, 1..3)).prop_map(|(n, b)| Stmt::Loop(n, b)),
+        ]
+    })
+}
+
+fn render_expr(e: &Expr, out: &mut String) {
+    match e {
+        Expr::Lit(v) => out.push_str(&format!("({v})")),
+        Expr::Var(v) => out.push_str(&format!("v{v}")),
+        Expr::FieldF => out.push_str("p.f"),
+        Expr::Add(a, b) | Expr::Mul(a, b) => {
+            let op = if matches!(e, Expr::Add(..)) { "+" } else { "*" };
+            out.push('(');
+            render_expr(a, out);
+            out.push_str(&format!(" {op} "));
+            render_expr(b, out);
+            out.push(')');
+        }
+        Expr::Mod(a, k) => {
+            out.push('(');
+            render_expr(a, out);
+            out.push_str(&format!(" % {k})"));
+        }
+        Expr::Helper(a) => {
+            out.push_str("helper(");
+            render_expr(a, out);
+            out.push(')');
+        }
+        Expr::Bump(a) => {
+            out.push_str("p.bump(");
+            render_expr(a, out);
+            out.push(')');
+        }
+    }
+}
+
+fn render_stmts(stmts: &[Stmt], out: &mut String, indent: usize, loop_id: &mut u32) {
+    let pad = "    ".repeat(indent);
+    for s in stmts {
+        match s {
+            Stmt::Assign(v, e) => {
+                out.push_str(&format!("{pad}v{v} = "));
+                render_expr(e, out);
+                out.push_str(";\n");
+            }
+            Stmt::SetF(e) => {
+                out.push_str(&format!("{pad}p.f = "));
+                render_expr(e, out);
+                out.push_str(";\n");
+            }
+            Stmt::Print(e) => {
+                out.push_str(&format!("{pad}print("));
+                render_expr(e, out);
+                out.push_str(");\n");
+            }
+            Stmt::If(c, t, e) => {
+                out.push_str(&format!("{pad}if (("));
+                render_expr(c, out);
+                out.push_str(") % 2 == 0) {\n");
+                render_stmts(t, out, indent + 1, loop_id);
+                out.push_str(&format!("{pad}}} else {{\n"));
+                render_stmts(e, out, indent + 1, loop_id);
+                out.push_str(&format!("{pad}}}\n"));
+            }
+            Stmt::Loop(n, body) => {
+                let id = *loop_id;
+                *loop_id += 1;
+                out.push_str(&format!("{pad}var loop{id} = 0;\n"));
+                out.push_str(&format!("{pad}while (loop{id} < {n}) {{\n"));
+                render_stmts(body, out, indent + 1, loop_id);
+                out.push_str(&format!("{pad}    loop{id} = loop{id} + 1;\n"));
+                out.push_str(&format!("{pad}}}\n"));
+            }
+        }
+    }
+}
+
+/// Renders the generated statements into a complete Jive program.
+pub fn render_program(stmts: &[Stmt]) -> String {
+    let mut body = String::new();
+    let mut loop_id = 0;
+    render_stmts(stmts, &mut body, 1, &mut loop_id);
+    format!(
+        "class P {{
+    field f; field g;
+    method bump(x) {{ self.f = self.f + x; return self.f; }}
+}}
+fn helper(x) {{ return (x * 7 + 3) % 1000003; }}
+fn main() {{
+    var v0 = 1; var v1 = 2; var v2 = 3; var v3 = 5;
+    var p = new P;
+{body}    print(v0); print(v1); print(v2); print(v3);
+    print(p.f);
+}}"
+    )
+}
