@@ -41,10 +41,30 @@ pub enum TrapKind {
     },
     /// Every live thread is blocked in `join`.
     Deadlock,
-    /// The configured cycle budget was exhausted.
-    CycleBudgetExceeded(u64),
+    /// The configured cycle budget (execution fuel) was exhausted.
+    FuelExhausted(u64),
+    /// The configured heap budget was exhausted by an allocation.
+    HeapExhausted {
+        /// The heap-word limit that was hit.
+        limit_words: u64,
+    },
     /// The call stack exceeded the configured depth limit.
     StackOverflow(usize),
+}
+
+impl TrapKind {
+    /// Whether this trap is a configured resource budget running out
+    /// (fuel, heap, stack) rather than a semantic error in the program.
+    /// Budget traps are the expected, recoverable way a production
+    /// sampling framework degrades; harnesses classify them separately.
+    pub fn is_budget(&self) -> bool {
+        matches!(
+            self,
+            TrapKind::FuelExhausted(_)
+                | TrapKind::HeapExhausted { .. }
+                | TrapKind::StackOverflow(_)
+        )
+    }
 }
 
 impl fmt::Display for TrapKind {
@@ -70,8 +90,11 @@ impl fmt::Display for TrapKind {
                 "method `{method}` called with {given} argument(s), expects {expected}"
             ),
             TrapKind::Deadlock => write!(f, "all threads blocked in join"),
-            TrapKind::CycleBudgetExceeded(n) => {
+            TrapKind::FuelExhausted(n) => {
                 write!(f, "cycle budget of {n} exceeded")
+            }
+            TrapKind::HeapExhausted { limit_words } => {
+                write!(f, "heap budget of {limit_words} words exhausted")
             }
             TrapKind::StackOverflow(n) => write!(f, "call stack exceeded {n} frames"),
         }
@@ -112,5 +135,18 @@ mod tests {
     fn bounds_message() {
         let k = TrapKind::IndexOutOfBounds { index: 9, len: 4 };
         assert_eq!(k.to_string(), "index 9 out of bounds for length 4");
+    }
+
+    #[test]
+    fn budget_traps_are_classified() {
+        assert!(TrapKind::FuelExhausted(10).is_budget());
+        assert!(TrapKind::HeapExhausted { limit_words: 64 }.is_budget());
+        assert!(TrapKind::StackOverflow(4).is_budget());
+        assert!(!TrapKind::DivisionByZero.is_budget());
+        assert!(!TrapKind::NullDereference.is_budget());
+        assert_eq!(
+            TrapKind::HeapExhausted { limit_words: 64 }.to_string(),
+            "heap budget of 64 words exhausted"
+        );
     }
 }

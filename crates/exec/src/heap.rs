@@ -18,37 +18,81 @@ pub struct Object {
 /// A simple bump-allocating heap. Nothing is ever freed — benchmark runs
 /// are short-lived, matching the paper's methodology of timing whole
 /// program executions.
+///
+/// The heap can carry a word budget ([`Heap::with_limit`]): every
+/// allocation is charged one header word plus one word per field or
+/// element, and an allocation that would exceed the budget traps with
+/// [`TrapKind::HeapExhausted`] *before* reserving any memory, so a
+/// pathological program cannot take the host down.
 #[derive(Clone, Debug, Default)]
 pub struct Heap {
     objects: Vec<Object>,
     arrays: Vec<Vec<i64>>,
+    words: u64,
+    limit_words: Option<u64>,
 }
 
 impl Heap {
-    /// Creates an empty heap.
+    /// Creates an empty heap with no word budget.
     pub fn new() -> Self {
         Self::default()
     }
 
+    /// Creates an empty heap that traps with [`TrapKind::HeapExhausted`]
+    /// once more than `limit_words` words have been allocated (`None`
+    /// means unlimited).
+    pub fn with_limit(limit_words: Option<u64>) -> Self {
+        Heap {
+            limit_words,
+            ..Self::default()
+        }
+    }
+
+    /// Total words allocated so far (one header word per allocation plus
+    /// one word per field or element).
+    pub fn words_allocated(&self) -> u64 {
+        self.words
+    }
+
+    /// Charges `words` against the budget, trapping before any memory is
+    /// reserved when the charge would exceed it.
+    fn charge(&mut self, words: u64) -> Result<(), TrapKind> {
+        let next = self.words.saturating_add(words);
+        if let Some(limit) = self.limit_words {
+            if next > limit {
+                return Err(TrapKind::HeapExhausted { limit_words: limit });
+            }
+        }
+        self.words = next;
+        Ok(())
+    }
+
     /// Allocates an object of `class` with `num_fields` zeroed slots.
-    pub fn alloc_object(&mut self, class: ClassId, num_fields: usize) -> Value {
+    ///
+    /// # Errors
+    ///
+    /// Traps if the allocation would exceed the heap word budget.
+    pub fn alloc_object(&mut self, class: ClassId, num_fields: usize) -> Result<Value, TrapKind> {
+        self.charge(num_fields as u64 + 1)?;
         let handle = self.objects.len() as u32;
         self.objects.push(Object {
             class,
             fields: vec![Value::I64(0); num_fields],
         });
-        Value::Obj(handle)
+        Ok(Value::Obj(handle))
     }
 
     /// Allocates a zero-filled integer array.
     ///
     /// # Errors
     ///
-    /// Traps if `len` is negative.
+    /// Traps if `len` is negative or the allocation would exceed the heap
+    /// word budget.
     pub fn alloc_array(&mut self, len: i64) -> Result<Value, TrapKind> {
         if len < 0 {
             return Err(TrapKind::NegativeArrayLength(len));
         }
+        self.charge(len as u64 + 1)?;
         let handle = self.arrays.len() as u32;
         self.arrays.push(vec![0; len as usize]);
         Ok(Value::Arr(handle))
@@ -168,10 +212,39 @@ mod tests {
     #[test]
     fn object_roundtrip() {
         let mut h = Heap::new();
-        let o = h.alloc_object(ClassId::new(0), 2);
+        let o = h.alloc_object(ClassId::new(0), 2).unwrap();
         h.object_mut(o).unwrap().fields[1] = Value::I64(9);
         assert_eq!(h.object(o).unwrap().fields[1], Value::I64(9));
         assert_eq!(h.object(o).unwrap().fields[0], Value::I64(0));
+    }
+
+    #[test]
+    fn word_budget_traps_before_allocating() {
+        let mut h = Heap::with_limit(Some(10));
+        // 2 fields + header = 3 words; twice fits, a third object with a
+        // large payload does not.
+        h.alloc_object(ClassId::new(0), 2).unwrap();
+        h.alloc_object(ClassId::new(0), 2).unwrap();
+        assert_eq!(h.words_allocated(), 6);
+        assert_eq!(
+            h.alloc_array(9).unwrap_err(),
+            TrapKind::HeapExhausted { limit_words: 10 }
+        );
+        // The failed allocation reserved nothing.
+        assert_eq!(h.words_allocated(), 6);
+        assert_eq!(h.num_arrays(), 0);
+        // A fitting allocation still succeeds after a budget trap.
+        h.alloc_array(3).unwrap();
+        assert_eq!(h.words_allocated(), 10);
+    }
+
+    #[test]
+    fn unlimited_heap_never_budget_traps() {
+        let mut h = Heap::new();
+        for _ in 0..100 {
+            h.alloc_object(ClassId::new(0), 8).unwrap();
+        }
+        assert_eq!(h.words_allocated(), 900);
     }
 
     #[test]

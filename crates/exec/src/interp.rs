@@ -27,6 +27,53 @@ use crate::trace::{BurstRecord, NoTrace, TraceSink};
 use crate::trigger::{Trigger, TriggerState};
 use crate::value::Value;
 
+/// Resource budgets a run must stay within. The paper's framework is
+/// meant to run in production, where instrumentation must degrade
+/// gracefully rather than take the host down; these limits are the
+/// engine-level half of that contract — a run that exceeds one traps
+/// deterministically ([`TrapKind::FuelExhausted`],
+/// [`TrapKind::HeapExhausted`], [`TrapKind::StackOverflow`]) at the same
+/// point in both execution engines, and the harness recovers instead of
+/// crashing.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct ExecLimits {
+    /// Abort with [`TrapKind::FuelExhausted`] past this many simulated
+    /// cycles (`None` = unlimited).
+    pub max_cycles: Option<u64>,
+    /// Abort with [`TrapKind::HeapExhausted`] once more than this many
+    /// heap words are allocated (`None` = unlimited). One allocation costs
+    /// a header word plus a word per field or element.
+    pub max_heap_words: Option<u64>,
+    /// Maximum call-stack depth per thread
+    /// ([`TrapKind::StackOverflow`] beyond it).
+    pub max_stack: usize,
+}
+
+impl Default for ExecLimits {
+    fn default() -> Self {
+        Self {
+            max_cycles: None,
+            max_heap_words: None,
+            max_stack: 4096,
+        }
+    }
+}
+
+impl ExecLimits {
+    /// Unlimited cycles and heap with the default stack depth.
+    pub fn unlimited() -> Self {
+        Self::default()
+    }
+
+    /// A cycle budget with the other limits at their defaults.
+    pub fn cycles(max_cycles: u64) -> Self {
+        Self {
+            max_cycles: Some(max_cycles),
+            ..Self::default()
+        }
+    }
+}
+
 /// Interpreter configuration.
 #[derive(Copy, Clone, Debug)]
 pub struct VmConfig {
@@ -37,10 +84,8 @@ pub struct VmConfig {
     /// Simulated cycles between threadswitch-bit sets (Jalapeño's 10 ms
     /// timer analogue).
     pub timeslice: u64,
-    /// Abort with [`TrapKind::CycleBudgetExceeded`] past this many cycles.
-    pub max_cycles: Option<u64>,
-    /// Maximum call-stack depth per thread.
-    pub max_stack: usize,
+    /// Resource budgets (cycles, heap words, stack depth).
+    pub limits: ExecLimits,
 }
 
 impl Default for VmConfig {
@@ -49,8 +94,7 @@ impl Default for VmConfig {
             cost: CostModel::default(),
             trigger: Trigger::Never,
             timeslice: 100_000,
-            max_cycles: None,
-            max_stack: 4096,
+            limits: ExecLimits::default(),
         }
     }
 }
@@ -72,8 +116,8 @@ pub fn run(module: &Module, config: &VmConfig) -> Result<Outcome, VmError> {
 /// Runs an already-prepared module to completion under `config`,
 /// amortizing the preparation cost across repeated runs.
 ///
-/// `config.trigger`, `config.timeslice`, `config.max_cycles` and
-/// `config.max_stack` may vary freely between runs of one preparation;
+/// `config.trigger`, `config.timeslice` and `config.limits` may vary
+/// freely between runs of one preparation;
 /// `config.cost` must equal the cost model the module was prepared with,
 /// because per-op costs were folded in at prepare time.
 ///
@@ -227,9 +271,9 @@ impl<'p, 's, S: TraceSink> Machine<'p, 's, S> {
             trigger: TriggerState::new(config.trigger),
             timer_active: matches!(config.trigger, Trigger::TimerBit { .. }),
             timeslice: config.timeslice.max(1),
-            max_cycles: config.max_cycles,
-            max_stack: config.max_stack,
-            heap: Heap::new(),
+            max_cycles: config.limits.max_cycles,
+            max_stack: config.limits.max_stack,
+            heap: Heap::with_limit(config.limits.max_heap_words),
             threads: vec![Thread {
                 frames: vec![main_frame],
                 state: ThreadState::Runnable,
@@ -349,13 +393,16 @@ impl<'p, 's, S: TraceSink> Machine<'p, 's, S> {
         }
         if self.cycles >= self.next_switch {
             self.switch_bit = true;
-            while self.cycles >= self.next_switch {
-                self.next_switch += self.timeslice;
-            }
+            // Catch up in one division rather than one loop iteration per
+            // missed timeslice: a long simulated gap must not spin.
+            let behind = self.cycles - self.next_switch;
+            self.next_switch = self
+                .next_switch
+                .saturating_add((behind / self.timeslice + 1).saturating_mul(self.timeslice));
         }
         if let Some(max) = self.max_cycles {
             if self.cycles > max {
-                return Err(TrapKind::CycleBudgetExceeded(max));
+                return Err(TrapKind::FuelExhausted(max));
             }
         }
         Ok(())
@@ -492,7 +539,7 @@ impl<'p, 's, S: TraceSink> Machine<'p, 's, S> {
                 class,
                 num_fields,
             } => {
-                let v = self.heap.alloc_object(*class, *num_fields);
+                let v = self.heap.alloc_object(*class, *num_fields)?;
                 let f = self.threads[cur].frames.last_mut().expect("frame");
                 f.locals[dst.index()] = v;
                 f.ip += 1;
@@ -852,18 +899,36 @@ mod tests {
     fn cycle_budget_stops_infinite_loops() {
         let m = compile("fn main() { while (true) { } }");
         let cfg = VmConfig {
-            max_cycles: Some(10_000),
+            limits: ExecLimits::cycles(10_000),
             ..VmConfig::default()
         };
         let e = run(&m, &cfg).unwrap_err();
-        assert_eq!(e.kind, TrapKind::CycleBudgetExceeded(10_000));
+        assert_eq!(e.kind, TrapKind::FuelExhausted(10_000));
+    }
+
+    #[test]
+    fn heap_budget_stops_allocation_storms() {
+        let m = compile("fn main() { while (true) { var a = array(100); a[0] = 1; } }");
+        let cfg = VmConfig {
+            limits: ExecLimits {
+                max_heap_words: Some(1_000),
+                ..ExecLimits::default()
+            },
+            ..VmConfig::default()
+        };
+        let e = run(&m, &cfg).unwrap_err();
+        assert_eq!(e.kind, TrapKind::HeapExhausted { limit_words: 1_000 });
+        assert_eq!(e.function, "main");
     }
 
     #[test]
     fn stack_overflow_detected() {
         let m = compile("fn f(n) { return f(n + 1); } fn main() { print(f(0)); }");
         let cfg = VmConfig {
-            max_stack: 64,
+            limits: ExecLimits {
+                max_stack: 64,
+                ..ExecLimits::default()
+            },
             ..VmConfig::default()
         };
         let e = run(&m, &cfg).unwrap_err();
@@ -899,11 +964,11 @@ mod tests {
         // The spinning thread yields on its backedge, main stays blocked;
         // bound the run so the test terminates: budget trap, not deadlock.
         let cfg = VmConfig {
-            max_cycles: Some(500_000),
+            limits: ExecLimits::cycles(500_000),
             ..VmConfig::default()
         };
         let e = run(&m, &cfg).unwrap_err();
-        assert_eq!(e.kind, TrapKind::CycleBudgetExceeded(500_000));
+        assert_eq!(e.kind, TrapKind::FuelExhausted(500_000));
     }
 
     #[test]

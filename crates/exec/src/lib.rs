@@ -56,7 +56,7 @@ mod value;
 pub use cost::CostModel;
 pub use error::{TrapKind, VmError};
 pub use heap::Heap;
-pub use interp::{run, run_prepared, run_prepared_traced, run_traced, VmConfig};
+pub use interp::{run, run_prepared, run_prepared_traced, run_traced, ExecLimits, VmConfig};
 pub use naive::{run_naive, run_naive_traced};
 pub use outcome::{Outcome, ZeroCycleBaseline};
 pub use prepared::{preparations, thread_preparations, PreparedModule};

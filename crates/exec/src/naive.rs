@@ -176,9 +176,9 @@ impl<'m, 's, S: TraceSink> Machine<'m, 's, S> {
             cost: config.cost,
             trigger: TriggerState::new(config.trigger),
             timeslice: config.timeslice.max(1),
-            max_cycles: config.max_cycles,
-            max_stack: config.max_stack,
-            heap: Heap::new(),
+            max_cycles: config.limits.max_cycles,
+            max_stack: config.limits.max_stack,
+            heap: Heap::with_limit(config.limits.max_heap_words),
             threads: vec![Thread {
                 frames: vec![main_frame],
                 state: ThreadState::Runnable,
@@ -295,13 +295,14 @@ impl<'m, 's, S: TraceSink> Machine<'m, 's, S> {
         self.trigger.on_tick(self.cycles);
         if self.cycles >= self.next_switch {
             self.switch_bit = true;
-            while self.cycles >= self.next_switch {
-                self.next_switch += self.timeslice;
-            }
+            let behind = self.cycles - self.next_switch;
+            self.next_switch = self
+                .next_switch
+                .saturating_add((behind / self.timeslice + 1).saturating_mul(self.timeslice));
         }
         if let Some(max) = self.max_cycles {
             if self.cycles > max {
-                return Err(TrapKind::CycleBudgetExceeded(max));
+                return Err(TrapKind::FuelExhausted(max));
             }
         }
         Ok(())
@@ -478,7 +479,7 @@ impl<'m, 's, S: TraceSink> Machine<'m, 's, S> {
             }
             Inst::New { dst, class } => {
                 let num_fields = self.module.class(*class).num_fields();
-                let v = self.heap.alloc_object(*class, num_fields);
+                let v = self.heap.alloc_object(*class, num_fields)?;
                 self.set(*dst, v);
             }
             Inst::GetField { dst, obj, field } => {

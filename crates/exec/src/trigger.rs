@@ -63,6 +63,11 @@ impl Default for Trigger {
     }
 }
 
+/// Thread ids at or above this bound are tracked in a spill map instead of
+/// the dense counter vector, so one huge sparse thread id cannot force a
+/// multi-gigabyte `resize`.
+const MAX_DENSE_THREADS: usize = 1024;
+
 /// Runtime state of a trigger, owned by the interpreter.
 #[derive(Clone, Debug)]
 pub(crate) enum TriggerState {
@@ -74,6 +79,7 @@ pub(crate) enum TriggerState {
     },
     PerThread {
         counters: Vec<u64>,
+        sparse: std::collections::BTreeMap<usize, u64>,
         interval: u64,
     },
     Randomized {
@@ -109,6 +115,7 @@ impl TriggerState {
             },
             Trigger::CounterPerThread { interval } => TriggerState::PerThread {
                 counters: Vec::new(),
+                sparse: std::collections::BTreeMap::new(),
                 interval: interval.max(1),
             },
             Trigger::CounterRandomized {
@@ -141,9 +148,12 @@ impl TriggerState {
         {
             if now >= *next_fire {
                 *bit = true;
-                while now >= *next_fire {
-                    *next_fire += *period;
-                }
+                // Jump straight past `now` instead of looping once per
+                // elapsed period: a long simulated gap with a tiny period
+                // must not spin O(gap/period) iterations.
+                let behind = now - *next_fire;
+                *next_fire =
+                    (*next_fire).saturating_add((behind / *period + 1).saturating_mul(*period));
             }
         }
     }
@@ -163,11 +173,21 @@ impl TriggerState {
                     false
                 }
             }
-            TriggerState::PerThread { counters, interval } => {
-                if counters.len() <= thread {
-                    counters.resize(thread + 1, *interval);
-                }
-                let c = &mut counters[thread];
+            TriggerState::PerThread {
+                counters,
+                sparse,
+                interval,
+            } => {
+                let c = if thread < MAX_DENSE_THREADS {
+                    if counters.len() <= thread {
+                        counters.resize(thread + 1, *interval);
+                    }
+                    &mut counters[thread]
+                } else {
+                    // A pathological sparse thread id must not allocate a
+                    // `thread`-sized vector; spill to the map instead.
+                    sparse.entry(thread).or_insert(*interval)
+                };
                 *c -= 1;
                 if *c == 0 {
                     *c = *interval;
@@ -184,9 +204,16 @@ impl TriggerState {
             } => {
                 *counter -= 1;
                 if *counter == 0 {
-                    let spread = 2 * *jitter + 1;
+                    // All arithmetic saturates: `interval` near `u64::MAX`
+                    // must clamp into `[max(1, interval - jitter),
+                    // interval + jitter]` instead of overflowing (a
+                    // debug-build panic before this was fixed).
+                    let spread = (*jitter).saturating_mul(2).saturating_add(1);
                     let offset = xorshift(rng) % spread;
-                    *counter = (*interval + offset).saturating_sub(*jitter).max(1);
+                    *counter = (*interval)
+                        .saturating_add(offset)
+                        .saturating_sub(*jitter)
+                        .max(1);
                     true
                 } else {
                     false
@@ -273,6 +300,73 @@ mod tests {
         // After the first (deterministic) gap, all gaps are jittered.
         assert!(a[1..].iter().all(|&g| (80..=120).contains(&g)));
         assert!(a[1..].iter().any(|&g| g != 100), "jitter actually varies");
+    }
+
+    #[test]
+    fn randomized_reset_near_u64_max_does_not_overflow() {
+        // Regression: with `interval = u64::MAX - 1` the old reset computed
+        // `interval + offset`, overflowing (a panic in debug builds) for
+        // any positive offset. Drive the counter straight to the reset
+        // point instead of iterating u64::MAX - 1 checks.
+        let interval = u64::MAX - 1;
+        let jitter = 5;
+        let mut t = TriggerState::Randomized {
+            counter: 1,
+            interval,
+            jitter,
+            rng: 42 | 1,
+        };
+        for _ in 0..64 {
+            assert!(t.on_check(0), "counter 1 fires and resets");
+            let TriggerState::Randomized { counter, .. } = &mut t else {
+                unreachable!()
+            };
+            assert!(
+                (interval - jitter..=u64::MAX).contains(counter),
+                "reset {counter} outside [interval - jitter, interval + jitter]"
+            );
+            *counter = 1; // rearm for the next reset draw
+        }
+        // Degenerate jitter must also be safe: spread saturates.
+        let mut t = TriggerState::Randomized {
+            counter: 1,
+            interval: 10,
+            jitter: u64::MAX,
+            rng: 7 | 1,
+        };
+        assert!(t.on_check(0));
+    }
+
+    #[test]
+    fn timer_tick_over_huge_gap_is_constant_time() {
+        // Regression: the old catch-up `while` looped once per elapsed
+        // period — u64::MAX iterations here.
+        let mut t = TriggerState::new(Trigger::TimerBit { period: 1 });
+        t.on_tick(u64::MAX);
+        assert!(t.on_check(0));
+        assert!(!t.on_check(0), "only one pending bit");
+    }
+
+    #[test]
+    fn per_thread_high_thread_index_does_not_allocate_huge_vec() {
+        // Regression: a sparse thread id used to force
+        // `counters.resize(thread + 1)` — gigabytes for an id like this.
+        let big = usize::MAX / 2;
+        let mut t = TriggerState::new(Trigger::CounterPerThread { interval: 2 });
+        assert!(!t.on_check(big));
+        assert!(t.on_check(big), "sparse thread fires at its interval");
+        // Dense threads stay independent of the spilled one.
+        assert!(!t.on_check(0));
+        assert!(!t.on_check(big));
+        assert!(t.on_check(0));
+        let TriggerState::PerThread {
+            counters, sparse, ..
+        } = &t
+        else {
+            unreachable!()
+        };
+        assert!(counters.len() <= MAX_DENSE_THREADS);
+        assert_eq!(sparse.len(), 1);
     }
 
     #[test]

@@ -12,10 +12,10 @@ use isf_profile::hotness;
 use isf_profile::overlap::path_overlap;
 
 use crate::runner::{
-    cell, instrument, overhead_pct, par_cells, plan_for, prepare_for_runs, prepare_suite,
-    run_module, run_prepared_module, Kinds,
+    cell, instrument, overhead_pct, par_cells_isolated, plan_for, prepare_for_runs, prepare_suite,
+    run_module, run_prepared_module, split_results, CellError, Kinds,
 };
-use crate::{mean, pct, Scale};
+use crate::{mean, pct, write_errors, Scale};
 
 /// The sample intervals of the path-profiling sweep.
 const PATH_INTERVALS: [u64; 4] = [1, 10, 100, 1_000];
@@ -57,13 +57,15 @@ pub struct Extras {
     pub path_rows: Vec<PathRow>,
     /// Selective instrumentation per benchmark.
     pub selective_rows: Vec<SelectiveRow>,
+    /// Cells that failed (prepare or experiment), suite order.
+    pub errors: Vec<CellError>,
 }
 
 /// Runs both extra experiments, one cell per benchmark: the benchmark's
 /// path-profiling interval series (averaged across the suite afterwards)
 /// plus its selective-instrumentation row.
 pub fn run(scale: Scale) -> Extras {
-    let benches = prepare_suite(scale);
+    let suite = prepare_suite(scale);
 
     // One benchmark's path measurements at one interval.
     struct PathMeas {
@@ -72,8 +74,9 @@ pub fn run(scale: Scale) -> Extras {
         events: f64,
     }
 
-    let per_bench: Vec<(Vec<PathMeas>, SelectiveRow)> = par_cells(
-        benches
+    let results = par_cells_isolated(
+        suite
+            .benches
             .iter()
             .map(|b| {
                 cell(format!("extras/{}", b.name), move || {
@@ -147,6 +150,9 @@ pub fn run(scale: Scale) -> Extras {
             })
             .collect(),
     );
+    let (per_bench, cell_errors) = split_results(results);
+    let mut errors = suite.errors;
+    errors.extend(cell_errors);
 
     let path_rows = PATH_INTERVALS
         .iter()
@@ -163,6 +169,7 @@ pub fn run(scale: Scale) -> Extras {
     Extras {
         path_rows,
         selective_rows,
+        errors,
     }
 }
 
@@ -243,7 +250,7 @@ impl fmt::Display for Extras {
                 r.hot_count
             )?;
         }
-        Ok(())
+        write_errors(f, &self.errors)
     }
 }
 

@@ -12,10 +12,10 @@ use isf_core::{Options, Strategy};
 use isf_exec::Trigger;
 
 use crate::runner::{
-    cell, instrument, overhead_pct, par_cells, prepare_for_runs, prepare_suite, run_module,
-    run_prepared_module, Kinds,
+    cell, instrument, overhead_pct, par_cells_isolated, prepare_for_runs, prepare_suite,
+    run_module, run_prepared_module, split_results, CellError, Kinds,
 };
-use crate::{mean, pct, Scale};
+use crate::{mean, pct, write_errors, Scale};
 
 /// One row of part (A).
 #[derive(Clone, Debug)]
@@ -48,6 +48,8 @@ pub struct Fig8 {
     pub avg_unoptimized: f64,
     /// Part (B): total sampling overhead per interval.
     pub rows_b: Vec<RowB>,
+    /// Cells that failed (prepare or experiment), suite order.
+    pub errors: Vec<CellError>,
 }
 
 fn yieldpoint_options() -> Options {
@@ -58,10 +60,11 @@ fn yieldpoint_options() -> Options {
 /// measurements plus the benchmark's part (B) interval series, which is
 /// averaged across benchmarks afterwards.
 pub fn run(scale: Scale) -> Fig8 {
-    let benches = prepare_suite(scale);
+    let suite = prepare_suite(scale);
 
-    let per_bench: Vec<(RowA, Vec<f64>)> = par_cells(
-        benches
+    let results = par_cells_isolated(
+        suite
+            .benches
             .iter()
             .map(|b| {
                 cell(format!("fig8/{}", b.name), move || {
@@ -95,6 +98,9 @@ pub fn run(scale: Scale) -> Fig8 {
             })
             .collect(),
     );
+    let (per_bench, cell_errors) = split_results(results);
+    let mut errors = suite.errors;
+    errors.extend(cell_errors);
 
     let rows_a: Vec<RowA> = per_bench.iter().map(|(a, _)| a.clone()).collect();
     let rows_b: Vec<RowB> = crate::table4::INTERVALS
@@ -111,6 +117,7 @@ pub fn run(scale: Scale) -> Fig8 {
         avg_unoptimized: mean(rows_a.iter().map(|r| r.unoptimized)),
         rows_a,
         rows_b,
+        errors,
     }
 }
 
@@ -180,7 +187,8 @@ impl fmt::Display for Fig8 {
         for r in &self.rows_b {
             writeln!(f, "{:>9} {:>11}", r.interval, pct(r.total))?;
         }
-        writeln!(f, "(paper: 179.9% at interval 1, converging to ~1.5%)")
+        writeln!(f, "(paper: 179.9% at interval 1, converging to ~1.5%)")?;
+        write_errors(f, &self.errors)
     }
 }
 

@@ -101,6 +101,16 @@ pub fn validate(stream: &str) -> Result<usize, JsonlError> {
                 ],
                 line,
             )?,
+            "error" => require(
+                &record,
+                &[
+                    ("label", Kind::Str),
+                    ("kind", Kind::Str),
+                    ("detail", Kind::Str),
+                    ("attempts", Kind::Num),
+                ],
+                line,
+            )?,
             "row" => require(&record, &[("experiment", Kind::Str)], line)?,
             "summary" => require(&record, &[("experiment", Kind::Str)], line)?,
             "phase" => require(
@@ -129,12 +139,22 @@ mod tests {
         let stream = concat!(
             "{\"type\":\"meta\",\"schema\":\"isf-harness-jsonl/1\",\"scale\":\"smoke\",\"experiments\":[\"table1\"]}\n",
             "{\"type\":\"cell\",\"label\":\"prepare/db\",\"sim_cycles\":1,\"instructions\":2,\"prepares\":0,\"wall_ns\":0,\"mips\":0}\n",
+            "{\"type\":\"error\",\"label\":\"table1/db\",\"kind\":\"trap\",\"detail\":\"trap in `main`: division by zero\",\"attempts\":1}\n",
             "{\"type\":\"row\",\"experiment\":\"table1\",\"bench\":\"db\",\"call_edge_pct\":1.5}\n",
             "\n",
             "{\"type\":\"summary\",\"experiment\":\"table1\",\"avg_call_edge_pct\":1.5}\n",
             "{\"type\":\"phase\",\"experiment\":\"table1\",\"name\":\"run\",\"count\":3,\"wall_ns\":0}\n",
         );
-        assert_eq!(validate(stream), Ok(5));
+        assert_eq!(validate(stream), Ok(6));
+    }
+
+    #[test]
+    fn rejects_malformed_error_records() {
+        let missing = "{\"type\":\"error\",\"label\":\"x\",\"kind\":\"trap\",\"detail\":\"d\"}";
+        assert!(validate(missing).unwrap_err().message.contains("attempts"));
+        let wrong =
+            "{\"type\":\"error\",\"label\":\"x\",\"kind\":\"trap\",\"detail\":7,\"attempts\":1}";
+        assert!(validate(wrong).unwrap_err().message.contains("wrong type"));
     }
 
     #[test]

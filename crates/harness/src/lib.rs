@@ -52,3 +52,16 @@ pub(crate) fn mean(xs: impl IntoIterator<Item = f64>) -> f64 {
     }
     v.iter().sum::<f64>() / v.len() as f64
 }
+
+/// Appends one `!! label [kind]: detail` line per failed cell to a table's
+/// rendering. Writes nothing when every cell succeeded, so clean runs stay
+/// byte-identical to output from before cells could fail.
+pub(crate) fn write_errors(
+    f: &mut std::fmt::Formatter<'_>,
+    errors: &[runner::CellError],
+) -> std::fmt::Result {
+    for e in errors {
+        writeln!(f, "!! {e}")?;
+    }
+    Ok(())
+}

@@ -34,11 +34,14 @@ use isf_obs::{emit, log, Json};
 fn usage() -> ExitCode {
     log::error(
         "usage: isf-harness [--scale smoke|default|paper] [--jobs N]\n\
-         \x20                  [--emit json|off] [--emit-path FILE] <experiment>...\n\
+         \x20                  [--emit json|off] [--emit-path FILE]\n\
+         \x20                  [--retries N] [--cell-budget CYCLES]\n\
+         \x20                  [--fault-inject p=<prob>[,seed=<s>]] <experiment>...\n\
          \x20      isf-harness bench-snapshot [--scale smoke|default|paper] [--jobs N] [--out DIR]\n\
          \x20      isf-harness validate-jsonl <FILE>\n\
          experiments: table1 table2 table3 table4 table5 fig7 fig8 extras all\n\
-         N defaults to $ISF_JOBS, then the machine's available parallelism",
+         N defaults to $ISF_JOBS, then the machine's available parallelism;\n\
+         --retries defaults to $ISF_RETRIES (0), --cell-budget to $ISF_CELL_BUDGET (uncapped)",
     );
     ExitCode::FAILURE
 }
@@ -164,6 +167,30 @@ fn main() -> ExitCode {
                 Some("off") => emit::set_mode(emit::EmitMode::Off),
                 _ => return usage(),
             },
+            "--retries" => {
+                let Some(n) = args.next().and_then(|v| v.parse::<usize>().ok()) else {
+                    return usage();
+                };
+                runner::set_retries(n);
+            }
+            "--cell-budget" => {
+                let Some(n) = args.next().and_then(|v| v.parse::<u64>().ok()) else {
+                    return usage();
+                };
+                runner::set_cell_budget(n);
+            }
+            "--fault-inject" => {
+                let Some(spec) = args.next() else {
+                    return usage();
+                };
+                match runner::parse_fault_spec(&spec) {
+                    Ok((p, seed)) => runner::set_fault_injection(p, seed),
+                    Err(e) => {
+                        log::error(&format!("--fault-inject: {e}"));
+                        return usage();
+                    }
+                }
+            }
             "--emit-path" => {
                 let Some(v) = args.next() else { return usage() };
                 emit_path = Some(PathBuf::from(v));

@@ -19,13 +19,15 @@
 //! the decoded form with [`run_prepared_module`], amortizing preparation
 //! over the whole sweep.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use isf_core::{instrument_module, Options, Strategy, TransformStats};
 use isf_exec::{
-    run, run_prepared, thread_preparations, CostModel, Outcome, PreparedModule, Trigger, VmConfig,
+    run, run_prepared, thread_preparations, CostModel, ExecLimits, Outcome, PreparedModule,
+    Trigger, VmConfig, VmError,
 };
 use isf_instr::{CallEdgeInstrumentation, FieldAccessInstrumentation, Instrumentation, ModulePlan};
 use isf_ir::Module;
@@ -67,20 +69,228 @@ pub fn jobs() -> usize {
 pub(crate) static JOBS_TEST_LOCK: Mutex<()> = Mutex::new(());
 
 // ---------------------------------------------------------------------
+// Fault-tolerance configuration (retries, cell budget, fault injection).
+// ---------------------------------------------------------------------
+
+/// `usize::MAX` means "no override; consult `ISF_RETRIES`".
+static RETRIES_OVERRIDE: AtomicUsize = AtomicUsize::new(usize::MAX);
+
+/// Sets how many times a panicked cell is re-run before its failure is
+/// recorded (`--retries`). Pass `usize::MAX` to clear the override.
+pub fn set_retries(n: usize) {
+    RETRIES_OVERRIDE.store(n, Ordering::Relaxed);
+}
+
+/// Bounded retry count for panicked cells: the [`set_retries`] override if
+/// set, else `ISF_RETRIES`, else `0`. Traps and budget exhaustion are
+/// deterministic properties of the program and are never retried.
+pub fn retries() -> usize {
+    let n = RETRIES_OVERRIDE.load(Ordering::Relaxed);
+    if n != usize::MAX {
+        return n;
+    }
+    std::env::var("ISF_RETRIES")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .unwrap_or(0)
+}
+
+/// `u64::MAX` means "no override; consult `ISF_CELL_BUDGET`".
+static CELL_BUDGET_OVERRIDE: AtomicU64 = AtomicU64::new(u64::MAX);
+
+/// Sets the per-cell simulated-cycle cap applied to every harness run
+/// (`--cell-budget`; `0` disables the cap). Pass `u64::MAX` to clear the
+/// override.
+pub fn set_cell_budget(cycles: u64) {
+    CELL_BUDGET_OVERRIDE.store(cycles, Ordering::Relaxed);
+}
+
+/// The per-cell simulated-cycle cap: the [`set_cell_budget`] override if
+/// set, else `ISF_CELL_BUDGET`, else `0` (uncapped). A run that exceeds it
+/// traps with fuel exhaustion and the cell is recorded as
+/// [`CellResult::Budget`].
+pub fn cell_budget() -> u64 {
+    let n = CELL_BUDGET_OVERRIDE.load(Ordering::Relaxed);
+    if n != u64::MAX {
+        return n;
+    }
+    std::env::var("ISF_CELL_BUDGET")
+        .ok()
+        .and_then(|s| s.trim().parse::<u64>().ok())
+        .unwrap_or(0)
+}
+
+/// The execution limits every harness run gets: the cell budget as
+/// execution fuel when one is configured, unlimited otherwise.
+fn harness_limits() -> ExecLimits {
+    match cell_budget() {
+        0 => ExecLimits::default(),
+        cycles => ExecLimits::cycles(cycles),
+    }
+}
+
+/// Fault-injection probability as `f64` bits (`0.0` = off) and seed.
+static FAULT_PROB_BITS: AtomicU64 = AtomicU64::new(0);
+static FAULT_SEED: AtomicU64 = AtomicU64::new(0);
+
+/// Configures deterministic fault injection (`--fault-inject`): each cell
+/// attempt is hashed with `seed`, and a hash below `p` makes the cell
+/// panic or trap before its work runs. `p = 0.0` disables injection.
+pub fn set_fault_injection(p: f64, seed: u64) {
+    FAULT_PROB_BITS.store(p.clamp(0.0, 1.0).to_bits(), Ordering::Relaxed);
+    FAULT_SEED.store(seed, Ordering::Relaxed);
+}
+
+/// Parses a `--fault-inject` spec of the form `p=<prob>,seed=<s>` (the
+/// seed is optional and defaults to 0).
+///
+/// # Errors
+///
+/// Returns a description of the first malformed component.
+pub fn parse_fault_spec(spec: &str) -> Result<(f64, u64), String> {
+    let mut p: Option<f64> = None;
+    let mut seed = 0u64;
+    for part in spec.split(',') {
+        match part.split_once('=') {
+            Some(("p", v)) => {
+                let prob = v
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|p| (0.0..=1.0).contains(p))
+                    .ok_or_else(|| format!("fault probability `{v}` not in [0, 1]"))?;
+                p = Some(prob);
+            }
+            Some(("seed", v)) => {
+                seed = v
+                    .parse::<u64>()
+                    .map_err(|_| format!("fault seed `{v}` is not a u64"))?;
+            }
+            _ => return Err(format!("unknown fault-inject component `{part}`")),
+        }
+    }
+    let p = p.ok_or_else(|| "fault-inject spec needs `p=<prob>`".to_owned())?;
+    Ok((p, seed))
+}
+
+/// Deterministically decides whether to inject a fault into this attempt
+/// of the labelled cell, and which kind: `Some(true)` injects a trap,
+/// `Some(false)` a panic. The decision hashes (seed, label, attempt), so
+/// it is identical across job counts and schedules, and a retried attempt
+/// rolls fresh.
+fn fault_roll(label: &str, attempt: u32) -> Option<bool> {
+    let p = f64::from_bits(FAULT_PROB_BITS.load(Ordering::Relaxed));
+    roll(p, FAULT_SEED.load(Ordering::Relaxed), label, attempt)
+}
+
+/// The pure fault-roll: a function of `(p, seed, label, attempt)` only.
+fn roll(p: f64, seed: u64, label: &str, attempt: u32) -> Option<bool> {
+    if p <= 0.0 {
+        return None;
+    }
+    // FNV-1a over the label, folded with the seed and attempt, then an
+    // xorshift finalizer — cheap, stable, and well-mixed enough to hit the
+    // target probability on short label sets.
+    let mut h = 0xcbf2_9ce4_8422_2325u64 ^ seed;
+    for b in label.bytes() {
+        h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h = (h ^ u64::from(attempt)).wrapping_mul(0x0000_0100_0000_01b3);
+    let mut x = h | 1;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    let unit = (x >> 11) as f64 / (1u64 << 53) as f64;
+    (unit < p).then_some(x & (1 << 7) != 0)
+}
+
+// ---------------------------------------------------------------------
+// Cell results.
+// ---------------------------------------------------------------------
+
+/// Why a cell failed: the label it ran under, a human-readable cause, and
+/// how many attempts were made (1 unless retries were configured).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CellError {
+    /// The failed cell's label.
+    pub label: String,
+    /// Failure class: `trap`, `panic`, or `budget`.
+    pub kind: &'static str,
+    /// Human-readable cause (trap description or panic message).
+    pub detail: String,
+    /// Total times the cell ran, including the failing attempt.
+    pub attempts: u32,
+}
+
+impl std::fmt::Display for CellError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} [{}]: {}", self.label, self.kind, self.detail)
+    }
+}
+
+/// The outcome of one isolated cell: its result, or a classified failure
+/// that did not take the rest of the experiment down.
+#[derive(Clone, Debug)]
+pub enum CellResult<R> {
+    /// The cell completed.
+    Ok(R),
+    /// The program trapped (semantic error: division by zero, null
+    /// dereference, ...).
+    Trapped(CellError),
+    /// The cell's closure panicked (assertion failure, injected fault).
+    Panicked(CellError),
+    /// A configured resource budget ran out (fuel, heap, stack).
+    Budget(CellError),
+}
+
+impl<R> CellResult<R> {
+    /// Converts into a `Result`, surfacing the failure for partial-result
+    /// rendering.
+    #[allow(clippy::missing_errors_doc)]
+    pub fn into_result(self) -> Result<R, CellError> {
+        match self {
+            CellResult::Ok(r) => Ok(r),
+            CellResult::Trapped(e) | CellResult::Panicked(e) | CellResult::Budget(e) => Err(e),
+        }
+    }
+}
+
+/// Partitions isolated cell results into successes and failures, each in
+/// submission order — the shape every table needs to render partial
+/// results with error annotations.
+pub fn split_results<R>(results: Vec<CellResult<R>>) -> (Vec<R>, Vec<CellError>) {
+    let mut oks = Vec::new();
+    let mut errors = Vec::new();
+    for r in results {
+        match r.into_result() {
+            Ok(v) => oks.push(v),
+            Err(e) => errors.push(e),
+        }
+    }
+    (oks, errors)
+}
+
+/// The typed panic payload [`run_module`] / [`run_prepared_module`] throw
+/// when a program traps, so the isolation layer can classify the failure
+/// precisely instead of parsing a message.
+struct CellTrap(VmError);
+
+// ---------------------------------------------------------------------
 // The cell engine.
 // ---------------------------------------------------------------------
 
 /// One independent unit of experiment work: a label (for the per-cell
 /// statistics line on stderr) and a closure producing the cell's result.
+/// The closure is `Fn`, not `FnOnce`, so a panicked cell can be re-run
+/// under the bounded-retry policy.
 pub struct Cell<'scope, R> {
     label: String,
-    work: Box<dyn FnOnce() -> R + Send + 'scope>,
+    work: Box<dyn Fn() -> R + Send + Sync + 'scope>,
 }
 
-/// Builds a [`Cell`] for [`par_cells`].
+/// Builds a [`Cell`] for [`par_cells`] / [`par_cells_isolated`].
 pub fn cell<'scope, R>(
     label: impl Into<String>,
-    work: impl FnOnce() -> R + Send + 'scope,
+    work: impl Fn() -> R + Send + Sync + 'scope,
 ) -> Cell<'scope, R> {
     Cell {
         label: label.into(),
@@ -88,8 +298,8 @@ pub fn cell<'scope, R>(
     }
 }
 
-/// Runs the cells on [`jobs`] worker threads and returns their results in
-/// submission order.
+/// Runs the cells on [`jobs`] worker threads with per-cell fault
+/// isolation, returning one [`CellResult`] per cell in submission order.
 ///
 /// Workers claim cells from an atomic cursor, so the schedule is dynamic,
 /// but each cell computes the same result wherever it runs (the VM is
@@ -98,20 +308,19 @@ pub fn cell<'scope, R>(
 /// many workers ran it. With one worker (or one cell) everything runs on
 /// the calling thread.
 ///
-/// # Panics
-///
-/// Propagates panics from cell closures (e.g. assertion failures inside
-/// an experiment).
-pub fn par_cells<R: Send>(cells: Vec<Cell<'_, R>>) -> Vec<R> {
+/// Each attempt runs under `catch_unwind`: a trapping or panicking cell
+/// becomes a classified [`CellResult`] while its siblings keep running —
+/// workers never unwind, so no queue or slot mutex is ever poisoned.
+/// Panicked cells are retried up to [`retries`] times with a short
+/// deterministic backoff.
+pub fn par_cells_isolated<R: Send>(cells: Vec<Cell<'_, R>>) -> Vec<CellResult<R>> {
     let n = cells.len();
     let workers = jobs().min(n);
-    let pairs: Vec<(R, CellMetrics)> = if workers <= 1 {
-        cells.into_iter().map(run_cell).collect()
+    let pairs: Vec<(CellResult<R>, CellMetrics)> = if workers <= 1 {
+        cells.iter().map(run_cell).collect()
     } else {
-        let queue: Vec<Mutex<Option<Cell<'_, R>>>> =
-            cells.into_iter().map(|c| Mutex::new(Some(c))).collect();
-        let slots: Vec<Mutex<Option<(R, CellMetrics)>>> =
-            (0..n).map(|_| Mutex::new(None)).collect();
+        type Slot<R> = Mutex<Option<(CellResult<R>, CellMetrics)>>;
+        let slots: Vec<Slot<R>> = (0..n).map(|_| Mutex::new(None)).collect();
         let cursor = AtomicUsize::new(0);
         std::thread::scope(|s| {
             for _ in 0..workers {
@@ -120,13 +329,8 @@ pub fn par_cells<R: Send>(cells: Vec<Cell<'_, R>>) -> Vec<R> {
                     if i >= n {
                         break;
                     }
-                    let c = queue[i]
-                        .lock()
-                        .expect("cell queue poisoned")
-                        .take()
-                        .expect("each cell is claimed exactly once");
-                    let r = run_cell(c);
-                    *slots[i].lock().expect("result slot poisoned") = Some(r);
+                    let r = run_cell(&cells[i]);
+                    *slots[i].lock().unwrap_or_else(|p| p.into_inner()) = Some(r);
                 });
             }
         });
@@ -134,23 +338,42 @@ pub fn par_cells<R: Send>(cells: Vec<Cell<'_, R>>) -> Vec<R> {
             .into_iter()
             .map(|s| {
                 s.into_inner()
-                    .expect("result slot poisoned")
+                    .unwrap_or_else(|p| p.into_inner())
                     .expect("every claimed cell stores a result")
             })
             .collect()
     };
-    // JSONL cell records are emitted here, on the calling thread and in
-    // submission order, so the stream is byte-stable however many workers
-    // ran the cells (wall-clock fields are separately subject to
+    // JSONL cell and error records are emitted here, on the calling thread
+    // and in submission order, so the stream is byte-stable however many
+    // workers ran the cells (wall-clock fields are separately subject to
     // redaction — see `isf_obs::emit`).
     pairs
         .into_iter()
         .map(|(r, metrics)| {
             if emit::enabled() {
                 emit::record(&metrics.to_json());
+                if let CellResult::Trapped(e) | CellResult::Panicked(e) | CellResult::Budget(e) = &r
+                {
+                    emit::error(&e.label, e.kind, &e.detail, u64::from(e.attempts));
+                }
             }
             r
         })
+        .collect()
+}
+
+/// Runs the cells like [`par_cells_isolated`] but unwraps every result,
+/// for call sites where a failure is a bug (unit tests, the bench
+/// snapshot).
+///
+/// # Panics
+///
+/// Panics on the first failed cell — on the calling thread, after all
+/// cells have finished, so no worker state is poisoned.
+pub fn par_cells<R: Send>(cells: Vec<Cell<'_, R>>) -> Vec<R> {
+    par_cells_isolated(cells)
+        .into_iter()
+        .map(|r| r.into_result().unwrap_or_else(|e| panic!("cell {e}")))
         .collect()
 }
 
@@ -193,46 +416,145 @@ impl CellMetrics {
     }
 }
 
-/// Runs one cell on the current thread, logging its statistics line —
-/// simulated cycles, wall time, and effective simulated MIPS (interpreted
-/// instructions per wall-clock microsecond) — at the `cells` level
-/// (`ISF_LOG=off` silences it) and returning the measurements alongside
-/// the result.
-fn run_cell<R>(c: Cell<'_, R>) -> (R, CellMetrics) {
-    CELL_STATS.with(|s| s.set((0, 0)));
-    let prepares_before = thread_preparations();
-    let start = Instant::now();
-    let result = (c.work)();
-    let wall = start.elapsed();
-    let (cycles, instructions) = CELL_STATS.with(|s| s.get());
-    let prepares = thread_preparations() - prepares_before;
-    let secs = wall.as_secs_f64();
-    let mips = if secs > 0.0 {
-        instructions as f64 / 1e6 / secs
-    } else {
-        0.0
+/// Classifies a caught panic payload into a [`CellResult`] failure.
+fn classify_failure<R>(
+    payload: Box<dyn std::any::Any + Send>,
+    label: &str,
+    attempts: u32,
+) -> CellResult<R> {
+    let err = |kind, detail| CellError {
+        label: label.to_owned(),
+        kind,
+        detail,
+        attempts,
     };
-    if log::enabled(log::Level::Cells) {
-        log::cells(&format!(
-            "[cell] {}: {} simulated cycles, {:.1} ms, {:.1} MIPS",
-            c.label,
+    match payload.downcast::<CellTrap>() {
+        Ok(trap) => {
+            let CellTrap(e) = *trap;
+            if e.kind.is_budget() {
+                CellResult::Budget(err("budget", e.to_string()))
+            } else {
+                CellResult::Trapped(err("trap", e.to_string()))
+            }
+        }
+        Err(payload) => {
+            let detail = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_owned())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "panic with non-string payload".to_owned());
+            CellResult::Panicked(err("panic", detail))
+        }
+    }
+}
+
+thread_local! {
+    /// Whether the current thread is inside an isolated cell attempt —
+    /// consulted by the process panic hook to suppress the default
+    /// panic-message-plus-backtrace noise for unwinds that the isolation
+    /// layer catches and reports as classified failures.
+    static IN_CELL: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// Installs (once) a panic hook that stays silent for panics unwinding out
+/// of an isolated cell attempt and defers to the previous hook everywhere
+/// else. Without this, every trapped or injected cell would spray a
+/// backtrace on stderr even though the failure is caught, classified, and
+/// reported through the table annotation and the `error` JSONL record.
+fn install_cell_panic_hook() {
+    static HOOK: std::sync::Once = std::sync::Once::new();
+    HOOK.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if !IN_CELL.with(std::cell::Cell::get) {
+                previous(info);
+            }
+        }));
+    });
+}
+
+/// Runs one cell on the current thread under `catch_unwind`, logging its
+/// statistics line — simulated cycles, wall time, and effective simulated
+/// MIPS (interpreted instructions per wall-clock microsecond) — at the
+/// `cells` level (`ISF_LOG=off` silences it) and returning the
+/// measurements alongside the result. Panicked attempts are retried up to
+/// [`retries`] times with a short deterministic backoff; traps and budget
+/// exhaustion are deterministic, so they fail immediately.
+fn run_cell<R>(c: &Cell<'_, R>) -> (CellResult<R>, CellMetrics) {
+    install_cell_panic_hook();
+    let max_attempts = u32::try_from(retries())
+        .unwrap_or(u32::MAX)
+        .saturating_add(1);
+    let mut attempt = 1u32;
+    loop {
+        CELL_STATS.with(|s| s.set((0, 0)));
+        let prepares_before = thread_preparations();
+        let start = Instant::now();
+        IN_CELL.with(|f| f.set(true));
+        let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            if let Some(inject_trap) = fault_roll(&c.label, attempt) {
+                if inject_trap {
+                    std::panic::panic_any(CellTrap(VmError {
+                        kind: isf_exec::TrapKind::DivisionByZero,
+                        function: "<fault-injection>".to_owned(),
+                    }));
+                }
+                panic!("injected fault");
+            }
+            (c.work)()
+        }));
+        IN_CELL.with(|f| f.set(false));
+        let wall = start.elapsed();
+        let (cycles, instructions) = CELL_STATS.with(|s| s.get());
+        let prepares = thread_preparations() - prepares_before;
+        let secs = wall.as_secs_f64();
+        let mips = if secs > 0.0 {
+            instructions as f64 / 1e6 / secs
+        } else {
+            0.0
+        };
+        if log::enabled(log::Level::Cells) {
+            log::cells(&format!(
+                "[cell] {}: {} simulated cycles, {:.1} ms, {:.1} MIPS",
+                c.label,
+                cycles,
+                secs * 1e3,
+                mips
+            ));
+        }
+        if prepares > 0 {
+            log::debug(&format!("[cell] {}: {prepares} preparations", c.label));
+        }
+        let metrics = CellMetrics {
+            label: c.label.clone(),
             cycles,
-            secs * 1e3,
-            mips
-        ));
+            instructions,
+            prepares,
+            wall_ns: u64::try_from(wall.as_nanos()).unwrap_or(u64::MAX),
+            mips,
+        };
+        let result = match outcome {
+            Ok(r) => CellResult::Ok(r),
+            Err(payload) => classify_failure(payload, &c.label, attempt),
+        };
+        if let CellResult::Panicked(e) = &result {
+            if attempt < max_attempts {
+                log::debug(&format!(
+                    "[cell] {}: attempt {attempt} panicked ({}), retrying",
+                    c.label, e.detail
+                ));
+                // Deterministic linear backoff: transient host conditions
+                // (not the deterministic VM) are what retries are for.
+                std::thread::sleep(Duration::from_millis(5 * u64::from(attempt)));
+                attempt += 1;
+                continue;
+            }
+        }
+        if let CellResult::Trapped(e) | CellResult::Panicked(e) | CellResult::Budget(e) = &result {
+            log::error(&format!("[cell] {e} ({} attempt(s))", e.attempts));
+        }
+        return (result, metrics);
     }
-    if prepares > 0 {
-        log::debug(&format!("[cell] {}: {prepares} preparations", c.label));
-    }
-    let metrics = CellMetrics {
-        label: c.label,
-        cycles,
-        instructions,
-        prepares,
-        wall_ns: u64::try_from(wall.as_nanos()).unwrap_or(u64::MAX),
-        mips,
-    };
-    (result, metrics)
 }
 
 // ---------------------------------------------------------------------
@@ -252,16 +574,36 @@ pub struct PreparedBench {
     pub frontend_time: Duration,
 }
 
-/// Compiles and baselines the whole suite at `scale`, one cell per
-/// benchmark.
-pub fn prepare_suite(scale: Scale) -> Vec<PreparedBench> {
+/// The compiled suite plus the benchmarks that failed to prepare: a cell
+/// that traps or panics during compilation/baselining drops out of
+/// `benches` and lands in `errors`, so experiments run on the survivors
+/// and tables annotate the casualties.
+pub struct PreparedSuite {
+    /// Benchmarks that compiled and baselined, suite order.
+    pub benches: Vec<PreparedBench>,
+    /// Failures, suite order.
+    pub errors: Vec<CellError>,
+}
+
+/// Compiles and baselines the whole suite at `scale`, one isolated cell
+/// per benchmark.
+pub fn prepare_suite(scale: Scale) -> PreparedSuite {
     let workloads = suite(scale);
-    par_cells(
+    let results = par_cells_isolated(
         workloads
             .iter()
             .map(|w| cell(format!("prepare/{}", w.name()), move || prepare(w)))
             .collect(),
-    )
+    );
+    let mut benches = Vec::new();
+    let mut errors = Vec::new();
+    for r in results {
+        match r.into_result() {
+            Ok(b) => benches.push(b),
+            Err(e) => errors.push(e),
+        }
+    }
+    PreparedSuite { benches, errors }
 }
 
 /// Compiles and baselines one workload.
@@ -331,21 +673,25 @@ pub fn instrument(
     (out, stats, elapsed)
 }
 
-/// Runs a module under the harness VM configuration, decoding it first.
-/// For a module run once, this is the whole story; a cell that runs the
-/// same module repeatedly should decode once with [`prepare_for_runs`]
-/// and replay with [`run_prepared_module`] instead.
+/// Runs a module under the harness VM configuration (including the
+/// [`cell_budget`] cycle cap, when one is set), decoding it first. For a
+/// module run once, this is the whole story; a cell that runs the same
+/// module repeatedly should decode once with [`prepare_for_runs`] and
+/// replay with [`run_prepared_module`] instead.
 ///
 /// # Panics
 ///
-/// Panics if the program traps — benchmark programs never trap.
+/// Unwinds with a typed [`CellTrap`] payload if the program traps, which
+/// the cell isolation layer classifies into [`CellResult::Trapped`] or
+/// [`CellResult::Budget`] without taking sibling cells down.
 pub fn run_module(module: &Module, trigger: Trigger) -> Outcome {
     let cfg = VmConfig {
         trigger,
+        limits: harness_limits(),
         ..VmConfig::default()
     };
     let start = Instant::now();
-    let outcome = run(module, &cfg).expect("benchmark programs do not trap");
+    let outcome = run(module, &cfg).unwrap_or_else(|e| std::panic::panic_any(CellTrap(e)));
     emit::phase("run", start.elapsed());
     note_run(&outcome);
     outcome
@@ -360,18 +706,23 @@ pub fn prepare_for_runs(module: &Module) -> PreparedModule {
     prepared
 }
 
-/// Runs an already-decoded module under the harness VM configuration.
+/// Runs an already-decoded module under the harness VM configuration
+/// (including the [`cell_budget`] cycle cap, when one is set).
 ///
 /// # Panics
 ///
-/// Panics if the program traps — benchmark programs never trap.
+/// Unwinds with a typed [`CellTrap`] payload if the program traps, which
+/// the cell isolation layer classifies into [`CellResult::Trapped`] or
+/// [`CellResult::Budget`] without taking sibling cells down.
 pub fn run_prepared_module(prepared: &PreparedModule, trigger: Trigger) -> Outcome {
     let cfg = VmConfig {
         trigger,
+        limits: harness_limits(),
         ..VmConfig::default()
     };
     let start = Instant::now();
-    let outcome = run_prepared(prepared, &cfg).expect("benchmark programs do not trap");
+    let outcome =
+        run_prepared(prepared, &cfg).unwrap_or_else(|e| std::panic::panic_any(CellTrap(e)));
     emit::phase("run", start.elapsed());
     note_run(&outcome);
     outcome
@@ -497,5 +848,192 @@ mod tests {
         let direct = run_module(&m, Trigger::Counter { interval: 7 });
         let replay = run_prepared_module(&p, Trigger::Counter { interval: 7 });
         assert_eq!(direct, replay);
+    }
+
+    #[test]
+    fn parse_fault_spec_accepts_and_rejects() {
+        assert_eq!(parse_fault_spec("p=0.3"), Ok((0.3, 0)));
+        assert_eq!(parse_fault_spec("p=0.25,seed=42"), Ok((0.25, 42)));
+        assert_eq!(parse_fault_spec("p=1"), Ok((1.0, 0)));
+        assert!(parse_fault_spec("p=1.5").is_err());
+        assert!(parse_fault_spec("p=-0.1").is_err());
+        assert!(parse_fault_spec("seed=3").is_err());
+        assert!(parse_fault_spec("p=0.3,seed=x").is_err());
+        assert!(parse_fault_spec("frequency=0.3").is_err());
+        assert!(parse_fault_spec("").is_err());
+    }
+
+    #[test]
+    fn fault_roll_is_deterministic_and_tracks_probability() {
+        // Pure function of (p, seed, label, attempt): identical inputs give
+        // identical decisions, p = 0 never fires, p = 1 always fires, and
+        // intermediate p fires at roughly its rate over many labels.
+        for attempt in 1..4 {
+            assert_eq!(
+                roll(0.5, 7, "table1/db", attempt),
+                roll(0.5, 7, "table1/db", attempt)
+            );
+            assert_eq!(roll(0.0, 7, "table1/db", attempt), None);
+            assert!(roll(1.0, 7, "table1/db", attempt).is_some());
+        }
+        let fired = (0..1000)
+            .filter(|i| roll(0.3, 9, &format!("cell/{i}"), 1).is_some())
+            .count();
+        assert!((150..450).contains(&fired), "fired {fired}/1000 at p=0.3");
+        // A retried attempt rolls fresh: some label must decide differently
+        // between attempts.
+        assert!((0..100).any(|i| {
+            let label = format!("cell/{i}");
+            roll(0.5, 7, &label, 1).is_some() != roll(0.5, 7, &label, 2).is_some()
+        }));
+    }
+
+    #[test]
+    fn isolated_cells_classify_failures_and_siblings_complete() {
+        let mk_cells = || {
+            vec![
+                cell("iso/ok-1", || 1u64),
+                cell("iso/trap", || -> u64 {
+                    std::panic::panic_any(CellTrap(VmError {
+                        kind: isf_exec::TrapKind::DivisionByZero,
+                        function: "f".to_owned(),
+                    }))
+                }),
+                cell("iso/panic", || -> u64 { panic!("boom") }),
+                cell("iso/budget", || -> u64 {
+                    std::panic::panic_any(CellTrap(VmError {
+                        kind: isf_exec::TrapKind::FuelExhausted(99),
+                        function: "g".to_owned(),
+                    }))
+                }),
+                cell("iso/ok-2", || 2u64),
+            ]
+        };
+        let check = |results: Vec<CellResult<u64>>| {
+            assert!(matches!(results[0], CellResult::Ok(1)));
+            match &results[1] {
+                CellResult::Trapped(e) => {
+                    assert_eq!(e.kind, "trap");
+                    assert_eq!(e.detail, "trap in `f`: division by zero");
+                    assert_eq!(e.attempts, 1);
+                }
+                other => panic!("expected trap, got {other:?}"),
+            }
+            match &results[2] {
+                CellResult::Panicked(e) => assert_eq!(e.detail, "boom"),
+                other => panic!("expected panic, got {other:?}"),
+            }
+            match &results[3] {
+                CellResult::Budget(e) => {
+                    assert_eq!(e.kind, "budget");
+                    assert_eq!(e.detail, "trap in `g`: cycle budget of 99 exceeded");
+                }
+                other => panic!("expected budget, got {other:?}"),
+            }
+            assert!(matches!(results[4], CellResult::Ok(2)));
+        };
+        let _guard = JOBS_TEST_LOCK.lock().unwrap();
+        for jobs in [1, 4] {
+            set_jobs(jobs);
+            check(par_cells_isolated(mk_cells()));
+        }
+        set_jobs(0);
+    }
+
+    #[test]
+    fn error_jsonl_is_byte_identical_across_job_counts() {
+        // Failure records obey the same determinism contract as cell
+        // records: emitted on the calling thread in submission order,
+        // byte-identical however many workers ran the cells.
+        let _guard = JOBS_TEST_LOCK.lock().unwrap();
+        emit::set_mode(emit::EmitMode::Json);
+        emit::set_redact(true);
+        let run_once = |jobs: usize| {
+            set_jobs(jobs);
+            let cells = (0..12)
+                .map(|i| {
+                    cell(format!("mix/{i}"), move || -> u64 {
+                        if i % 3 == 0 {
+                            std::panic::panic_any(CellTrap(VmError {
+                                kind: isf_exec::TrapKind::NullDereference,
+                                function: format!("f{i}"),
+                            }));
+                        }
+                        i
+                    })
+                })
+                .collect();
+            let results = par_cells_isolated(cells);
+            let (oks, errors) = split_results(results);
+            assert_eq!(oks.len(), 8);
+            assert_eq!(errors.len(), 4);
+            emit::drain()
+        };
+        let serial = run_once(1);
+        let parallel = run_once(4);
+        set_jobs(0);
+        emit::set_mode(emit::EmitMode::Off);
+        emit::set_redact(false);
+        assert_eq!(serial, parallel, "error stream depends on the job count");
+        // 12 cell records + 4 error records, each error right after its
+        // cell, in submission order.
+        assert_eq!(crate::jsonl::validate(&serial), Ok(16));
+        let lines: Vec<&str> = serial.lines().collect();
+        assert!(lines[0].contains("\"label\":\"mix/0\""));
+        assert!(lines[1].contains("\"type\":\"error\""));
+        assert!(lines[1].contains("\"kind\":\"trap\""));
+        assert!(lines[1].contains("null dereference"));
+    }
+
+    #[test]
+    fn panicked_cells_retry_up_to_the_bound() {
+        let _guard = JOBS_TEST_LOCK.lock().unwrap();
+        set_retries(2);
+        let attempts = std::sync::atomic::AtomicU32::new(0);
+        let results = par_cells_isolated(vec![cell("retry/always-fails", || -> u64 {
+            attempts.fetch_add(1, Ordering::Relaxed);
+            panic!("flaky")
+        })]);
+        set_retries(usize::MAX);
+        assert_eq!(attempts.load(Ordering::Relaxed), 3);
+        match &results[0] {
+            CellResult::Panicked(e) => {
+                assert_eq!(e.attempts, 3);
+                assert_eq!(e.detail, "flaky");
+            }
+            other => panic!("expected panic, got {other:?}"),
+        }
+        // Traps are deterministic: never retried even with retries set.
+        set_retries(5);
+        let trap_attempts = std::sync::atomic::AtomicU32::new(0);
+        let results = par_cells_isolated(vec![cell("retry/trap", || -> u64 {
+            trap_attempts.fetch_add(1, Ordering::Relaxed);
+            std::panic::panic_any(CellTrap(VmError {
+                kind: isf_exec::TrapKind::DivisionByZero,
+                function: "f".to_owned(),
+            }))
+        })]);
+        set_retries(usize::MAX);
+        assert_eq!(trap_attempts.load(Ordering::Relaxed), 1);
+        assert!(matches!(&results[0], CellResult::Trapped(e) if e.attempts == 1));
+    }
+
+    #[test]
+    fn cell_budget_turns_runaway_cells_into_budget_failures() {
+        let _guard = JOBS_TEST_LOCK.lock().unwrap();
+        set_cell_budget(1_000);
+        let w = isf_workloads::by_name("db", Scale::Smoke).unwrap();
+        let m = w.compile();
+        let results = par_cells_isolated(vec![cell("budget/db", || {
+            run_module(&m, Trigger::Never).cycles
+        })]);
+        set_cell_budget(u64::MAX);
+        match &results[0] {
+            CellResult::Budget(e) => {
+                assert_eq!(e.kind, "budget");
+                assert!(e.detail.contains("cycle budget of 1000 exceeded"), "{e}");
+            }
+            other => panic!("expected budget failure, got {other:?}"),
+        }
     }
 }

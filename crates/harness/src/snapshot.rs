@@ -45,10 +45,19 @@ pub struct BenchSample {
 }
 
 /// Measures the whole suite at `scale`, one cell per benchmark.
+///
+/// # Panics
+///
+/// Panics if any benchmark fails to prepare or run — a snapshot of a
+/// partially failed suite would silently skew the recorded baselines.
 pub fn collect(scale: Scale) -> Vec<BenchSample> {
-    let benches = prepare_suite(scale);
+    let suite = prepare_suite(scale);
+    if let Some(e) = suite.errors.first() {
+        panic!("bench-snapshot: cell {e}");
+    }
     par_cells(
-        benches
+        suite
+            .benches
             .iter()
             .map(|b| {
                 cell(format!("snapshot/{}", b.name), move || {

@@ -7,8 +7,10 @@ use std::fmt;
 use isf_core::Strategy;
 use isf_exec::Trigger;
 
-use crate::runner::{cell, overhead_of, par_cells, prepare_suite, Kinds};
-use crate::{mean, pct, Scale};
+use crate::runner::{
+    cell, overhead_of, par_cells_isolated, prepare_suite, split_results, CellError, Kinds,
+};
+use crate::{mean, pct, write_errors, Scale};
 
 /// One benchmark row.
 #[derive(Clone, Debug)]
@@ -30,13 +32,18 @@ pub struct Table1 {
     pub avg_call_edge: f64,
     /// Average field-access overhead.
     pub avg_field_access: f64,
+    /// Cells that failed (prepare or experiment), suite order; rendered as
+    /// error-annotated lines after the table.
+    pub errors: Vec<CellError>,
 }
 
-/// Runs the experiment, one cell per benchmark.
+/// Runs the experiment, one isolated cell per benchmark; failed cells
+/// become error annotations while the rest of the table completes.
 pub fn run(scale: Scale) -> Table1 {
-    let benches = prepare_suite(scale);
-    let rows: Vec<Row> = par_cells(
-        benches
+    let suite = prepare_suite(scale);
+    let results = par_cells_isolated(
+        suite
+            .benches
             .iter()
             .map(|b| {
                 cell(format!("table1/{}", b.name), move || {
@@ -53,12 +60,16 @@ pub fn run(scale: Scale) -> Table1 {
             })
             .collect(),
     );
+    let (rows, cell_errors) = split_results(results);
+    let mut errors = suite.errors;
+    errors.extend(cell_errors);
     let avg_call_edge = mean(rows.iter().map(|r| r.call_edge));
     let avg_field_access = mean(rows.iter().map(|r| r.field_access));
     Table1 {
         rows,
         avg_call_edge,
         avg_field_access,
+        errors,
     }
 }
 
@@ -114,7 +125,8 @@ impl fmt::Display for Table1 {
             pct(self.avg_call_edge),
             pct(self.avg_field_access)
         )?;
-        writeln!(f, "(paper averages: call-edge 88.3%, field-access 60.4%)")
+        writeln!(f, "(paper averages: call-edge 88.3%, field-access 60.4%)")?;
+        write_errors(f, &self.errors)
     }
 }
 

@@ -8,8 +8,11 @@ use std::fmt;
 use isf_core::{Options, Strategy};
 use isf_exec::Trigger;
 
-use crate::runner::{cell, instrument, overhead_pct, par_cells, prepare_suite, run_module, Kinds};
-use crate::{mean, pct, Scale};
+use crate::runner::{
+    cell, instrument, overhead_pct, par_cells_isolated, prepare_suite, run_module, split_results,
+    CellError, Kinds,
+};
+use crate::{mean, pct, write_errors, Scale};
 
 /// One benchmark row.
 #[derive(Clone, Debug)]
@@ -47,13 +50,16 @@ pub struct Table2 {
     pub avg_space_kb: f64,
     /// Average compile-time increase, percent.
     pub avg_compile_time: f64,
+    /// Cells that failed (prepare or experiment), suite order.
+    pub errors: Vec<CellError>,
 }
 
-/// Runs the experiment, one cell per benchmark.
+/// Runs the experiment, one isolated cell per benchmark.
 pub fn run(scale: Scale) -> Table2 {
-    let benches = prepare_suite(scale);
-    let rows: Vec<Row> = par_cells(
-        benches
+    let suite = prepare_suite(scale);
+    let results = par_cells_isolated(
+        suite
+            .benches
             .iter()
             .map(|b| {
                 cell(format!("table2/{}", b.name), move || {
@@ -101,6 +107,9 @@ pub fn run(scale: Scale) -> Table2 {
             })
             .collect(),
     );
+    let (rows, cell_errors) = split_results(results);
+    let mut errors = suite.errors;
+    errors.extend(cell_errors);
     Table2 {
         avg_total: mean(rows.iter().map(|r| r.total)),
         avg_backedges: mean(rows.iter().map(|r| r.backedges)),
@@ -108,6 +117,7 @@ pub fn run(scale: Scale) -> Table2 {
         avg_space_kb: mean(rows.iter().map(|r| r.space_kb)),
         avg_compile_time: mean(rows.iter().map(|r| r.compile_time)),
         rows,
+        errors,
     }
 }
 
@@ -180,7 +190,8 @@ impl fmt::Display for Table2 {
             "(paper averages: total 4.9%, backedges 3.5%, entries 1.3%, compile +34%;\n\
              \x20compile (+%) here is the deterministic IR-growth estimate — see\n\
              \x20EXPERIMENTS.md for the wall-clock comparison)"
-        )
+        )?;
+        write_errors(f, &self.errors)
     }
 }
 

@@ -8,8 +8,10 @@ use std::fmt;
 use isf_core::Strategy;
 use isf_exec::Trigger;
 
-use crate::runner::{cell, overhead_of, par_cells, prepare_suite, Kinds};
-use crate::{mean, pct, Scale};
+use crate::runner::{
+    cell, overhead_of, par_cells_isolated, prepare_suite, split_results, CellError, Kinds,
+};
+use crate::{mean, pct, write_errors, Scale};
 
 /// One benchmark row.
 #[derive(Clone, Debug)]
@@ -32,13 +34,16 @@ pub struct Table3 {
     pub avg_call_edge: f64,
     /// Average field-access checking overhead.
     pub avg_field_access: f64,
+    /// Cells that failed (prepare or experiment), suite order.
+    pub errors: Vec<CellError>,
 }
 
-/// Runs the experiment, one cell per benchmark.
+/// Runs the experiment, one isolated cell per benchmark.
 pub fn run(scale: Scale) -> Table3 {
-    let benches = prepare_suite(scale);
-    let rows: Vec<Row> = par_cells(
-        benches
+    let suite = prepare_suite(scale);
+    let results = par_cells_isolated(
+        suite
+            .benches
             .iter()
             .map(|b| {
                 cell(format!("table3/{}", b.name), move || {
@@ -60,10 +65,14 @@ pub fn run(scale: Scale) -> Table3 {
             })
             .collect(),
     );
+    let (rows, cell_errors) = split_results(results);
+    let mut errors = suite.errors;
+    errors.extend(cell_errors);
     Table3 {
         avg_call_edge: mean(rows.iter().map(|r| r.call_edge)),
         avg_field_access: mean(rows.iter().map(|r| r.field_access)),
         rows,
+        errors,
     }
 }
 
@@ -116,7 +125,8 @@ impl fmt::Display for Table3 {
             pct(self.avg_call_edge),
             pct(self.avg_field_access)
         )?;
-        writeln!(f, "(paper averages: call-edge 1.3%, field-access 51.1%)")
+        writeln!(f, "(paper averages: call-edge 1.3%, field-access 51.1%)")?;
+        write_errors(f, &self.errors)
     }
 }
 

@@ -15,10 +15,10 @@ use isf_exec::{thread_preparations, Trigger};
 use isf_profile::overlap::{call_edge_overlap, field_access_overlap};
 
 use crate::runner::{
-    cell, instrument, par_cells, perfect_profile, prepare_for_runs, prepare_suite,
-    run_prepared_module, Kinds,
+    cell, instrument, par_cells_isolated, perfect_profile, prepare_for_runs, prepare_suite,
+    run_prepared_module, split_results, CellError, Kinds,
 };
-use crate::{mean, pct, Scale};
+use crate::{mean, pct, write_errors, Scale};
 
 /// The sample intervals of the paper's sweep.
 pub const INTERVALS: [u64; 6] = [1, 10, 100, 1_000, 10_000, 100_000];
@@ -48,18 +48,25 @@ pub struct Table4 {
     pub full_duplication: Vec<Row>,
     /// No-Duplication sweep.
     pub no_duplication: Vec<Row>,
+    /// Cells that failed in either sweep (Full-Duplication first).
+    pub errors: Vec<CellError>,
 }
 
 /// Runs the experiment.
 pub fn run(scale: Scale) -> Table4 {
+    let (full_duplication, mut errors) = sweep(scale, Strategy::FullDuplication);
+    let (no_duplication, nd_errors) = sweep(scale, Strategy::NoDuplication);
+    errors.extend(nd_errors);
     Table4 {
-        full_duplication: sweep(scale, Strategy::FullDuplication),
-        no_duplication: sweep(scale, Strategy::NoDuplication),
+        full_duplication,
+        no_duplication,
+        errors,
     }
 }
 
-fn sweep(scale: Scale, strategy: Strategy) -> Vec<Row> {
-    let benches = prepare_suite(scale);
+fn sweep(scale: Scale, strategy: Strategy) -> (Vec<Row>, Vec<CellError>) {
+    let suite = prepare_suite(scale);
+    let benches = &suite.benches;
     // One benchmark's measurements at one interval.
     struct Meas {
         samples: f64,
@@ -70,7 +77,7 @@ fn sweep(scale: Scale, strategy: Strategy) -> Vec<Row> {
     }
     // One cell per benchmark: instrument and pre-decode once, then run
     // the whole interval sweep against the decoded form.
-    let per_bench: Vec<Vec<Meas>> = par_cells(
+    let results = par_cells_isolated(
         benches
             .iter()
             .map(|b| {
@@ -114,11 +121,14 @@ fn sweep(scale: Scale, strategy: Strategy) -> Vec<Row> {
             })
             .collect(),
     );
+    let (per_bench, cell_errors) = split_results(results);
+    let mut errors = suite.errors;
+    errors.extend(cell_errors);
 
-    // Transpose: average each interval across benchmarks. The summation
-    // order is the fixed suite order, so the means are bit-identical
-    // however the cells were scheduled.
-    INTERVALS
+    // Transpose: average each interval across the surviving benchmarks.
+    // The summation order is the fixed suite order, so the means are
+    // bit-identical however the cells were scheduled.
+    let rows = INTERVALS
         .iter()
         .enumerate()
         .map(|(k, &interval)| Row {
@@ -129,7 +139,8 @@ fn sweep(scale: Scale, strategy: Strategy) -> Vec<Row> {
             call_edge_accuracy: mean(per_bench.iter().map(|m| m[k].acc_call)),
             field_access_accuracy: mean(per_bench.iter().map(|m| m[k].acc_field)),
         })
-        .collect()
+        .collect();
+    (rows, errors)
 }
 
 impl Table4 {
@@ -193,7 +204,8 @@ impl fmt::Display for Table4 {
         writeln!(
             f,
             "(paper, full-dup @1000: total 6.3%, accuracy 94/97; no-dup total floors at ~55%)"
-        )
+        )?;
+        write_errors(f, &self.errors)
     }
 }
 

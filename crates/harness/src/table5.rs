@@ -14,10 +14,10 @@ use isf_exec::Trigger;
 use isf_profile::overlap::field_access_overlap;
 
 use crate::runner::{
-    cell, instrument, par_cells, perfect_profile, prepare_for_runs, prepare_suite,
-    run_prepared_module, Kinds,
+    cell, instrument, par_cells_isolated, perfect_profile, prepare_for_runs, prepare_suite,
+    run_prepared_module, split_results, CellError, Kinds,
 };
-use crate::{mean, Scale};
+use crate::{mean, write_errors, Scale};
 
 /// One benchmark row.
 #[derive(Clone, Debug)]
@@ -43,6 +43,8 @@ pub struct Table5 {
     pub avg_time_based: f64,
     /// Average counter-based accuracy.
     pub avg_counter_based: f64,
+    /// Cells that failed (prepare or experiment), suite order.
+    pub errors: Vec<CellError>,
 }
 
 /// Runs the experiment. The counter interval is chosen per scale so that
@@ -50,9 +52,10 @@ pub struct Table5 {
 /// benchmark sizes); the timer period is then matched to produce a similar
 /// sample count, mirroring the paper's fair-comparison setup.
 pub fn run(scale: Scale) -> Table5 {
-    let benches = prepare_suite(scale);
-    let rows: Vec<Row> = par_cells(
-        benches
+    let suite = prepare_suite(scale);
+    let results = par_cells_isolated(
+        suite
+            .benches
             .iter()
             .map(|b| {
                 cell(format!("table5/{}", b.name), move || {
@@ -94,10 +97,14 @@ pub fn run(scale: Scale) -> Table5 {
             })
             .collect(),
     );
+    let (rows, cell_errors) = split_results(results);
+    let mut errors = suite.errors;
+    errors.extend(cell_errors);
     Table5 {
         avg_time_based: mean(rows.iter().map(|r| r.time_based)),
         avg_counter_based: mean(rows.iter().map(|r| r.counter_based)),
         rows,
+        errors,
     }
 }
 
@@ -151,7 +158,8 @@ impl fmt::Display for Table5 {
             "{:<14} {:>15.0} {:>18.0}",
             "average", self.avg_time_based, self.avg_counter_based
         )?;
-        writeln!(f, "(paper averages: time-based 63%, counter-based 84%)")
+        writeln!(f, "(paper averages: time-based 63%, counter-based 84%)")?;
+        write_errors(f, &self.errors)
     }
 }
 

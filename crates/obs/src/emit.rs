@@ -129,6 +129,22 @@ pub fn drain() -> String {
     STATE.with(|s| std::mem::take(&mut s.borrow_mut().buffer))
 }
 
+/// Appends one `error` record — a failed experiment cell — to this
+/// thread's JSONL buffer (no-op when the emitter is off). `kind` is the
+/// failure class (`trap`, `panic`, `budget`), `detail` the human-readable
+/// cause, `attempts` how many times the cell ran including retries. Every
+/// field is deterministic, so error records stay byte-stable across job
+/// counts like the rest of the stream.
+pub fn error(label: &str, kind: &str, detail: &str, attempts: u64) {
+    record(&Json::obj([
+        ("type", "error".into()),
+        ("label", label.into()),
+        ("kind", kind.into()),
+        ("detail", detail.into()),
+        ("attempts", attempts.into()),
+    ]));
+}
+
 /// Accumulated wall time for one named phase.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct PhaseTotal {
@@ -187,6 +203,21 @@ mod tests {
         })
         .join()
         .expect("emit test thread");
+    }
+
+    #[test]
+    fn error_records_have_the_contract_shape() {
+        std::thread::spawn(|| {
+            set_mode(EmitMode::Json);
+            error("table1/db", "trap", "trap in `main`: division by zero", 2);
+            assert_eq!(
+                drain(),
+                "{\"type\":\"error\",\"label\":\"table1/db\",\"kind\":\"trap\",\
+                 \"detail\":\"trap in `main`: division by zero\",\"attempts\":2}\n"
+            );
+        })
+        .join()
+        .expect("error record test thread");
     }
 
     #[test]

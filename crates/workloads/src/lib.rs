@@ -176,14 +176,14 @@ pub fn names() -> Vec<&'static str> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use isf_exec::{run, VmConfig};
+    use isf_exec::{run, ExecLimits, VmConfig};
 
     #[test]
     fn all_workloads_compile_and_run_deterministically() {
         for w in suite(Scale::Smoke) {
             let m = w.compile();
             let cfg = VmConfig {
-                max_cycles: Some(200_000_000),
+                limits: ExecLimits::cycles(200_000_000),
                 ..VmConfig::default()
             };
             let a = run(&m, &cfg).unwrap_or_else(|e| panic!("{} trapped: {e}", w.name()));

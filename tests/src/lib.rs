@@ -13,7 +13,7 @@ pub fn compile(src: &str) -> isf_ir::Module {
 pub fn run_with(module: &isf_ir::Module, trigger: isf_exec::Trigger) -> isf_exec::Outcome {
     let cfg = isf_exec::VmConfig {
         trigger,
-        max_cycles: Some(500_000_000),
+        limits: isf_exec::ExecLimits::cycles(500_000_000),
         ..isf_exec::VmConfig::default()
     };
     isf_exec::run(module, &cfg).expect("test program runs")

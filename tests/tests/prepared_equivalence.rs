@@ -11,7 +11,7 @@ use proptest::prelude::*;
 use proptest::test_runner::TestCaseError;
 
 use isf_core::{instrument_module, Options, Strategy};
-use isf_exec::{run, run_naive, run_prepared, PreparedModule, Trigger, VmConfig};
+use isf_exec::{run, run_naive, run_prepared, ExecLimits, PreparedModule, Trigger, VmConfig};
 use isf_instr::{
     BlockCountInstrumentation, CallEdgeInstrumentation, EdgeCountInstrumentation,
     FieldAccessInstrumentation, Instrumentation, ModulePlan, PathProfileInstrumentation,
@@ -25,7 +25,7 @@ use isf_integration_tests::program_gen::{render_program, stmt_strategy};
 fn engines_agree(module: &isf_ir::Module, trigger: Trigger) -> Result<(), TestCaseError> {
     let cfg = VmConfig {
         trigger,
-        max_cycles: Some(500_000_000),
+        limits: ExecLimits::cycles(500_000_000),
         ..VmConfig::default()
     };
     let reference = run_naive(module, &cfg).expect("naive engine runs");
@@ -36,6 +36,37 @@ fn engines_agree(module: &isf_ir::Module, trigger: Trigger) -> Result<(), TestCa
     let prepared = PreparedModule::prepare(module, &cfg.cost);
     let first = run_prepared(&prepared, &cfg).expect("prepared run succeeds");
     let second = run_prepared(&prepared, &cfg).expect("prepared rerun succeeds");
+    prop_assert_eq!(
+        &first,
+        &reference,
+        "run_prepared() diverged from run_naive()"
+    );
+    prop_assert_eq!(&first, &second, "repeated prepared runs diverged");
+    Ok(())
+}
+
+/// Asserts all three engines agree on the complete
+/// `Result<Outcome, VmError>` under `limits` — including the trap kind
+/// and the function it fired in. Resource budgets must exhaust at the
+/// same instruction in every engine, or the fault-tolerant harness would
+/// classify the same cell differently depending on the engine that ran
+/// it.
+fn engines_agree_on_result(
+    module: &isf_ir::Module,
+    trigger: Trigger,
+    limits: ExecLimits,
+) -> Result<(), TestCaseError> {
+    let cfg = VmConfig {
+        trigger,
+        limits,
+        ..VmConfig::default()
+    };
+    let reference = run_naive(module, &cfg);
+    let via_run = run(module, &cfg);
+    prop_assert_eq!(&via_run, &reference, "run() diverged from run_naive()");
+    let prepared = PreparedModule::prepare(module, &cfg.cost);
+    let first = run_prepared(&prepared, &cfg);
+    let second = run_prepared(&prepared, &cfg);
     prop_assert_eq!(
         &first,
         &reference,
@@ -89,6 +120,46 @@ proptest! {
         let (out, _) =
             instrument_module(&module, &plan, &Options::new(Strategy::FullDuplication)).unwrap();
         engines_agree(&out, Trigger::Counter { interval: 2 })?;
+    }
+
+    #[test]
+    fn engines_trap_identically_under_tight_budgets(
+        stmts in prop::collection::vec(stmt_strategy(), 1..8),
+        max_cycles in 1u64..5_000,
+        max_heap in 1u64..128,
+        max_stack in 2usize..24,
+    ) {
+        // Tight limits make most generated programs trap with fuel, heap
+        // or stack exhaustion somewhere mid-execution; every engine must
+        // trap at the same point with the same `VmError` (or complete
+        // with the same outcome when the program fits the budget).
+        let module = compile(&render_program(&stmts));
+        let limits = ExecLimits {
+            max_cycles: Some(max_cycles),
+            max_heap_words: Some(max_heap),
+            max_stack,
+        };
+        engines_agree_on_result(&module, Trigger::Never, limits)?;
+        engines_agree_on_result(&module, Trigger::Counter { interval: 3 }, limits)?;
+    }
+
+    #[test]
+    fn instrumented_engines_trap_identically_under_tight_budgets(
+        stmts in prop::collection::vec(stmt_strategy(), 1..6),
+        max_cycles in 1u64..5_000,
+    ) {
+        // The instrumented module runs the same program through Check and
+        // the profiling ops; fuel must still exhaust at identical points.
+        let module = compile(&render_program(&stmts));
+        let plan = ModulePlan::build(&module, &all_kinds());
+        let limits = ExecLimits {
+            max_cycles: Some(max_cycles),
+            ..ExecLimits::default()
+        };
+        for strategy in [Strategy::FullDuplication, Strategy::NoDuplication] {
+            let (out, _) = instrument_module(&module, &plan, &Options::new(strategy)).unwrap();
+            engines_agree_on_result(&out, Trigger::Counter { interval: 3 }, limits)?;
+        }
     }
 
     #[test]

@@ -9,7 +9,7 @@ use proptest::test_runner::TestCaseError;
 
 use isf_core::{instrument_module, Options, Strategy};
 use isf_exec::{
-    run_naive_traced, run_traced, BurstRecord, Outcome, TraceBuffer, Trigger, VmConfig,
+    run_naive_traced, run_traced, BurstRecord, ExecLimits, Outcome, TraceBuffer, Trigger, VmConfig,
 };
 use isf_instr::{
     BlockCountInstrumentation, CallEdgeInstrumentation, EdgeCountInstrumentation,
@@ -22,7 +22,7 @@ use isf_obs::{BurstReport, SkewReport};
 fn config(trigger: Trigger) -> VmConfig {
     VmConfig {
         trigger,
-        max_cycles: Some(500_000_000),
+        limits: ExecLimits::cycles(500_000_000),
         ..VmConfig::default()
     }
 }
