@@ -1,0 +1,402 @@
+//! Command-line parsing for `isf-harness`, as a pure function from
+//! argument list to [`Command`] so every flag's validation is unit-testable
+//! without spawning the binary.
+//!
+//! Error policy: a *structurally* wrong invocation (no experiments, an
+//! unknown flag, a misshapen subcommand) gets the full usage text; a flag
+//! with a *bad value* (`--jobs 0`, an overflowing `--retries`, a garbage
+//! `--fault-inject` spec) gets a one-line diagnostic naming the flag, the
+//! offending value, and what would be accepted — never a panic, never a
+//! silent fallback.
+
+use std::path::PathBuf;
+
+use crate::runner;
+use crate::Scale;
+
+/// The canonical experiment list `all` expands to, in run order.
+pub const ALL_EXPERIMENTS: &[&str] = &[
+    "table1", "table2", "table3", "table4", "table5", "fig7", "fig8",
+];
+
+/// Every name accepted as an experiment argument.
+const KNOWN_EXPERIMENTS: &[&str] = &[
+    "table1", "table2", "table3", "table4", "table5", "fig7", "fig8", "fig8a", "fig8b", "extras",
+    "all",
+];
+
+/// The full usage text (structural errors and `--help`).
+pub const USAGE: &str = "usage: isf-harness [--scale smoke|default|paper] [--jobs N]\n\
+     \x20                  [--emit json|off] [--emit-path FILE]\n\
+     \x20                  [--retries N] [--cell-budget CYCLES]\n\
+     \x20                  [--fault-inject p=<prob>[,seed=<s>]]\n\
+     \x20                  [--journal FILE] [--resume] <experiment>...\n\
+     \x20      isf-harness bench-snapshot [--scale smoke|default|paper] [--jobs N] [--out DIR]\n\
+     \x20      isf-harness validate-jsonl <FILE>\n\
+     experiments: table1 table2 table3 table4 table5 fig7 fig8 extras all\n\
+     N defaults to $ISF_JOBS, then the machine's available parallelism;\n\
+     --retries defaults to $ISF_RETRIES (0), --cell-budget to $ISF_CELL_BUDGET (uncapped);\n\
+     --journal defaults to $ISF_JOURNAL (off); --resume replays a journal's finished cells";
+
+/// A fully parsed experiment run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RunConfig {
+    /// Workload scale.
+    pub scale: Scale,
+    /// `--jobs` worker-thread override.
+    pub jobs: Option<usize>,
+    /// `--emit json` (`Some(true)`) / `--emit off` (`Some(false)`).
+    pub emit_json: Option<bool>,
+    /// `--emit-path`: write the JSONL stream here, tables stay on stdout.
+    pub emit_path: Option<PathBuf>,
+    /// `--retries` override.
+    pub retries: Option<usize>,
+    /// `--cell-budget` override.
+    pub cell_budget: Option<u64>,
+    /// `--fault-inject` probability and seed.
+    pub fault: Option<(f64, u64)>,
+    /// `--journal`: the crash-safe cell journal path.
+    pub journal: Option<PathBuf>,
+    /// `--resume`: replay the journal's finished cells.
+    pub resume: bool,
+    /// Validated, `all`-expanded experiment list, in run order.
+    pub experiments: Vec<String>,
+}
+
+/// A parsed `bench-snapshot` invocation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SnapshotConfig {
+    /// Workload scale.
+    pub scale: Scale,
+    /// `--jobs` worker-thread override.
+    pub jobs: Option<usize>,
+    /// Output directory.
+    pub out: PathBuf,
+}
+
+/// What the command line asks for.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Command {
+    /// Run experiments.
+    Run(RunConfig),
+    /// Write a dated performance snapshot.
+    BenchSnapshot(SnapshotConfig),
+    /// Validate a JSONL stream against the record contract.
+    ValidateJsonl {
+        /// The stream file to validate.
+        path: String,
+    },
+    /// `--help` / `-h`.
+    Help,
+}
+
+/// Why parsing failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CliError {
+    /// A flag got a bad value: a one-line diagnostic, nonzero exit.
+    Bad(String),
+    /// The invocation is structurally wrong: show the full usage text.
+    Usage,
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Bad(m) => write!(f, "{m}"),
+            CliError::Usage => write!(f, "{USAGE}"),
+        }
+    }
+}
+
+fn bad(msg: impl Into<String>) -> CliError {
+    CliError::Bad(msg.into())
+}
+
+fn parse_scale(v: &str) -> Result<Scale, CliError> {
+    match v {
+        "smoke" => Ok(Scale::Smoke),
+        "default" => Ok(Scale::Default),
+        "paper" => Ok(Scale::Paper),
+        _ => Err(bad(format!(
+            "--scale must be `smoke`, `default`, or `paper`, got `{v}`"
+        ))),
+    }
+}
+
+fn parse_jobs(v: &str) -> Result<usize, CliError> {
+    v.parse::<usize>()
+        .ok()
+        .filter(|&n| n > 0)
+        .ok_or_else(|| bad(format!("--jobs must be a positive integer, got `{v}`")))
+}
+
+fn next_value<'a>(it: &mut std::slice::Iter<'a, String>, flag: &str) -> Result<&'a str, CliError> {
+    it.next()
+        .map(String::as_str)
+        .ok_or_else(|| bad(format!("{flag} needs a value")))
+}
+
+/// Parses the argument list (without the program name).
+///
+/// # Errors
+///
+/// [`CliError::Bad`] for a flag with an invalid value (one-line
+/// diagnostic); [`CliError::Usage`] for a structurally wrong invocation.
+pub fn parse(args: &[String]) -> Result<Command, CliError> {
+    match args.first().map(String::as_str) {
+        Some("bench-snapshot") => return parse_snapshot(&args[1..]),
+        Some("validate-jsonl") => {
+            let [path] = &args[1..] else {
+                return Err(CliError::Usage);
+            };
+            return Ok(Command::ValidateJsonl { path: path.clone() });
+        }
+        _ => {}
+    }
+
+    let mut cfg = RunConfig {
+        scale: Scale::Default,
+        jobs: None,
+        emit_json: None,
+        emit_path: None,
+        retries: None,
+        cell_budget: None,
+        fault: None,
+        journal: None,
+        resume: false,
+        experiments: Vec::new(),
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--scale" => cfg.scale = parse_scale(next_value(&mut it, "--scale")?)?,
+            "--jobs" => cfg.jobs = Some(parse_jobs(next_value(&mut it, "--jobs")?)?),
+            "--emit" => {
+                cfg.emit_json = Some(match next_value(&mut it, "--emit")? {
+                    "json" => true,
+                    "off" => false,
+                    v => return Err(bad(format!("--emit must be `json` or `off`, got `{v}`"))),
+                });
+            }
+            "--emit-path" => {
+                cfg.emit_path = Some(PathBuf::from(next_value(&mut it, "--emit-path")?));
+            }
+            "--retries" => {
+                let v = next_value(&mut it, "--retries")?;
+                cfg.retries = Some(v.parse::<usize>().map_err(|_| {
+                    bad(format!(
+                        "--retries must be a non-negative integer (fitting usize), got `{v}`"
+                    ))
+                })?);
+            }
+            "--cell-budget" => {
+                let v = next_value(&mut it, "--cell-budget")?;
+                cfg.cell_budget = Some(v.parse::<u64>().map_err(|_| {
+                    bad(format!(
+                        "--cell-budget must be a non-negative cycle count (fitting u64), got `{v}`"
+                    ))
+                })?);
+            }
+            "--fault-inject" => {
+                let v = next_value(&mut it, "--fault-inject")?;
+                cfg.fault = Some(
+                    runner::parse_fault_spec(v).map_err(|e| bad(format!("--fault-inject: {e}")))?,
+                );
+            }
+            "--journal" => cfg.journal = Some(PathBuf::from(next_value(&mut it, "--journal")?)),
+            "--resume" => cfg.resume = true,
+            "--help" | "-h" => return Ok(Command::Help),
+            other if other.starts_with('-') => return Err(CliError::Usage),
+            other if KNOWN_EXPERIMENTS.contains(&other) => {
+                cfg.experiments.push(other.to_owned());
+            }
+            other => {
+                return Err(bad(format!(
+                    "unknown experiment `{other}` (expected one of: {})",
+                    KNOWN_EXPERIMENTS.join(" ")
+                )));
+            }
+        }
+    }
+    if cfg.experiments.is_empty() {
+        return Err(CliError::Usage);
+    }
+    if cfg.experiments.iter().any(|e| e == "all") {
+        cfg.experiments = ALL_EXPERIMENTS.iter().map(|s| (*s).to_owned()).collect();
+    }
+    Ok(Command::Run(cfg))
+}
+
+fn parse_snapshot(args: &[String]) -> Result<Command, CliError> {
+    let mut cfg = SnapshotConfig {
+        scale: Scale::Smoke,
+        jobs: None,
+        out: PathBuf::from("."),
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--scale" => cfg.scale = parse_scale(next_value(&mut it, "--scale")?)?,
+            "--jobs" => cfg.jobs = Some(parse_jobs(next_value(&mut it, "--jobs")?)?),
+            "--out" => cfg.out = PathBuf::from(next_value(&mut it, "--out")?),
+            _ => return Err(CliError::Usage),
+        }
+    }
+    Ok(Command::BenchSnapshot(cfg))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| (*s).to_owned()).collect()
+    }
+
+    fn run_cfg(args: &[&str]) -> RunConfig {
+        match parse(&argv(args)) {
+            Ok(Command::Run(cfg)) => cfg,
+            other => panic!("expected a run, got {other:?}"),
+        }
+    }
+
+    fn err(args: &[&str]) -> CliError {
+        parse(&argv(args)).expect_err("parse should fail")
+    }
+
+    #[test]
+    fn parses_a_full_run_invocation() {
+        let cfg = run_cfg(&[
+            "--scale",
+            "smoke",
+            "--jobs",
+            "4",
+            "--emit",
+            "json",
+            "--emit-path",
+            "out.jsonl",
+            "--retries",
+            "2",
+            "--cell-budget",
+            "1000",
+            "--fault-inject",
+            "p=0.25,seed=7",
+            "--journal",
+            "j.jsonl",
+            "--resume",
+            "table4",
+            "table1",
+        ]);
+        assert_eq!(cfg.scale, Scale::Smoke);
+        assert_eq!(cfg.jobs, Some(4));
+        assert_eq!(cfg.emit_json, Some(true));
+        assert_eq!(cfg.emit_path, Some(PathBuf::from("out.jsonl")));
+        assert_eq!(cfg.retries, Some(2));
+        assert_eq!(cfg.cell_budget, Some(1000));
+        assert_eq!(cfg.fault, Some((0.25, 7)));
+        assert_eq!(cfg.journal, Some(PathBuf::from("j.jsonl")));
+        assert!(cfg.resume);
+        assert_eq!(cfg.experiments, vec!["table4", "table1"]);
+    }
+
+    #[test]
+    fn all_expands_to_the_canonical_list() {
+        let cfg = run_cfg(&["all"]);
+        assert_eq!(cfg.experiments, ALL_EXPERIMENTS);
+        assert_eq!(cfg.scale, Scale::Default);
+        assert!(!cfg.resume);
+    }
+
+    #[test]
+    fn jobs_zero_is_a_one_line_value_error() {
+        let CliError::Bad(msg) = err(&["--jobs", "0", "table1"]) else {
+            panic!("expected a one-line error, got full usage");
+        };
+        assert!(msg.contains("--jobs"), "{msg}");
+        assert!(msg.contains("`0`"), "{msg}");
+        assert!(!msg.contains('\n'), "must be one line: {msg}");
+    }
+
+    #[test]
+    fn garbage_and_overflowing_counters_are_one_line_value_errors() {
+        for (args, flag, value) in [
+            (vec!["--retries", "many", "table1"], "--retries", "`many`"),
+            (
+                vec!["--retries", "99999999999999999999999999", "table1"],
+                "--retries",
+                "`99999999999999999999999999`",
+            ),
+            (
+                vec!["--cell-budget", "-3", "table1"],
+                "--cell-budget",
+                "`-3`",
+            ),
+            (
+                vec!["--cell-budget", "18446744073709551616", "table1"],
+                "--cell-budget",
+                "`18446744073709551616`",
+            ),
+            (vec!["--jobs", "4x", "table1"], "--jobs", "`4x`"),
+        ] {
+            let CliError::Bad(msg) = err(&args) else {
+                panic!("{args:?}: expected a one-line error");
+            };
+            assert!(msg.contains(flag), "{args:?}: {msg}");
+            assert!(msg.contains(value), "{args:?}: {msg}");
+            assert!(!msg.contains('\n'), "{args:?}: must be one line: {msg}");
+        }
+    }
+
+    #[test]
+    fn malformed_fault_inject_specs_are_one_line_value_errors() {
+        for spec in ["p=2", "p=x", "seed=1", "bogus", ""] {
+            let CliError::Bad(msg) = err(&["--fault-inject", spec, "table1"]) else {
+                panic!("spec `{spec}`: expected a one-line error");
+            };
+            assert!(msg.starts_with("--fault-inject:"), "{msg}");
+            assert!(!msg.contains('\n'), "must be one line: {msg}");
+        }
+    }
+
+    #[test]
+    fn missing_values_and_unknown_names_fail_cleanly() {
+        assert!(matches!(err(&["--jobs"]), CliError::Bad(_)));
+        assert!(matches!(
+            err(&["--scale", "huge", "table1"]),
+            CliError::Bad(_)
+        ));
+        assert!(matches!(
+            err(&["--emit", "xml", "table1"]),
+            CliError::Bad(_)
+        ));
+        let CliError::Bad(msg) = err(&["table9"]) else {
+            panic!("unknown experiment should be a one-line error");
+        };
+        assert!(msg.contains("table9"), "{msg}");
+        assert_eq!(err(&[]), CliError::Usage, "no experiments: full usage");
+        assert_eq!(err(&["--wat", "table1"]), CliError::Usage, "unknown flag");
+    }
+
+    #[test]
+    fn subcommands_parse() {
+        assert_eq!(
+            parse(&argv(&["validate-jsonl", "s.jsonl"])),
+            Ok(Command::ValidateJsonl {
+                path: "s.jsonl".to_owned()
+            })
+        );
+        assert_eq!(parse(&argv(&["validate-jsonl"])), Err(CliError::Usage));
+        let Ok(Command::BenchSnapshot(cfg)) =
+            parse(&argv(&["bench-snapshot", "--scale", "smoke", "--out", "d"]))
+        else {
+            panic!("bench-snapshot should parse");
+        };
+        assert_eq!(cfg.scale, Scale::Smoke);
+        assert_eq!(cfg.out, PathBuf::from("d"));
+        assert!(matches!(
+            parse(&argv(&["bench-snapshot", "--jobs", "0"])),
+            Err(CliError::Bad(_))
+        ));
+        assert_eq!(parse(&argv(&["--help"])), Ok(Command::Help));
+    }
+}

@@ -11,9 +11,11 @@ use isf_instr::{ModulePlan, PathProfileInstrumentation};
 use isf_profile::hotness;
 use isf_profile::overlap::path_overlap;
 
+use isf_obs::Json;
+
 use crate::runner::{
-    cell, instrument, overhead_pct, par_cells_isolated, plan_for, prepare_for_runs, prepare_suite,
-    run_module, run_prepared_module, split_results, CellError, Kinds,
+    cell, instrument, overhead_pct, par_cells_journaled, plan_for, prepare_for_runs, prepare_suite,
+    run_module, run_prepared_module, split_results, CellError, JournalPayload, Kinds,
 };
 use crate::{mean, pct, write_errors, Scale};
 
@@ -33,6 +35,15 @@ pub struct PathRow {
     pub paths_recorded: f64,
 }
 
+/// One benchmark's path measurements at one interval — an extras cell
+/// produces one per swept interval alongside its selective row.
+#[derive(Clone, Debug)]
+struct PathMeas {
+    total: f64,
+    accuracy: f64,
+    events: f64,
+}
+
 /// One row of the selective-instrumentation comparison.
 #[derive(Clone, Debug)]
 pub struct SelectiveRow {
@@ -48,6 +59,58 @@ pub struct SelectiveRow {
     pub hot_space: usize,
     /// Number of hot methods selected.
     pub hot_count: usize,
+}
+
+impl JournalPayload for (Vec<PathMeas>, SelectiveRow) {
+    fn encode(&self) -> Json {
+        let (path, s) = self;
+        Json::obj([
+            (
+                "path",
+                Json::Arr(
+                    path.iter()
+                        .map(|m| {
+                            Json::obj([
+                                ("total", m.total.into()),
+                                ("accuracy", m.accuracy.into()),
+                                ("events", m.events.into()),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("bench", s.bench.into()),
+            ("all_methods", s.all_methods.into()),
+            ("hot_only", s.hot_only.into()),
+            ("all_space", s.all_space.into()),
+            ("hot_space", s.hot_space.into()),
+            ("hot_count", s.hot_count.into()),
+        ])
+    }
+
+    fn decode(v: &Json) -> Option<Self> {
+        let path = v
+            .get("path")?
+            .as_arr()?
+            .iter()
+            .map(|m| {
+                Some(PathMeas {
+                    total: m.get("total")?.as_f64()?,
+                    accuracy: m.get("accuracy")?.as_f64()?,
+                    events: m.get("events")?.as_f64()?,
+                })
+            })
+            .collect::<Option<Vec<PathMeas>>>()?;
+        let selective = SelectiveRow {
+            bench: isf_workloads::canonical_name(v.get("bench")?.as_str()?)?,
+            all_methods: v.get("all_methods")?.as_f64()?,
+            hot_only: v.get("hot_only")?.as_f64()?,
+            all_space: usize::try_from(v.get("all_space")?.as_u64()?).ok()?,
+            hot_space: usize::try_from(v.get("hot_space")?.as_u64()?).ok()?,
+            hot_count: usize::try_from(v.get("hot_count")?.as_u64()?).ok()?,
+        };
+        Some((path, selective))
+    }
 }
 
 /// The extras report.
@@ -67,14 +130,7 @@ pub struct Extras {
 pub fn run(scale: Scale) -> Extras {
     let suite = prepare_suite(scale);
 
-    // One benchmark's path measurements at one interval.
-    struct PathMeas {
-        total: f64,
-        accuracy: f64,
-        events: f64,
-    }
-
-    let results = par_cells_isolated(
+    let results = par_cells_journaled(
         suite
             .benches
             .iter()

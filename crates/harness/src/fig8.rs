@@ -11,9 +11,11 @@ use std::fmt;
 use isf_core::{Options, Strategy};
 use isf_exec::Trigger;
 
+use isf_obs::Json;
+
 use crate::runner::{
-    cell, instrument, overhead_pct, par_cells_isolated, prepare_for_runs, prepare_suite,
-    run_module, run_prepared_module, split_results, CellError, Kinds,
+    cell, instrument, overhead_pct, par_cells_journaled, prepare_for_runs, prepare_suite,
+    run_module, run_prepared_module, split_results, CellError, JournalPayload, Kinds,
 };
 use crate::{mean, pct, write_errors, Scale};
 
@@ -26,6 +28,35 @@ pub struct RowA {
     pub framework: f64,
     /// Framework overhead without it (Table 2's total), for the ratio.
     pub unoptimized: f64,
+}
+
+impl JournalPayload for (RowA, Vec<f64>) {
+    fn encode(&self) -> Json {
+        Json::obj([
+            ("bench", self.0.bench.into()),
+            ("framework", self.0.framework.into()),
+            ("unoptimized", self.0.unoptimized.into()),
+            (
+                "totals",
+                Json::Arr(self.1.iter().map(|&t| t.into()).collect()),
+            ),
+        ])
+    }
+
+    fn decode(v: &Json) -> Option<Self> {
+        let row_a = RowA {
+            bench: isf_workloads::canonical_name(v.get("bench")?.as_str()?)?,
+            framework: v.get("framework")?.as_f64()?,
+            unoptimized: v.get("unoptimized")?.as_f64()?,
+        };
+        let totals = v
+            .get("totals")?
+            .as_arr()?
+            .iter()
+            .map(|t| t.as_f64())
+            .collect::<Option<Vec<f64>>>()?;
+        Some((row_a, totals))
+    }
 }
 
 /// One row of part (B).
@@ -62,7 +93,7 @@ fn yieldpoint_options() -> Options {
 pub fn run(scale: Scale) -> Fig8 {
     let suite = prepare_suite(scale);
 
-    let results = par_cells_isolated(
+    let results = par_cells_journaled(
         suite
             .benches
             .iter()

@@ -33,18 +33,36 @@ fn fail(line: usize, message: impl Into<String>) -> JsonlError {
     }
 }
 
+fn check_kind(value: &Json, kind: Kind) -> bool {
+    match kind {
+        Kind::Str => value.as_str().is_some(),
+        Kind::Num => value.is_number(),
+        Kind::Arr => matches!(value, Json::Arr(_)),
+        Kind::Obj => matches!(value, Json::Obj(_)),
+        Kind::Bool => matches!(value, Json::Bool(_)),
+    }
+}
+
 fn require(record: &Json, fields: &[(&str, Kind)], line: usize) -> Result<(), JsonlError> {
     for &(name, kind) in fields {
         let value = record
             .get(name)
             .ok_or_else(|| fail(line, format!("missing required field `{name}`")))?;
-        let ok = match kind {
-            Kind::Str => value.as_str().is_some(),
-            Kind::Num => value.is_number(),
-            Kind::Arr => matches!(value, Json::Arr(_)),
-        };
-        if !ok {
+        if !check_kind(value, kind) {
             return Err(fail(line, format!("field `{name}` has the wrong type")));
+        }
+    }
+    Ok(())
+}
+
+/// Like [`require`], but the fields may be absent; present fields must
+/// still have the right type.
+fn optional(record: &Json, fields: &[(&str, Kind)], line: usize) -> Result<(), JsonlError> {
+    for &(name, kind) in fields {
+        if let Some(value) = record.get(name) {
+            if !check_kind(value, kind) {
+                return Err(fail(line, format!("field `{name}` has the wrong type")));
+            }
         }
     }
     Ok(())
@@ -55,6 +73,8 @@ enum Kind {
     Str,
     Num,
     Arr,
+    Obj,
+    Bool,
 }
 
 /// Validates a JSONL stream: every non-empty line must parse as a JSON
@@ -80,15 +100,18 @@ pub fn validate(stream: &str) -> Result<usize, JsonlError> {
             .and_then(Json::as_str)
             .ok_or_else(|| fail(line, "missing string field `type`"))?;
         match kind {
-            "meta" => require(
-                &record,
-                &[
-                    ("schema", Kind::Str),
-                    ("scale", Kind::Str),
-                    ("experiments", Kind::Arr),
-                ],
-                line,
-            )?,
+            "meta" => {
+                require(
+                    &record,
+                    &[
+                        ("schema", Kind::Str),
+                        ("scale", Kind::Str),
+                        ("experiments", Kind::Arr),
+                    ],
+                    line,
+                )?;
+                optional(&record, &[("resumed", Kind::Bool)], line)?;
+            }
             "cell" => require(
                 &record,
                 &[
@@ -123,6 +146,39 @@ pub fn validate(stream: &str) -> Result<usize, JsonlError> {
                 ],
                 line,
             )?,
+            // The cell journal written by `--journal` is itself JSONL, so
+            // `validate-jsonl` accepts journal files too.
+            "journal-meta" => require(
+                &record,
+                &[
+                    ("schema", Kind::Str),
+                    ("fingerprint", Kind::Str),
+                    ("version", Kind::Str),
+                    ("scale", Kind::Str),
+                    ("experiments", Kind::Arr),
+                    ("cell_budget", Kind::Num),
+                    ("retries", Kind::Num),
+                    ("fault_prob_bits", Kind::Num),
+                    ("fault_seed", Kind::Num),
+                    ("vm_config", Kind::Str),
+                ],
+                line,
+            )?,
+            "journal-cell" => {
+                require(
+                    &record,
+                    &[
+                        ("label", Kind::Str),
+                        ("key", Kind::Str),
+                        ("cell", Kind::Obj),
+                        ("phases", Kind::Arr),
+                    ],
+                    line,
+                )?;
+                // `payload` is deliberately unconstrained: its shape is
+                // the experiment's own codec (object, array, ...).
+                optional(&record, &[("error", Kind::Obj)], line)?;
+            }
             other => return Err(fail(line, format!("unknown record type `{other}`"))),
         }
         records += 1;
@@ -146,6 +202,42 @@ mod tests {
             "{\"type\":\"phase\",\"experiment\":\"table1\",\"name\":\"run\",\"count\":3,\"wall_ns\":0}\n",
         );
         assert_eq!(validate(stream), Ok(6));
+    }
+
+    #[test]
+    fn accepts_journal_records_and_resumed_meta() {
+        let stream = concat!(
+            "{\"type\":\"meta\",\"schema\":\"isf-harness-jsonl/1\",\"scale\":\"smoke\",\"experiments\":[\"table1\"],\"resumed\":true}\n",
+            "{\"type\":\"journal-meta\",\"schema\":\"isf-journal/1\",\"fingerprint\":\"00ff00ff00ff00ff\",\
+             \"version\":\"0.1.0\",\"scale\":\"smoke\",\"experiments\":[\"table1\"],\"cell_budget\":0,\
+             \"retries\":1,\"fault_prob_bits\":0,\"fault_seed\":0,\"vm_config\":\"VmConfig { .. }\"}\n",
+            "{\"type\":\"journal-cell\",\"label\":\"table1/db\",\"key\":\"0123456789abcdef\",\
+             \"cell\":{\"label\":\"table1/db\"},\"payload\":[1,2],\"phases\":[]}\n",
+        );
+        assert_eq!(validate(stream), Ok(3));
+    }
+
+    #[test]
+    fn rejects_malformed_journal_records() {
+        let bad_resumed =
+            "{\"type\":\"meta\",\"schema\":\"s\",\"scale\":\"smoke\",\"experiments\":[],\"resumed\":\"yes\"}";
+        assert!(validate(bad_resumed)
+            .unwrap_err()
+            .message
+            .contains("resumed"));
+
+        let no_key = "{\"type\":\"journal-cell\",\"label\":\"x\",\"cell\":{},\"phases\":[]}";
+        assert!(validate(no_key).unwrap_err().message.contains("key"));
+
+        let bad_cell =
+            "{\"type\":\"journal-cell\",\"label\":\"x\",\"key\":\"0\",\"cell\":7,\"phases\":[]}";
+        assert!(validate(bad_cell).unwrap_err().message.contains("cell"));
+
+        let no_fp =
+            "{\"type\":\"journal-meta\",\"schema\":\"s\",\"version\":\"v\",\"scale\":\"smoke\",\
+                     \"experiments\":[],\"cell_budget\":0,\"retries\":1,\"fault_prob_bits\":0,\
+                     \"fault_seed\":0,\"vm_config\":\"c\"}";
+        assert!(validate(no_fp).unwrap_err().message.contains("fingerprint"));
     }
 
     #[test]

@@ -25,9 +25,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cli;
 pub mod extras;
 pub mod fig7;
 pub mod fig8;
+pub mod journal;
 pub mod jsonl;
 pub mod runner;
 pub mod snapshot;

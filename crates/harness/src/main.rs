@@ -1,9 +1,13 @@
 //! Command-line entry point: regenerate any table or figure of the paper,
-//! optionally as a machine-readable JSONL stream.
+//! optionally as a machine-readable JSONL stream, with crash-safe
+//! durability for long runs.
 //!
 //! ```text
 //! isf-harness [--scale smoke|default|paper] [--jobs N]
-//!             [--emit json|off] [--emit-path FILE] <experiment>...
+//!             [--emit json|off] [--emit-path FILE]
+//!             [--retries N] [--cell-budget CYCLES]
+//!             [--fault-inject p=<prob>[,seed=<s>]]
+//!             [--journal FILE] [--resume] <experiment>...
 //! isf-harness bench-snapshot [--scale ...] [--out DIR]
 //! isf-harness validate-jsonl <FILE>
 //! experiments: table1 table2 table3 table4 table5 fig7 fig8 extras all
@@ -22,37 +26,47 @@
 //! on stdout. The stream is byte-stable across `--jobs` counts when
 //! wall-clock fields are redacted (`ISF_EMIT_REDACT_WALL=1`); see
 //! `schemas/harness-jsonl.schema.json` for the record contract.
+//!
+//! With `--journal FILE` (or `ISF_JOURNAL`) every finished cell is
+//! appended to a crash-safe journal; SIGINT/SIGTERM drain in-flight cells
+//! and exit with code 75 (resumable), and `--resume` replays the journal
+//! so the completed run's stdout and JSONL are byte-identical to an
+//! uninterrupted run's.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+use isf_harness::cli::{self, CliError, Command, RunConfig, SnapshotConfig};
 use isf_harness::{
-    extras, fig7, fig8, jsonl, runner, snapshot, table1, table2, table3, table4, table5, Scale,
+    extras, fig7, fig8, journal, jsonl, runner, snapshot, table1, table2, table3, table4, table5,
 };
 use isf_obs::{emit, log, Json};
 
-fn usage() -> ExitCode {
-    log::error(
-        "usage: isf-harness [--scale smoke|default|paper] [--jobs N]\n\
-         \x20                  [--emit json|off] [--emit-path FILE]\n\
-         \x20                  [--retries N] [--cell-budget CYCLES]\n\
-         \x20                  [--fault-inject p=<prob>[,seed=<s>]] <experiment>...\n\
-         \x20      isf-harness bench-snapshot [--scale smoke|default|paper] [--jobs N] [--out DIR]\n\
-         \x20      isf-harness validate-jsonl <FILE>\n\
-         experiments: table1 table2 table3 table4 table5 fig7 fig8 extras all\n\
-         N defaults to $ISF_JOBS, then the machine's available parallelism;\n\
-         --retries defaults to $ISF_RETRIES (0), --cell-budget to $ISF_CELL_BUDGET (uncapped)",
-    );
-    ExitCode::FAILURE
+/// Registers a drain request for SIGINT/SIGTERM. The handler only flips
+/// an atomic flag — async-signal-safe — and the worker pool does the
+/// actual draining: in-flight cells finish, get journaled, and the
+/// process exits with [`journal::RESUMABLE_EXIT`].
+extern "C" fn on_interrupt(_sig: i32) {
+    journal::request_drain();
 }
 
-fn parse_scale(v: &str) -> Option<Scale> {
-    match v {
-        "smoke" => Some(Scale::Smoke),
-        "default" => Some(Scale::Default),
-        "paper" => Some(Scale::Paper),
-        _ => None,
+fn install_drain_handlers() {
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
     }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    // SAFETY: `on_interrupt` is async-signal-safe (a single atomic store)
+    // and matches the handler ABI `signal(2)` expects.
+    unsafe {
+        signal(SIGINT, on_interrupt);
+        signal(SIGTERM, on_interrupt);
+    }
+}
+
+fn usage_failure() -> ExitCode {
+    log::error(cli::USAGE);
+    ExitCode::FAILURE
 }
 
 /// Emits one `phase` record per accumulated phase, draining the global
@@ -73,36 +87,11 @@ fn emit_phases(experiment: &str) {
     }
 }
 
-fn bench_snapshot(args: &[String]) -> ExitCode {
-    let mut scale = Scale::Smoke;
-    let mut out = PathBuf::from(".");
-    let mut it = args.iter();
-    while let Some(arg) = it.next() {
-        match arg.as_str() {
-            "--scale" => {
-                let Some(v) = it.next().and_then(|v| parse_scale(v)) else {
-                    return usage();
-                };
-                scale = v;
-            }
-            "--jobs" => {
-                let Some(n) = it
-                    .next()
-                    .and_then(|v| v.parse::<usize>().ok())
-                    .filter(|&n| n > 0)
-                else {
-                    return usage();
-                };
-                runner::set_jobs(n);
-            }
-            "--out" => {
-                let Some(v) = it.next() else { return usage() };
-                out = PathBuf::from(v);
-            }
-            _ => return usage(),
-        }
+fn bench_snapshot(cfg: &SnapshotConfig) -> ExitCode {
+    if let Some(n) = cfg.jobs {
+        runner::set_jobs(n);
     }
-    match snapshot::write(scale, &out) {
+    match snapshot::write(cfg.scale, &cfg.out) {
         Ok(path) => {
             log::cells(&format!("wrote {}", path.display()));
             ExitCode::SUCCESS
@@ -114,8 +103,7 @@ fn bench_snapshot(args: &[String]) -> ExitCode {
     }
 }
 
-fn validate_jsonl(args: &[String]) -> ExitCode {
-    let [path] = args else { return usage() };
+fn validate_jsonl(path: &str) -> ExitCode {
     let stream = match std::fs::read_to_string(path) {
         Ok(s) => s,
         Err(e) => {
@@ -135,109 +123,94 @@ fn validate_jsonl(args: &[String]) -> ExitCode {
     }
 }
 
-fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    match args.first().map(String::as_str) {
-        Some("bench-snapshot") => return bench_snapshot(&args[1..]),
-        Some("validate-jsonl") => return validate_jsonl(&args[1..]),
-        _ => {}
-    }
-
-    let mut scale = Scale::Default;
-    let mut emit_path: Option<PathBuf> = None;
-    let mut experiments: Vec<String> = Vec::new();
-    let mut args = args.into_iter();
-    while let Some(arg) = args.next() {
-        match arg.as_str() {
-            "--scale" => {
-                let Some(v) = args.next().and_then(|v| parse_scale(&v)) else {
-                    return usage();
-                };
-                scale = v;
-            }
-            "--jobs" => {
-                let Some(v) = args.next() else { return usage() };
-                match v.parse::<usize>() {
-                    Ok(n) if n > 0 => runner::set_jobs(n),
-                    _ => return usage(),
-                }
-            }
-            "--emit" => match args.next().as_deref() {
-                Some("json") => emit::set_mode(emit::EmitMode::Json),
-                Some("off") => emit::set_mode(emit::EmitMode::Off),
-                _ => return usage(),
-            },
-            "--retries" => {
-                let Some(n) = args.next().and_then(|v| v.parse::<usize>().ok()) else {
-                    return usage();
-                };
-                runner::set_retries(n);
-            }
-            "--cell-budget" => {
-                let Some(n) = args.next().and_then(|v| v.parse::<u64>().ok()) else {
-                    return usage();
-                };
-                runner::set_cell_budget(n);
-            }
-            "--fault-inject" => {
-                let Some(spec) = args.next() else {
-                    return usage();
-                };
-                match runner::parse_fault_spec(&spec) {
-                    Ok((p, seed)) => runner::set_fault_injection(p, seed),
-                    Err(e) => {
-                        log::error(&format!("--fault-inject: {e}"));
-                        return usage();
-                    }
-                }
-            }
-            "--emit-path" => {
-                let Some(v) = args.next() else { return usage() };
-                emit_path = Some(PathBuf::from(v));
-            }
-            "--help" | "-h" => {
-                usage();
-                return ExitCode::SUCCESS;
-            }
-            other => experiments.push(other.to_owned()),
+/// Attaches the cell journal when one is configured (`--journal` or
+/// `ISF_JOURNAL`): fresh for a normal run, replaying for `--resume`.
+/// Returns an error message when the run must not proceed.
+fn attach_journal(cfg: &RunConfig) -> Result<(), String> {
+    let journal_path = cfg.journal.clone().or_else(|| {
+        std::env::var("ISF_JOURNAL")
+            .ok()
+            .map(|s| s.trim().to_owned())
+            .filter(|s| !s.is_empty())
+            .map(PathBuf::from)
+    });
+    let Some(path) = journal_path else {
+        if cfg.resume {
+            return Err("--resume needs a journal: pass --journal FILE or set ISF_JOURNAL".into());
         }
+        return Ok(());
+    };
+    let inputs = runner::run_inputs(cfg.scale, &cfg.experiments);
+    if cfg.resume {
+        let replayable = journal::open_resume(&path, &inputs)
+            .map_err(|e| format!("cannot resume from {}: {e}", path.display()))?;
+        log::cells(&format!(
+            "[journal] resuming from {}: {replayable} finished cell(s) will be replayed",
+            path.display()
+        ));
+    } else {
+        journal::start_fresh(&path, &inputs)
+            .map_err(|e| format!("cannot start journal {}: {e}", path.display()))?;
     }
-    if experiments.is_empty() {
-        return usage();
+    install_drain_handlers();
+    Ok(())
+}
+
+fn run(cfg: &RunConfig) -> ExitCode {
+    if let Some(n) = cfg.jobs {
+        runner::set_jobs(n);
     }
-    if experiments.iter().any(|e| e == "all") {
-        experiments = [
-            "table1", "table2", "table3", "table4", "table5", "fig7", "fig8",
-        ]
-        .iter()
-        .map(|s| (*s).to_owned())
-        .collect();
+    if let Some(n) = cfg.retries {
+        runner::set_retries(n);
+    }
+    if let Some(n) = cfg.cell_budget {
+        runner::set_cell_budget(n);
+    }
+    if let Some((p, seed)) = cfg.fault {
+        runner::set_fault_injection(p, seed);
+    }
+    if let Some(json) = cfg.emit_json {
+        emit::set_mode(if json {
+            emit::EmitMode::Json
+        } else {
+            emit::EmitMode::Off
+        });
+    }
+    if let Err(msg) = attach_journal(cfg) {
+        log::error(&format!("isf-harness: {msg}"));
+        return ExitCode::FAILURE;
     }
 
     let emitting = emit::enabled();
     // When the JSONL stream goes to stdout, stdout must stay pure JSONL;
     // a file target keeps the human tables on stdout.
-    let tables_to_stdout = !emitting || emit_path.is_some();
+    let tables_to_stdout = !emitting || cfg.emit_path.is_some();
     if emitting {
         emit::take_phases(); // start the accumulator fresh
-        emit::record(&Json::obj([
+        let mut meta: Vec<(&'static str, Json)> = vec![
             ("type", "meta".into()),
             ("schema", "isf-harness-jsonl/1".into()),
-            ("scale", snapshot::scale_name(scale).into()),
+            ("scale", snapshot::scale_name(cfg.scale).into()),
             (
                 "experiments",
-                Json::Arr(experiments.iter().map(|e| e.as_str().into()).collect()),
+                Json::Arr(cfg.experiments.iter().map(|e| e.as_str().into()).collect()),
             ),
-        ]));
+        ];
+        // Only resumed runs carry the marker, so failure-free non-journal
+        // runs stay byte-identical to pre-journal streams.
+        if cfg.resume {
+            meta.push(("resumed", true.into()));
+        }
+        emit::record(&Json::obj(meta));
     }
 
-    for (i, e) in experiments.iter().enumerate() {
+    for (i, e) in cfg.experiments.iter().enumerate() {
         if i > 0 && tables_to_stdout {
             println!();
         }
         macro_rules! experiment {
             ($module:ident) => {{
-                let t = $module::run(scale);
+                let t = $module::run(cfg.scale);
                 if tables_to_stdout {
                     println!("{t}");
                 }
@@ -253,16 +226,19 @@ fn main() -> ExitCode {
             "fig7" => experiment!(fig7),
             "extras" => experiment!(extras),
             "fig8" | "fig8a" | "fig8b" => experiment!(fig8),
-            _ => return usage(),
+            other => {
+                log::error(&format!("isf-harness: unknown experiment `{other}`"));
+                return ExitCode::FAILURE;
+            }
         }
         emit_phases(e);
     }
 
     if emitting {
         let stream = emit::drain();
-        match emit_path {
+        match &cfg.emit_path {
             Some(path) => {
-                if let Err(e) = std::fs::write(&path, &stream) {
+                if let Err(e) = std::fs::write(path, &stream) {
                     log::error(&format!("--emit-path {}: {e}", path.display()));
                     return ExitCode::FAILURE;
                 }
@@ -270,5 +246,24 @@ fn main() -> ExitCode {
             None => print!("{stream}"),
         }
     }
+    journal::deactivate();
     ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match cli::parse(&args) {
+        Ok(Command::Run(cfg)) => run(&cfg),
+        Ok(Command::BenchSnapshot(cfg)) => bench_snapshot(&cfg),
+        Ok(Command::ValidateJsonl { path }) => validate_jsonl(&path),
+        Ok(Command::Help) => {
+            log::error(cli::USAGE);
+            ExitCode::SUCCESS
+        }
+        Err(CliError::Bad(msg)) => {
+            log::error(&format!("isf-harness: {msg}"));
+            ExitCode::FAILURE
+        }
+        Err(CliError::Usage) => usage_failure(),
+    }
 }

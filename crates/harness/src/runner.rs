@@ -34,6 +34,8 @@ use isf_ir::Module;
 use isf_obs::{emit, log, Json};
 use isf_workloads::{suite, Scale, Workload};
 
+use crate::journal;
+
 // ---------------------------------------------------------------------
 // Worker-pool control.
 // ---------------------------------------------------------------------
@@ -172,6 +174,40 @@ pub fn parse_fault_spec(spec: &str) -> Result<(f64, u64), String> {
     Ok((p, seed))
 }
 
+/// The configured fault injection as raw state: probability as `f64` bits
+/// and the seed. Part of the journal fingerprint — injected failures are
+/// deterministic in these, so a journal is only reusable when they match.
+pub fn fault_injection() -> (u64, u64) {
+    (
+        FAULT_PROB_BITS.load(Ordering::Relaxed),
+        FAULT_SEED.load(Ordering::Relaxed),
+    )
+}
+
+/// Snapshot of every input that determines cell results under the current
+/// configuration — what the cell journal fingerprints. The job count is
+/// deliberately excluded: cells are schedule-independent, so a journal
+/// written with `--jobs 4` resumes correctly under `--jobs 1` and vice
+/// versa.
+pub fn run_inputs(scale: Scale, experiments: &[String]) -> journal::RunInputs {
+    let (fault_prob_bits, fault_seed) = fault_injection();
+    let base_config = VmConfig {
+        trigger: Trigger::Never,
+        limits: harness_limits(),
+        ..VmConfig::default()
+    };
+    journal::RunInputs {
+        version: env!("CARGO_PKG_VERSION").to_owned(),
+        scale: crate::snapshot::scale_name(scale).to_owned(),
+        experiments: experiments.to_vec(),
+        cell_budget: cell_budget(),
+        retries: u64::try_from(retries()).unwrap_or(u64::MAX),
+        fault_prob_bits,
+        fault_seed,
+        vm_config: format!("{base_config:?}"),
+    }
+}
+
 /// Deterministically decides whether to inject a fault into this attempt
 /// of the labelled cell, and which kind: `Some(true)` injects a trap,
 /// `Some(false)` a panic. The decision hashes (seed, label, attempt), so
@@ -187,14 +223,12 @@ fn roll(p: f64, seed: u64, label: &str, attempt: u32) -> Option<bool> {
     if p <= 0.0 {
         return None;
     }
-    // FNV-1a over the label, folded with the seed and attempt, then an
-    // xorshift finalizer — cheap, stable, and well-mixed enough to hit the
-    // target probability on short label sets.
-    let mut h = 0xcbf2_9ce4_8422_2325u64 ^ seed;
-    for b in label.bytes() {
-        h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h = (h ^ u64::from(attempt)).wrapping_mul(0x0000_0100_0000_01b3);
+    // FNV-1a over the label (the same machinery the cell journal keys
+    // with), folded with the seed and attempt, then an xorshift finalizer
+    // — cheap, stable, and well-mixed enough to hit the target probability
+    // on short label sets.
+    let h0 = journal::fnv1a(journal::FNV_OFFSET ^ seed, label.as_bytes());
+    let h = (h0 ^ u64::from(attempt)).wrapping_mul(journal::FNV_PRIME);
     let mut x = h | 1;
     x ^= x << 13;
     x ^= x >> 7;
@@ -298,6 +332,26 @@ pub fn cell<'scope, R>(
     }
 }
 
+/// A cell result type that can round-trip through the cell journal: it
+/// encodes itself as JSON for the `payload` field of a `journal-cell`
+/// record and decodes back on `--resume`. Every cell is a pure function
+/// of the journal's fingerprinted inputs, so a decoded payload is exactly
+/// what re-running the cell would compute.
+pub trait JournalPayload: Sized {
+    /// Encodes the result for the journal.
+    fn encode(&self) -> Json;
+    /// Decodes a journaled result; `None` marks an undecodable payload,
+    /// which makes the engine recompute the cell instead of replaying it.
+    fn decode(v: &Json) -> Option<Self>;
+}
+
+/// The encode/decode pair the engine uses for journaling, as plain
+/// function pointers so the engine stays monomorphic per result type.
+struct Codec<R> {
+    encode: fn(&R) -> Json,
+    decode: fn(&Json) -> Option<R>,
+}
+
 /// Runs the cells on [`jobs`] worker threads with per-cell fault
 /// isolation, returning one [`CellResult`] per cell in submission order.
 ///
@@ -314,42 +368,119 @@ pub fn cell<'scope, R>(
 /// Panicked cells are retried up to [`retries`] times with a short
 /// deterministic backoff.
 pub fn par_cells_isolated<R: Send>(cells: Vec<Cell<'_, R>>) -> Vec<CellResult<R>> {
+    run_cells(cells, None)
+}
+
+/// [`par_cells_isolated`] plus durability: when a journal is attached
+/// (`--journal`), every finished cell is appended to it, and journaled
+/// results from a previous interrupted run are *replayed* instead of
+/// recomputed (`--resume`) — emitted through exactly the same
+/// submission-order path as fresh results, so the JSONL stream and the
+/// returned vector are byte-for-byte what an uninterrupted run produces.
+/// Without an attached journal this is [`par_cells_isolated`].
+pub fn par_cells_journaled<R: Send + JournalPayload>(
+    cells: Vec<Cell<'_, R>>,
+) -> Vec<CellResult<R>> {
+    run_cells(
+        cells,
+        Some(Codec {
+            encode: <R as JournalPayload>::encode,
+            decode: <R as JournalPayload>::decode,
+        }),
+    )
+}
+
+/// One finished slot: the cell's result and metrics, and whether they
+/// were replayed from the journal (replayed cells re-inject their phase
+/// sections at emission time; fresh cells contributed them while running).
+type Finished<R> = (CellResult<R>, CellMetrics, bool);
+
+/// The shared cell engine behind [`par_cells_isolated`] and
+/// [`par_cells_journaled`]: replay journaled cells, run the rest on the
+/// worker pool (stopping at a requested drain), then emit everything on
+/// the calling thread in submission order.
+fn run_cells<R: Send>(cells: Vec<Cell<'_, R>>, codec: Option<Codec<R>>) -> Vec<CellResult<R>> {
     let n = cells.len();
-    let workers = jobs().min(n);
-    let pairs: Vec<(CellResult<R>, CellMetrics)> = if workers <= 1 {
-        cells.iter().map(run_cell).collect()
+    let mut entries: Vec<Option<Finished<R>>> = Vec::with_capacity(n);
+    let mut pending: Vec<usize> = Vec::new();
+    for (i, c) in cells.iter().enumerate() {
+        let replayed = codec.as_ref().and_then(|codec| replay_cell(c, codec));
+        if replayed.is_none() {
+            pending.push(i);
+        }
+        entries.push(replayed);
+    }
+    let workers = jobs().min(pending.len());
+    if workers <= 1 {
+        for &i in &pending {
+            if journal::drain_requested() {
+                break;
+            }
+            let (r, m) = run_cell(&cells[i]);
+            journal_append(&cells[i].label, &r, &m, codec.as_ref());
+            entries[i] = Some((r, m, false));
+        }
     } else {
-        type Slot<R> = Mutex<Option<(CellResult<R>, CellMetrics)>>;
-        let slots: Vec<Slot<R>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let slots: Vec<Mutex<Option<Finished<R>>>> =
+            pending.iter().map(|_| Mutex::new(None)).collect();
         let cursor = AtomicUsize::new(0);
         std::thread::scope(|s| {
             for _ in 0..workers {
                 s.spawn(|| loop {
-                    let i = cursor.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
+                    // The drain flag (SIGINT/SIGTERM) stops workers from
+                    // *claiming*; the in-flight cell below always finishes
+                    // and is journaled before the process exits.
+                    if journal::drain_requested() {
                         break;
                     }
-                    let r = run_cell(&cells[i]);
-                    *slots[i].lock().unwrap_or_else(|p| p.into_inner()) = Some(r);
+                    let k = cursor.fetch_add(1, Ordering::Relaxed);
+                    if k >= pending.len() {
+                        break;
+                    }
+                    let i = pending[k];
+                    let (r, m) = run_cell(&cells[i]);
+                    journal_append(&cells[i].label, &r, &m, codec.as_ref());
+                    *slots[k].lock().unwrap_or_else(|p| p.into_inner()) = Some((r, m, false));
                 });
             }
         });
-        slots
-            .into_iter()
-            .map(|s| {
-                s.into_inner()
-                    .unwrap_or_else(|p| p.into_inner())
-                    .expect("every claimed cell stores a result")
-            })
-            .collect()
-    };
+        for (k, slot) in slots.into_iter().enumerate() {
+            if let Some(e) = slot.into_inner().unwrap_or_else(|p| p.into_inner()) {
+                entries[pending[k]] = Some(e);
+            }
+        }
+    }
+    let done = entries.iter().filter(|e| e.is_some()).count();
+    if done < n {
+        assert!(
+            journal::drain_requested(),
+            "every claimed cell stores a result"
+        );
+        // A graceful drain left this group incomplete: nothing of it is
+        // emitted (a resumed run regenerates the whole stream), finished
+        // cells are already journaled, and the distinct exit code tells
+        // the caller the run is resumable.
+        log::error(&format!(
+            "interrupted: drained after {done}/{n} cell(s) in this group; \
+             journaled results are preserved — rerun with --resume to complete"
+        ));
+        std::process::exit(journal::RESUMABLE_EXIT);
+    }
     // JSONL cell and error records are emitted here, on the calling thread
     // and in submission order, so the stream is byte-stable however many
     // workers ran the cells (wall-clock fields are separately subject to
-    // redaction — see `isf_obs::emit`).
-    pairs
+    // redaction — see `isf_obs::emit`). Replayed cells take the identical
+    // path: raw journaled values, redacted at this emission point exactly
+    // as fresh values are.
+    entries
         .into_iter()
-        .map(|(r, metrics)| {
+        .map(|e| {
+            let (r, metrics, replayed) = e.expect("incomplete groups exited above");
+            if replayed {
+                for p in &metrics.phases {
+                    emit::add_phase_total(&p.name, p.count, p.wall_ns);
+                }
+            }
             if emit::enabled() {
                 emit::record(&metrics.to_json());
                 if let CellResult::Trapped(e) | CellResult::Panicked(e) | CellResult::Budget(e) = &r
@@ -360,6 +491,105 @@ pub fn par_cells_isolated<R: Send>(cells: Vec<Cell<'_, R>>) -> Vec<CellResult<R>
             r
         })
         .collect()
+}
+
+/// Reconstructs a journaled cell for replay: metrics, phases, and either
+/// the decoded success payload or the classified failure. Any undecodable
+/// piece makes the cell recompute instead — the VM is deterministic, so
+/// recomputing is always correct, just slower.
+fn replay_cell<R>(c: &Cell<'_, R>, codec: &Codec<R>) -> Option<Finished<R>> {
+    let rc = journal::lookup(&c.label)?;
+    let decoded = decode_replay(&rc, &c.label, codec);
+    if decoded.is_none() {
+        log::error(&format!(
+            "[journal] cell `{}` has an undecodable journal record; recomputing",
+            c.label
+        ));
+    }
+    decoded
+}
+
+fn decode_replay<R>(
+    rc: &journal::ReplayCell,
+    label: &str,
+    codec: &Codec<R>,
+) -> Option<Finished<R>> {
+    let cell = &rc.cell;
+    let field = |name: &str| cell.get(name).and_then(Json::as_u64);
+    let metrics = CellMetrics {
+        label: label.to_owned(),
+        cycles: field("sim_cycles")?,
+        instructions: field("instructions")?,
+        prepares: field("prepares")?,
+        wall_ns: field("wall_ns")?,
+        mips: cell.get("mips").and_then(Json::as_f64)?,
+        phases: rc
+            .phases
+            .iter()
+            .map(|(name, count, wall_ns)| emit::PhaseTotal {
+                name: name.clone(),
+                count: *count,
+                wall_ns: *wall_ns,
+            })
+            .collect(),
+    };
+    let result = match &rc.error {
+        Some(err) => decode_error(err)?,
+        None => CellResult::Ok((codec.decode)(rc.payload.as_ref()?)?),
+    };
+    Some((result, metrics, true))
+}
+
+/// Reconstructs a classified failure from a journaled `error` record.
+fn decode_error<R>(err: &Json) -> Option<CellResult<R>> {
+    let kind = match err.get("kind").and_then(Json::as_str)? {
+        "trap" => "trap",
+        "panic" => "panic",
+        "budget" => "budget",
+        _ => return None,
+    };
+    let e = CellError {
+        label: err.get("label").and_then(Json::as_str)?.to_owned(),
+        kind,
+        detail: err.get("detail").and_then(Json::as_str)?.to_owned(),
+        attempts: u32::try_from(err.get("attempts").and_then(Json::as_u64)?).ok()?,
+    };
+    Some(match kind {
+        "trap" => CellResult::Trapped(e),
+        "panic" => CellResult::Panicked(e),
+        _ => CellResult::Budget(e),
+    })
+}
+
+/// Appends one freshly finished cell to the attached journal: raw
+/// (unredacted) metrics, the failure record if it failed, the encoded
+/// payload if it succeeded, and the phase sections it contributed. No-op
+/// for non-journaled engines or when no journal is attached.
+fn journal_append<R>(label: &str, r: &CellResult<R>, m: &CellMetrics, codec: Option<&Codec<R>>) {
+    let Some(codec) = codec else { return };
+    if !journal::is_active() {
+        return;
+    }
+    let (error, payload) = match r {
+        CellResult::Ok(v) => (None, Some((codec.encode)(v))),
+        CellResult::Trapped(e) | CellResult::Panicked(e) | CellResult::Budget(e) => (
+            Some(Json::obj([
+                ("type", "error".into()),
+                ("label", e.label.as_str().into()),
+                ("kind", e.kind.into()),
+                ("detail", e.detail.as_str().into()),
+                ("attempts", u64::from(e.attempts).into()),
+            ])),
+            None,
+        ),
+    };
+    journal::append(
+        label,
+        &m.to_json_raw(),
+        error.as_ref(),
+        payload.as_ref(),
+        &m.phases,
+    );
 }
 
 /// Runs the cells like [`par_cells_isolated`] but unwraps every result,
@@ -400,9 +630,14 @@ struct CellMetrics {
     prepares: u64,
     wall_ns: u64,
     mips: f64,
+    /// Phase sections this cell contributed (captured across all
+    /// attempts), journaled so a replayed cell re-injects them.
+    phases: Vec<emit::PhaseTotal>,
 }
 
 impl CellMetrics {
+    /// The `cell` record as emitted: wall-clock fields pass through the
+    /// redaction gate on the emitting thread.
     fn to_json(&self) -> Json {
         Json::obj([
             ("type", "cell".into()),
@@ -412,6 +647,22 @@ impl CellMetrics {
             ("prepares", self.prepares.into()),
             ("wall_ns", emit::wall_ns(self.wall_ns)),
             ("mips", emit::wall_rate(self.mips)),
+        ])
+    }
+
+    /// The `cell` record with raw wall-clock values, for the journal:
+    /// redaction is a property of the *emitting* run, so the journal
+    /// stores measurements and replay re-applies whatever redaction the
+    /// resuming run was asked for.
+    fn to_json_raw(&self) -> Json {
+        Json::obj([
+            ("type", "cell".into()),
+            ("label", self.label.as_str().into()),
+            ("sim_cycles", self.cycles.into()),
+            ("instructions", self.instructions.into()),
+            ("prepares", self.prepares.into()),
+            ("wall_ns", self.wall_ns.into()),
+            ("mips", self.mips.into()),
         ])
     }
 }
@@ -482,6 +733,9 @@ fn install_cell_panic_hook() {
 /// exhaustion are deterministic, so they fail immediately.
 fn run_cell<R>(c: &Cell<'_, R>) -> (CellResult<R>, CellMetrics) {
     install_cell_panic_hook();
+    // Capture the phase sections this cell contributes (across every
+    // attempt) so they can be journaled with it and re-injected on replay.
+    emit::begin_phase_capture();
     let max_attempts = u32::try_from(retries())
         .unwrap_or(u32::MAX)
         .saturating_add(1);
@@ -532,6 +786,7 @@ fn run_cell<R>(c: &Cell<'_, R>) -> (CellResult<R>, CellMetrics) {
             prepares,
             wall_ns: u64::try_from(wall.as_nanos()).unwrap_or(u64::MAX),
             mips,
+            phases: Vec::new(),
         };
         let result = match outcome {
             Ok(r) => CellResult::Ok(r),
@@ -553,6 +808,8 @@ fn run_cell<R>(c: &Cell<'_, R>) -> (CellResult<R>, CellMetrics) {
         if let CellResult::Trapped(e) | CellResult::Panicked(e) | CellResult::Budget(e) = &result {
             log::error(&format!("[cell] {e} ({} attempt(s))", e.attempts));
         }
+        let mut metrics = metrics;
+        metrics.phases = emit::take_phase_capture();
         return (result, metrics);
     }
 }

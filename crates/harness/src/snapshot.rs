@@ -159,7 +159,10 @@ pub fn today() -> String {
 }
 
 /// Runs the snapshot at `scale` and writes `BENCH_<date>.json` into
-/// `dir`, returning the path written.
+/// `dir`, returning the path written. The write is atomic (temp file +
+/// rename), so an interrupted snapshot never leaves a partial or corrupt
+/// dated baseline — the file either has yesterday's content or today's,
+/// never a torn mix.
 ///
 /// # Errors
 ///
@@ -169,7 +172,14 @@ pub fn write(scale: Scale, dir: &Path) -> io::Result<PathBuf> {
     let samples = collect(scale);
     let doc = to_json(scale, &date, &samples);
     let path = dir.join(format!("BENCH_{date}.json"));
-    std::fs::write(&path, format!("{doc}\n"))?;
+    let tmp = dir.join(format!("BENCH_{date}.json.tmp"));
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        use std::io::Write;
+        f.write_all(format!("{doc}\n").as_bytes())?;
+        f.sync_data()?;
+    }
+    std::fs::rename(&tmp, &path)?;
     Ok(path)
 }
 

@@ -8,9 +8,11 @@ use std::fmt;
 use isf_core::{Options, Strategy};
 use isf_exec::Trigger;
 
+use isf_obs::Json;
+
 use crate::runner::{
-    cell, instrument, overhead_pct, par_cells_isolated, prepare_suite, run_module, split_results,
-    CellError, Kinds,
+    cell, instrument, overhead_pct, par_cells_journaled, prepare_suite, run_module, split_results,
+    CellError, JournalPayload, Kinds,
 };
 use crate::{mean, pct, write_errors, Scale};
 
@@ -35,6 +37,30 @@ pub struct Row {
     pub compile_time: f64,
 }
 
+impl JournalPayload for Row {
+    fn encode(&self) -> Json {
+        Json::obj([
+            ("bench", self.bench.into()),
+            ("total", self.total.into()),
+            ("backedges", self.backedges.into()),
+            ("entries", self.entries.into()),
+            ("space_kb", self.space_kb.into()),
+            ("compile_time", self.compile_time.into()),
+        ])
+    }
+
+    fn decode(v: &Json) -> Option<Self> {
+        Some(Row {
+            bench: isf_workloads::canonical_name(v.get("bench")?.as_str()?)?,
+            total: v.get("total")?.as_f64()?,
+            backedges: v.get("backedges")?.as_f64()?,
+            entries: v.get("entries")?.as_f64()?,
+            space_kb: v.get("space_kb")?.as_f64()?,
+            compile_time: v.get("compile_time")?.as_f64()?,
+        })
+    }
+}
+
 /// The reproduced Table 2.
 #[derive(Clone, Debug)]
 pub struct Table2 {
@@ -57,7 +83,7 @@ pub struct Table2 {
 /// Runs the experiment, one isolated cell per benchmark.
 pub fn run(scale: Scale) -> Table2 {
     let suite = prepare_suite(scale);
-    let results = par_cells_isolated(
+    let results = par_cells_journaled(
         suite
             .benches
             .iter()

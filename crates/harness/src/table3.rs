@@ -8,8 +8,11 @@ use std::fmt;
 use isf_core::Strategy;
 use isf_exec::Trigger;
 
+use isf_obs::Json;
+
 use crate::runner::{
-    cell, overhead_of, par_cells_isolated, prepare_suite, split_results, CellError, Kinds,
+    cell, overhead_of, par_cells_journaled, prepare_suite, split_results, CellError,
+    JournalPayload, Kinds,
 };
 use crate::{mean, pct, write_errors, Scale};
 
@@ -23,6 +26,24 @@ pub struct Row {
     /// Checking overhead with field-access instrumentation guarded,
     /// percent.
     pub field_access: f64,
+}
+
+impl JournalPayload for Row {
+    fn encode(&self) -> Json {
+        Json::obj([
+            ("bench", self.bench.into()),
+            ("call_edge", self.call_edge.into()),
+            ("field_access", self.field_access.into()),
+        ])
+    }
+
+    fn decode(v: &Json) -> Option<Self> {
+        Some(Row {
+            bench: isf_workloads::canonical_name(v.get("bench")?.as_str()?)?,
+            call_edge: v.get("call_edge")?.as_f64()?,
+            field_access: v.get("field_access")?.as_f64()?,
+        })
+    }
 }
 
 /// The reproduced Table 3.
@@ -41,7 +62,7 @@ pub struct Table3 {
 /// Runs the experiment, one isolated cell per benchmark.
 pub fn run(scale: Scale) -> Table3 {
     let suite = prepare_suite(scale);
-    let results = par_cells_isolated(
+    let results = par_cells_journaled(
         suite
             .benches
             .iter()

@@ -14,9 +14,11 @@ use isf_core::{Options, Strategy};
 use isf_exec::{thread_preparations, Trigger};
 use isf_profile::overlap::{call_edge_overlap, field_access_overlap};
 
+use isf_obs::Json;
+
 use crate::runner::{
-    cell, instrument, par_cells_isolated, perfect_profile, prepare_for_runs, prepare_suite,
-    run_prepared_module, split_results, CellError, Kinds,
+    cell, instrument, par_cells_journaled, perfect_profile, prepare_for_runs, prepare_suite,
+    run_prepared_module, split_results, CellError, JournalPayload, Kinds,
 };
 use crate::{mean, pct, write_errors, Scale};
 
@@ -64,20 +66,56 @@ pub fn run(scale: Scale) -> Table4 {
     }
 }
 
+/// One benchmark's measurements at one interval — a table4 cell produces
+/// one per swept interval.
+#[derive(Clone, Debug)]
+struct Meas {
+    samples: f64,
+    sampled_instr: f64,
+    total: f64,
+    acc_call: f64,
+    acc_field: f64,
+}
+
+impl JournalPayload for Vec<Meas> {
+    fn encode(&self) -> Json {
+        Json::Arr(
+            self.iter()
+                .map(|m| {
+                    Json::obj([
+                        ("samples", m.samples.into()),
+                        ("sampled_instr", m.sampled_instr.into()),
+                        ("total", m.total.into()),
+                        ("acc_call", m.acc_call.into()),
+                        ("acc_field", m.acc_field.into()),
+                    ])
+                })
+                .collect(),
+        )
+    }
+
+    fn decode(v: &Json) -> Option<Self> {
+        v.as_arr()?
+            .iter()
+            .map(|m| {
+                Some(Meas {
+                    samples: m.get("samples")?.as_f64()?,
+                    sampled_instr: m.get("sampled_instr")?.as_f64()?,
+                    total: m.get("total")?.as_f64()?,
+                    acc_call: m.get("acc_call")?.as_f64()?,
+                    acc_field: m.get("acc_field")?.as_f64()?,
+                })
+            })
+            .collect()
+    }
+}
+
 fn sweep(scale: Scale, strategy: Strategy) -> (Vec<Row>, Vec<CellError>) {
     let suite = prepare_suite(scale);
     let benches = &suite.benches;
-    // One benchmark's measurements at one interval.
-    struct Meas {
-        samples: f64,
-        sampled_instr: f64,
-        total: f64,
-        acc_call: f64,
-        acc_field: f64,
-    }
     // One cell per benchmark: instrument and pre-decode once, then run
     // the whole interval sweep against the decoded form.
-    let results = par_cells_isolated(
+    let results = par_cells_journaled(
         benches
             .iter()
             .map(|b| {

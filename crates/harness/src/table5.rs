@@ -13,9 +13,11 @@ use isf_core::{Options, Strategy};
 use isf_exec::Trigger;
 use isf_profile::overlap::field_access_overlap;
 
+use isf_obs::Json;
+
 use crate::runner::{
-    cell, instrument, par_cells_isolated, perfect_profile, prepare_for_runs, prepare_suite,
-    run_prepared_module, split_results, CellError, Kinds,
+    cell, instrument, par_cells_journaled, perfect_profile, prepare_for_runs, prepare_suite,
+    run_prepared_module, split_results, CellError, JournalPayload, Kinds,
 };
 use crate::{mean, write_errors, Scale};
 
@@ -32,6 +34,28 @@ pub struct Row {
     pub counter_samples: u64,
     /// Samples taken by the timer run.
     pub timer_samples: u64,
+}
+
+impl JournalPayload for Row {
+    fn encode(&self) -> Json {
+        Json::obj([
+            ("bench", self.bench.into()),
+            ("time_based", self.time_based.into()),
+            ("counter_based", self.counter_based.into()),
+            ("counter_samples", self.counter_samples.into()),
+            ("timer_samples", self.timer_samples.into()),
+        ])
+    }
+
+    fn decode(v: &Json) -> Option<Self> {
+        Some(Row {
+            bench: isf_workloads::canonical_name(v.get("bench")?.as_str()?)?,
+            time_based: v.get("time_based")?.as_f64()?,
+            counter_based: v.get("counter_based")?.as_f64()?,
+            counter_samples: v.get("counter_samples")?.as_u64()?,
+            timer_samples: v.get("timer_samples")?.as_u64()?,
+        })
+    }
 }
 
 /// The reproduced Table 5.
@@ -53,7 +77,7 @@ pub struct Table5 {
 /// sample count, mirroring the paper's fair-comparison setup.
 pub fn run(scale: Scale) -> Table5 {
     let suite = prepare_suite(scale);
-    let results = par_cells_isolated(
+    let results = par_cells_journaled(
         suite
             .benches
             .iter()

@@ -158,14 +158,62 @@ pub struct PhaseTotal {
 
 static PHASES: Mutex<BTreeMap<String, (u64, u64)>> = Mutex::new(BTreeMap::new());
 
+thread_local! {
+    /// When a capture is active on this thread, every [`phase`] call is
+    /// additionally tallied here, attributing timed sections to the cell
+    /// the thread is currently running — the harness journals these so a
+    /// resumed run can replay a skipped cell's phase contributions.
+    static CAPTURE: RefCell<Option<BTreeMap<String, (u64, u64)>>> = const { RefCell::new(None) };
+}
+
+/// Starts attributing this thread's [`phase`] calls to a per-cell capture
+/// (in addition to the global accumulator). Ended by [`take_phase_capture`].
+pub fn begin_phase_capture() {
+    CAPTURE.with(|c| *c.borrow_mut() = Some(BTreeMap::new()));
+}
+
+/// Ends the capture started by [`begin_phase_capture`], returning the
+/// sections attributed to it, sorted by phase name. Empty when no capture
+/// was active.
+pub fn take_phase_capture() -> Vec<PhaseTotal> {
+    CAPTURE.with(|c| {
+        c.borrow_mut()
+            .take()
+            .map(|map| {
+                map.into_iter()
+                    .map(|(name, (count, wall_ns))| PhaseTotal {
+                        name,
+                        count,
+                        wall_ns,
+                    })
+                    .collect()
+            })
+            .unwrap_or_default()
+    })
+}
+
 /// Adds one timed section to the global accumulator for `name`. Safe to
 /// call from worker threads.
 pub fn phase(name: &str, wall: Duration) {
     let ns = u64::try_from(wall.as_nanos()).unwrap_or(u64::MAX);
+    add_phase_total(name, 1, ns);
+    CAPTURE.with(|c| {
+        if let Some(map) = c.borrow_mut().as_mut() {
+            let entry = map.entry(name.to_owned()).or_insert((0, 0));
+            entry.0 += 1;
+            entry.1 = entry.1.saturating_add(ns);
+        }
+    });
+}
+
+/// Adds a pre-aggregated phase total straight to the global accumulator —
+/// how the harness re-injects a journal-replayed cell's phase sections so
+/// a resumed run's `phase` records match an uninterrupted run's.
+pub fn add_phase_total(name: &str, count: u64, wall_ns: u64) {
     let mut phases = PHASES.lock().expect("phase accumulator poisoned");
     let entry = phases.entry(name.to_owned()).or_insert((0, 0));
-    entry.0 += 1;
-    entry.1 = entry.1.saturating_add(ns);
+    entry.0 += count;
+    entry.1 = entry.1.saturating_add(wall_ns);
 }
 
 /// Drains the global phase accumulator, returning totals sorted by phase
@@ -236,7 +284,59 @@ mod tests {
     }
 
     #[test]
+    fn phase_capture_attributes_sections_to_the_active_cell() {
+        std::thread::spawn(|| {
+            // No capture active: take returns empty, global still accumulates.
+            phase("capture-test", Duration::from_nanos(5));
+            assert_eq!(take_phase_capture(), Vec::new());
+
+            begin_phase_capture();
+            phase("capture-test", Duration::from_nanos(10));
+            phase("capture-test", Duration::from_nanos(7));
+            phase("capture-other", Duration::from_nanos(3));
+            let captured = take_phase_capture();
+            assert_eq!(
+                captured,
+                vec![
+                    PhaseTotal {
+                        name: "capture-other".into(),
+                        count: 1,
+                        wall_ns: 3,
+                    },
+                    PhaseTotal {
+                        name: "capture-test".into(),
+                        count: 2,
+                        wall_ns: 17,
+                    },
+                ]
+            );
+            assert_eq!(take_phase_capture(), Vec::new(), "capture is taken once");
+        })
+        .join()
+        .expect("capture test thread");
+    }
+
+    /// `take_phases` drains the process-global table, so tests that drain
+    /// must not interleave or they steal each other's entries.
+    static PHASE_DRAIN_LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn add_phase_total_merges_pre_aggregated_sections() {
+        let _guard = PHASE_DRAIN_LOCK.lock().expect("phase drain lock");
+        add_phase_total("injected-phase-test", 4, 100);
+        add_phase_total("injected-phase-test", 2, 50);
+        let all = take_phases();
+        let total = all
+            .iter()
+            .find(|p| p.name == "injected-phase-test")
+            .expect("injected phase");
+        assert_eq!(total.count, 6);
+        assert_eq!(total.wall_ns, 150);
+    }
+
+    #[test]
     fn phases_aggregate_across_threads() {
+        let _guard = PHASE_DRAIN_LOCK.lock().expect("phase drain lock");
         let name = "test-phase-aggregation";
         let threads: Vec<_> = (0..4)
             .map(|_| {

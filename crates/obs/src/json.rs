@@ -55,6 +55,43 @@ impl Json {
     pub fn is_number(&self) -> bool {
         matches!(self, Json::Int(_) | Json::UInt(_) | Json::Num(_))
     }
+
+    /// The numeric payload as `f64`, if this is any JSON number. Integral
+    /// floats serialize without a decimal point and parse back as
+    /// integers, so all three number variants convert.
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Json::Int(n) => Some(n as f64),
+            Json::UInt(n) => Some(n as f64),
+            Json::Num(x) => Some(x),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as `u64`, if this is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Json::UInt(n) => Some(n),
+            Json::Int(n) => u64::try_from(n).ok(),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The items, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
 }
 
 impl From<&str> for Json {
@@ -437,5 +474,25 @@ mod tests {
         assert_eq!(v.get("s").and_then(Json::as_str), Some("x"));
         assert!(v.get("n").unwrap().is_number());
         assert!(!v.get("s").unwrap().is_number());
+    }
+
+    #[test]
+    fn numeric_accessors_cross_variants() {
+        // An integral float serializes as `2` and parses back as UInt;
+        // as_f64 must recover it from any number variant.
+        assert_eq!(parse("2").unwrap().as_f64(), Some(2.0));
+        assert_eq!(Json::Num(2.5).as_f64(), Some(2.5));
+        assert_eq!(Json::Int(-3).as_f64(), Some(-3.0));
+        assert_eq!(Json::Str("2".into()).as_f64(), None);
+        assert_eq!(Json::UInt(7).as_u64(), Some(7));
+        assert_eq!(Json::Int(7).as_u64(), Some(7));
+        assert_eq!(Json::Int(-7).as_u64(), None);
+        assert_eq!(Json::Bool(true).as_bool(), Some(true));
+        assert_eq!(Json::Null.as_bool(), None);
+        assert_eq!(
+            Json::Arr(vec![Json::Null]).as_arr().map(<[Json]>::len),
+            Some(1)
+        );
+        assert_eq!(Json::Null.as_arr(), None);
     }
 }

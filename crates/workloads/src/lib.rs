@@ -173,6 +173,13 @@ pub fn names() -> Vec<&'static str> {
     suite(Scale::Smoke).into_iter().map(|w| w.name).collect()
 }
 
+/// The `'static` suite name equal to `name`, if there is one — how
+/// deserialized data (e.g. journaled experiment cells) gets back the
+/// static benchmark names the result types carry.
+pub fn canonical_name(name: &str) -> Option<&'static str> {
+    names().into_iter().find(|n| *n == name)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

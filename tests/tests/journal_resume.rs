@@ -1,0 +1,117 @@
+//! Property test for the cell journal's crash tolerance: truncating a
+//! valid journal at *any* byte offset must either resume with the
+//! surviving prefix of cells or refuse cleanly — never panic, never
+//! invent a cell, never accept a journal whose header is incomplete.
+
+use std::path::PathBuf;
+use std::sync::Mutex;
+
+use isf_harness::journal::{self, JournalError, RunInputs};
+use isf_obs::{emit, Json};
+use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
+
+/// The journal attaches to process-global state, so cases must not
+/// interleave with each other (proptest itself runs cases serially; this
+/// guards against future tests in this binary).
+static JOURNAL_LOCK: Mutex<()> = Mutex::new(());
+
+fn inputs() -> RunInputs {
+    RunInputs {
+        version: "0.0.0-proptest".to_owned(),
+        scale: "smoke".to_owned(),
+        experiments: vec!["table1".to_owned()],
+        cell_budget: 0,
+        retries: 0,
+        fault_prob_bits: 0,
+        fault_seed: 0,
+        vm_config: "VmConfig { proptest }".to_owned(),
+    }
+}
+
+fn temp_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "isf-journal-proptest-{tag}-{}.jsonl",
+        std::process::id()
+    ))
+}
+
+/// Builds a valid journal with `cells` finished cells through the real
+/// write path and returns its bytes.
+fn build_journal(cells: usize) -> Vec<u8> {
+    let path = temp_path("seed");
+    journal::start_fresh(&path, &inputs()).expect("start fresh");
+    for i in 0..cells {
+        let label = format!("table1/bench{i}");
+        let cell = Json::obj([
+            ("type", "cell".into()),
+            ("label", label.as_str().into()),
+            ("sim_cycles", (1000 + i as u64).into()),
+        ]);
+        let payload = Json::obj([("value", (i as f64 * 1.5).into())]);
+        let phases = vec![emit::PhaseTotal {
+            name: "run".to_owned(),
+            count: 1,
+            wall_ns: 7,
+        }];
+        journal::append(&label, &cell, None, Some(&payload), &phases);
+    }
+    journal::deactivate();
+    let bytes = std::fs::read(&path).expect("read journal");
+    std::fs::remove_file(&path).ok();
+    bytes
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn truncated_journal_resumes_with_a_prefix_or_refuses_cleanly(
+        cells in 0usize..5,
+        per_mille in 0u32..=1000,
+    ) {
+        let _guard = JOURNAL_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        let bytes = build_journal(cells);
+        let header_len = 1 + bytes
+            .iter()
+            .position(|&b| b == b'\n')
+            .expect("journal has a header line");
+        // The cut offset in bytes, spread over the whole file so both the
+        // header and every cell line get sliced across proptest cases.
+        let cut = (bytes.len() * per_mille as usize) / 1000;
+
+        let path = temp_path("cut");
+        std::fs::write(&path, &bytes[..cut]).expect("write truncated copy");
+        let result = journal::open_resume(&path, &inputs());
+        match result {
+            Ok(replayable) => {
+                // The header survived and some prefix of cells with it.
+                prop_assert!(cut >= header_len, "resumed with a cut header (cut={cut})");
+                prop_assert!(replayable <= cells);
+                // The surviving journal is fully repaired: appending a new
+                // cell and resuming again must see one more cell.
+                let label = "table1/appended";
+                let cell = Json::obj([("type", "cell".into())]);
+                journal::append(label, &cell, None, None, &[]);
+                journal::deactivate();
+                let after = journal::open_resume(&path, &inputs())
+                    .expect("a repaired journal must resume");
+                prop_assert_eq!(after, replayable + 1);
+            }
+            Err(JournalError::Corrupt(_)) => {
+                // Only an incomplete header refuses; cell damage is
+                // covered by the truncation tolerance.
+                prop_assert!(cut < header_len, "clean journal refused (cut={cut})");
+            }
+            Err(e) => {
+                journal::deactivate();
+                std::fs::remove_file(&path).ok();
+                return Err(TestCaseError::Fail(format!(
+                    "unexpected error class at cut={cut}: {e}"
+                )));
+            }
+        }
+        journal::deactivate();
+        std::fs::remove_file(&path).ok();
+    }
+}
