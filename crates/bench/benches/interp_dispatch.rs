@@ -1,32 +1,43 @@
-//! Ablation: pre-decoded dispatch vs the naive tree-walking reference.
+//! Ablation: superinstruction-fused dispatch vs the plain pre-decoded
+//! engine vs the naive tree-walking reference.
 //!
 //! `run_prepared` executes a flattened, pre-resolved instruction arena
 //! (costs folded, branch targets as indices, backedges pre-classified);
-//! `run_naive` re-reads the structured IR and re-derives all of that on
-//! the fly, per run and per instruction. Both engines produce identical
-//! outcomes — this bench measures the dispatch cost alone, and asserts
-//! the headline claim: the prepared engine is at least 1.5× faster than
-//! the naive one on `compress`.
+//! with fusion the hot multi-op sequences of that arena collapse into
+//! single superinstructions with pre-summed costs, so the dispatch loop
+//! turns fewer times per simulated instruction. `run_naive` re-reads the
+//! structured IR and re-derives all of that on the fly, per run and per
+//! instruction. All three produce identical outcomes — this bench
+//! measures dispatch cost alone and asserts the two headline claims: the
+//! unfused prepared engine is at least 1.5× the naive one, and fusion is
+//! at least 1.25× on top of it, both on `compress`.
 
 use criterion::Criterion;
 use isf_bench::{criterion, module};
 use isf_exec::{
-    run_naive, run_prepared, run_prepared_traced, PreparedModule, TraceBuffer, VmConfig,
+    run_naive, run_prepared, run_prepared_traced, FuseMode, PreparedModule, TraceBuffer, VmConfig,
 };
 
 fn dispatch(c: &mut Criterion) {
     let cfg = VmConfig::default();
-    for name in ["compress", "db", "jess"] {
+    for name in ["compress", "mtrt", "db", "jess"] {
         let m = module(name);
-        let prepared = PreparedModule::prepare(&m, &cfg.cost);
+        let fused = PreparedModule::prepare_with(&m, &cfg.cost, FuseMode::Fuse);
+        let unfused = PreparedModule::prepare_with(&m, &cfg.cost, FuseMode::Off);
+        c.bench_function(format!("interp_dispatch/fused/{name}"), |b| {
+            b.iter(|| run_prepared(&fused, &cfg).unwrap())
+        });
+        // `prepared` is the pre-fusion engine (FuseMode::Off), keeping the
+        // bench ID comparable with historical runs.
         c.bench_function(format!("interp_dispatch/prepared/{name}"), |b| {
-            b.iter(|| run_prepared(&prepared, &cfg).unwrap())
+            b.iter(|| run_prepared(&unfused, &cfg).unwrap())
         });
         c.bench_function(format!("interp_dispatch/naive/{name}"), |b| {
             b.iter(|| run_naive(&m, &cfg).unwrap())
         });
-        // Re-preparing on every run (what `run` does) must still beat the
-        // naive engine; the decode pass is a small fraction of a run.
+        // Re-preparing on every run (what `run` does, fusion included)
+        // must still beat the naive engine; the decode-and-fuse pass is a
+        // small fraction of a run.
         c.bench_function(format!("interp_dispatch/prepare_each_run/{name}"), |b| {
             b.iter(|| {
                 let p = PreparedModule::prepare(&m, &cfg.cost);
@@ -39,7 +50,7 @@ fn dispatch(c: &mut Criterion) {
         c.bench_function(format!("interp_dispatch/traced/{name}"), |b| {
             b.iter(|| {
                 let mut sink = TraceBuffer::new();
-                run_prepared_traced(&prepared, &cfg, &mut sink).unwrap()
+                run_prepared_traced(&fused, &cfg, &mut sink).unwrap()
             })
         });
     }
@@ -49,6 +60,9 @@ fn main() {
     let mut c = criterion();
     dispatch(&mut c);
 
+    let fused = c
+        .result_ns("interp_dispatch/fused/compress")
+        .expect("fused/compress was measured");
     let fast = c
         .result_ns("interp_dispatch/prepared/compress")
         .expect("prepared/compress was measured");
@@ -61,6 +75,14 @@ fn main() {
         speedup >= 1.5,
         "prepared dispatch must be >= 1.5x faster than naive on compress, got {speedup:.2}x"
     );
+    let fusion_speedup = fast / fused;
+    println!(
+        "interp_dispatch: fusion is {fusion_speedup:.2}x the unfused prepared engine on compress"
+    );
+    assert!(
+        fusion_speedup >= 1.25,
+        "fused dispatch must be >= 1.25x faster than unfused on compress, got {fusion_speedup:.2}x"
+    );
     // The no-trace path is the zero-cost baseline: a live TraceBuffer on a
     // sample-free run should cost within noise of it (the recording sites
     // compile out entirely when the sink is NoTrace).
@@ -68,8 +90,8 @@ fn main() {
         .result_ns("interp_dispatch/traced/compress")
         .expect("traced/compress was measured");
     println!(
-        "interp_dispatch: live tracing is {:.3}x the untraced prepared run on compress",
-        traced / fast
+        "interp_dispatch: live tracing is {:.3}x the fused prepared run on compress",
+        traced / fused
     );
     c.final_summary();
 }

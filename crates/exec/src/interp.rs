@@ -22,7 +22,7 @@ use crate::cost::CostModel;
 use crate::error::{TrapKind, VmError};
 use crate::heap::Heap;
 use crate::outcome::Outcome;
-use crate::prepared::{Op, OpKind, PreparedModule};
+use crate::prepared::{InstrEffect, Op, OpKind, PreparedModule};
 use crate::trace::{BurstRecord, NoTrace, TraceSink};
 use crate::trigger::{Trigger, TriggerState};
 use crate::value::Value;
@@ -248,6 +248,10 @@ struct Machine<'p, 's, S: TraceSink> {
     thread_switches: u64,
     output: Vec<i64>,
     profile: ProfileData,
+    /// Reused buffer for call/spawn argument marshalling, so the hot call
+    /// path doesn't allocate a fresh `Vec` per call. Taken at the start of
+    /// a call arm and restored (cleared) after the frame push.
+    arg_scratch: Vec<Value>,
 }
 
 impl<'p, 's, S: TraceSink> Machine<'p, 's, S> {
@@ -291,6 +295,7 @@ impl<'p, 's, S: TraceSink> Machine<'p, 's, S> {
             thread_switches: 0,
             output: Vec::new(),
             profile: ProfileData::new(),
+            arg_scratch: Vec::new(),
         }
     }
 
@@ -382,10 +387,23 @@ impl<'p, 's, S: TraceSink> Machine<'p, 's, S> {
         false
     }
 
+    /// Charges a (possibly fused) op: `width` source instructions and `c`
+    /// cycles. A fused group has no observation point between its
+    /// components — `Check` and `Yield` never fuse — so counting the whole
+    /// group here is indistinguishable from per-op counting.
     #[inline]
-    fn charge(&mut self, c: u64) -> Result<(), TrapKind> {
+    fn charge(&mut self, c: u64, width: u32) -> Result<(), TrapKind> {
+        self.instructions += u64::from(width);
+        self.charge_cycles(c)
+    }
+
+    /// The cycle half of [`Machine::charge`]: clock advance, timer tick,
+    /// threadswitch catch-up, fuel check. Also called mid-arm by
+    /// `BrCmp`/`BrCmpImm` to charge the branch after the compare executed,
+    /// reproducing the unfused charge/execute interleaving exactly.
+    #[inline]
+    fn charge_cycles(&mut self, c: u64) -> Result<(), TrapKind> {
         self.cycles += c;
-        self.instructions += 1;
         if self.timer_active {
             // `on_tick` is a no-op for every non-timer trigger; skipping
             // the call keeps the branch out of the untimed hot path.
@@ -507,7 +525,8 @@ impl<'p, 's, S: TraceSink> Machine<'p, 's, S> {
         // leaving `self` free for mutation during execution.
         let ops = frame.ops;
         let op = &ops[frame.ip];
-        self.charge(op.cost)?;
+        let w = op.width as usize;
+        self.charge(op.cost, op.width)?;
         // Hot arms take one `last_mut` borrow of the current frame, index
         // locals directly and advance `ip` inline; the heap, the dispatch
         // tables and the counters live in disjoint fields of `self`, so
@@ -567,6 +586,19 @@ impl<'p, 's, S: TraceSink> Machine<'p, 's, S> {
                 self.heap.object_mut(o)?.fields[offset as usize] = v;
                 f.ip += 1;
             }
+            OpKind::GetFieldStatic { dst, obj, offset } => {
+                let f = self.threads[cur].frames.last_mut().expect("frame");
+                let object = self.heap.object(f.locals[obj.index()])?;
+                f.locals[dst.index()] = object.fields[*offset as usize];
+                f.ip += 1;
+            }
+            OpKind::SetFieldStatic { obj, offset, src } => {
+                let f = self.threads[cur].frames.last_mut().expect("frame");
+                let o = f.locals[obj.index()];
+                let v = f.locals[src.index()];
+                self.heap.object_mut(o)?.fields[*offset as usize] = v;
+                f.ip += 1;
+            }
             OpKind::NewArray { dst, len } => {
                 let f = self.threads[cur].frames.last_mut().expect("frame");
                 let n = f.locals[len.index()].as_i64()?;
@@ -600,10 +632,14 @@ impl<'p, 's, S: TraceSink> Machine<'p, 's, S> {
                 args,
                 site,
             } => {
+                let mut vals = std::mem::take(&mut self.arg_scratch);
                 let f = self.threads[cur].frames.last_mut().expect("frame");
-                let vals: Vec<Value> = args.iter().map(|a| f.locals[a.index()]).collect();
+                vals.extend(args.iter().map(|a| f.locals[a.index()]));
                 f.ip += 1;
-                self.push_frame(*callee, &vals, *dst, Some((func_id, *site)), cur)?;
+                let r = self.push_frame(*callee, &vals, *dst, Some((func_id, *site)), cur);
+                vals.clear();
+                self.arg_scratch = vals;
+                r?;
             }
             OpKind::CallMethod {
                 dst,
@@ -626,11 +662,38 @@ impl<'p, 's, S: TraceSink> Machine<'p, 's, S> {
                         expected,
                     });
                 }
-                let mut vals = Vec::with_capacity(args.len() + 1);
+                let mut vals = std::mem::take(&mut self.arg_scratch);
+                let f = self.threads[cur].frames.last_mut().expect("frame");
                 vals.push(o);
                 vals.extend(args.iter().map(|a| f.locals[a.index()]));
                 f.ip += 1;
-                self.push_frame(callee, &vals, *dst, Some((func_id, *site)), cur)?;
+                let r = self.push_frame(callee, &vals, *dst, Some((func_id, *site)), cur);
+                vals.clear();
+                self.arg_scratch = vals;
+                r?;
+            }
+            OpKind::CallMethodStatic {
+                dst,
+                obj,
+                callee,
+                args,
+                site,
+            } => {
+                let f = self.threads[cur].frames.last_mut().expect("frame");
+                let o = f.locals[obj.index()];
+                // The method target and arity were verified at prepare
+                // time; the receiver must still be a live object so null
+                // and type traps match the dynamic path.
+                self.heap.object(o)?;
+                let mut vals = std::mem::take(&mut self.arg_scratch);
+                let f = self.threads[cur].frames.last_mut().expect("frame");
+                vals.push(o);
+                vals.extend(args.iter().map(|a| f.locals[a.index()]));
+                f.ip += 1;
+                let r = self.push_frame(*callee, &vals, *dst, Some((func_id, *site)), cur);
+                vals.clear();
+                self.arg_scratch = vals;
+                r?;
             }
             OpKind::Print { src } => {
                 let f = self.threads[cur].frames.last_mut().expect("frame");
@@ -648,13 +711,20 @@ impl<'p, 's, S: TraceSink> Machine<'p, 's, S> {
                 f.ip += 1;
             }
             OpKind::Spawn { dst, callee, args } => {
-                let vals: Vec<Value> = args.iter().map(|a| self.get(*a)).collect();
+                let mut vals = std::mem::take(&mut self.arg_scratch);
+                {
+                    let f = self.threads[cur].frames.last().expect("frame");
+                    vals.extend(args.iter().map(|a| f.locals[a.index()]));
+                }
                 let tid = self.threads.len();
                 self.threads.push(Thread {
                     frames: Vec::new(),
                     state: ThreadState::Runnable,
                 });
-                self.push_frame(*callee, &vals, None, None, tid)?;
+                let r = self.push_frame(*callee, &vals, None, None, tid);
+                vals.clear();
+                self.arg_scratch = vals;
+                r?;
                 self.set(*dst, Value::Thread(tid as u32));
                 self.advance();
             }
@@ -716,11 +786,13 @@ impl<'p, 's, S: TraceSink> Machine<'p, 's, S> {
                 f.ip += 1;
             }
             OpKind::PathIncr { delta } => {
+                // `delta` may be the pre-folded sum of a fused run; the
+                // width then advances past the whole run's slots.
                 let f = self.threads[cur].frames.last_mut().expect("frame");
                 if let Some(r) = f.path_reg.as_mut() {
                     *r += *delta;
                 }
-                f.ip += 1;
+                f.ip += w;
             }
             OpKind::PathEnd { site } => {
                 let f = self.threads[cur].frames.last_mut().expect("frame");
@@ -741,6 +813,305 @@ impl<'p, 's, S: TraceSink> Machine<'p, 's, S> {
                 self.profile.record_value(func_id, *site, v);
                 self.advance();
             }
+            // Fused superinstructions: each arm replays its group's
+            // original effects in order under one dispatch. The group cost
+            // was charged up front (sound because only the final effectful
+            // component can trap); `BrCmp`/`BrCmpImm` charge the branch
+            // half mid-arm to keep fuel traps on the unfused schedule.
+            OpKind::BinImm {
+                op,
+                dst,
+                lhs,
+                rhs,
+                tmp,
+                imm,
+            } => {
+                let f = self.threads[cur].frames.last_mut().expect("frame");
+                f.locals[tmp.index()] = *imm;
+                f.locals[dst.index()] =
+                    Value::binary(*op, f.locals[lhs.index()], f.locals[rhs.index()])?;
+                f.ip += w;
+            }
+            OpKind::ArrayGetImm { dst, arr, tmp, idx } => {
+                let f = self.threads[cur].frames.last_mut().expect("frame");
+                f.locals[tmp.index()] = Value::I64(*idx);
+                let v = self.heap.array_get(f.locals[arr.index()], *idx)?;
+                f.locals[dst.index()] = Value::I64(v);
+                f.ip += w;
+            }
+            OpKind::ArraySetImm { arr, tmp, idx, src } => {
+                let f = self.threads[cur].frames.last_mut().expect("frame");
+                f.locals[tmp.index()] = Value::I64(*idx);
+                let a = f.locals[arr.index()];
+                let v = f.locals[src.index()].as_i64()?;
+                self.heap.array_set(a, *idx, v)?;
+                f.ip += w;
+            }
+            OpKind::ArraySetImm2 {
+                arr,
+                tmp,
+                idx,
+                src_tmp,
+                src,
+            } => {
+                let f = self.threads[cur].frames.last_mut().expect("frame");
+                f.locals[tmp.index()] = Value::I64(*idx);
+                f.locals[src_tmp.index()] = *src;
+                let a = f.locals[arr.index()];
+                let v = src.as_i64()?;
+                self.heap.array_set(a, *idx, v)?;
+                f.ip += w;
+            }
+            OpKind::GetFieldBin {
+                obj,
+                offset,
+                tmp,
+                op,
+                dst,
+                lhs,
+                rhs,
+                extra,
+            } => {
+                let f = self.threads[cur].frames.last_mut().expect("frame");
+                let v = self.heap.object(f.locals[obj.index()])?.fields[*offset as usize];
+                f.locals[tmp.index()] = v;
+                self.charge_cycles(*extra)?;
+                let f = self.threads[cur].frames.last_mut().expect("frame");
+                f.locals[dst.index()] =
+                    Value::binary(*op, f.locals[lhs.index()], f.locals[rhs.index()])?;
+                f.ip += w;
+            }
+            OpKind::BinSetField {
+                op,
+                dst,
+                lhs,
+                rhs,
+                obj,
+                offset,
+                extra,
+            } => {
+                let f = self.threads[cur].frames.last_mut().expect("frame");
+                let v = Value::binary(*op, f.locals[lhs.index()], f.locals[rhs.index()])?;
+                f.locals[dst.index()] = v;
+                self.charge_cycles(*extra)?;
+                let f = self.threads[cur].frames.last_mut().expect("frame");
+                let o = f.locals[obj.index()];
+                self.heap.object_mut(o)?.fields[*offset as usize] = v;
+                f.ip += w;
+            }
+            OpKind::BinImmSetField {
+                op,
+                dst,
+                lhs,
+                rhs,
+                tmp,
+                imm,
+                obj,
+                offset,
+                extra,
+            } => {
+                let f = self.threads[cur].frames.last_mut().expect("frame");
+                f.locals[tmp.index()] = *imm;
+                let v = Value::binary(*op, f.locals[lhs.index()], f.locals[rhs.index()])?;
+                f.locals[dst.index()] = v;
+                self.charge_cycles(*extra)?;
+                let f = self.threads[cur].frames.last_mut().expect("frame");
+                let o = f.locals[obj.index()];
+                self.heap.object_mut(o)?.fields[*offset as usize] = v;
+                f.ip += w;
+            }
+            OpKind::GetFieldBinImm {
+                obj,
+                offset,
+                tmp,
+                ctmp,
+                imm,
+                op,
+                dst,
+                lhs,
+                rhs,
+                extra,
+            } => {
+                let f = self.threads[cur].frames.last_mut().expect("frame");
+                let v = self.heap.object(f.locals[obj.index()])?.fields[*offset as usize];
+                f.locals[tmp.index()] = v;
+                self.charge_cycles(*extra)?;
+                let f = self.threads[cur].frames.last_mut().expect("frame");
+                f.locals[ctmp.index()] = *imm;
+                f.locals[dst.index()] =
+                    Value::binary(*op, f.locals[lhs.index()], f.locals[rhs.index()])?;
+                f.ip += w;
+            }
+            OpKind::GetFieldBinImmSetField {
+                obj,
+                offset,
+                tmp,
+                ctmp,
+                imm,
+                op,
+                dst,
+                lhs,
+                rhs,
+                sobj,
+                soffset,
+                extra,
+                extra2,
+            } => {
+                let f = self.threads[cur].frames.last_mut().expect("frame");
+                let v = self.heap.object(f.locals[obj.index()])?.fields[*offset as usize];
+                f.locals[tmp.index()] = v;
+                self.charge_cycles(*extra)?;
+                let f = self.threads[cur].frames.last_mut().expect("frame");
+                f.locals[ctmp.index()] = *imm;
+                let v = Value::binary(*op, f.locals[lhs.index()], f.locals[rhs.index()])?;
+                f.locals[dst.index()] = v;
+                self.charge_cycles(*extra2)?;
+                let f = self.threads[cur].frames.last_mut().expect("frame");
+                let o = f.locals[sobj.index()];
+                self.heap.object_mut(o)?.fields[*soffset as usize] = v;
+                f.ip += w;
+            }
+            OpKind::ConstSetField {
+                tmp,
+                imm,
+                obj,
+                offset,
+            } => {
+                let f = self.threads[cur].frames.last_mut().expect("frame");
+                f.locals[tmp.index()] = *imm;
+                let o = f.locals[obj.index()];
+                self.heap.object_mut(o)?.fields[*offset as usize] = *imm;
+                f.ip += w;
+            }
+            OpKind::GetFieldBrCmp {
+                obj,
+                offset,
+                tmp,
+                op,
+                dst,
+                lhs,
+                rhs,
+                extra,
+                branch,
+                t,
+                f: f_target,
+            } => {
+                let f = self.threads[cur].frames.last_mut().expect("frame");
+                let v = self.heap.object(f.locals[obj.index()])?.fields[*offset as usize];
+                f.locals[tmp.index()] = v;
+                self.charge_cycles(*extra)?;
+                let f = self.threads[cur].frames.last_mut().expect("frame");
+                let v = Value::binary(*op, f.locals[lhs.index()], f.locals[rhs.index()])?;
+                f.locals[dst.index()] = v;
+                self.charge_cycles(*branch)?;
+                // A successful comparison always yields a bool, so this is
+                // the `as_bool` of the unfused branch, trap-free.
+                let taken = v == Value::Bool(true);
+                self.threads[cur].frames.last_mut().expect("frame").ip =
+                    if taken { *t } else { *f_target } as usize;
+            }
+            OpKind::GetFieldArrayGet {
+                obj,
+                offset,
+                tmp,
+                dst,
+                arr,
+                extra,
+            } => {
+                let f = self.threads[cur].frames.last_mut().expect("frame");
+                let v = self.heap.object(f.locals[obj.index()])?.fields[*offset as usize];
+                f.locals[tmp.index()] = v;
+                self.charge_cycles(*extra)?;
+                let f = self.threads[cur].frames.last_mut().expect("frame");
+                let i = f.locals[tmp.index()].as_i64()?;
+                let v = self.heap.array_get(f.locals[arr.index()], i)?;
+                f.locals[dst.index()] = Value::I64(v);
+                f.ip += w;
+            }
+            OpKind::GetFieldArraySet {
+                obj,
+                offset,
+                tmp,
+                arr,
+                src,
+                extra,
+            } => {
+                let f = self.threads[cur].frames.last_mut().expect("frame");
+                let v = self.heap.object(f.locals[obj.index()])?.fields[*offset as usize];
+                f.locals[tmp.index()] = v;
+                self.charge_cycles(*extra)?;
+                let f = self.threads[cur].frames.last_mut().expect("frame");
+                let a = f.locals[arr.index()];
+                let i = f.locals[tmp.index()].as_i64()?;
+                let v = f.locals[src.index()].as_i64()?;
+                self.heap.array_set(a, i, v)?;
+                f.ip += w;
+            }
+            OpKind::MoveRun { moves } => {
+                let f = self.threads[cur].frames.last_mut().expect("frame");
+                for (dst, src) in moves.iter() {
+                    f.locals[dst.index()] = f.locals[src.index()];
+                }
+                f.ip += w;
+            }
+            OpKind::BrCmp {
+                op,
+                dst,
+                lhs,
+                rhs,
+                extra,
+                t,
+                f: f_target,
+            } => {
+                let f = self.threads[cur].frames.last_mut().expect("frame");
+                let v = Value::binary(*op, f.locals[lhs.index()], f.locals[rhs.index()])?;
+                f.locals[dst.index()] = v;
+                self.charge_cycles(*extra)?;
+                // A successful comparison always yields a bool, so this is
+                // the `as_bool` of the unfused branch, trap-free.
+                let taken = v == Value::Bool(true);
+                self.threads[cur].frames.last_mut().expect("frame").ip =
+                    if taken { *t } else { *f_target } as usize;
+            }
+            OpKind::BrCmpImm {
+                op,
+                dst,
+                lhs,
+                rhs,
+                tmp,
+                imm,
+                extra,
+                t,
+                f: f_target,
+            } => {
+                let f = self.threads[cur].frames.last_mut().expect("frame");
+                f.locals[tmp.index()] = *imm;
+                let v = Value::binary(*op, f.locals[lhs.index()], f.locals[rhs.index()])?;
+                f.locals[dst.index()] = v;
+                self.charge_cycles(*extra)?;
+                let taken = v == Value::Bool(true);
+                self.threads[cur].frames.last_mut().expect("frame").ip =
+                    if taken { *t } else { *f_target } as usize;
+            }
+            OpKind::JumpInstr { target, effects } => {
+                let f = self.threads[cur].frames.last_mut().expect("frame");
+                let caller = f.caller;
+                f.ip = *target as usize;
+                for e in effects.iter() {
+                    match e {
+                        InstrEffect::CallEdge => {
+                            if let Some((caller, site)) = caller {
+                                self.profile.record_call_edge(caller, site, func_id);
+                            }
+                        }
+                        InstrEffect::BlockCount(b) => self.profile.record_block(func_id, *b),
+                        InstrEffect::EdgeCount(from, to) => {
+                            self.profile.record_edge(func_id, *from, *to);
+                        }
+                    }
+                }
+            }
+            OpKind::Gap => unreachable!("fusion gap slots are never executed"),
             // Terminators (inlined into the arena as the block's last op).
             OpKind::Jump { target, backedge } => {
                 if *backedge {

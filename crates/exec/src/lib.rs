@@ -59,7 +59,9 @@ pub use heap::Heap;
 pub use interp::{run, run_prepared, run_prepared_traced, run_traced, ExecLimits, VmConfig};
 pub use naive::{run_naive, run_naive_traced};
 pub use outcome::{Outcome, ZeroCycleBaseline};
-pub use prepared::{preparations, thread_preparations, PreparedModule};
+pub use prepared::{
+    fuse_mode, preparations, set_fuse_mode, thread_preparations, FuseMode, PreparedModule,
+};
 pub use trace::{BurstRecord, NoTrace, TraceBuffer, TraceSink};
 pub use trigger::Trigger;
 pub use value::Value;

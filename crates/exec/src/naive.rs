@@ -124,6 +124,9 @@ struct Machine<'m, 's, S: TraceSink> {
     cycles: u64,
     next_switch: u64,
     switch_bit: bool,
+    /// Reusable scratch buffer for call-argument marshalling, so
+    /// `Call`/`CallMethod`/`Spawn` don't allocate a fresh `Vec` per call.
+    arg_scratch: Vec<Value>,
     // Counters.
     instructions: u64,
     checks_executed: u64,
@@ -188,6 +191,7 @@ impl<'m, 's, S: TraceSink> Machine<'m, 's, S> {
             cycles: 0,
             next_switch: config.timeslice.max(1),
             switch_bit: false,
+            arg_scratch: Vec::new(),
             instructions: 0,
             checks_executed: 0,
             samples_taken: 0,
@@ -536,9 +540,13 @@ impl<'m, 's, S: TraceSink> Machine<'m, 's, S> {
                 args,
                 site,
             } => {
-                let vals: Vec<Value> = args.iter().map(|a| self.get(*a)).collect();
+                let mut vals = std::mem::take(&mut self.arg_scratch);
+                vals.extend(args.iter().map(|a| self.get(*a)));
                 self.advance();
-                self.push_frame(*callee, &vals, *dst, Some((func_id, *site)), self.current)?;
+                let r = self.push_frame(*callee, &vals, *dst, Some((func_id, *site)), self.current);
+                vals.clear();
+                self.arg_scratch = vals;
+                r?;
                 return Ok(Step::Ran);
             }
             Inst::CallMethod {
@@ -565,11 +573,14 @@ impl<'m, 's, S: TraceSink> Machine<'m, 's, S> {
                         expected,
                     });
                 }
-                let mut vals = Vec::with_capacity(args.len() + 1);
+                let mut vals = std::mem::take(&mut self.arg_scratch);
                 vals.push(o);
                 vals.extend(args.iter().map(|a| self.get(*a)));
                 self.advance();
-                self.push_frame(callee, &vals, *dst, Some((func_id, *site)), self.current)?;
+                let r = self.push_frame(callee, &vals, *dst, Some((func_id, *site)), self.current);
+                vals.clear();
+                self.arg_scratch = vals;
+                r?;
                 return Ok(Step::Ran);
             }
             Inst::Print { src } => {
@@ -587,13 +598,17 @@ impl<'m, 's, S: TraceSink> Machine<'m, 's, S> {
                 self.output.push(n);
             }
             Inst::Spawn { dst, callee, args } => {
-                let vals: Vec<Value> = args.iter().map(|a| self.get(*a)).collect();
+                let mut vals = std::mem::take(&mut self.arg_scratch);
+                vals.extend(args.iter().map(|a| self.get(*a)));
                 let tid = self.threads.len();
                 self.threads.push(Thread {
                     frames: Vec::new(),
                     state: ThreadState::Runnable,
                 });
-                self.push_frame(*callee, &vals, None, None, tid)?;
+                let r = self.push_frame(*callee, &vals, None, None, tid);
+                vals.clear();
+                self.arg_scratch = vals;
+                r?;
                 self.set(*dst, Value::Thread(tid as u32));
             }
             Inst::Join { thread } => {

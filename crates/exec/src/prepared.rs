@@ -29,7 +29,8 @@
 //! module exactly once, however many times it re-runs it.
 
 use std::collections::HashSet;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::OnceLock;
 
 use isf_ir::{
     loops, BinOp, BlockId, CallSiteId, ClassId, Const, FieldSym, FuncId, Function, Inst, InstrOp,
@@ -61,12 +62,71 @@ pub fn thread_preparations() -> u64 {
     THREAD_PREPARATIONS.with(|c| c.get())
 }
 
+/// Whether preparation runs the superinstruction fusion and static slot
+/// resolution passes.
+///
+/// Fusion is observably equivalent: fused runs produce byte-identical
+/// output, cycle counts, traps and profiles — only wall-clock time
+/// changes. [`FuseMode::Off`] keeps the unfused pipeline alive as an
+/// escape hatch and differential-testing baseline.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum FuseMode {
+    /// Decode only, exactly the pre-fusion pipeline.
+    Off,
+    /// Decode, then peephole-fuse superinstructions and statically resolve
+    /// field slots and method targets (the default).
+    Fuse,
+}
+
+/// Process-wide fuse-mode override: 0 = unset (consult `ISF_FUSE`),
+/// 1 = off, 2 = fuse.
+static FUSE_OVERRIDE: AtomicU8 = AtomicU8::new(0);
+
+/// Overrides the fuse mode for subsequent [`PreparedModule::prepare`]
+/// calls; `None` restores the default (the `ISF_FUSE` environment
+/// variable, on unless set to `0`/`off`/`false`).
+pub fn set_fuse_mode(mode: Option<FuseMode>) {
+    let v = match mode {
+        None => 0,
+        Some(FuseMode::Off) => 1,
+        Some(FuseMode::Fuse) => 2,
+    };
+    FUSE_OVERRIDE.store(v, Ordering::Relaxed);
+}
+
+/// The fuse mode [`PreparedModule::prepare`] currently resolves to: the
+/// [`set_fuse_mode`] override if one is set, else the `ISF_FUSE`
+/// environment variable (read once per process), else [`FuseMode::Fuse`].
+pub fn fuse_mode() -> FuseMode {
+    match FUSE_OVERRIDE.load(Ordering::Relaxed) {
+        1 => FuseMode::Off,
+        2 => FuseMode::Fuse,
+        _ => env_fuse_mode(),
+    }
+}
+
+fn env_fuse_mode() -> FuseMode {
+    static ENV: OnceLock<FuseMode> = OnceLock::new();
+    *ENV.get_or_init(|| match std::env::var("ISF_FUSE").ok().as_deref() {
+        Some("0") | Some("off") | Some("false") => FuseMode::Off,
+        _ => FuseMode::Fuse,
+    })
+}
+
 /// One decoded operation: its pre-folded cycle cost plus the decoded form.
 #[derive(Clone, Debug)]
 pub(crate) struct Op {
     /// Cycles charged when this op executes (the check's sample-switch
     /// surcharge is the one cost still applied conditionally at runtime).
+    /// For a fused superinstruction this is the summed cost of the whole
+    /// group (except the branch half of `BrCmp`/`BrCmpImm`, charged by the
+    /// arm after the compare so budget traps land exactly where the
+    /// unfused sequence would put them).
     pub(crate) cost: u64,
+    /// Source instructions this op accounts for: 1 for a plain op, the
+    /// group size for a fused superinstruction. Sequential flow advances
+    /// `ip` by this amount, skipping the inert [`OpKind::Gap`] fillers.
+    pub(crate) width: u32,
     pub(crate) kind: OpKind,
 }
 
@@ -111,6 +171,20 @@ pub(crate) enum OpKind {
         field: FieldSym,
         src: LocalId,
     },
+    /// `GetField` whose slot is identical in every class of the module,
+    /// resolved at prepare time: no per-access dispatch-table probe, and
+    /// `NoSuchField` is statically impossible.
+    GetFieldStatic {
+        dst: LocalId,
+        obj: LocalId,
+        offset: u32,
+    },
+    /// `SetField` with a statically uniform slot.
+    SetFieldStatic {
+        obj: LocalId,
+        offset: u32,
+        src: LocalId,
+    },
     NewArray {
         dst: LocalId,
         len: LocalId,
@@ -139,6 +213,17 @@ pub(crate) enum OpKind {
         dst: Option<LocalId>,
         obj: LocalId,
         method: MethodSym,
+        args: Box<[LocalId]>,
+        site: CallSiteId,
+    },
+    /// `CallMethod` whose method symbol resolves to one implementation in
+    /// every class of the module (and whose arity was checked at prepare
+    /// time): the vtable probe and arity check leave the hot loop. The
+    /// receiver is still null/type-checked at runtime.
+    CallMethodStatic {
+        dst: Option<LocalId>,
+        obj: LocalId,
+        callee: FuncId,
         args: Box<[LocalId]>,
         site: CallSiteId,
     },
@@ -205,6 +290,229 @@ pub(crate) enum OpKind {
         sample_backedge: bool,
         cont_backedge: bool,
     },
+    // Fused superinstructions (built only under `FuseMode::Fuse`). Each
+    // replaces its group's first arena slot; the interior slots become
+    // inert `Gap` fillers so every arena index — branch targets, trace
+    // `check_ip`s — is preserved. A fused group never contains a `Check`,
+    // a `Yield`, a backedge, or (except as the final component) an op
+    // that can trap, which is what makes the single up-front charge of
+    // the summed cost observably identical to charging per op.
+    /// `tmp = imm; dst = lhs op rhs` (a `Const` feeding a `Bin`).
+    BinImm {
+        op: BinOp,
+        dst: LocalId,
+        lhs: LocalId,
+        rhs: LocalId,
+        tmp: LocalId,
+        imm: Value,
+    },
+    /// A comparison `Bin` feeding the block's `Br`: branch straight on the
+    /// comparison without a separate dispatch for the bool. `extra` is the
+    /// branch's cost, charged after the compare executes so a fuel trap
+    /// lands between the two exactly as in the unfused sequence. Backedge
+    /// branches are never fused, so no backedge flags are needed.
+    BrCmp {
+        op: BinOp,
+        dst: LocalId,
+        lhs: LocalId,
+        rhs: LocalId,
+        extra: u64,
+        t: u32,
+        f: u32,
+    },
+    /// `Const` + comparison-`Bin` + `Br` — the dominant tight-loop shape
+    /// (`while (i < n)` against a literal bound).
+    BrCmpImm {
+        op: BinOp,
+        dst: LocalId,
+        lhs: LocalId,
+        rhs: LocalId,
+        tmp: LocalId,
+        imm: Value,
+        extra: u64,
+        t: u32,
+        f: u32,
+    },
+    /// `tmp = idx; dst = arr[idx]` with an integer-constant index.
+    ArrayGetImm {
+        dst: LocalId,
+        arr: LocalId,
+        tmp: LocalId,
+        idx: i64,
+    },
+    /// `tmp = idx; arr[idx] = src` with an integer-constant index.
+    ArraySetImm {
+        arr: LocalId,
+        tmp: LocalId,
+        idx: i64,
+        src: LocalId,
+    },
+    /// `tmp = idx; src_tmp = src; arr[idx] = src` — both the index and
+    /// the stored value are constants (the frontend lowers `a[1] = 5;`
+    /// this way, with the value's `Const` between the index's and the
+    /// store).
+    ArraySetImm2 {
+        arr: LocalId,
+        tmp: LocalId,
+        idx: i64,
+        src_tmp: LocalId,
+        src: Value,
+    },
+    /// `tmp = obj.field; dst = lhs <op> rhs` where the load feeds one
+    /// operand. Both halves can trap, so only the load's cost is folded
+    /// into [`Op::cost`]; `extra` (the binary op's cost) is charged by the
+    /// arm between the halves, exactly where the unfused dispatch would
+    /// charge it.
+    GetFieldBin {
+        obj: LocalId,
+        offset: u32,
+        tmp: LocalId,
+        op: BinOp,
+        dst: LocalId,
+        lhs: LocalId,
+        rhs: LocalId,
+        extra: u64,
+    },
+    /// `dst = lhs <op> rhs; obj.field = dst` — a computed value stored
+    /// straight into a field. `extra` is the store's cost, charged after
+    /// the binary op executes.
+    BinSetField {
+        op: BinOp,
+        dst: LocalId,
+        lhs: LocalId,
+        rhs: LocalId,
+        obj: LocalId,
+        offset: u32,
+        extra: u64,
+    },
+    /// `tmp = imm; dst = lhs <op> rhs; obj.field = dst` — the full
+    /// constant-operand compute-and-store tail of `o.f = <expr> <op> K;`.
+    /// [`Op::cost`] folds the constant and the binary op; `extra` is the
+    /// store's cost, charged between the op and the store.
+    BinImmSetField {
+        op: BinOp,
+        dst: LocalId,
+        lhs: LocalId,
+        rhs: LocalId,
+        tmp: LocalId,
+        imm: Value,
+        obj: LocalId,
+        offset: u32,
+        extra: u64,
+    },
+    /// `tmp = obj.field; ctmp = imm; dst = lhs <op> rhs` — a field load
+    /// combined with a constant (`self.hash * 31`). `extra` folds the
+    /// constant's and the binary op's costs (the constant can't trap, so
+    /// the two charges merge), charged after the load executes.
+    GetFieldBinImm {
+        obj: LocalId,
+        offset: u32,
+        tmp: LocalId,
+        ctmp: LocalId,
+        imm: Value,
+        op: BinOp,
+        dst: LocalId,
+        lhs: LocalId,
+        rhs: LocalId,
+        extra: u64,
+    },
+    /// `tmp = obj.field; ctmp = imm; dst = lhs <op> rhs; sobj.sfield =
+    /// dst` — a whole field update with a constant operand
+    /// (`self.pos = self.pos + 1`). `extra` folds the constant's and the
+    /// binary op's costs (charged after the load), `extra2` is the
+    /// store's cost (charged after the binary op).
+    GetFieldBinImmSetField {
+        obj: LocalId,
+        offset: u32,
+        tmp: LocalId,
+        ctmp: LocalId,
+        imm: Value,
+        op: BinOp,
+        dst: LocalId,
+        lhs: LocalId,
+        rhs: LocalId,
+        sobj: LocalId,
+        soffset: u32,
+        extra: u64,
+        extra2: u64,
+    },
+    /// `tmp = imm; obj.field = tmp` — a constant stored into a field
+    /// (`self.run = 0`). Only the final store can trap, so the whole
+    /// cost folds into [`Op::cost`].
+    ConstSetField {
+        tmp: LocalId,
+        imm: Value,
+        obj: LocalId,
+        offset: u32,
+    },
+    /// `tmp = obj.field; dst = lhs <op> rhs; br dst ? t : f` — the
+    /// field-loaded compare-and-branch of a loop header
+    /// (`while (self.pos < stop)`). Three trap/charge points, so the
+    /// compare's cost (`extra`) and the branch's cost (`branch`) are both
+    /// charged separately at their unfused positions. Only built when
+    /// neither edge is a backedge.
+    GetFieldBrCmp {
+        obj: LocalId,
+        offset: u32,
+        tmp: LocalId,
+        op: BinOp,
+        dst: LocalId,
+        lhs: LocalId,
+        rhs: LocalId,
+        extra: u64,
+        branch: u64,
+        t: u32,
+        f: u32,
+    },
+    /// `tmp = obj.field; dst = arr[tmp]` — a field-indexed array load
+    /// (`data[self.pos]`). `extra` is the load's cost, charged between
+    /// the halves.
+    GetFieldArrayGet {
+        obj: LocalId,
+        offset: u32,
+        tmp: LocalId,
+        dst: LocalId,
+        arr: LocalId,
+        extra: u64,
+    },
+    /// `tmp = obj.field; arr[tmp] = src` — a field-indexed array store
+    /// (`out[self.pos] = b`). `extra` is the store's cost.
+    GetFieldArraySet {
+        obj: LocalId,
+        offset: u32,
+        tmp: LocalId,
+        arr: LocalId,
+        src: LocalId,
+        extra: u64,
+    },
+    /// A run of two or more consecutive `Move`s, executed in order under
+    /// one dispatch.
+    MoveRun {
+        moves: Box<[(LocalId, LocalId)]>,
+    },
+    /// A non-backedge `Jump` that pre-executes the target block's leading
+    /// run of side-effect-only instrumentation ops and lands past them.
+    /// The target's own slots stay live for its other predecessors.
+    JumpInstr {
+        target: u32,
+        effects: Box<[InstrEffect]>,
+    },
+    /// An inert filler occupying the interior slot of a fused group.
+    /// Unreachable: sequential flow skips it via the leader's width, and
+    /// branch targets only ever point at block starts.
+    Gap,
+}
+
+/// A profiling side effect absorbed into a [`OpKind::JumpInstr`]. Only
+/// trap-free, operand-free ops qualify.
+#[derive(Copy, Clone, Debug)]
+pub(crate) enum InstrEffect {
+    /// Record a (caller, site, callee) call edge from the current frame.
+    CallEdge,
+    /// Record one execution of an original block.
+    BlockCount(BlockId),
+    /// Record one traversal of an original CFG edge.
+    EdgeCount(BlockId, BlockId),
 }
 
 /// One function flattened into a contiguous op arena. The entry point is
@@ -214,6 +522,9 @@ pub(crate) struct PreparedFunction {
     pub(crate) ops: Vec<Op>,
     pub(crate) num_locals: usize,
     pub(crate) arity: usize,
+    /// Superinstructions installed by the fusion pass (0 under
+    /// [`FuseMode::Off`]).
+    pub(crate) fused: usize,
 }
 
 /// A module flattened for execution: the decoded op arenas plus the owned
@@ -238,15 +549,70 @@ pub struct PreparedModule {
     num_method_syms: usize,
 }
 
+/// Module-wide static resolution tables: per-symbol slots and targets that
+/// are identical in *every* class, so the decoded op can skip the
+/// per-access (class, symbol) probe entirely.
+struct Statics {
+    /// Per [`FieldSym`]: the field's slot if every class places it there.
+    field_slots: Vec<Option<u32>>,
+    /// Per [`MethodSym`]: the implementation if every class resolves to it.
+    method_targets: Vec<Option<FuncId>>,
+}
+
+impl Statics {
+    fn resolve(module: &Module, mode: FuseMode) -> Self {
+        let num_fields = module.num_field_syms();
+        let num_methods = module.num_method_syms();
+        if mode == FuseMode::Off || module.num_classes() == 0 {
+            return Statics {
+                field_slots: vec![None; num_fields],
+                method_targets: vec![None; num_methods],
+            };
+        }
+        let field_slots = (0..num_fields)
+            .map(|s| {
+                let sym = FieldSym::new(s as u32);
+                let mut classes = module.classes();
+                let first = classes.next()?.1.field_offset(sym)? as u32;
+                classes
+                    .all(|(_, c)| c.field_offset(sym) == Some(first as usize))
+                    .then_some(first)
+            })
+            .collect();
+        let method_targets = (0..num_methods)
+            .map(|s| {
+                let sym = MethodSym::new(s as u32);
+                let mut classes = module.classes();
+                let first = classes.next()?.1.resolve_method(sym)?;
+                classes
+                    .all(|(_, c)| c.resolve_method(sym) == Some(first))
+                    .then_some(first)
+            })
+            .collect();
+        Statics {
+            field_slots,
+            method_targets,
+        }
+    }
+}
+
 impl PreparedModule {
-    /// Flattens `module` under `cost`. This is the only place the
-    /// per-function backedge analysis runs.
+    /// Flattens `module` under `cost` with the process-wide [`fuse_mode`].
+    /// This is the only place the per-function backedge analysis runs.
     pub fn prepare(module: &Module, cost: &CostModel) -> Self {
+        Self::prepare_with(module, cost, fuse_mode())
+    }
+
+    /// [`PreparedModule::prepare`] with an explicit fuse mode, for callers
+    /// (differential tests, the dispatch-ablation bench) that must pin the
+    /// pipeline regardless of environment or process-wide override.
+    pub fn prepare_with(module: &Module, cost: &CostModel, mode: FuseMode) -> Self {
         PREPARATIONS.fetch_add(1, Ordering::Relaxed);
         THREAD_PREPARATIONS.with(|c| c.set(c.get() + 1));
+        let statics = Statics::resolve(module, mode);
         let funcs = module
             .functions()
-            .map(|(_, f)| prepare_function(module, f, cost))
+            .map(|(_, f)| prepare_function(module, f, cost, mode, &statics))
             .collect();
         let num_field_syms = module.num_field_syms();
         let num_method_syms = module.num_method_syms();
@@ -290,6 +656,12 @@ impl PreparedModule {
         self.funcs.iter().map(|f| f.ops.len()).sum()
     }
 
+    /// Total fused superinstructions across all functions (0 when prepared
+    /// under [`FuseMode::Off`]).
+    pub fn num_fused(&self) -> usize {
+        self.funcs.iter().map(|f| f.fused).sum()
+    }
+
     #[inline]
     pub(crate) fn func(&self, id: FuncId) -> &PreparedFunction {
         &self.funcs[id.index()]
@@ -308,7 +680,13 @@ impl PreparedModule {
     }
 }
 
-fn prepare_function(module: &Module, f: &Function, cost: &CostModel) -> PreparedFunction {
+fn prepare_function(
+    module: &Module,
+    f: &Function,
+    cost: &CostModel,
+    mode: FuseMode,
+    statics: &Statics,
+) -> PreparedFunction {
     let back: HashSet<(BlockId, BlockId)> = loops::backedges(f).into_iter().collect();
     // First pass: arena offset of each block (insts + inlined terminator).
     let mut starts = Vec::with_capacity(f.num_blocks());
@@ -321,18 +699,486 @@ fn prepare_function(module: &Module, f: &Function, cost: &CostModel) -> Prepared
     let mut ops = Vec::with_capacity(offset as usize);
     for (id, b) in f.blocks() {
         for inst in b.insts() {
-            ops.push(decode_inst(module, inst, cost));
+            ops.push(decode_inst(module, inst, cost, statics));
         }
         ops.push(decode_term(id, b.term(), cost, &back, &starts));
+    }
+    // Third pass: peephole fusion within each block, then the cross-block
+    // jump/instrumentation pass over the (now fused) arena.
+    let mut fused = 0;
+    if mode == FuseMode::Fuse {
+        for b in 0..starts.len() {
+            let s = starts[b] as usize;
+            let e = starts.get(b + 1).map_or(ops.len(), |&n| n as usize);
+            fused += fuse_block(&mut ops, s, e);
+        }
+        fused += fuse_jump_effects(&mut ops, &starts);
     }
     PreparedFunction {
         ops,
         num_locals: f.num_locals(),
         arity: f.arity(),
+        fused,
     }
 }
 
-fn decode_inst(module: &Module, inst: &Inst, cost: &CostModel) -> Op {
+/// Installs a fused superinstruction over `ops[i..i + n]`: the leader
+/// takes the group's slot count as its width, the interior slots become
+/// inert [`OpKind::Gap`] fillers. The arena's length and every index in it
+/// are preserved.
+fn install(ops: &mut [Op], i: usize, n: usize, cost: u64, kind: OpKind) {
+    ops[i] = Op {
+        cost,
+        width: n as u32,
+        kind,
+    };
+    for slot in &mut ops[i + 1..i + n] {
+        *slot = Op {
+            cost: 0,
+            width: 1,
+            kind: OpKind::Gap,
+        };
+    }
+}
+
+/// Peephole-fuses one block's ops (`ops[s..e]`, terminator at `e - 1`).
+/// Returns the number of superinstructions installed.
+fn fuse_block(ops: &mut [Op], s: usize, e: usize) -> usize {
+    let mut fused = 0;
+    let mut i = s;
+    while i < e {
+        let n = try_fuse_at(ops, i, e);
+        if n > 1 {
+            fused += 1;
+        }
+        i += n;
+    }
+    fused
+}
+
+/// Tries every pattern of the superinstruction catalogue at `ops[i]`,
+/// bounded by the block end `e`. Returns the width consumed (1 = nothing
+/// fused). Trap-order soundness: [`Op::cost`] folds component costs only
+/// up to (and including) the first component that can trap; every later
+/// component's cost rides in the variant's `extra` field and is charged
+/// by the interpreter arm between the two executions, reproducing the
+/// unfused charge/execute interleaving — and therefore the exact trap
+/// point and cycle count — for both execution traps and budget traps
+/// (see DESIGN.md decision 12).
+fn try_fuse_at(ops: &mut [Op], i: usize, e: usize) -> usize {
+    match ops[i].kind {
+        OpKind::Const { dst: tmp, value } if i + 1 < e => {
+            let c0 = ops[i].cost;
+            match ops[i + 1].kind {
+                OpKind::Bin { op, dst, lhs, rhs } if lhs == tmp || rhs == tmp => {
+                    let c1 = ops[i + 1].cost;
+                    // Prefer the triple when the comparison feeds the
+                    // block's branch and neither edge is a backedge.
+                    if op.is_comparison() && i + 2 < e {
+                        if let OpKind::Br {
+                            cond,
+                            t,
+                            f,
+                            t_backedge: false,
+                            f_backedge: false,
+                        } = ops[i + 2].kind
+                        {
+                            if cond == dst {
+                                let kind = OpKind::BrCmpImm {
+                                    op,
+                                    dst,
+                                    lhs,
+                                    rhs,
+                                    tmp,
+                                    imm: value,
+                                    extra: ops[i + 2].cost,
+                                    t,
+                                    f,
+                                };
+                                install(ops, i, 3, c0 + c1, kind);
+                                return 3;
+                            }
+                        }
+                    }
+                    // Second-choice triple: the computed value goes
+                    // straight into a field (`o.f = <expr> <op> K;`).
+                    if i + 2 < e {
+                        if let OpKind::SetFieldStatic { obj, offset, src } = ops[i + 2].kind {
+                            if src == dst {
+                                let kind = OpKind::BinImmSetField {
+                                    op,
+                                    dst,
+                                    lhs,
+                                    rhs,
+                                    tmp,
+                                    imm: value,
+                                    obj,
+                                    offset,
+                                    extra: ops[i + 2].cost,
+                                };
+                                install(ops, i, 3, c0 + c1, kind);
+                                return 3;
+                            }
+                        }
+                    }
+                    let kind = OpKind::BinImm {
+                        op,
+                        dst,
+                        lhs,
+                        rhs,
+                        tmp,
+                        imm: value,
+                    };
+                    install(ops, i, 2, c0 + c1, kind);
+                    2
+                }
+                OpKind::ArrayGet { dst, arr, idx } if idx == tmp => match value {
+                    Value::I64(n) => {
+                        let cost = c0 + ops[i + 1].cost;
+                        install(
+                            ops,
+                            i,
+                            2,
+                            cost,
+                            OpKind::ArrayGetImm {
+                                dst,
+                                arr,
+                                tmp,
+                                idx: n,
+                            },
+                        );
+                        2
+                    }
+                    _ => 1,
+                },
+                // `a[K] = V;` with two literals: the value's `Const` sits
+                // between the index's `Const` and the store, so the pair
+                // patterns below never see it.
+                OpKind::Const {
+                    dst: src_tmp,
+                    value: src,
+                } if src_tmp != tmp && i + 2 < e => {
+                    if let OpKind::ArraySet {
+                        arr,
+                        idx: set_idx,
+                        src: set_src,
+                    } = ops[i + 2].kind
+                    {
+                        if set_idx == tmp && set_src == src_tmp {
+                            if let Value::I64(n) = value {
+                                let cost = c0 + ops[i + 1].cost + ops[i + 2].cost;
+                                let kind = OpKind::ArraySetImm2 {
+                                    arr,
+                                    tmp,
+                                    idx: n,
+                                    src_tmp,
+                                    src,
+                                };
+                                install(ops, i, 3, cost, kind);
+                                return 3;
+                            }
+                        }
+                    }
+                    1
+                }
+                OpKind::SetFieldStatic { obj, offset, src } if src == tmp => {
+                    let kind = OpKind::ConstSetField {
+                        tmp,
+                        imm: value,
+                        obj,
+                        offset,
+                    };
+                    install(ops, i, 2, c0 + ops[i + 1].cost, kind);
+                    2
+                }
+                OpKind::ArraySet { arr, idx, src } if idx == tmp && src != tmp => match value {
+                    Value::I64(n) => {
+                        let cost = c0 + ops[i + 1].cost;
+                        install(
+                            ops,
+                            i,
+                            2,
+                            cost,
+                            OpKind::ArraySetImm {
+                                arr,
+                                tmp,
+                                idx: n,
+                                src,
+                            },
+                        );
+                        2
+                    }
+                    _ => 1,
+                },
+                _ => 1,
+            }
+        }
+        OpKind::Bin { op, dst, lhs, rhs } if i + 1 < e => {
+            if op.is_comparison() {
+                if let OpKind::Br {
+                    cond,
+                    t,
+                    f,
+                    t_backedge: false,
+                    f_backedge: false,
+                } = ops[i + 1].kind
+                {
+                    if cond == dst {
+                        let kind = OpKind::BrCmp {
+                            op,
+                            dst,
+                            lhs,
+                            rhs,
+                            extra: ops[i + 1].cost,
+                            t,
+                            f,
+                        };
+                        install(ops, i, 2, ops[i].cost, kind);
+                        return 2;
+                    }
+                }
+            }
+            if let OpKind::SetFieldStatic { obj, offset, src } = ops[i + 1].kind {
+                if src == dst {
+                    let kind = OpKind::BinSetField {
+                        op,
+                        dst,
+                        lhs,
+                        rhs,
+                        obj,
+                        offset,
+                        extra: ops[i + 1].cost,
+                    };
+                    install(ops, i, 2, ops[i].cost, kind);
+                    return 2;
+                }
+            }
+            1
+        }
+        OpKind::GetFieldStatic {
+            dst: tmp,
+            obj,
+            offset,
+        } if i + 1 < e => {
+            let c0 = ops[i].cost;
+            match ops[i + 1].kind {
+                OpKind::ArrayGet { dst, arr, idx } if idx == tmp => {
+                    let kind = OpKind::GetFieldArrayGet {
+                        obj,
+                        offset,
+                        tmp,
+                        dst,
+                        arr,
+                        extra: ops[i + 1].cost,
+                    };
+                    install(ops, i, 2, c0, kind);
+                    2
+                }
+                OpKind::ArraySet { arr, idx, src } if idx == tmp => {
+                    let kind = OpKind::GetFieldArraySet {
+                        obj,
+                        offset,
+                        tmp,
+                        arr,
+                        src,
+                        extra: ops[i + 1].cost,
+                    };
+                    install(ops, i, 2, c0, kind);
+                    2
+                }
+                OpKind::Const { dst: ctmp, value } if i + 2 < e => {
+                    if let OpKind::Bin { op, dst, lhs, rhs } = ops[i + 2].kind {
+                        if (lhs == tmp && rhs == ctmp) || (lhs == ctmp && rhs == tmp) {
+                            // Best case: the result goes straight back
+                            // into a field — one dispatch for the whole
+                            // `o.f = o.g <op> K;` statement.
+                            if i + 3 < e {
+                                if let OpKind::SetFieldStatic {
+                                    obj: sobj,
+                                    offset: soffset,
+                                    src,
+                                } = ops[i + 3].kind
+                                {
+                                    if src == dst {
+                                        let kind = OpKind::GetFieldBinImmSetField {
+                                            obj,
+                                            offset,
+                                            tmp,
+                                            ctmp,
+                                            imm: value,
+                                            op,
+                                            dst,
+                                            lhs,
+                                            rhs,
+                                            sobj,
+                                            soffset,
+                                            extra: ops[i + 1].cost + ops[i + 2].cost,
+                                            extra2: ops[i + 3].cost,
+                                        };
+                                        install(ops, i, 4, c0, kind);
+                                        return 4;
+                                    }
+                                }
+                            }
+                            let kind = OpKind::GetFieldBinImm {
+                                obj,
+                                offset,
+                                tmp,
+                                ctmp,
+                                imm: value,
+                                op,
+                                dst,
+                                lhs,
+                                rhs,
+                                extra: ops[i + 1].cost + ops[i + 2].cost,
+                            };
+                            install(ops, i, 3, c0, kind);
+                            return 3;
+                        }
+                    }
+                    1
+                }
+                OpKind::Bin { op, dst, lhs, rhs } if lhs == tmp || rhs == tmp => {
+                    // A comparison that feeds the block's branch takes the
+                    // full load–compare–branch triple.
+                    if op.is_comparison() && i + 2 < e {
+                        if let OpKind::Br {
+                            cond,
+                            t,
+                            f,
+                            t_backedge: false,
+                            f_backedge: false,
+                        } = ops[i + 2].kind
+                        {
+                            if cond == dst {
+                                let kind = OpKind::GetFieldBrCmp {
+                                    obj,
+                                    offset,
+                                    tmp,
+                                    op,
+                                    dst,
+                                    lhs,
+                                    rhs,
+                                    extra: ops[i + 1].cost,
+                                    branch: ops[i + 2].cost,
+                                    t,
+                                    f,
+                                };
+                                install(ops, i, 3, c0, kind);
+                                return 3;
+                            }
+                        }
+                    }
+                    let kind = OpKind::GetFieldBin {
+                        obj,
+                        offset,
+                        tmp,
+                        op,
+                        dst,
+                        lhs,
+                        rhs,
+                        extra: ops[i + 1].cost,
+                    };
+                    install(ops, i, 2, c0, kind);
+                    2
+                }
+                _ => 1,
+            }
+        }
+        OpKind::Move { .. } => {
+            let mut n = 1;
+            while i + n < e && matches!(ops[i + n].kind, OpKind::Move { .. }) {
+                n += 1;
+            }
+            if n < 2 {
+                return 1;
+            }
+            let moves: Box<[(LocalId, LocalId)]> = ops[i..i + n]
+                .iter()
+                .map(|o| match o.kind {
+                    OpKind::Move { dst, src } => (dst, src),
+                    _ => unreachable!("run scanned above"),
+                })
+                .collect();
+            let cost = ops[i..i + n].iter().map(|o| o.cost).sum();
+            install(ops, i, n, cost, OpKind::MoveRun { moves });
+            n
+        }
+        OpKind::PathIncr { delta: first } => {
+            // Deltas are non-negative (widened u32), so when the summed
+            // delta fits in i64, every unfused partial sum fits too and
+            // one addition of the sum is exactly the sequential result.
+            let mut n = 1;
+            let mut sum = first;
+            while i + n < e {
+                let OpKind::PathIncr { delta } = ops[i + n].kind else {
+                    break;
+                };
+                let Some(s) = sum.checked_add(delta) else {
+                    break;
+                };
+                sum = s;
+                n += 1;
+            }
+            if n < 2 {
+                return 1;
+            }
+            let cost = ops[i..i + n].iter().map(|o| o.cost).sum();
+            install(ops, i, n, cost, OpKind::PathIncr { delta: sum });
+            n
+        }
+        _ => 1,
+    }
+}
+
+/// Fuses each non-backedge `Jump` with the leading run of trap-free,
+/// operand-free instrumentation ops (`CallEdge`, `BlockCount`,
+/// `EdgeCount`) in its target block, landing past them. The target's own
+/// slots are left untouched — other predecessors still execute them.
+/// Runs after the intra-block pass, which never touches these op kinds.
+fn fuse_jump_effects(ops: &mut [Op], starts: &[u32]) -> usize {
+    let mut fused = 0;
+    for b in 0..starts.len() {
+        let term = starts.get(b + 1).map_or(ops.len(), |&n| n as usize) - 1;
+        let target = match ops[term].kind {
+            OpKind::Jump {
+                target,
+                backedge: false,
+            } => target as usize,
+            _ => continue,
+        };
+        let mut effects = Vec::new();
+        let mut extra = 0u64;
+        let mut k = target;
+        loop {
+            match &ops[k].kind {
+                OpKind::CallEdge => effects.push(InstrEffect::CallEdge),
+                OpKind::BlockCount { block } => effects.push(InstrEffect::BlockCount(*block)),
+                OpKind::EdgeCount { from, to } => {
+                    effects.push(InstrEffect::EdgeCount(*from, *to));
+                }
+                _ => break,
+            }
+            extra += ops[k].cost;
+            k += 1;
+        }
+        if effects.is_empty() {
+            continue;
+        }
+        ops[term] = Op {
+            cost: ops[term].cost + extra,
+            width: 1 + effects.len() as u32,
+            kind: OpKind::JumpInstr {
+                target: k as u32,
+                effects: effects.into(),
+            },
+        };
+        fused += 1;
+    }
+    fused
+}
+
+fn decode_inst(module: &Module, inst: &Inst, cost: &CostModel, statics: &Statics) -> Op {
     let c = cost.inst_cost(inst);
     let kind = match inst {
         Inst::Const { dst, value } => OpKind::Const {
@@ -363,15 +1209,29 @@ fn decode_inst(module: &Module, inst: &Inst, cost: &CostModel) -> Op {
             class: *class,
             num_fields: module.class(*class).num_fields(),
         },
-        Inst::GetField { dst, obj, field } => OpKind::GetField {
-            dst: *dst,
-            obj: *obj,
-            field: *field,
+        Inst::GetField { dst, obj, field } => match statics.field_slots[field.index()] {
+            Some(offset) => OpKind::GetFieldStatic {
+                dst: *dst,
+                obj: *obj,
+                offset,
+            },
+            None => OpKind::GetField {
+                dst: *dst,
+                obj: *obj,
+                field: *field,
+            },
         },
-        Inst::SetField { obj, field, src } => OpKind::SetField {
-            obj: *obj,
-            field: *field,
-            src: *src,
+        Inst::SetField { obj, field, src } => match statics.field_slots[field.index()] {
+            Some(offset) => OpKind::SetFieldStatic {
+                obj: *obj,
+                offset,
+                src: *src,
+            },
+            None => OpKind::SetField {
+                obj: *obj,
+                field: *field,
+                src: *src,
+            },
         },
         Inst::NewArray { dst, len } => OpKind::NewArray {
             dst: *dst,
@@ -408,12 +1268,25 @@ fn decode_inst(module: &Module, inst: &Inst, cost: &CostModel) -> Op {
             method,
             args,
             site,
-        } => OpKind::CallMethod {
-            dst: *dst,
-            obj: *obj,
-            method: *method,
-            args: args.clone().into_boxed_slice(),
-            site: *site,
+        } => match statics.method_targets[method.index()] {
+            // The arity check moves to prepare time too; a mismatch (which
+            // would trap for every receiver) keeps the dynamic form.
+            Some(callee) if module.function(callee).arity() == args.len() + 1 => {
+                OpKind::CallMethodStatic {
+                    dst: *dst,
+                    obj: *obj,
+                    callee,
+                    args: args.clone().into_boxed_slice(),
+                    site: *site,
+                }
+            }
+            _ => OpKind::CallMethod {
+                dst: *dst,
+                obj: *obj,
+                method: *method,
+                args: args.clone().into_boxed_slice(),
+                site: *site,
+            },
         },
         Inst::Print { src } => OpKind::Print { src: *src },
         Inst::Spawn { dst, callee, args } => OpKind::Spawn {
@@ -449,7 +1322,11 @@ fn decode_inst(module: &Module, inst: &Inst, cost: &CostModel) -> Op {
             InstrOp::PathEnd { site } => OpKind::PathEnd { site: *site },
         },
     };
-    Op { cost: c, kind }
+    Op {
+        cost: c,
+        width: 1,
+        kind,
+    }
 }
 
 fn decode_term(
@@ -482,7 +1359,11 @@ fn decode_term(
             cont_backedge: backedge(*cont),
         },
     };
-    Op { cost: c, kind }
+    Op {
+        cost: c,
+        width: 1,
+        kind,
+    }
 }
 
 #[cfg(test)]
@@ -534,7 +1415,7 @@ mod tests {
     fn costs_are_prefolded() {
         let cost = CostModel::default();
         let m = compile("fn main() { print(2 * 3); }");
-        let p = PreparedModule::prepare(&m, &cost);
+        let p = PreparedModule::prepare_with(&m, &cost, FuseMode::Off);
         let ops = &p.func(m.main()).ops;
         assert!(
             ops.iter()
@@ -548,6 +1429,173 @@ mod tests {
             ops.last().map(|op| (&op.kind, op.cost)),
             Some((OpKind::Ret { .. }, c)) if c == cost.ret
         ));
+    }
+
+    #[test]
+    fn const_bin_fuses_with_summed_cost() {
+        let cost = CostModel::default();
+        let m = compile("fn main() { print(2 * 3); }");
+        let unfused = PreparedModule::prepare_with(&m, &cost, FuseMode::Off);
+        let fused = PreparedModule::prepare_with(&m, &cost, FuseMode::Fuse);
+        // Fusion is slot-preserving: same arena length, leaders widen.
+        assert_eq!(
+            fused.func(m.main()).ops.len(),
+            unfused.func(m.main()).ops.len()
+        );
+        // `Const 3` + `Bin Mul` collapse into one BinImm charging both.
+        let ops = &fused.func(m.main()).ops;
+        assert!(ops.iter().any(|op| matches!(
+            op.kind,
+            OpKind::BinImm {
+                op: BinOp::Mul,
+                imm: Value::I64(3),
+                ..
+            }
+        ) && op.cost == cost.alu + cost.mul
+            && op.width == 2));
+        assert!(ops.iter().any(|op| matches!(op.kind, OpKind::Gap)));
+        assert!(fused.num_fused() > 0);
+    }
+
+    #[test]
+    fn compare_and_branch_fuse_into_br_cmp() {
+        let cost = CostModel::default();
+        let m = compile("fn main() { var i = 0; while (i < 3) { i = i + 1; } }");
+        let p = PreparedModule::prepare_with(&m, &cost, FuseMode::Fuse);
+        // The loop header's `Const 3; Bin Lt; Br` triple becomes one
+        // BrCmpImm: compare cost charged up front, branch cost in `extra`.
+        let found = p.funcs.iter().flat_map(|f| f.ops.iter()).any(|op| {
+            matches!(
+                op.kind,
+                OpKind::BrCmpImm {
+                    op: BinOp::Lt,
+                    extra,
+                    ..
+                } if extra == cost.branch
+            ) && op.cost == cost.alu + cost.alu
+                && op.width == 3
+        });
+        assert!(found, "loop header compare-and-branch should fuse");
+    }
+
+    #[test]
+    fn const_index_array_ops_fuse() {
+        let m =
+            compile("fn main() { var a = array(4); var x = 9; a[1] = 5; a[2] = x; print(a[1]); }");
+        let p = PreparedModule::prepare_with(&m, &CostModel::default(), FuseMode::Fuse);
+        let ops = &p.func(m.main()).ops;
+        assert!(
+            ops.iter().any(|op| matches!(
+                op.kind,
+                OpKind::ArraySetImm2 {
+                    idx: 1,
+                    src: Value::I64(5),
+                    ..
+                }
+            )),
+            "literal-value constant-index store should fuse as a triple"
+        );
+        assert!(
+            ops.iter()
+                .any(|op| matches!(op.kind, OpKind::ArraySetImm { idx: 2, .. })),
+            "variable-value constant-index store should fuse"
+        );
+        assert!(
+            ops.iter()
+                .any(|op| matches!(op.kind, OpKind::ArrayGetImm { idx: 1, .. })),
+            "constant-index load should fuse"
+        );
+    }
+
+    #[test]
+    fn move_runs_fuse() {
+        let m = compile(
+            "fn main() { var a = 1; var b = 2; var c = 3; a = b; c = a; b = c; print(b); }",
+        );
+        let p = PreparedModule::prepare_with(&m, &CostModel::default(), FuseMode::Fuse);
+        let ops = &p.func(m.main()).ops;
+        assert!(
+            ops.iter()
+                .any(|op| matches!(op.kind, OpKind::MoveRun { ref moves } if moves.len() >= 2)),
+            "consecutive moves should fuse into a MoveRun"
+        );
+    }
+
+    #[test]
+    fn fuse_off_produces_no_fused_ops() {
+        let m = compile("fn main() { var i = 0; while (i < 3) { i = i + 1; } print(2 * 3); }");
+        let p = PreparedModule::prepare_with(&m, &CostModel::default(), FuseMode::Off);
+        assert_eq!(p.num_fused(), 0);
+        for f in &p.funcs {
+            for op in f.ops.iter() {
+                assert_eq!(op.width, 1, "unfused ops all have width 1");
+                assert!(!matches!(op.kind, OpKind::Gap));
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_field_layout_resolves_statically() {
+        let m = compile(
+            "class P { field x; method get() { return self.x; } }
+             fn main() { var p = new P; p.x = 7; print(p.x); }",
+        );
+        let p = PreparedModule::prepare_with(&m, &CostModel::default(), FuseMode::Fuse);
+        // A single class trivially has a uniform layout, so field accesses
+        // resolve to static offsets and the method call to a direct target.
+        let all_ops = || p.funcs.iter().flat_map(|f| f.ops.iter());
+        assert!(all_ops().any(|op| matches!(
+            op.kind,
+            OpKind::SetFieldStatic { .. } | OpKind::ConstSetField { .. }
+        )));
+        assert!(all_ops().any(|op| matches!(op.kind, OpKind::GetFieldStatic { .. })));
+        assert!(!all_ops().any(|op| matches!(op.kind, OpKind::GetField { .. })));
+        let off = PreparedModule::prepare_with(&m, &CostModel::default(), FuseMode::Off);
+        let off_ops = || off.funcs.iter().flat_map(|f| f.ops.iter());
+        assert!(off_ops().any(|op| matches!(op.kind, OpKind::GetField { .. })));
+        assert!(!off_ops().any(|op| matches!(op.kind, OpKind::GetFieldStatic { .. })));
+    }
+
+    #[test]
+    fn branch_targets_never_point_at_gap_interiors() {
+        let m = compile(
+            "fn main() {
+                 var i = 0;
+                 while (i < 10) {
+                     if (i < 5) { i = i + 2; } else { i = i + 1; }
+                 }
+                 print(i);
+             }",
+        );
+        let p = PreparedModule::prepare_with(&m, &CostModel::default(), FuseMode::Fuse);
+        for f in &p.funcs {
+            let mut targets = Vec::new();
+            for op in f.ops.iter() {
+                match op.kind {
+                    OpKind::Jump { target, .. } | OpKind::JumpInstr { target, .. } => {
+                        targets.push(target)
+                    }
+                    OpKind::Br { t, f, .. }
+                    | OpKind::BrCmp { t, f, .. }
+                    | OpKind::BrCmpImm { t, f, .. }
+                    | OpKind::GetFieldBrCmp { t, f, .. } => {
+                        targets.push(t);
+                        targets.push(f);
+                    }
+                    OpKind::Check { sample, cont, .. } => {
+                        targets.push(sample);
+                        targets.push(cont);
+                    }
+                    _ => {}
+                }
+            }
+            for t in targets {
+                assert!(
+                    !matches!(f.ops[t as usize].kind, OpKind::Gap),
+                    "control transfer lands on a gap slot"
+                );
+            }
+        }
     }
 
     #[test]

@@ -30,13 +30,14 @@ pub const USAGE: &str = "usage: isf-harness [--scale smoke|default|paper] [--job
      \x20                  [--emit json|off] [--emit-path FILE]\n\
      \x20                  [--retries N] [--cell-budget CYCLES]\n\
      \x20                  [--fault-inject p=<prob>[,seed=<s>]]\n\
-     \x20                  [--journal FILE] [--resume] <experiment>...\n\
+     \x20                  [--journal FILE] [--resume] [--no-fuse] <experiment>...\n\
      \x20      isf-harness bench-snapshot [--scale smoke|default|paper] [--jobs N] [--out DIR]\n\
      \x20      isf-harness validate-jsonl <FILE>\n\
      experiments: table1 table2 table3 table4 table5 fig7 fig8 extras all\n\
      N defaults to $ISF_JOBS, then the machine's available parallelism;\n\
      --retries defaults to $ISF_RETRIES (0), --cell-budget to $ISF_CELL_BUDGET (uncapped);\n\
-     --journal defaults to $ISF_JOURNAL (off); --resume replays a journal's finished cells";
+     --journal defaults to $ISF_JOURNAL (off); --resume replays a journal's finished cells;\n\
+     --no-fuse disables superinstruction fusion (also $ISF_FUSE=0) — results are identical";
 
 /// A fully parsed experiment run.
 #[derive(Clone, Debug, PartialEq)]
@@ -59,6 +60,11 @@ pub struct RunConfig {
     pub journal: Option<PathBuf>,
     /// `--resume`: replay the journal's finished cells.
     pub resume: bool,
+    /// `--no-fuse`: run the prepared engine without superinstruction
+    /// fusion (the `ISF_FUSE=0` escape hatch as a flag). Observable
+    /// results are identical either way; this exists for ablation and for
+    /// the CI equivalence diff.
+    pub no_fuse: bool,
     /// Validated, `all`-expanded experiment list, in run order.
     pub experiments: Vec<String>,
 }
@@ -164,6 +170,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
         fault: None,
         journal: None,
         resume: false,
+        no_fuse: false,
         experiments: Vec::new(),
     };
     let mut it = args.iter();
@@ -205,6 +212,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             }
             "--journal" => cfg.journal = Some(PathBuf::from(next_value(&mut it, "--journal")?)),
             "--resume" => cfg.resume = true,
+            "--no-fuse" => cfg.no_fuse = true,
             "--help" | "-h" => return Ok(Command::Help),
             other if other.starts_with('-') => return Err(CliError::Usage),
             other if KNOWN_EXPERIMENTS.contains(&other) => {
@@ -284,6 +292,7 @@ mod tests {
             "--journal",
             "j.jsonl",
             "--resume",
+            "--no-fuse",
             "table4",
             "table1",
         ]);
@@ -296,6 +305,7 @@ mod tests {
         assert_eq!(cfg.fault, Some((0.25, 7)));
         assert_eq!(cfg.journal, Some(PathBuf::from("j.jsonl")));
         assert!(cfg.resume);
+        assert!(cfg.no_fuse);
         assert_eq!(cfg.experiments, vec!["table4", "table1"]);
     }
 
@@ -305,6 +315,7 @@ mod tests {
         assert_eq!(cfg.experiments, ALL_EXPERIMENTS);
         assert_eq!(cfg.scale, Scale::Default);
         assert!(!cfg.resume);
+        assert!(!cfg.no_fuse, "fusion is on by default");
     }
 
     #[test]

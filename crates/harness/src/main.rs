@@ -7,7 +7,7 @@
 //!             [--emit json|off] [--emit-path FILE]
 //!             [--retries N] [--cell-budget CYCLES]
 //!             [--fault-inject p=<prob>[,seed=<s>]]
-//!             [--journal FILE] [--resume] <experiment>...
+//!             [--journal FILE] [--resume] [--no-fuse] <experiment>...
 //! isf-harness bench-snapshot [--scale ...] [--out DIR]
 //! isf-harness validate-jsonl <FILE>
 //! experiments: table1 table2 table3 table4 table5 fig7 fig8 extras all
@@ -32,6 +32,12 @@
 //! and exit with code 75 (resumable), and `--resume` replays the journal
 //! so the completed run's stdout and JSONL are byte-identical to an
 //! uninterrupted run's.
+//!
+//! With `--no-fuse` (or `ISF_FUSE=0`) the prepared engine skips the
+//! superinstruction fusion pass. Fusion is observably equivalent — every
+//! table, cycle count, and JSONL record is byte-identical either way —
+//! so the flag exists for ablation measurements and the CI equivalence
+//! diff, not for correctness.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -168,6 +174,9 @@ fn run(cfg: &RunConfig) -> ExitCode {
     }
     if let Some((p, seed)) = cfg.fault {
         runner::set_fault_injection(p, seed);
+    }
+    if cfg.no_fuse {
+        isf_exec::set_fuse_mode(Some(isf_exec::FuseMode::Off));
     }
     if let Some(json) = cfg.emit_json {
         emit::set_mode(if json {

@@ -19,15 +19,16 @@
 //! the decoded form with [`run_prepared_module`], amortizing preparation
 //! over the whole sweep.
 
+use std::collections::HashMap;
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 use isf_core::{instrument_module, Options, Strategy, TransformStats};
 use isf_exec::{
-    run, run_prepared, thread_preparations, CostModel, ExecLimits, Outcome, PreparedModule,
-    Trigger, VmConfig, VmError,
+    fuse_mode, run_prepared, CostModel, ExecLimits, Outcome, PreparedModule, Trigger, VmConfig,
+    VmError,
 };
 use isf_instr::{CallEdgeInstrumentation, FieldAccessInstrumentation, Instrumentation, ModulePlan};
 use isf_ir::Module;
@@ -608,21 +609,34 @@ pub fn par_cells<R: Send>(cells: Vec<Cell<'_, R>>) -> Vec<R> {
 }
 
 thread_local! {
-    /// (simulated cycles, instructions) executed by the current cell, fed
-    /// by [`run_module`] and [`run_prepared_module`].
-    static CELL_STATS: std::cell::Cell<(u64, u64)> = const { std::cell::Cell::new((0, 0)) };
+    /// (simulated cycles, instructions, preparation requests) of the
+    /// current cell, fed by [`run_module`], [`run_prepared_module`] and
+    /// [`cached_prepare`].
+    static CELL_STATS: std::cell::Cell<(u64, u64, u64)> =
+        const { std::cell::Cell::new((0, 0, 0)) };
 }
 
 fn note_run(outcome: &Outcome) {
     CELL_STATS.with(|c| {
-        let (cycles, instructions) = c.get();
-        c.set((cycles + outcome.cycles, instructions + outcome.instructions));
+        let (cycles, instructions, prepares) = c.get();
+        c.set((
+            cycles + outcome.cycles,
+            instructions + outcome.instructions,
+            prepares,
+        ));
+    });
+}
+
+fn note_prepare_request() {
+    CELL_STATS.with(|c| {
+        let (cycles, instructions, prepares) = c.get();
+        c.set((cycles, instructions, prepares + 1));
     });
 }
 
 /// Everything [`run_cell`] measures about one cell: the deterministic
-/// counters (simulated cycles, instructions, preparations) plus the
-/// wall-clock figures, which are redactable in JSONL output.
+/// counters (simulated cycles, instructions, preparation requests) plus
+/// the wall-clock figures, which are redactable in JSONL output.
 struct CellMetrics {
     label: String,
     cycles: u64,
@@ -741,8 +755,7 @@ fn run_cell<R>(c: &Cell<'_, R>) -> (CellResult<R>, CellMetrics) {
         .saturating_add(1);
     let mut attempt = 1u32;
     loop {
-        CELL_STATS.with(|s| s.set((0, 0)));
-        let prepares_before = thread_preparations();
+        CELL_STATS.with(|s| s.set((0, 0, 0)));
         let start = Instant::now();
         IN_CELL.with(|f| f.set(true));
         let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
@@ -759,8 +772,7 @@ fn run_cell<R>(c: &Cell<'_, R>) -> (CellResult<R>, CellMetrics) {
         }));
         IN_CELL.with(|f| f.set(false));
         let wall = start.elapsed();
-        let (cycles, instructions) = CELL_STATS.with(|s| s.get());
-        let prepares = thread_preparations() - prepares_before;
+        let (cycles, instructions, prepares) = CELL_STATS.with(|s| s.get());
         let secs = wall.as_secs_f64();
         let mips = if secs > 0.0 {
             instructions as f64 / 1e6 / secs
@@ -777,7 +789,10 @@ fn run_cell<R>(c: &Cell<'_, R>) -> (CellResult<R>, CellMetrics) {
             ));
         }
         if prepares > 0 {
-            log::debug(&format!("[cell] {}: {prepares} preparations", c.label));
+            log::debug(&format!(
+                "[cell] {}: {prepares} preparation request(s)",
+                c.label
+            ));
         }
         let metrics = CellMetrics {
             label: c.label.clone(),
@@ -930,11 +945,87 @@ pub fn instrument(
     (out, stats, elapsed)
 }
 
+// ---------------------------------------------------------------------
+// Shared preparation cache.
+// ---------------------------------------------------------------------
+
+/// Process-wide cache of decoded modules, keyed by a fingerprint of the
+/// module text, the cost model, and the fusion mode. Experiments sweep
+/// the same program across many configurations — Table 4 alone runs one
+/// instrumented module at six sampling intervals, and every strategy
+/// re-compiles and re-baselines the whole suite — so sharing one
+/// [`PreparedModule`] across cells (and across the `par_cells` workers
+/// that run them) removes most preparation work from a harness run.
+///
+/// The map holds one lazily-initialized slot per fingerprint: the map
+/// lock is released before decoding, so requests for *different* modules
+/// prepare in parallel while concurrent requests for the *same* module
+/// block on the slot and share a single preparation.
+type PrepSlot = Arc<OnceLock<Arc<PreparedModule>>>;
+static PREP_CACHE: OnceLock<Mutex<HashMap<u64, PrepSlot>>> = OnceLock::new();
+static PREP_CACHE_HITS: AtomicU64 = AtomicU64::new(0);
+static PREP_CACHE_MISSES: AtomicU64 = AtomicU64::new(0);
+
+/// `(hits, misses)` of the shared preparation cache since process start.
+/// A hit is a [`cached_prepare`] request that reused an already-decoded
+/// module; a miss paid an actual [`PreparedModule::prepare`].
+pub fn preparation_cache_stats() -> (u64, u64) {
+    (
+        PREP_CACHE_HITS.load(Ordering::Relaxed),
+        PREP_CACHE_MISSES.load(Ordering::Relaxed),
+    )
+}
+
+/// Fingerprints everything that determines the decoded form: the module's
+/// canonical text plus the cost model and the fusion mode it would be
+/// prepared under.
+fn prep_fingerprint(module: &Module, cost: &CostModel) -> u64 {
+    let h = journal::fnv1a(journal::FNV_OFFSET, module.to_string().as_bytes());
+    journal::fnv1a(h, format!("{cost:?}/{:?}", fuse_mode()).as_bytes())
+}
+
+/// Decodes `module` under the harness cost model through the shared
+/// preparation cache, returning the (possibly shared) decoded form.
+///
+/// Counts one preparation *request* toward the current cell's `prepares`
+/// metric whether or not the cache already held the module: requests are
+/// a pure function of the cell's own work, so the JSONL `cell` records
+/// stay byte-identical however cells are scheduled, while *which* worker
+/// pays the actual decode is schedule-dependent and only surfaced through
+/// [`preparation_cache_stats`] and `ISF_LOG=debug`.
+pub fn cached_prepare(module: &Module) -> Arc<PreparedModule> {
+    note_prepare_request();
+    let cost = CostModel::default();
+    let key = prep_fingerprint(module, &cost);
+    let slot = {
+        let mut map = PREP_CACHE
+            .get_or_init(Mutex::default)
+            .lock()
+            .unwrap_or_else(|p| p.into_inner());
+        map.entry(key).or_default().clone()
+    };
+    let mut fresh = false;
+    let prepared = slot
+        .get_or_init(|| {
+            fresh = true;
+            Arc::new(PreparedModule::prepare(module, &cost))
+        })
+        .clone();
+    if fresh {
+        PREP_CACHE_MISSES.fetch_add(1, Ordering::Relaxed);
+        log::debug(&format!("[prep-cache] miss, decoded {key:016x}"));
+    } else {
+        PREP_CACHE_HITS.fetch_add(1, Ordering::Relaxed);
+        log::debug(&format!("[prep-cache] hit {key:016x}"));
+    }
+    prepared
+}
+
 /// Runs a module under the harness VM configuration (including the
-/// [`cell_budget`] cycle cap, when one is set), decoding it first. For a
-/// module run once, this is the whole story; a cell that runs the same
-/// module repeatedly should decode once with [`prepare_for_runs`] and
-/// replay with [`run_prepared_module`] instead.
+/// [`cell_budget`] cycle cap, when one is set), decoding it through the
+/// shared preparation cache first. For a cell that runs the same module
+/// repeatedly, [`prepare_for_runs`] + [`run_prepared_module`] keeps the
+/// decoded form in hand across the sweep.
 ///
 /// # Panics
 ///
@@ -942,23 +1033,17 @@ pub fn instrument(
 /// the cell isolation layer classifies into [`CellResult::Trapped`] or
 /// [`CellResult::Budget`] without taking sibling cells down.
 pub fn run_module(module: &Module, trigger: Trigger) -> Outcome {
-    let cfg = VmConfig {
-        trigger,
-        limits: harness_limits(),
-        ..VmConfig::default()
-    };
-    let start = Instant::now();
-    let outcome = run(module, &cfg).unwrap_or_else(|e| std::panic::panic_any(CellTrap(e)));
-    emit::phase("run", start.elapsed());
-    note_run(&outcome);
-    outcome
+    let prepared = cached_prepare(module);
+    run_prepared_module(&prepared, trigger)
 }
 
 /// Pre-decodes a module once, under the harness cost model, for repeated
-/// [`run_prepared_module`] runs.
-pub fn prepare_for_runs(module: &Module) -> PreparedModule {
+/// [`run_prepared_module`] runs. Served from the shared preparation cache,
+/// so identical (program, cost, fusion) requests across cells — Table 4's
+/// per-strategy suites, for instance — share one decode.
+pub fn prepare_for_runs(module: &Module) -> Arc<PreparedModule> {
     let start = Instant::now();
-    let prepared = PreparedModule::prepare(module, &CostModel::default());
+    let prepared = cached_prepare(module);
     emit::phase("prepare", start.elapsed());
     prepared
 }
@@ -1095,6 +1180,53 @@ mod tests {
         assert_eq!(records, 31);
         assert!(serial.contains("\"type\":\"cell\""));
         assert!(serial.contains("\"wall_ns\":0"), "wall fields are redacted");
+    }
+
+    #[test]
+    fn preparation_cache_shares_decodes() {
+        // A module text unique to this test keys a fresh cache slot, so
+        // the thread-local preparation counter isolates exactly what this
+        // thread decoded regardless of concurrently running tests.
+        let m = isf_frontend::compile("fn main() { print(424242); }").unwrap();
+        let before = isf_exec::thread_preparations();
+        let first = cached_prepare(&m);
+        assert_eq!(
+            isf_exec::thread_preparations(),
+            before + 1,
+            "first request pays the decode"
+        );
+        let second = cached_prepare(&m);
+        assert_eq!(
+            isf_exec::thread_preparations(),
+            before + 1,
+            "second request is served from the cache"
+        );
+        assert!(
+            Arc::ptr_eq(&first, &second),
+            "both requests share one PreparedModule"
+        );
+        let (hits, misses) = preparation_cache_stats();
+        assert!(hits >= 1, "the repeat request counts as a hit");
+        assert!(misses >= 1, "the initial request counts as a miss");
+    }
+
+    #[test]
+    fn run_module_counts_requests_not_decodes() {
+        // `prepares` in the cell record is the number of preparation
+        // *requests* — a deterministic property of the cell's work — so a
+        // cache hit must count exactly like the decode it avoided.
+        let m = isf_frontend::compile("fn main() { print(777001); }").unwrap();
+        let run_once = || {
+            let results = par_cells_isolated(vec![cell("prep-req/unique", || {
+                run_module(&m, Trigger::Never).cycles
+            })]);
+            assert!(matches!(results[0], CellResult::Ok(_)));
+        };
+        run_once(); // decodes
+        let (hits_before, _) = preparation_cache_stats();
+        run_once(); // hits
+        let (hits_after, _) = preparation_cache_stats();
+        assert!(hits_after > hits_before, "second run hits the cache");
     }
 
     #[test]

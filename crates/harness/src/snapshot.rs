@@ -13,7 +13,7 @@ use std::path::{Path, PathBuf};
 use std::time::{Instant, SystemTime, UNIX_EPOCH};
 
 use isf_core::{Options, Strategy};
-use isf_exec::Trigger;
+use isf_exec::{run_naive, run_prepared, FuseMode, PreparedModule, Trigger, VmConfig};
 use isf_obs::{emit, Json};
 
 use crate::runner::{cell, instrument, par_cells, prepare_suite, run_module, Kinds};
@@ -95,8 +95,74 @@ pub fn collect(scale: Scale) -> Vec<BenchSample> {
     )
 }
 
+/// The benchmarks the engine-ablation samples compare; `compress` is the
+/// paper's headline workload, `mtrt` the call-dense counterweight.
+pub const DISPATCH_BENCHES: [&str; 2] = ["compress", "mtrt"];
+
+/// One benchmark's engine-ablation sample: the same uninstrumented run
+/// under the fused prepared engine, the unfused prepared engine, and the
+/// naive tree-walking reference.
+#[derive(Clone, Debug)]
+pub struct DispatchSample {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Wall time of the superinstruction-fused prepared run, nanoseconds.
+    pub fused_ns: u64,
+    /// Wall time of the unfused prepared run, nanoseconds.
+    pub unfused_ns: u64,
+    /// Wall time of the naive reference run, nanoseconds.
+    pub naive_ns: u64,
+}
+
+/// Measures the engine ablation on [`DISPATCH_BENCHES`] at `scale`: one
+/// timed run per engine per benchmark. All three engines produce the
+/// identical outcome; only the wall clock differs.
+///
+/// # Panics
+///
+/// Panics if a benchmark is missing from the suite or a run traps — the
+/// dispatch baselines would otherwise silently vanish from the snapshot.
+pub fn dispatch_samples(scale: Scale) -> Vec<DispatchSample> {
+    let suite = prepare_suite(scale);
+    let cfg = VmConfig::default();
+    DISPATCH_BENCHES
+        .iter()
+        .map(|&name| {
+            let b = suite
+                .benches
+                .iter()
+                .find(|b| b.name == name)
+                .unwrap_or_else(|| panic!("bench-snapshot: `{name}` missing from the suite"));
+            let fused = PreparedModule::prepare_with(&b.module, &cfg.cost, FuseMode::Fuse);
+            let unfused = PreparedModule::prepare_with(&b.module, &cfg.cost, FuseMode::Off);
+            let clock = |r: &mut dyn FnMut()| {
+                let start = Instant::now();
+                r();
+                u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+            };
+            DispatchSample {
+                name: b.name,
+                fused_ns: clock(&mut || {
+                    run_prepared(&fused, &cfg).expect("benchmarks do not trap");
+                }),
+                unfused_ns: clock(&mut || {
+                    run_prepared(&unfused, &cfg).expect("benchmarks do not trap");
+                }),
+                naive_ns: clock(&mut || {
+                    run_naive(&b.module, &cfg).expect("benchmarks do not trap");
+                }),
+            }
+        })
+        .collect()
+}
+
 /// Renders a snapshot as its JSON document.
-pub fn to_json(scale: Scale, date: &str, samples: &[BenchSample]) -> Json {
+pub fn to_json(
+    scale: Scale,
+    date: &str,
+    samples: &[BenchSample],
+    dispatch: &[DispatchSample],
+) -> Json {
     Json::obj([
         ("schema", "isf-bench-snapshot/1".into()),
         ("date", date.into()),
@@ -117,6 +183,30 @@ pub fn to_json(scale: Scale, date: &str, samples: &[BenchSample]) -> Json {
                             ("instructions", s.instructions.into()),
                             ("wall_ns", emit::wall_ns(s.wall_ns)),
                             ("mips", emit::wall_rate(s.mips)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "dispatch",
+            Json::Arr(
+                dispatch
+                    .iter()
+                    .map(|s| {
+                        Json::obj([
+                            ("name", s.name.into()),
+                            ("fused_wall_ns", emit::wall_ns(s.fused_ns)),
+                            ("unfused_wall_ns", emit::wall_ns(s.unfused_ns)),
+                            ("naive_wall_ns", emit::wall_ns(s.naive_ns)),
+                            (
+                                "fused_speedup",
+                                emit::wall_rate(if s.fused_ns > 0 {
+                                    s.unfused_ns as f64 / s.fused_ns as f64
+                                } else {
+                                    0.0
+                                }),
+                            ),
                         ])
                     })
                     .collect(),
@@ -170,7 +260,8 @@ pub fn today() -> String {
 pub fn write(scale: Scale, dir: &Path) -> io::Result<PathBuf> {
     let date = today();
     let samples = collect(scale);
-    let doc = to_json(scale, &date, &samples);
+    let dispatch = dispatch_samples(scale);
+    let doc = to_json(scale, &date, &samples, &dispatch);
     let path = dir.join(format!("BENCH_{date}.json"));
     let tmp = dir.join(format!("BENCH_{date}.json.tmp"));
     {
@@ -216,7 +307,13 @@ mod tests {
             wall_ns: 1234,
             mips: 2.5,
         }];
-        let doc = to_json(Scale::Smoke, "2026-08-06", &samples);
+        let dispatch = vec![DispatchSample {
+            name: "compress",
+            fused_ns: 800,
+            unfused_ns: 1000,
+            naive_ns: 2000,
+        }];
+        let doc = to_json(Scale::Smoke, "2026-08-06", &samples, &dispatch);
         assert_eq!(
             doc.get("schema").and_then(Json::as_str),
             Some("isf-bench-snapshot/1")
@@ -225,6 +322,20 @@ mod tests {
         let text = doc.to_string();
         isf_obs::json::parse(&text).expect("snapshot JSON parses");
         assert!(text.contains("\"name\":\"db\""));
+        assert!(text.contains("\"fused_wall_ns\""));
+        assert!(text.contains("\"fused_speedup\""));
+    }
+
+    #[test]
+    fn dispatch_samples_cover_both_engines() {
+        let samples = dispatch_samples(Scale::Smoke);
+        assert_eq!(samples.len(), DISPATCH_BENCHES.len());
+        for s in &samples {
+            assert!(DISPATCH_BENCHES.contains(&s.name));
+            assert!(s.fused_ns > 0, "{}: fused run not timed", s.name);
+            assert!(s.unfused_ns > 0, "{}: unfused run not timed", s.name);
+            assert!(s.naive_ns > 0, "{}: naive run not timed", s.name);
+        }
     }
 
     #[test]

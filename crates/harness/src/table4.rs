@@ -124,11 +124,13 @@ fn sweep(scale: Scale, strategy: Strategy) -> (Vec<Row>, Vec<CellError>) {
                         instrument(&b.module, Kinds::Both, &Options::new(strategy));
                     let perfect = perfect_profile(b, Kinds::Both);
                     let prepared = prepare_for_runs(&module);
-                    // The decoded form is built exactly once per cell;
-                    // every run of the sweep below replays it. The counter
-                    // is thread-local and a cell runs entirely on one
-                    // worker thread, so the assertion is race-free even
-                    // while other cells prepare concurrently.
+                    // The decoded form is fetched once per cell (shared
+                    // through the preparation cache when another cell
+                    // already decoded the same module); every run of the
+                    // sweep below replays it. The counter is thread-local
+                    // and a cell runs entirely on one worker thread, so
+                    // the assertion is race-free even while other cells
+                    // prepare concurrently.
                     let preparations_before = thread_preparations();
                     let framework_cycles =
                         run_prepared_module(&prepared, Trigger::Never).cycles as f64;
@@ -302,8 +304,16 @@ mod tests {
         crate::runner::set_jobs(1);
         let serial = run(Scale::Smoke).to_string();
         crate::runner::set_jobs(4);
+        let (hits_before, _) = crate::runner::preparation_cache_stats();
         let parallel = run(Scale::Smoke).to_string();
+        let (hits_after, _) = crate::runner::preparation_cache_stats();
         crate::runner::set_jobs(0);
         assert_eq!(serial, parallel, "table 4 output depends on the job count");
+        // The serial sweep populated the preparation cache, so the repeat
+        // sweep serves its identical (program, plan) decodes from it.
+        assert!(
+            hits_after > hits_before,
+            "repeat sweep should hit the shared preparation cache"
+        );
     }
 }

@@ -20,6 +20,18 @@ pub enum Stmt {
     If(Expr, Vec<Stmt>, Vec<Stmt>),
     /// A bounded `while` loop running the body N times.
     Loop(u8, Vec<Stmt>),
+    /// `vA = vB; vC = vA; vB = vC;` — a chain of register-to-register
+    /// moves, the shape the fusion pass folds into one `MoveRun`.
+    MoveChain(u8, u8, u8),
+    /// `arr[K] = vN;` — an array store with a constant index (in bounds
+    /// by construction), the `Const`+`ArraySet` fusion candidate.
+    ArrPut(u8, u8),
+    /// `vN = arr[K];` — a constant-index array load, the
+    /// `Const`+`ArrayGet` fusion candidate.
+    ArrTake(u8, u8),
+    /// `if (vN < K) { ... } else { ... }` — a comparison feeding the
+    /// branch directly, the `Const`+`Bin`+`Br` fusion candidate.
+    CmpIf(u8, i8, Vec<Stmt>, Vec<Stmt>),
 }
 
 /// Expression fragments; all total.
@@ -68,6 +80,9 @@ pub fn stmt_strategy() -> impl proptest::strategy::Strategy<Value = Stmt> {
         ((0u8..4), expr_strategy()).prop_map(|(v, e)| Stmt::Assign(v, e)),
         expr_strategy().prop_map(Stmt::SetF),
         expr_strategy().prop_map(Stmt::Print),
+        ((0u8..4), (0u8..4), (0u8..4)).prop_map(|(a, b, c)| Stmt::MoveChain(a, b, c)),
+        ((0u8..8), (0u8..4)).prop_map(|(k, v)| Stmt::ArrPut(k, v)),
+        ((0u8..4), (0u8..8)).prop_map(|(v, k)| Stmt::ArrTake(v, k)),
     ];
     simple.prop_recursive(2, 12, 4, |inner| {
         prop_oneof![
@@ -77,6 +92,13 @@ pub fn stmt_strategy() -> impl proptest::strategy::Strategy<Value = Stmt> {
                 prop::collection::vec(inner.clone(), 0..3)
             )
                 .prop_map(|(c, t, e)| Stmt::If(c, t, e)),
+            (
+                (0u8..4),
+                any::<i8>(),
+                prop::collection::vec(inner.clone(), 0..3),
+                prop::collection::vec(inner.clone(), 0..3)
+            )
+                .prop_map(|(v, k, t, e)| Stmt::CmpIf(v, k, t, e)),
             ((0u8..5), prop::collection::vec(inner, 1..3)).prop_map(|(n, b)| Stmt::Loop(n, b)),
         ]
     })
@@ -150,6 +172,24 @@ fn render_stmts(stmts: &[Stmt], out: &mut String, indent: usize, loop_id: &mut u
                 out.push_str(&format!("{pad}    loop{id} = loop{id} + 1;\n"));
                 out.push_str(&format!("{pad}}}\n"));
             }
+            Stmt::MoveChain(a, b, c) => {
+                out.push_str(&format!("{pad}v{a} = v{b};\n"));
+                out.push_str(&format!("{pad}v{c} = v{a};\n"));
+                out.push_str(&format!("{pad}v{b} = v{c};\n"));
+            }
+            Stmt::ArrPut(k, v) => {
+                out.push_str(&format!("{pad}arr[{}] = v{v};\n", k % 8));
+            }
+            Stmt::ArrTake(v, k) => {
+                out.push_str(&format!("{pad}v{v} = arr[{}];\n", k % 8));
+            }
+            Stmt::CmpIf(v, k, t, e) => {
+                out.push_str(&format!("{pad}if (v{v} < ({k})) {{\n"));
+                render_stmts(t, out, indent + 1, loop_id);
+                out.push_str(&format!("{pad}}} else {{\n"));
+                render_stmts(e, out, indent + 1, loop_id);
+                out.push_str(&format!("{pad}}}\n"));
+            }
         }
     }
 }
@@ -168,8 +208,10 @@ fn helper(x) {{ return (x * 7 + 3) % 1000003; }}
 fn main() {{
     var v0 = 1; var v1 = 2; var v2 = 3; var v3 = 5;
     var p = new P;
+    var arr = array(8);
 {body}    print(v0); print(v1); print(v2); print(v3);
     print(p.f);
+    print(arr[0]); print(arr[3]); print(arr[7]);
 }}"
     )
 }
