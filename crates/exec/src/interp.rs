@@ -23,6 +23,7 @@ use crate::error::{TrapKind, VmError};
 use crate::heap::Heap;
 use crate::outcome::Outcome;
 use crate::prepared::{InstrEffect, Op, OpKind, PreparedModule};
+use crate::profile::{NoMetrics, ProfileSink};
 use crate::trace::{BurstRecord, NoTrace, TraceSink};
 use crate::trigger::{Trigger, TriggerState};
 use crate::value::Value;
@@ -166,13 +167,54 @@ pub fn run_prepared_traced<S: TraceSink>(
     config: &VmConfig,
     sink: &mut S,
 ) -> Result<Outcome, VmError> {
+    run_prepared_observed(prepared, config, sink, &mut NoMetrics)
+}
+
+/// [`run_prepared`] with a per-opcode dispatch-profile sink. See
+/// [`crate::profile`] for the recording contract.
+///
+/// # Panics
+///
+/// Panics if `config.cost` differs from the preparation cost model.
+///
+/// # Errors
+///
+/// Returns a [`VmError`] on any runtime trap, exactly as [`run`] does.
+pub fn run_prepared_profiled<P: ProfileSink>(
+    prepared: &PreparedModule,
+    config: &VmConfig,
+    profile: &mut P,
+) -> Result<Outcome, VmError> {
+    run_prepared_observed(prepared, config, &mut NoTrace, profile)
+}
+
+/// [`run_prepared`] with both observers: a burst-trace sink and a
+/// dispatch-profile sink, each independently monomorphized ([`NoTrace`] /
+/// [`NoMetrics`] compile their recording sites away).
+///
+/// # Panics
+///
+/// Panics if `config.cost` differs from the preparation cost model.
+///
+/// # Errors
+///
+/// Returns a [`VmError`] on any runtime trap, exactly as [`run`] does.
+pub fn run_prepared_observed<S: TraceSink, P: ProfileSink>(
+    prepared: &PreparedModule,
+    config: &VmConfig,
+    sink: &mut S,
+    profile: &mut P,
+) -> Result<Outcome, VmError> {
     assert_eq!(
         &config.cost,
         prepared.cost(),
         "run_prepared: config cost model differs from the preparation cost model"
     );
-    let mut machine = Machine::new(prepared, config, sink);
+    let mut machine = Machine::new(prepared, config, sink, profile);
     let result = machine.run_to_completion();
+    if P::ENABLED {
+        machine.fold_profile(result.as_ref().err());
+    }
     match result {
         Ok(()) => Ok(machine.into_outcome()),
         Err(kind) => Err(VmError {
@@ -187,6 +229,11 @@ struct Frame<'p> {
     /// The function's decoded op arena, cached at call time so the fetch
     /// in `step()` is a single slice index.
     ops: &'p [Op],
+    /// The function's offset into the module-wide slot space
+    /// ([`PreparedFunction::slot_base`]), cached at call time so the
+    /// profiled engine's counter bump is `slot_counts[base + ip]` with no
+    /// per-dispatch function lookup.
+    base: u32,
     /// Absolute index into the function's op arena.
     ip: usize,
     locals: Vec<Value>,
@@ -216,9 +263,29 @@ enum Step {
     SwitchRequested,
 }
 
-struct Machine<'p, 's, S: TraceSink> {
+struct Machine<'p, 's, S: TraceSink, P: ProfileSink> {
     prepared: &'p PreparedModule,
     sink: &'s mut S,
+    /// Per-opcode dispatch-profile sink; every recording site is guarded
+    /// by `if P::ENABLED`, so [`NoMetrics`] compiles them away.
+    psink: &'s mut P,
+    /// Flow-entry deltas per module-wide arena slot, the profiled
+    /// engine's entire hot-path cost: one `+1` per control transfer
+    /// (branch, jump, call, check edge — 10–30% of dispatches), nothing
+    /// at all on straight-line flow. Within a block, flow that enters at
+    /// slot `e` executes every slot from `e` to the block's final op, so
+    /// [`Machine::fold_profile`] reconstructs exact per-slot dispatch
+    /// counts by prefix-summing the deltas block by block — after
+    /// applying a `-1` cut where each still-live frame's flow stopped.
+    /// Everything else an [`OpProfile`](crate::OpProfile) reports —
+    /// opcode, width, cycles — is static per slot and folded in at the
+    /// same time. Empty unless the profile sink is enabled.
+    entry_deltas: Vec<i64>,
+    /// Count of *firing* checks per slot — the one dispatch whose cycle
+    /// charge is data-dependent (the sample-switch surcharge applies only
+    /// when the check fires). Rarely touched: checks fire once per sample.
+    /// Empty unless the profile sink is enabled.
+    fire_counts: Vec<u64>,
     /// Clock snapshots at the previous sample, for burst lengths. Only
     /// maintained when the sink is enabled.
     last_sample_cycles: u64,
@@ -254,12 +321,18 @@ struct Machine<'p, 's, S: TraceSink> {
     arg_scratch: Vec<Value>,
 }
 
-impl<'p, 's, S: TraceSink> Machine<'p, 's, S> {
-    fn new(prepared: &'p PreparedModule, config: &VmConfig, sink: &'s mut S) -> Self {
+impl<'p, 's, S: TraceSink, P: ProfileSink> Machine<'p, 's, S, P> {
+    fn new(
+        prepared: &'p PreparedModule,
+        config: &VmConfig,
+        sink: &'s mut S,
+        psink: &'s mut P,
+    ) -> Self {
         let main = prepared.module().main();
         let main_frame = Frame {
             func: main,
             ops: &prepared.func(main).ops,
+            base: prepared.func(main).slot_base,
             ip: 0,
             locals: vec![Value::Unit; prepared.func(main).num_locals],
             ret_dst: None,
@@ -269,6 +342,22 @@ impl<'p, 's, S: TraceSink> Machine<'p, 's, S> {
         Machine {
             prepared,
             sink,
+            psink,
+            entry_deltas: if P::ENABLED {
+                let mut d = vec![0; prepared.total_slots()];
+                // Main's frame enters at its arena's slot 0.
+                if let Some(e) = d.get_mut(prepared.func(main).slot_base as usize) {
+                    *e += 1;
+                }
+                d
+            } else {
+                Vec::new()
+            },
+            fire_counts: if P::ENABLED {
+                vec![0; prepared.total_slots()]
+            } else {
+                Vec::new()
+            },
             last_sample_cycles: 0,
             last_sample_instructions: 0,
             sample_switch: prepared.cost().sample_switch,
@@ -352,6 +441,135 @@ impl<'p, 's, S: TraceSink> Machine<'p, 's, S> {
                         return Err(TrapKind::Deadlock);
                     }
                 }
+            }
+        }
+    }
+
+    /// Folds the flow-entry deltas into the profile sink, called once
+    /// after the run (only when `P::ENABLED`; the deltas are empty
+    /// otherwise). This is what makes profiling cheap: the hot loop only
+    /// counts control transfers, and everything per-dispatch is
+    /// reconstructed here.
+    ///
+    /// Within a block, flow entering at slot `e` executes every op from
+    /// `e` through the block's final op, so a prefix sum of the entry
+    /// deltas — reset at each block boundary — yields each slot's exact
+    /// dispatch count, once the places where flow *stopped short* are
+    /// cut:
+    ///
+    /// * **Live frames.** Every frame still on a stack at the end of the
+    ///   run stopped mid-block: at `ip` (the next op, not yet dispatched)
+    ///   for every suspended frame, or past the attempted op for the
+    ///   frame a trap unwound from. A `-1` at the stop slot cancels the
+    ///   entry's contribution to the ops flow never reached.
+    /// * **Blocking joins.** A join that blocks is re-dispatched on wake;
+    ///   the blocking (rare) path pre-counts that extra dispatch of the
+    ///   join slot alone, and the live-frame cut cancels it if the wake
+    ///   never comes.
+    ///
+    /// Each slot's static metadata — opcode, width, and exact
+    /// per-dispatch charge (`Op::cost` plus the mid-arm charges of
+    /// [`OpKind::extra_cycles`]) — then turns counts into per-opcode
+    /// totals. Two dynamic corrections close the gap to exactness: the
+    /// per-slot firing counts (the sample-switch surcharge applies only
+    /// when a check fires), and the trapping dispatch's charge shortfall
+    /// (the statically attributed total minus the clock), subtracted from
+    /// the slot the trap frame points at.
+    ///
+    /// The differential tests pin the result: per-opcode totals sum to
+    /// the outcome's `cycles`/`instructions` exactly, traps included, and
+    /// an unfused prepared profile equals the tree-walking engine's
+    /// per-dispatch-recorded one.
+    fn fold_profile(&mut self, trap: Option<&TrapKind>) {
+        // A deadlock is declared between dispatches; every other trap
+        // unwinds from a partially-executed op the current frame still
+        // points at (the call arms re-point `ip` on a failed frame push).
+        let mid_op = matches!(trap, Some(k) if !matches!(k, TrapKind::Deadlock));
+        for (ti, t) in self.threads.iter().enumerate() {
+            for (fi, fr) in t.frames.iter().enumerate() {
+                let attempted = mid_op && ti == self.current && fi + 1 == t.frames.len();
+                let cut = if attempted {
+                    // The trapping op was dispatched; flow stopped just
+                    // past it. If that is the block's end (or the arena's),
+                    // the entry's contribution was fully realized — no cut.
+                    let c = fr.ip + fr.ops[fr.ip].width as usize;
+                    let starts = &self.prepared.func(fr.func).block_starts;
+                    if c >= fr.ops.len() || starts.binary_search(&(c as u32)).is_ok() {
+                        continue;
+                    }
+                    c
+                } else {
+                    fr.ip
+                };
+                if let Some(d) = self.entry_deltas.get_mut(fr.base as usize + cut) {
+                    *d -= 1;
+                }
+            }
+        }
+        // Reconstruct per-slot dispatch counts: prefix-sum the deltas,
+        // resetting at block boundaries.
+        let mut counts = vec![0u64; self.entry_deltas.len()];
+        for f in self.prepared.funcs() {
+            let mut next_block = 1;
+            let mut flow: i64 = 0;
+            for i in 0..f.ops.len() {
+                if f.block_starts.get(next_block) == Some(&(i as u32)) {
+                    flow = 0;
+                    next_block += 1;
+                }
+                let slot = f.slot_base as usize + i;
+                flow += self.entry_deltas[slot];
+                debug_assert!(flow >= 0, "negative reconstructed dispatch count");
+                counts[slot] = flow.max(0) as u64;
+            }
+        }
+        let trap_slot = if mid_op {
+            self.threads
+                .get(self.current)
+                .and_then(|t| t.frames.last())
+                .map(|f| f.base as usize + f.ip)
+        } else {
+            None
+        };
+        let mut attributed: u64 = 0;
+        for f in self.prepared.funcs() {
+            for (i, op) in f.ops.iter().enumerate() {
+                if matches!(op.kind, OpKind::Gap) {
+                    // Interior slots of a fused group carry the leader's
+                    // flow count but are never dispatched.
+                    continue;
+                }
+                let slot = f.slot_base as usize + i;
+                let n = counts[slot];
+                if n > 0 {
+                    attributed += n * (op.cost + op.kind.extra_cycles())
+                        + self.fire_counts[slot] * self.sample_switch;
+                }
+            }
+        }
+        let shortfall = attributed.saturating_sub(self.cycles);
+        debug_assert!(
+            mid_op || shortfall == 0,
+            "completed run must be exactly attributed (over by {shortfall})"
+        );
+        debug_assert!(attributed >= self.cycles, "attribution fell short");
+        for f in self.prepared.funcs() {
+            for (i, op) in f.ops.iter().enumerate() {
+                if matches!(op.kind, OpKind::Gap) {
+                    continue;
+                }
+                let slot = f.slot_base as usize + i;
+                let n = counts[slot];
+                if n == 0 {
+                    continue;
+                }
+                let mut cycles = n * (op.cost + op.kind.extra_cycles())
+                    + self.fire_counts[slot] * self.sample_switch;
+                if trap_slot == Some(slot) {
+                    cycles -= shortfall;
+                }
+                self.psink
+                    .record_dispatches(op.kind.opcode(), n, n * u64::from(op.width), cycles);
             }
         }
     }
@@ -482,6 +700,22 @@ impl<'p, 's, S: TraceSink> Machine<'p, 's, S> {
         if backedge {
             self.backedges_executed += 1;
         }
+        self.enter(target);
+    }
+
+    /// Lands the current frame at `target`, counting the flow entry when
+    /// the profile sink is enabled (when it isn't, this is just the `ip`
+    /// store). Every control-transfer arm funnels through here or
+    /// [`Machine::goto`]; straight-line advancement does not, which is
+    /// what keeps profiling off the per-dispatch path.
+    #[inline]
+    fn enter(&mut self, target: u32) {
+        if P::ENABLED {
+            let base = self.frame().base;
+            if let Some(d) = self.entry_deltas.get_mut(base as usize + target as usize) {
+                *d += 1;
+            }
+        }
         self.frame_mut().ip = target as usize;
     }
 
@@ -499,11 +733,18 @@ impl<'p, 's, S: TraceSink> Machine<'p, 's, S> {
         let prepared: &'p PreparedModule = self.prepared;
         let f = prepared.func(callee);
         debug_assert_eq!(f.arity, args.len());
+        if P::ENABLED {
+            // The new frame enters the callee's arena at slot 0.
+            if let Some(d) = self.entry_deltas.get_mut(f.slot_base as usize) {
+                *d += 1;
+            }
+        }
         let mut locals = vec![Value::Unit; f.num_locals];
         locals[..args.len()].copy_from_slice(args);
         self.threads[thread].frames.push(Frame {
             func: callee,
             ops: &f.ops,
+            base: f.slot_base,
             ip: 0,
             locals,
             ret_dst,
@@ -639,6 +880,11 @@ impl<'p, 's, S: TraceSink> Machine<'p, 's, S> {
                 let r = self.push_frame(*callee, &vals, *dst, Some((func_id, *site)), cur);
                 vals.clear();
                 self.arg_scratch = vals;
+                if r.is_err() {
+                    // The call never entered: point `ip` back at the call
+                    // op so the trap is attributed to the op attempted.
+                    self.frame_mut().ip -= 1;
+                }
                 r?;
             }
             OpKind::CallMethod {
@@ -670,6 +916,11 @@ impl<'p, 's, S: TraceSink> Machine<'p, 's, S> {
                 let r = self.push_frame(callee, &vals, *dst, Some((func_id, *site)), cur);
                 vals.clear();
                 self.arg_scratch = vals;
+                if r.is_err() {
+                    // See `OpKind::Call`: re-point `ip` at the attempted
+                    // call.
+                    self.frame_mut().ip -= 1;
+                }
                 r?;
             }
             OpKind::CallMethodStatic {
@@ -693,6 +944,11 @@ impl<'p, 's, S: TraceSink> Machine<'p, 's, S> {
                 let r = self.push_frame(*callee, &vals, *dst, Some((func_id, *site)), cur);
                 vals.clear();
                 self.arg_scratch = vals;
+                if r.is_err() {
+                    // See `OpKind::Call`: re-point `ip` at the attempted
+                    // call.
+                    self.frame_mut().ip -= 1;
+                }
                 r?;
             }
             OpKind::Print { src } => {
@@ -740,6 +996,22 @@ impl<'p, 's, S: TraceSink> Machine<'p, 's, S> {
                 };
                 if self.threads[t].state != ThreadState::Done {
                     self.threads[cur].state = ThreadState::Blocked(t);
+                    if P::ENABLED {
+                        // The join re-dispatches when unblocked: count the
+                        // extra dispatch now, confined to this slot (`-1`
+                        // right after keeps the rest of the block at one
+                        // execution per entry). If the wake never comes,
+                        // the end-of-run cut at this frame's `ip` cancels
+                        // the prediction.
+                        let fr = self.threads[cur].frames.last().expect("frame");
+                        let slot = fr.base as usize + fr.ip;
+                        if let Some(d) = self.entry_deltas.get_mut(slot) {
+                            *d += 1;
+                        }
+                        if let Some(d) = self.entry_deltas.get_mut(slot + 1) {
+                            *d -= 1;
+                        }
+                    }
                     // Do not advance: the join re-executes when unblocked.
                     return Ok(Step::SwitchRequested);
                 }
@@ -1007,8 +1279,7 @@ impl<'p, 's, S: TraceSink> Machine<'p, 's, S> {
                 // A successful comparison always yields a bool, so this is
                 // the `as_bool` of the unfused branch, trap-free.
                 let taken = v == Value::Bool(true);
-                self.threads[cur].frames.last_mut().expect("frame").ip =
-                    if taken { *t } else { *f_target } as usize;
+                self.enter(if taken { *t } else { *f_target });
             }
             OpKind::GetFieldArrayGet {
                 obj,
@@ -1070,8 +1341,7 @@ impl<'p, 's, S: TraceSink> Machine<'p, 's, S> {
                 // A successful comparison always yields a bool, so this is
                 // the `as_bool` of the unfused branch, trap-free.
                 let taken = v == Value::Bool(true);
-                self.threads[cur].frames.last_mut().expect("frame").ip =
-                    if taken { *t } else { *f_target } as usize;
+                self.enter(if taken { *t } else { *f_target });
             }
             OpKind::BrCmpImm {
                 op,
@@ -1090,13 +1360,11 @@ impl<'p, 's, S: TraceSink> Machine<'p, 's, S> {
                 f.locals[dst.index()] = v;
                 self.charge_cycles(*extra)?;
                 let taken = v == Value::Bool(true);
-                self.threads[cur].frames.last_mut().expect("frame").ip =
-                    if taken { *t } else { *f_target } as usize;
+                self.enter(if taken { *t } else { *f_target });
             }
             OpKind::JumpInstr { target, effects } => {
-                let f = self.threads[cur].frames.last_mut().expect("frame");
-                let caller = f.caller;
-                f.ip = *target as usize;
+                let caller = self.frame().caller;
+                self.enter(*target);
                 for e in effects.iter() {
                     match e {
                         InstrEffect::CallEdge => {
@@ -1117,7 +1385,7 @@ impl<'p, 's, S: TraceSink> Machine<'p, 's, S> {
                 if *backedge {
                     self.backedges_executed += 1;
                 }
-                self.threads[cur].frames.last_mut().expect("frame").ip = *target as usize;
+                self.enter(*target);
             }
             OpKind::Br {
                 cond,
@@ -1136,7 +1404,7 @@ impl<'p, 's, S: TraceSink> Machine<'p, 's, S> {
                 if backedge {
                     self.backedges_executed += 1;
                 }
-                f.ip = target as usize;
+                self.enter(target);
             }
             OpKind::Ret { val } => {
                 let value = val.map(|l| self.get(l)).unwrap_or(Value::Unit);
@@ -1169,6 +1437,17 @@ impl<'p, 's, S: TraceSink> Machine<'p, 's, S> {
                             ip as u32,
                             *sample_backedge || *cont_backedge,
                         );
+                    }
+                    if P::ENABLED {
+                        self.psink.record_sample(self.cycles, self.checks_executed);
+                        // The surcharge below is the one data-dependent
+                        // cycle charge; count the firing so `fold_profile`
+                        // can attribute it to this check.
+                        let f = self.threads[cur].frames.last().expect("frame");
+                        let slot = f.base as usize + f.ip;
+                        if let Some(n) = self.fire_counts.get_mut(slot) {
+                            *n += 1;
+                        }
                     }
                     // Jumping into cold duplicated code costs extra
                     // (instruction-cache effects, §4.4 footnote 6).

@@ -49,6 +49,7 @@ mod interp;
 mod naive;
 mod outcome;
 mod prepared;
+pub mod profile;
 mod trace;
 mod trigger;
 mod value;
@@ -56,12 +57,16 @@ mod value;
 pub use cost::CostModel;
 pub use error::{TrapKind, VmError};
 pub use heap::Heap;
-pub use interp::{run, run_prepared, run_prepared_traced, run_traced, ExecLimits, VmConfig};
-pub use naive::{run_naive, run_naive_traced};
+pub use interp::{
+    run, run_prepared, run_prepared_observed, run_prepared_profiled, run_prepared_traced,
+    run_traced, ExecLimits, VmConfig,
+};
+pub use naive::{run_naive, run_naive_observed, run_naive_profiled, run_naive_traced};
 pub use outcome::{Outcome, ZeroCycleBaseline};
 pub use prepared::{
     fuse_mode, preparations, set_fuse_mode, thread_preparations, FuseMode, PreparedModule,
 };
+pub use profile::{NoMetrics, OpProfile, ProfileSink, NUM_OPCODES, OPCODE_NAMES};
 pub use trace::{BurstRecord, NoTrace, TraceBuffer, TraceSink};
 pub use trigger::Trigger;
 pub use value::Value;

@@ -23,6 +23,7 @@ use crate::error::{TrapKind, VmError};
 use crate::heap::Heap;
 use crate::interp::VmConfig;
 use crate::outcome::Outcome;
+use crate::profile::{opcode_of_inst, opcode_of_term, NoMetrics, ProfileSink};
 use crate::trace::{BurstRecord, NoTrace, TraceSink};
 use crate::trigger::TriggerState;
 use crate::value::Value;
@@ -56,7 +57,43 @@ pub fn run_naive_traced<S: TraceSink>(
     config: &VmConfig,
     sink: &mut S,
 ) -> Result<Outcome, VmError> {
-    let mut machine = Machine::new(module, config, sink);
+    run_naive_observed(module, config, sink, &mut NoMetrics)
+}
+
+/// [`run_naive`] with a per-opcode dispatch-profile sink.
+///
+/// Dispatches are classified into the same opcode indices the unfused
+/// prepared decode assigns the corresponding instructions (see
+/// [`crate::profile`]), so a naive profile is comparable — and, by the
+/// differential tests, identical — to an unfused prepared profile of the
+/// same run.
+///
+/// # Errors
+///
+/// Returns a [`VmError`] on any runtime trap, exactly as [`crate::run`]
+/// does.
+pub fn run_naive_profiled<P: ProfileSink>(
+    module: &Module,
+    config: &VmConfig,
+    profile: &mut P,
+) -> Result<Outcome, VmError> {
+    run_naive_observed(module, config, &mut NoTrace, profile)
+}
+
+/// [`run_naive`] with both observers: a burst-trace sink and a
+/// dispatch-profile sink, each independently monomorphized.
+///
+/// # Errors
+///
+/// Returns a [`VmError`] on any runtime trap, exactly as [`crate::run`]
+/// does.
+pub fn run_naive_observed<S: TraceSink, P: ProfileSink>(
+    module: &Module,
+    config: &VmConfig,
+    sink: &mut S,
+    profile: &mut P,
+) -> Result<Outcome, VmError> {
+    let mut machine = Machine::new(module, config, sink, profile);
     let result = machine.run_to_completion();
     match result {
         Ok(()) => Ok(machine.into_outcome()),
@@ -98,9 +135,12 @@ enum Step {
     SwitchRequested,
 }
 
-struct Machine<'m, 's, S: TraceSink> {
+struct Machine<'m, 's, S: TraceSink, P: ProfileSink> {
     module: &'m Module,
     sink: &'s mut S,
+    /// Per-opcode dispatch-profile sink; recording sites are guarded by
+    /// `if P::ENABLED`, so [`NoMetrics`] compiles them away.
+    psink: &'s mut P,
     /// Per-function arena offset of each block (instructions plus the
     /// inlined terminator, as the prepared engine lays them out), so burst
     /// records name sample points by the same `(func, check_ip)`
@@ -139,8 +179,8 @@ struct Machine<'m, 's, S: TraceSink> {
     profile: ProfileData,
 }
 
-impl<'m, 's, S: TraceSink> Machine<'m, 's, S> {
-    fn new(module: &'m Module, config: &VmConfig, sink: &'s mut S) -> Self {
+impl<'m, 's, S: TraceSink, P: ProfileSink> Machine<'m, 's, S, P> {
+    fn new(module: &'m Module, config: &VmConfig, sink: &'s mut S, psink: &'s mut P) -> Self {
         let backedges = module
             .functions()
             .map(|(_, f)| loops::backedges(f).into_iter().collect())
@@ -173,6 +213,7 @@ impl<'m, 's, S: TraceSink> Machine<'m, 's, S> {
         Machine {
             module,
             sink,
+            psink,
             block_starts,
             last_sample_cycles: 0,
             last_sample_instructions: 0,
@@ -230,7 +271,7 @@ impl<'m, 's, S: TraceSink> Machine<'m, 's, S> {
     fn run_to_completion(&mut self) -> Result<(), TrapKind> {
         loop {
             match self.threads[self.current].state {
-                ThreadState::Runnable => match self.step()? {
+                ThreadState::Runnable => match self.profiled_step()? {
                     Step::Ran => {}
                     Step::SwitchRequested => {
                         if !self.reschedule(true) {
@@ -401,6 +442,34 @@ impl<'m, 's, S: TraceSink> Machine<'m, 's, S> {
         Ok(())
     }
 
+    /// [`Machine::step`] wrapped in per-opcode attribution: the dispatched
+    /// instruction or terminator is classified before the step and the
+    /// clock delta across it recorded after, so a firing check's
+    /// sample-switch surcharge and the partial charge of a trapping step
+    /// land on the op that incurred them. This engine is the slow
+    /// reference, so it affords the straightforward per-dispatch recording
+    /// that the pre-decoded engine replaces with post-run slot-count
+    /// folding — the differential tests hold the two to identical
+    /// profiles. With [`NoMetrics`] this *is* `step()`.
+    #[inline]
+    fn profiled_step(&mut self) -> Result<Step, TrapKind> {
+        if !P::ENABLED {
+            return self.step();
+        }
+        let frame = self.frame();
+        let b = self.module.function(frame.func).block(frame.block);
+        let opcode = if frame.ip < b.insts().len() {
+            opcode_of_inst(&b.insts()[frame.ip])
+        } else {
+            opcode_of_term(b.term())
+        };
+        let before = self.cycles;
+        let result = self.step();
+        self.psink
+            .record_dispatches(opcode, 1, 1, self.cycles - before);
+        result
+    }
+
     fn step(&mut self) -> Result<Step, TrapKind> {
         let frame = self.frame();
         let func_id = frame.func;
@@ -446,6 +515,9 @@ impl<'m, 's, S: TraceSink> Machine<'m, 's, S> {
                     self.samples_taken += 1;
                     if S::ENABLED {
                         self.record_sample(func_id, block, *sample, *cont);
+                    }
+                    if P::ENABLED {
+                        self.psink.record_sample(self.cycles, self.checks_executed);
                     }
                     // Jumping into cold duplicated code costs extra
                     // (instruction-cache effects, §4.4 footnote 6).

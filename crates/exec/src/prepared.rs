@@ -503,6 +503,94 @@ pub(crate) enum OpKind {
     Gap,
 }
 
+impl OpKind {
+    /// This op's index in the profiling opcode space
+    /// ([`crate::profile::OPCODE_NAMES`]). The plain decoded forms map to
+    /// the same indices the tree-walking engine assigns the corresponding
+    /// `Inst`/`Term` dispatches, so unfused prepared profiles and naive
+    /// profiles are directly comparable.
+    pub(crate) const fn opcode(&self) -> usize {
+        use crate::profile::*;
+        match self {
+            OpKind::Const { .. } => OPC_CONST,
+            OpKind::Move { .. } => OPC_MOVE,
+            OpKind::Un { .. } => OPC_UN,
+            OpKind::Bin { .. } => OPC_BIN,
+            OpKind::New { .. } => OPC_NEW,
+            OpKind::GetField { .. } => OPC_GET_FIELD,
+            OpKind::SetField { .. } => OPC_SET_FIELD,
+            OpKind::NewArray { .. } => OPC_NEW_ARRAY,
+            OpKind::ArrayGet { .. } => OPC_ARRAY_GET,
+            OpKind::ArraySet { .. } => OPC_ARRAY_SET,
+            OpKind::ArrayLen { .. } => OPC_ARRAY_LEN,
+            OpKind::Call { .. } => OPC_CALL,
+            OpKind::CallMethod { .. } => OPC_CALL_METHOD,
+            OpKind::Print { .. } => OPC_PRINT,
+            OpKind::Spawn { .. } => OPC_SPAWN,
+            OpKind::Join { .. } => OPC_JOIN,
+            OpKind::Yield => OPC_YIELD,
+            OpKind::Busy => OPC_BUSY,
+            OpKind::CallEdge => OPC_CALL_EDGE,
+            OpKind::FieldAccessProf { .. } => OPC_FIELD_ACCESS_PROF,
+            OpKind::BlockCount { .. } => OPC_BLOCK_COUNT,
+            OpKind::EdgeCount { .. } => OPC_EDGE_COUNT,
+            OpKind::ValueProfile { .. } => OPC_VALUE_PROFILE,
+            OpKind::PathStart { .. } => OPC_PATH_START,
+            OpKind::PathIncr { .. } => OPC_PATH_INCR,
+            OpKind::PathEnd { .. } => OPC_PATH_END,
+            OpKind::Jump { .. } => OPC_JUMP,
+            OpKind::Br { .. } => OPC_BR,
+            OpKind::Ret { .. } => OPC_RET,
+            OpKind::Check { .. } => OPC_CHECK,
+            OpKind::GetFieldStatic { .. } => OPC_GET_FIELD_STATIC,
+            OpKind::SetFieldStatic { .. } => OPC_SET_FIELD_STATIC,
+            OpKind::CallMethodStatic { .. } => OPC_CALL_METHOD_STATIC,
+            OpKind::BinImm { .. } => OPC_BIN_IMM,
+            OpKind::BrCmp { .. } => OPC_BR_CMP,
+            OpKind::BrCmpImm { .. } => OPC_BR_CMP_IMM,
+            OpKind::ArrayGetImm { .. } => OPC_ARRAY_GET_IMM,
+            OpKind::ArraySetImm { .. } => OPC_ARRAY_SET_IMM,
+            OpKind::ArraySetImm2 { .. } => OPC_ARRAY_SET_IMM2,
+            OpKind::ConstSetField { .. } => OPC_CONST_SET_FIELD,
+            OpKind::GetFieldBin { .. } => OPC_GET_FIELD_BIN,
+            OpKind::BinSetField { .. } => OPC_BIN_SET_FIELD,
+            OpKind::BinImmSetField { .. } => OPC_BIN_IMM_SET_FIELD,
+            OpKind::GetFieldBinImm { .. } => OPC_GET_FIELD_BIN_IMM,
+            OpKind::GetFieldBinImmSetField { .. } => OPC_GET_FIELD_BIN_IMM_SET_FIELD,
+            OpKind::GetFieldBrCmp { .. } => OPC_GET_FIELD_BR_CMP,
+            OpKind::GetFieldArrayGet { .. } => OPC_GET_FIELD_ARRAY_GET,
+            OpKind::GetFieldArraySet { .. } => OPC_GET_FIELD_ARRAY_SET,
+            OpKind::MoveRun { .. } => OPC_MOVE_RUN,
+            OpKind::JumpInstr { .. } => OPC_JUMP_INSTR,
+            OpKind::Gap => OPC_GAP,
+        }
+    }
+
+    /// Cycles this op charges *beyond* [`Op::cost`] when it runs to
+    /// completion: the mid-arm `extra`/`branch` charges of the fused
+    /// superinstructions whose components trap independently. Together
+    /// with [`Op::cost`] this is the exact per-dispatch charge of every
+    /// completed dispatch (the check's sample-switch surcharge, applied
+    /// only when the check fires, is accounted separately), which is what
+    /// lets the profiled engine reconstruct exact per-opcode cycle totals
+    /// from bare slot execution counts after the run.
+    pub(crate) const fn extra_cycles(&self) -> u64 {
+        match self {
+            OpKind::BrCmp { extra, .. }
+            | OpKind::BrCmpImm { extra, .. }
+            | OpKind::GetFieldBin { extra, .. }
+            | OpKind::BinSetField { extra, .. }
+            | OpKind::BinImmSetField { extra, .. }
+            | OpKind::GetFieldBinImm { extra, .. }
+            | OpKind::GetFieldArrayGet { extra, .. }
+            | OpKind::GetFieldArraySet { extra, .. } => *extra,
+            OpKind::GetFieldBinImmSetField { extra, extra2, .. } => *extra + *extra2,
+            OpKind::GetFieldBrCmp { extra, branch, .. } => *extra + *branch,
+            _ => 0,
+        }
+    }
+}
+
 /// A profiling side effect absorbed into a [`OpKind::JumpInstr`]. Only
 /// trap-free, operand-free ops qualify.
 #[derive(Copy, Clone, Debug)]
@@ -525,6 +613,18 @@ pub(crate) struct PreparedFunction {
     /// Superinstructions installed by the fusion pass (0 under
     /// [`FuseMode::Off`]).
     pub(crate) fused: usize,
+    /// This function's offset into the module-wide slot space: arena slot
+    /// `i` of this function is slot `slot_base + i` of the module. The
+    /// profiled engine counts block entries per module slot and folds the
+    /// counts back into per-opcode totals after the run.
+    pub(crate) slot_base: u32,
+    /// Arena offset of each block, in layout order (`block_starts[0] == 0`).
+    /// Control only ever enters a block at its start (or, for
+    /// [`OpKind::JumpInstr`], at a recorded mid-block landing slot), and
+    /// only ever leaves through its final op — which is what lets the
+    /// profiled engine reconstruct exact per-slot execution counts from
+    /// per-entry counts by a prefix sum that resets at these boundaries.
+    pub(crate) block_starts: Vec<u32>,
 }
 
 /// A module flattened for execution: the decoded op arenas plus the owned
@@ -610,9 +710,15 @@ impl PreparedModule {
         PREPARATIONS.fetch_add(1, Ordering::Relaxed);
         THREAD_PREPARATIONS.with(|c| c.set(c.get() + 1));
         let statics = Statics::resolve(module, mode);
-        let funcs = module
+        let mut slot_base = 0u32;
+        let funcs: Vec<PreparedFunction> = module
             .functions()
-            .map(|(_, f)| prepare_function(module, f, cost, mode, &statics))
+            .map(|(_, f)| {
+                let mut pf = prepare_function(module, f, cost, mode, &statics);
+                pf.slot_base = slot_base;
+                slot_base += pf.ops.len() as u32;
+                pf
+            })
             .collect();
         let num_field_syms = module.num_field_syms();
         let num_method_syms = module.num_method_syms();
@@ -667,6 +773,23 @@ impl PreparedModule {
         &self.funcs[id.index()]
     }
 
+    /// All prepared functions, in slot-space order (the post-run profile
+    /// fold walks every arena once).
+    #[inline]
+    pub(crate) fn funcs(&self) -> &[PreparedFunction] {
+        &self.funcs
+    }
+
+    /// Size of the module-wide slot space ([`PreparedFunction::slot_base`]
+    /// plus arena length, over the last function) — the length of the
+    /// profiled engine's execution-counter table.
+    #[inline]
+    pub(crate) fn total_slots(&self) -> usize {
+        self.funcs
+            .last()
+            .map_or(0, |f| f.slot_base as usize + f.ops.len())
+    }
+
     /// Pre-resolved field slot of `field` on `class`.
     #[inline]
     pub(crate) fn field_offset(&self, class: ClassId, field: FieldSym) -> Option<u32> {
@@ -719,6 +842,10 @@ fn prepare_function(
         num_locals: f.num_locals(),
         arity: f.arity(),
         fused,
+        // Assigned by `prepare_with` once every function's arena length is
+        // known.
+        slot_base: 0,
+        block_starts: starts,
     }
 }
 

@@ -56,6 +56,23 @@ pub enum Trigger {
     },
 }
 
+impl Trigger {
+    /// Stable kind label for this trigger, used to key per-trigger-kind
+    /// observability metrics (inter-sample-gap and checks-per-sample
+    /// histograms).
+    #[must_use]
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Trigger::Never => "never",
+            Trigger::Always => "always",
+            Trigger::Counter { .. } => "counter",
+            Trigger::CounterPerThread { .. } => "counter-per-thread",
+            Trigger::CounterRandomized { .. } => "counter-randomized",
+            Trigger::TimerBit { .. } => "timer-bit",
+        }
+    }
+}
+
 impl Default for Trigger {
     fn default() -> Self {
         // The paper's sweet spot: high accuracy, ~1% sampling overhead.

@@ -30,14 +30,18 @@ pub const USAGE: &str = "usage: isf-harness [--scale smoke|default|paper] [--job
      \x20                  [--emit json|off] [--emit-path FILE]\n\
      \x20                  [--retries N] [--cell-budget CYCLES]\n\
      \x20                  [--fault-inject p=<prob>[,seed=<s>]]\n\
-     \x20                  [--journal FILE] [--resume] [--no-fuse] <experiment>...\n\
+     \x20                  [--journal FILE] [--resume] [--no-fuse]\n\
+     \x20                  [--profile] [--trace-out FILE] <experiment>...\n\
      \x20      isf-harness bench-snapshot [--scale smoke|default|paper] [--jobs N] [--out DIR]\n\
      \x20      isf-harness validate-jsonl <FILE>\n\
      experiments: table1 table2 table3 table4 table5 fig7 fig8 extras all\n\
      N defaults to $ISF_JOBS, then the machine's available parallelism;\n\
      --retries defaults to $ISF_RETRIES (0), --cell-budget to $ISF_CELL_BUDGET (uncapped);\n\
      --journal defaults to $ISF_JOURNAL (off); --resume replays a journal's finished cells;\n\
-     --no-fuse disables superinstruction fusion (also $ISF_FUSE=0) — results are identical";
+     --no-fuse disables superinstruction fusion (also $ISF_FUSE=0) — results are identical;\n\
+     --profile enables VM self-profiling (also $ISF_PROFILE=1): per-opcode dispatch\n\
+     profiles, fusion coverage, and `metrics`/`span-summary` JSONL records;\n\
+     --trace-out writes a Chrome trace-event JSON file (open in Perfetto)";
 
 /// A fully parsed experiment run.
 #[derive(Clone, Debug, PartialEq)]
@@ -65,6 +69,16 @@ pub struct RunConfig {
     /// results are identical either way; this exists for ablation and for
     /// the CI equivalence diff.
     pub no_fuse: bool,
+    /// `--profile`: enable VM self-profiling (the metrics registry,
+    /// per-opcode dispatch profiles, fusion coverage, and the
+    /// `metrics`/`span-summary` JSONL records). Also `ISF_PROFILE=1`.
+    /// Cycle counts and traps are identical either way; tables and the
+    /// profiling-independent JSONL records stay byte-identical.
+    pub profile: bool,
+    /// `--trace-out`: write the run's hierarchical span trace here as
+    /// Chrome trace-event JSON (loadable in Perfetto). Implies span
+    /// recording but not the metrics registry.
+    pub trace_out: Option<PathBuf>,
     /// Validated, `all`-expanded experiment list, in run order.
     pub experiments: Vec<String>,
 }
@@ -171,6 +185,8 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
         journal: None,
         resume: false,
         no_fuse: false,
+        profile: false,
+        trace_out: None,
         experiments: Vec::new(),
     };
     let mut it = args.iter();
@@ -213,6 +229,10 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             "--journal" => cfg.journal = Some(PathBuf::from(next_value(&mut it, "--journal")?)),
             "--resume" => cfg.resume = true,
             "--no-fuse" => cfg.no_fuse = true,
+            "--profile" => cfg.profile = true,
+            "--trace-out" => {
+                cfg.trace_out = Some(PathBuf::from(next_value(&mut it, "--trace-out")?));
+            }
             "--help" | "-h" => return Ok(Command::Help),
             other if other.starts_with('-') => return Err(CliError::Usage),
             other if KNOWN_EXPERIMENTS.contains(&other) => {
@@ -293,6 +313,9 @@ mod tests {
             "j.jsonl",
             "--resume",
             "--no-fuse",
+            "--profile",
+            "--trace-out",
+            "trace.json",
             "table4",
             "table1",
         ]);
@@ -306,6 +329,8 @@ mod tests {
         assert_eq!(cfg.journal, Some(PathBuf::from("j.jsonl")));
         assert!(cfg.resume);
         assert!(cfg.no_fuse);
+        assert!(cfg.profile);
+        assert_eq!(cfg.trace_out, Some(PathBuf::from("trace.json")));
         assert_eq!(cfg.experiments, vec!["table4", "table1"]);
     }
 
@@ -316,6 +341,8 @@ mod tests {
         assert_eq!(cfg.scale, Scale::Default);
         assert!(!cfg.resume);
         assert!(!cfg.no_fuse, "fusion is on by default");
+        assert!(!cfg.profile, "self-profiling is off by default");
+        assert_eq!(cfg.trace_out, None);
     }
 
     #[test]
@@ -372,6 +399,7 @@ mod tests {
     #[test]
     fn missing_values_and_unknown_names_fail_cleanly() {
         assert!(matches!(err(&["--jobs"]), CliError::Bad(_)));
+        assert!(matches!(err(&["table1", "--trace-out"]), CliError::Bad(_)));
         assert!(matches!(
             err(&["--scale", "huge", "table1"]),
             CliError::Bad(_)

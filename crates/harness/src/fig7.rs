@@ -107,13 +107,15 @@ impl Fig7 {
                 ("sampled_pct", bar.sampled_pct.into()),
             ]));
         }
-        emit::record(&Json::obj([
+        let mut summary = vec![
             ("type", "summary".into()),
             ("experiment", "fig7".into()),
             ("overlap_pct", self.overlap.into()),
             ("interval", self.interval.into()),
             ("edges", self.bars.len().into()),
-        ]));
+        ];
+        summary.extend(crate::runner::summary_profile_fields());
+        emit::record(&Json::obj(summary));
     }
 }
 

@@ -178,12 +178,14 @@ impl Fig8 {
                 ("total_pct", r.total.into()),
             ]));
         }
-        emit::record(&Json::obj([
+        let mut summary = vec![
             ("type", "summary".into()),
             ("experiment", "fig8".into()),
             ("avg_framework_pct", self.avg_framework.into()),
             ("avg_unoptimized_pct", self.avg_unoptimized.into()),
-        ]));
+        ];
+        summary.extend(crate::runner::summary_profile_fields());
+        emit::record(&Json::obj(summary));
     }
 }
 

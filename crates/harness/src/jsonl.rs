@@ -135,7 +135,43 @@ pub fn validate(stream: &str) -> Result<usize, JsonlError> {
                 line,
             )?,
             "row" => require(&record, &[("experiment", Kind::Str)], line)?,
-            "summary" => require(&record, &[("experiment", Kind::Str)], line)?,
+            "summary" => {
+                require(&record, &[("experiment", Kind::Str)], line)?;
+                // Present only when self-profiling is enabled (`--profile`).
+                optional(
+                    &record,
+                    &[
+                        ("prep_cache_hits", Kind::Num),
+                        ("prep_cache_misses", Kind::Num),
+                    ],
+                    line,
+                )?;
+            }
+            // Self-profiling records (`--profile`): the aggregated metrics
+            // registry and the per-(cat, name) span summaries.
+            "metrics" => require(
+                &record,
+                &[("counters", Kind::Obj), ("histograms", Kind::Obj)],
+                line,
+            )?,
+            "span-summary" => {
+                require(&record, &[("spans", Kind::Arr)], line)?;
+                if let Some(Json::Arr(spans)) = record.get("spans") {
+                    for s in spans {
+                        require(
+                            s,
+                            &[
+                                ("cat", Kind::Str),
+                                ("name", Kind::Str),
+                                ("count", Kind::Num),
+                                ("wall_ns", Kind::Num),
+                                ("cpu_ns", Kind::Num),
+                            ],
+                            line,
+                        )?;
+                    }
+                }
+            }
             "phase" => require(
                 &record,
                 &[
@@ -238,6 +274,38 @@ mod tests {
                      \"experiments\":[],\"cell_budget\":0,\"retries\":1,\"fault_prob_bits\":0,\
                      \"fault_seed\":0,\"vm_config\":\"c\"}";
         assert!(validate(no_fp).unwrap_err().message.contains("fingerprint"));
+    }
+
+    #[test]
+    fn accepts_profiling_records() {
+        let stream = concat!(
+            "{\"type\":\"summary\",\"experiment\":\"table1\",\"avg_call_edge_pct\":1.5,\
+             \"prep_cache_hits\":12,\"prep_cache_misses\":3}\n",
+            "{\"type\":\"metrics\",\"counters\":{\"op.const.count\":10,\"prep.cache.hits\":2},\
+             \"histograms\":{\"trigger.counter.sample_gap_cycles\":\
+             {\"count\":1,\"sum\":5,\"min\":5,\"max\":5,\"buckets\":[[3,1]]}}}\n",
+            "{\"type\":\"span-summary\",\"spans\":[{\"cat\":\"cell\",\"name\":\"table1/db\",\
+             \"count\":1,\"wall_ns\":0,\"cpu_ns\":0}]}\n",
+        );
+        assert_eq!(validate(stream), Ok(3));
+    }
+
+    #[test]
+    fn rejects_malformed_profiling_records() {
+        let bad_hits = "{\"type\":\"summary\",\"experiment\":\"t\",\"prep_cache_hits\":\"lots\"}";
+        assert!(validate(bad_hits)
+            .unwrap_err()
+            .message
+            .contains("prep_cache_hits"));
+
+        let no_histograms = "{\"type\":\"metrics\",\"counters\":{}}";
+        assert!(validate(no_histograms)
+            .unwrap_err()
+            .message
+            .contains("histograms"));
+
+        let bad_span = "{\"type\":\"span-summary\",\"spans\":[{\"cat\":\"cell\",\"name\":\"x\"}]}";
+        assert!(validate(bad_span).unwrap_err().message.contains("count"));
     }
 
     #[test]

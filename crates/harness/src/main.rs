@@ -7,7 +7,8 @@
 //!             [--emit json|off] [--emit-path FILE]
 //!             [--retries N] [--cell-budget CYCLES]
 //!             [--fault-inject p=<prob>[,seed=<s>]]
-//!             [--journal FILE] [--resume] [--no-fuse] <experiment>...
+//!             [--journal FILE] [--resume] [--no-fuse]
+//!             [--profile] [--trace-out FILE] <experiment>...
 //! isf-harness bench-snapshot [--scale ...] [--out DIR]
 //! isf-harness validate-jsonl <FILE>
 //! experiments: table1 table2 table3 table4 table5 fig7 fig8 extras all
@@ -38,6 +39,17 @@
 //! table, cycle count, and JSONL record is byte-identical either way —
 //! so the flag exists for ablation measurements and the CI equivalence
 //! diff, not for correctness.
+//!
+//! With `--profile` (or `ISF_PROFILE=1`) the VM self-profiles: engines
+//! run through the per-opcode `ProfileSink`, dispatch/cycle attribution
+//! and trigger gap histograms land in the metrics registry, a
+//! fusion-coverage report prints to stderr, and the JSONL stream gains a
+//! `metrics` and a `span-summary` record plus preparation-cache counters
+//! on each `summary`. Cycle counts and traps are identical with and
+//! without profiling; with it off, output is byte-identical to a build
+//! without the subsystem. `--trace-out FILE` additionally records
+//! hierarchical spans (run → phase → experiment → cell → attempt) and
+//! writes them as Chrome trace-event JSON, loadable in Perfetto.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -46,7 +58,7 @@ use isf_harness::cli::{self, CliError, Command, RunConfig, SnapshotConfig};
 use isf_harness::{
     extras, fig7, fig8, journal, jsonl, runner, snapshot, table1, table2, table3, table4, table5,
 };
-use isf_obs::{emit, log, Json};
+use isf_obs::{emit, log, metrics, span, Json};
 
 /// Registers a drain request for SIGINT/SIGTERM. The handler only flips
 /// an atomic flag — async-signal-safe — and the worker pool does the
@@ -77,9 +89,11 @@ fn usage_failure() -> ExitCode {
 
 /// Emits one `phase` record per accumulated phase, draining the global
 /// accumulator. Called after each experiment so the timings attribute to
-/// it.
+/// it. When span tracing is on, each phase total also enters the trace as
+/// a completed span under the experiment it belongs to.
 fn emit_phases(experiment: &str) {
     for p in emit::take_phases() {
+        span::record_completed("phase", format!("{experiment}/{}", p.name), p.wall_ns);
         if !emit::enabled() {
             continue;
         }
@@ -91,6 +105,50 @@ fn emit_phases(experiment: &str) {
             ("wall_ns", emit::wall_ns(p.wall_ns)),
         ]));
     }
+}
+
+/// Derives and logs the fusion-coverage report: the share of each
+/// benchmark's dynamic instruction stream the prepared engine executed
+/// through fused superinstructions. Goes to stderr (never stdout, which
+/// must stay byte-identical to a profiling-disabled run) and into the
+/// metrics registry as `fusion.<bench>.*` counters.
+fn report_fusion_coverage(scale: isf_harness::Scale) {
+    log::cells("[profile] fusion coverage (dynamic instructions executed fused):");
+    for c in runner::fusion_coverage(scale) {
+        log::cells(&format!(
+            "[profile]   {:<10} {:>5.1}%  ({} / {} instructions)",
+            c.name, c.coverage_pct, c.fused_instructions, c.total_instructions
+        ));
+    }
+}
+
+/// Drains the span tracer and metrics registry at the end of a run:
+/// writes the Chrome trace file (`--trace-out`) and appends the `metrics`
+/// and `span-summary` records to the JSONL stream when profiling is
+/// enabled. Entirely a no-op when neither profiling nor tracing was
+/// requested, so default runs stay byte-identical.
+fn finish_observability(cfg: &RunConfig, profiling: bool) -> Result<(), ExitCode> {
+    if !profiling && cfg.trace_out.is_none() {
+        return Ok(());
+    }
+    let events = span::take_events();
+    if let Some(path) = &cfg.trace_out {
+        let trace = span::chrome_trace(&events);
+        if let Err(e) = std::fs::write(path, format!("{trace}\n")) {
+            log::error(&format!("--trace-out {}: {e}", path.display()));
+            return Err(ExitCode::FAILURE);
+        }
+        log::cells(&format!(
+            "[trace] wrote {} span(s) to {}",
+            events.len(),
+            path.display()
+        ));
+    }
+    if profiling && emit::enabled() {
+        emit::record(&metrics::snapshot().to_json());
+        emit::record(&span::summary_record(&span::summarize(&events)));
+    }
+    Ok(())
 }
 
 fn bench_snapshot(cfg: &SnapshotConfig) -> ExitCode {
@@ -178,6 +236,16 @@ fn run(cfg: &RunConfig) -> ExitCode {
     if cfg.no_fuse {
         isf_exec::set_fuse_mode(Some(isf_exec::FuseMode::Off));
     }
+    let profiling = cfg.profile
+        || std::env::var("ISF_PROFILE")
+            .map(|v| v.trim() == "1")
+            .unwrap_or(false);
+    if profiling {
+        runner::set_profiling(true);
+    }
+    if profiling || cfg.trace_out.is_some() {
+        span::set_enabled(true);
+    }
     if let Some(json) = cfg.emit_json {
         emit::set_mode(if json {
             emit::EmitMode::Json
@@ -213,10 +281,12 @@ fn run(cfg: &RunConfig) -> ExitCode {
         emit::record(&Json::obj(meta));
     }
 
+    let run_span = span::begin("run", "isf-harness");
     for (i, e) in cfg.experiments.iter().enumerate() {
         if i > 0 && tables_to_stdout {
             println!();
         }
+        let _experiment_span = span::begin("experiment", e.as_str());
         macro_rules! experiment {
             ($module:ident) => {{
                 let t = $module::run(cfg.scale);
@@ -241,6 +311,14 @@ fn run(cfg: &RunConfig) -> ExitCode {
             }
         }
         emit_phases(e);
+    }
+    drop(run_span);
+
+    if profiling {
+        report_fusion_coverage(cfg.scale);
+    }
+    if let Err(code) = finish_observability(cfg, profiling) {
+        return code;
     }
 
     if emitting {

@@ -27,12 +27,12 @@ use std::time::{Duration, Instant};
 
 use isf_core::{instrument_module, Options, Strategy, TransformStats};
 use isf_exec::{
-    fuse_mode, run_prepared, CostModel, ExecLimits, Outcome, PreparedModule, Trigger, VmConfig,
-    VmError,
+    fuse_mode, run_prepared, run_prepared_profiled, CostModel, ExecLimits, OpProfile, Outcome,
+    PreparedModule, Trigger, VmConfig, VmError,
 };
 use isf_instr::{CallEdgeInstrumentation, FieldAccessInstrumentation, Instrumentation, ModulePlan};
 use isf_ir::Module;
-use isf_obs::{emit, log, Json};
+use isf_obs::{emit, log, metrics, span, Json};
 use isf_workloads::{suite, Scale, Workload};
 
 use crate::journal;
@@ -70,6 +70,27 @@ pub fn jobs() -> usize {
 /// Serializes tests that mutate the global jobs override.
 #[cfg(test)]
 pub(crate) static JOBS_TEST_LOCK: Mutex<()> = Mutex::new(());
+
+// ---------------------------------------------------------------------
+// Self-profiling control.
+// ---------------------------------------------------------------------
+
+/// Turns VM self-profiling on or off (`--profile` / `ISF_PROFILE=1`).
+///
+/// The metrics registry's gate is the single source of truth: enabling it
+/// switches [`run_prepared_module`] onto the profiled engine entry point,
+/// makes [`cached_prepare`]'s hit/miss counters record, and unlocks the
+/// `metrics` JSONL record and summary cache fields. Disabled (the
+/// default), every output byte is identical to a run without the
+/// subsystem.
+pub fn set_profiling(on: bool) {
+    metrics::set_enabled(on);
+}
+
+/// Whether VM self-profiling is enabled.
+pub fn profiling() -> bool {
+    metrics::enabled()
+}
 
 // ---------------------------------------------------------------------
 // Fault-tolerance configuration (retries, cell budget, fault injection).
@@ -747,6 +768,7 @@ fn install_cell_panic_hook() {
 /// exhaustion are deterministic, so they fail immediately.
 fn run_cell<R>(c: &Cell<'_, R>) -> (CellResult<R>, CellMetrics) {
     install_cell_panic_hook();
+    let _cell_span = span::begin("cell", c.label.clone());
     // Capture the phase sections this cell contributes (across every
     // attempt) so they can be journaled with it and re-injected on replay.
     emit::begin_phase_capture();
@@ -755,6 +777,7 @@ fn run_cell<R>(c: &Cell<'_, R>) -> (CellResult<R>, CellMetrics) {
         .saturating_add(1);
     let mut attempt = 1u32;
     loop {
+        let _attempt_span = span::begin("attempt", c.label.clone());
         CELL_STATS.with(|s| s.set((0, 0, 0)));
         let start = Instant::now();
         IN_CELL.with(|f| f.set(true));
@@ -825,6 +848,12 @@ fn run_cell<R>(c: &Cell<'_, R>) -> (CellResult<R>, CellMetrics) {
         }
         let mut metrics = metrics;
         metrics.phases = emit::take_phase_capture();
+        // Flush this worker's metrics shard now, not at thread exit: an
+        // experiment summary snapshots the registry as soon as its cells
+        // complete, and every count a cell made must be visible by then
+        // whatever worker ran it — per-experiment `prep_cache_*` fields
+        // stay byte-identical across `--jobs`.
+        metrics::flush_thread();
         return (result, metrics);
     }
 }
@@ -963,18 +992,6 @@ pub fn instrument(
 /// block on the slot and share a single preparation.
 type PrepSlot = Arc<OnceLock<Arc<PreparedModule>>>;
 static PREP_CACHE: OnceLock<Mutex<HashMap<u64, PrepSlot>>> = OnceLock::new();
-static PREP_CACHE_HITS: AtomicU64 = AtomicU64::new(0);
-static PREP_CACHE_MISSES: AtomicU64 = AtomicU64::new(0);
-
-/// `(hits, misses)` of the shared preparation cache since process start.
-/// A hit is a [`cached_prepare`] request that reused an already-decoded
-/// module; a miss paid an actual [`PreparedModule::prepare`].
-pub fn preparation_cache_stats() -> (u64, u64) {
-    (
-        PREP_CACHE_HITS.load(Ordering::Relaxed),
-        PREP_CACHE_MISSES.load(Ordering::Relaxed),
-    )
-}
 
 /// Fingerprints everything that determines the decoded form: the module's
 /// canonical text plus the cost model and the fusion mode it would be
@@ -990,9 +1007,12 @@ fn prep_fingerprint(module: &Module, cost: &CostModel) -> u64 {
 /// Counts one preparation *request* toward the current cell's `prepares`
 /// metric whether or not the cache already held the module: requests are
 /// a pure function of the cell's own work, so the JSONL `cell` records
-/// stay byte-identical however cells are scheduled, while *which* worker
-/// pays the actual decode is schedule-dependent and only surfaced through
-/// [`preparation_cache_stats`] and `ISF_LOG=debug`.
+/// stay byte-identical however cells are scheduled. Hits and misses feed
+/// the metrics registry (`prep.cache.hits` / `prep.cache.misses`) when
+/// self-profiling is enabled: the miss total is the number of *distinct*
+/// fingerprints decoded and the hit total is requests minus misses, so
+/// both are themselves deterministic across job counts even though which
+/// worker pays each decode is not (that only surfaces in `ISF_LOG=debug`).
 pub fn cached_prepare(module: &Module) -> Arc<PreparedModule> {
     note_prepare_request();
     let cost = CostModel::default();
@@ -1012,10 +1032,10 @@ pub fn cached_prepare(module: &Module) -> Arc<PreparedModule> {
         })
         .clone();
     if fresh {
-        PREP_CACHE_MISSES.fetch_add(1, Ordering::Relaxed);
+        metrics::counter_add("prep.cache.misses", 1);
         log::debug(&format!("[prep-cache] miss, decoded {key:016x}"));
     } else {
-        PREP_CACHE_HITS.fetch_add(1, Ordering::Relaxed);
+        metrics::counter_add("prep.cache.hits", 1);
         log::debug(&format!("[prep-cache] hit {key:016x}"));
     }
     prepared
@@ -1063,11 +1083,110 @@ pub fn run_prepared_module(prepared: &PreparedModule, trigger: Trigger) -> Outco
         ..VmConfig::default()
     };
     let start = Instant::now();
-    let outcome =
-        run_prepared(prepared, &cfg).unwrap_or_else(|e| std::panic::panic_any(CellTrap(e)));
+    let result = if profiling() {
+        let mut profile = OpProfile::new();
+        let result = run_prepared_profiled(prepared, &cfg, &mut profile);
+        record_profile(&profile, trigger);
+        result
+    } else {
+        run_prepared(prepared, &cfg)
+    };
+    let outcome = result.unwrap_or_else(|e| std::panic::panic_any(CellTrap(e)));
     emit::phase("run", start.elapsed());
     note_run(&outcome);
     outcome
+}
+
+/// Folds one run's finished [`OpProfile`] into the metrics registry:
+/// per-opcode dispatch/instruction/cycle counters, the dynamic
+/// fused-vs-total instruction totals behind the fusion-coverage report,
+/// and the per-trigger-kind inter-sample-gap and checks-per-sample
+/// histograms of the §4.6 skew analysis.
+fn record_profile(profile: &OpProfile, trigger: Trigger) {
+    for (_, name, count, instructions, cycles) in profile.nonzero() {
+        metrics::counter_add(&format!("op.{name}.count"), count);
+        metrics::counter_add(&format!("op.{name}.instructions"), instructions);
+        metrics::counter_add(&format!("op.{name}.cycles"), cycles);
+    }
+    metrics::counter_add("profile.runs", 1);
+    metrics::counter_add("profile.fused_instructions", profile.fused_instructions());
+    metrics::counter_add("profile.total_instructions", profile.total_instructions());
+    let kind = trigger.kind_name();
+    for &gap in profile.sample_gap_cycles() {
+        metrics::histogram_record(&format!("trigger.{kind}.sample_gap_cycles"), gap);
+    }
+    for &checks in profile.checks_per_sample() {
+        metrics::histogram_record(&format!("trigger.{kind}.checks_per_sample"), checks);
+    }
+}
+
+/// One benchmark's fusion-coverage measurement: how much of its dynamic
+/// instruction stream the prepared engine executed through fused
+/// superinstructions.
+pub struct FusionCoverage {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Dynamic instructions executed under a fused dispatch.
+    pub fused_instructions: u64,
+    /// Total dynamic instructions.
+    pub total_instructions: u64,
+    /// `fused / total`, in percent.
+    pub coverage_pct: f64,
+}
+
+/// Measures fusion coverage for every suite benchmark at `scale` by
+/// running each one uninstrumented under the profiled prepared engine
+/// (decodes come from the shared preparation cache). Coverage totals also
+/// land in the registry as `fusion.<bench>.fused_instructions` /
+/// `.total_instructions` counters when profiling is enabled. Runs on the
+/// calling thread and emits no JSONL, so the stream's cell records are
+/// untouched.
+pub fn fusion_coverage(scale: Scale) -> Vec<FusionCoverage> {
+    suite(scale)
+        .iter()
+        .map(|w| {
+            let module = w.compile();
+            let prepared = cached_prepare(&module);
+            let cfg = VmConfig {
+                trigger: Trigger::Never,
+                ..VmConfig::default()
+            };
+            let mut profile = OpProfile::new();
+            let _ = run_prepared_profiled(&prepared, &cfg, &mut profile);
+            let c = FusionCoverage {
+                name: w.name(),
+                fused_instructions: profile.fused_instructions(),
+                total_instructions: profile.total_instructions(),
+                coverage_pct: profile.fusion_coverage_pct(),
+            };
+            metrics::counter_add(
+                &format!("fusion.{}.fused_instructions", c.name),
+                c.fused_instructions,
+            );
+            metrics::counter_add(
+                &format!("fusion.{}.total_instructions", c.name),
+                c.total_instructions,
+            );
+            c
+        })
+        .collect()
+}
+
+/// The registry-backed preparation-cache fields a `summary` record
+/// carries when self-profiling is enabled — empty otherwise, so
+/// profiling-off streams stay byte-identical to pre-registry ones.
+pub fn summary_profile_fields() -> Vec<(&'static str, Json)> {
+    if !profiling() {
+        return Vec::new();
+    }
+    let snap = metrics::snapshot();
+    vec![
+        ("prep_cache_hits", snap.counter("prep.cache.hits").into()),
+        (
+            "prep_cache_misses",
+            snap.counter("prep.cache.misses").into(),
+        ),
+    ]
 }
 
 /// Overhead of `outcome` relative to `baseline`, in percent.
@@ -1186,28 +1305,40 @@ mod tests {
     fn preparation_cache_shares_decodes() {
         // A module text unique to this test keys a fresh cache slot, so
         // the thread-local preparation counter isolates exactly what this
-        // thread decoded regardless of concurrently running tests.
+        // thread decoded regardless of concurrently running tests. The
+        // hit/miss counters live in the metrics registry, so the test
+        // profiles while holding the lock that serializes registry users.
+        let _guard = JOBS_TEST_LOCK.lock().unwrap();
+        set_profiling(true);
+        let before = metrics::snapshot();
         let m = isf_frontend::compile("fn main() { print(424242); }").unwrap();
-        let before = isf_exec::thread_preparations();
+        let preps_before = isf_exec::thread_preparations();
         let first = cached_prepare(&m);
         assert_eq!(
             isf_exec::thread_preparations(),
-            before + 1,
+            preps_before + 1,
             "first request pays the decode"
         );
         let second = cached_prepare(&m);
         assert_eq!(
             isf_exec::thread_preparations(),
-            before + 1,
+            preps_before + 1,
             "second request is served from the cache"
         );
+        let after = metrics::snapshot();
+        set_profiling(false);
         assert!(
             Arc::ptr_eq(&first, &second),
             "both requests share one PreparedModule"
         );
-        let (hits, misses) = preparation_cache_stats();
-        assert!(hits >= 1, "the repeat request counts as a hit");
-        assert!(misses >= 1, "the initial request counts as a miss");
+        assert!(
+            after.counter("prep.cache.misses") > before.counter("prep.cache.misses"),
+            "the initial request counts as a registry miss"
+        );
+        assert!(
+            after.counter("prep.cache.hits") > before.counter("prep.cache.hits"),
+            "the repeat request counts as a registry hit"
+        );
     }
 
     #[test]
@@ -1215,6 +1346,8 @@ mod tests {
         // `prepares` in the cell record is the number of preparation
         // *requests* — a deterministic property of the cell's work — so a
         // cache hit must count exactly like the decode it avoided.
+        let _guard = JOBS_TEST_LOCK.lock().unwrap();
+        set_profiling(true);
         let m = isf_frontend::compile("fn main() { print(777001); }").unwrap();
         let run_once = || {
             let results = par_cells_isolated(vec![cell("prep-req/unique", || {
@@ -1223,10 +1356,67 @@ mod tests {
             assert!(matches!(results[0], CellResult::Ok(_)));
         };
         run_once(); // decodes
-        let (hits_before, _) = preparation_cache_stats();
+        let hits_before = metrics::snapshot().counter("prep.cache.hits");
         run_once(); // hits
-        let (hits_after, _) = preparation_cache_stats();
+        let hits_after = metrics::snapshot().counter("prep.cache.hits");
+        set_profiling(false);
         assert!(hits_after > hits_before, "second run hits the cache");
+    }
+
+    #[test]
+    fn profiled_runs_fold_into_the_registry_and_match_unprofiled() {
+        let _guard = JOBS_TEST_LOCK.lock().unwrap();
+        let w = isf_workloads::by_name("compress", Scale::Smoke).unwrap();
+        // Instrumented module: sampling checks are what feed the trigger
+        // gap histograms (an uninstrumented program never samples).
+        let (m, _, _) = instrument(
+            &w.compile(),
+            Kinds::Both,
+            &Options::new(Strategy::FullDuplication),
+        );
+        let plain = run_module(&m, Trigger::Counter { interval: 50 });
+        set_profiling(true);
+        let before = metrics::snapshot();
+        let profiled = run_module(&m, Trigger::Counter { interval: 50 });
+        let coverage = fusion_coverage(Scale::Smoke);
+        let snap = metrics::snapshot();
+        set_profiling(false);
+        assert_eq!(plain, profiled, "profiling must not change the outcome");
+        // The registry is process-global and other tests may record while
+        // profiling is on, so registry assertions are delta-based.
+        let op_cycles = |s: &metrics::MetricsSnapshot| -> u64 {
+            s.counters
+                .iter()
+                .filter(|(k, _)| k.starts_with("op.") && k.ends_with(".cycles"))
+                .map(|(_, &v)| v)
+                .sum()
+        };
+        assert!(
+            op_cycles(&snap) >= op_cycles(&before) + profiled.cycles,
+            "the profiled run's cycles are attributed to opcodes"
+        );
+        // The counter trigger's gap histogram grew by one entry per sample.
+        let gap_count = |s: &metrics::MetricsSnapshot| {
+            s.histograms
+                .get("trigger.counter.sample_gap_cycles")
+                .map_or(0, isf_obs::metrics::Histogram::count)
+        };
+        assert!(profiled.samples_taken > 0, "interval 50 samples at smoke");
+        assert!(gap_count(&snap) >= gap_count(&before) + profiled.samples_taken);
+        // Fusion coverage is measured for the whole suite and is high on
+        // the loop-heavy benchmarks.
+        assert_eq!(coverage.len(), suite(Scale::Smoke).len());
+        let compress = coverage.iter().find(|c| c.name == "compress").unwrap();
+        assert!(compress.total_instructions > 0);
+        assert!(
+            compress.coverage_pct > 10.0,
+            "compress fusion coverage {:.1}% unexpectedly low",
+            compress.coverage_pct
+        );
+        assert_eq!(
+            snap.counter("fusion.compress.total_instructions"),
+            compress.total_instructions
+        );
     }
 
     #[test]

@@ -7,16 +7,26 @@
 //! counter interval, and the wall-clock throughput of that run. Simulated
 //! quantities are deterministic; wall-clock fields respect the emitter's
 //! redaction mode so tests can pin the deterministic remainder.
+//!
+//! The `profile` section tracks the self-profiling subsystem itself:
+//! per-benchmark fusion coverage (deterministic) and the wall time of the
+//! profiled fused engine on the dispatch benchmarks, so a regression in
+//! the [`OpProfile`] sink's overhead shows up in the dated baselines.
 
 use std::io;
 use std::path::{Path, PathBuf};
 use std::time::{Instant, SystemTime, UNIX_EPOCH};
 
 use isf_core::{Options, Strategy};
-use isf_exec::{run_naive, run_prepared, FuseMode, PreparedModule, Trigger, VmConfig};
+use isf_exec::{
+    run_naive, run_prepared, run_prepared_profiled, FuseMode, OpProfile, PreparedModule, Trigger,
+    VmConfig,
+};
 use isf_obs::{emit, Json};
 
-use crate::runner::{cell, instrument, par_cells, prepare_suite, run_module, Kinds};
+use crate::runner::{
+    cell, fusion_coverage, instrument, par_cells, prepare_suite, run_module, FusionCoverage, Kinds,
+};
 use crate::Scale;
 
 /// The sample interval every snapshot run uses, so snapshots taken on
@@ -156,12 +166,61 @@ pub fn dispatch_samples(scale: Scale) -> Vec<DispatchSample> {
         .collect()
 }
 
+/// One benchmark's self-profiling sample: the wall time of the same
+/// fused run under the profiled engine (so the dated snapshots track the
+/// [`OpProfile`] sink's dispatch overhead alongside the engines it
+/// instruments) and the fusion coverage the profile observed.
+#[derive(Clone, Debug)]
+pub struct ProfileSample {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Wall time of the profiled fused run, nanoseconds.
+    pub profiled_ns: u64,
+    /// Percentage of dynamic instructions executed inside a fused
+    /// superinstruction.
+    pub coverage_pct: f64,
+}
+
+/// Times the profiled fused engine on [`DISPATCH_BENCHES`] at `scale` —
+/// the self-profiling counterpart of [`dispatch_samples`], sharing its
+/// workload so `profiled_ns / fused_ns` is the sink's overhead.
+///
+/// # Panics
+///
+/// Panics if a benchmark is missing from the suite or a run traps, for
+/// the same reason [`dispatch_samples`] does.
+pub fn profile_samples(scale: Scale) -> Vec<ProfileSample> {
+    let suite = prepare_suite(scale);
+    let cfg = VmConfig::default();
+    DISPATCH_BENCHES
+        .iter()
+        .map(|&name| {
+            let b = suite
+                .benches
+                .iter()
+                .find(|b| b.name == name)
+                .unwrap_or_else(|| panic!("bench-snapshot: `{name}` missing from the suite"));
+            let fused = PreparedModule::prepare_with(&b.module, &cfg.cost, FuseMode::Fuse);
+            let mut profile = OpProfile::new();
+            let start = Instant::now();
+            run_prepared_profiled(&fused, &cfg, &mut profile).expect("benchmarks do not trap");
+            ProfileSample {
+                name: b.name,
+                profiled_ns: u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX),
+                coverage_pct: profile.fusion_coverage_pct(),
+            }
+        })
+        .collect()
+}
+
 /// Renders a snapshot as its JSON document.
 pub fn to_json(
     scale: Scale,
     date: &str,
     samples: &[BenchSample],
     dispatch: &[DispatchSample],
+    coverage: &[FusionCoverage],
+    profiled: &[ProfileSample],
 ) -> Json {
     Json::obj([
         ("schema", "isf-bench-snapshot/1".into()),
@@ -212,6 +271,42 @@ pub fn to_json(
                     .collect(),
             ),
         ),
+        (
+            "profile",
+            Json::obj([
+                (
+                    "coverage",
+                    Json::Arr(
+                        coverage
+                            .iter()
+                            .map(|c| {
+                                Json::obj([
+                                    ("name", c.name.into()),
+                                    ("fused_instructions", c.fused_instructions.into()),
+                                    ("total_instructions", c.total_instructions.into()),
+                                    ("coverage_pct", c.coverage_pct.into()),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+                (
+                    "dispatch",
+                    Json::Arr(
+                        profiled
+                            .iter()
+                            .map(|s| {
+                                Json::obj([
+                                    ("name", s.name.into()),
+                                    ("profiled_wall_ns", emit::wall_ns(s.profiled_ns)),
+                                    ("coverage_pct", s.coverage_pct.into()),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]),
+        ),
     ])
 }
 
@@ -261,7 +356,9 @@ pub fn write(scale: Scale, dir: &Path) -> io::Result<PathBuf> {
     let date = today();
     let samples = collect(scale);
     let dispatch = dispatch_samples(scale);
-    let doc = to_json(scale, &date, &samples, &dispatch);
+    let coverage = fusion_coverage(scale);
+    let profiled = profile_samples(scale);
+    let doc = to_json(scale, &date, &samples, &dispatch, &coverage, &profiled);
     let path = dir.join(format!("BENCH_{date}.json"));
     let tmp = dir.join(format!("BENCH_{date}.json.tmp"));
     {
@@ -313,7 +410,25 @@ mod tests {
             unfused_ns: 1000,
             naive_ns: 2000,
         }];
-        let doc = to_json(Scale::Smoke, "2026-08-06", &samples, &dispatch);
+        let coverage = vec![FusionCoverage {
+            name: "compress",
+            fused_instructions: 75,
+            total_instructions: 100,
+            coverage_pct: 75.0,
+        }];
+        let profiled = vec![ProfileSample {
+            name: "compress",
+            profiled_ns: 820,
+            coverage_pct: 75.0,
+        }];
+        let doc = to_json(
+            Scale::Smoke,
+            "2026-08-06",
+            &samples,
+            &dispatch,
+            &coverage,
+            &profiled,
+        );
         assert_eq!(
             doc.get("schema").and_then(Json::as_str),
             Some("isf-bench-snapshot/1")
@@ -324,6 +439,32 @@ mod tests {
         assert!(text.contains("\"name\":\"db\""));
         assert!(text.contains("\"fused_wall_ns\""));
         assert!(text.contains("\"fused_speedup\""));
+        let profile = doc.get("profile").expect("profile section present");
+        assert!(text.contains("\"fused_instructions\":75"));
+        assert!(text.contains("\"profiled_wall_ns\""));
+        assert_eq!(
+            profile
+                .get("coverage")
+                .and_then(Json::as_arr)
+                .map(<[Json]>::len),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn profile_samples_share_the_dispatch_workload() {
+        let samples = profile_samples(Scale::Smoke);
+        assert_eq!(samples.len(), DISPATCH_BENCHES.len());
+        for s in &samples {
+            assert!(DISPATCH_BENCHES.contains(&s.name));
+            assert!(s.profiled_ns > 0, "{}: profiled run not timed", s.name);
+            assert!(
+                s.coverage_pct > 0.0 && s.coverage_pct <= 100.0,
+                "{}: implausible fusion coverage {}",
+                s.name,
+                s.coverage_pct
+            );
+        }
     }
 
     #[test]

@@ -110,12 +110,14 @@ impl Table1 {
                 ("field_access_pct", r.field_access.into()),
             ]));
         }
-        emit::record(&Json::obj([
+        let mut summary = vec![
             ("type", "summary".into()),
             ("experiment", "table1".into()),
             ("avg_call_edge_pct", self.avg_call_edge.into()),
             ("avg_field_access_pct", self.avg_field_access.into()),
-        ]));
+        ];
+        summary.extend(crate::runner::summary_profile_fields());
+        emit::record(&Json::obj(summary));
     }
 }
 

@@ -166,7 +166,7 @@ impl Table2 {
                 ("compile_time_pct", r.compile_time.into()),
             ]));
         }
-        emit::record(&Json::obj([
+        let mut summary = vec![
             ("type", "summary".into()),
             ("experiment", "table2".into()),
             ("avg_total_pct", self.avg_total.into()),
@@ -174,7 +174,9 @@ impl Table2 {
             ("avg_entries_pct", self.avg_entries.into()),
             ("avg_space_kb", self.avg_space_kb.into()),
             ("avg_compile_time_pct", self.avg_compile_time.into()),
-        ]));
+        ];
+        summary.extend(crate::runner::summary_profile_fields());
+        emit::record(&Json::obj(summary));
     }
 }
 

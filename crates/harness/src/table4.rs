@@ -304,13 +304,16 @@ mod tests {
         crate::runner::set_jobs(1);
         let serial = run(Scale::Smoke).to_string();
         crate::runner::set_jobs(4);
-        let (hits_before, _) = crate::runner::preparation_cache_stats();
+        crate::runner::set_profiling(true);
+        let hits_before = isf_obs::metrics::snapshot().counter("prep.cache.hits");
         let parallel = run(Scale::Smoke).to_string();
-        let (hits_after, _) = crate::runner::preparation_cache_stats();
+        let hits_after = isf_obs::metrics::snapshot().counter("prep.cache.hits");
+        crate::runner::set_profiling(false);
         crate::runner::set_jobs(0);
         assert_eq!(serial, parallel, "table 4 output depends on the job count");
         // The serial sweep populated the preparation cache, so the repeat
-        // sweep serves its identical (program, plan) decodes from it.
+        // sweep serves its identical (program, plan) decodes from it — and
+        // the registry, enabled around the repeat sweep, counted the hits.
         assert!(
             hits_after > hits_before,
             "repeat sweep should hit the shared preparation cache"

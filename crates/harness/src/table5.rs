@@ -150,12 +150,14 @@ impl Table5 {
                 ("timer_samples", r.timer_samples.into()),
             ]));
         }
-        emit::record(&Json::obj([
+        let mut summary = vec![
             ("type", "summary".into()),
             ("experiment", "table5".into()),
             ("avg_time_based_pct", self.avg_time_based.into()),
             ("avg_counter_based_pct", self.avg_counter_based.into()),
-        ]));
+        ];
+        summary.extend(crate::runner::summary_profile_fields());
+        emit::record(&Json::obj(summary));
     }
 }
 

@@ -16,6 +16,12 @@
 //! * [`emit`] buffers JSONL records (`ISF_EMIT=json`) with wall-clock
 //!   redaction for byte-stable output across `--jobs` counts, and
 //!   accumulates phase timings across worker threads.
+//! * [`metrics`] is a sharded runtime-gated metrics registry (counters +
+//!   power-of-two-bucket histograms) the harness drains into a JSONL
+//!   `metrics` record; the VM's per-opcode dispatch profiles fold into it.
+//! * [`span`] records hierarchical wall+CPU spans (run → phase →
+//!   experiment → cell → attempt) and exports them as Chrome trace-event
+//!   JSON for Perfetto, plus a `span-summary` JSONL record.
 //! * [`json`] is the dependency-free JSON value, encoder, and strict
 //!   parser everything above is built on.
 
@@ -26,8 +32,12 @@ pub mod burst;
 pub mod emit;
 pub mod json;
 pub mod log;
+pub mod metrics;
+pub mod span;
 
 pub use burst::{BurstReport, SkewReport};
 pub use emit::{EmitMode, PhaseTotal};
 pub use json::{Json, JsonError};
 pub use log::Level;
+pub use metrics::MetricsSnapshot;
+pub use span::{SpanEvent, SpanGuard, SpanSummary};
