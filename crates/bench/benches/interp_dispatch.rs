@@ -17,8 +17,8 @@
 use criterion::Criterion;
 use isf_bench::{criterion, module};
 use isf_exec::{
-    run_naive, run_prepared, run_prepared_profiled, run_prepared_traced, FuseMode, OpProfile,
-    PreparedModule, TraceBuffer, VmConfig,
+    run_naive, run_prepared, run_prepared_profiled, run_prepared_traced, FuseGuidance, FuseMode,
+    OpProfile, PreparedModule, TraceBuffer, VmConfig,
 };
 
 fn dispatch(c: &mut Criterion) {
@@ -29,6 +29,19 @@ fn dispatch(c: &mut Criterion) {
         let unfused = PreparedModule::prepare_with(&m, &cfg.cost, FuseMode::Off);
         c.bench_function(format!("interp_dispatch/fused/{name}"), |b| {
             b.iter(|| run_prepared(&fused, &cfg).unwrap())
+        });
+        // Profile-guided fusion (the harness's `--pgo` flow): warm the
+        // statically-fused form under the profiled engine, distill the
+        // profile into guidance, and re-prepare. Guided groups only ever
+        // add coverage on top of the catalogue — catalogue matches win
+        // ties in the block partitioner — so this row should sit at or
+        // below the `fused` row, most visibly on call-dense benchmarks.
+        let mut warmup = OpProfile::new();
+        run_prepared_profiled(&fused, &cfg, &mut warmup).unwrap();
+        let guidance = Box::new(FuseGuidance::from_profile(&warmup));
+        let guided = PreparedModule::prepare_with(&m, &cfg.cost, FuseMode::Guided(guidance));
+        c.bench_function(format!("interp_dispatch/guided/{name}"), |b| {
+            b.iter(|| run_prepared(&guided, &cfg).unwrap())
         });
         // `prepared` is the pre-fusion engine (FuseMode::Off), keeping the
         // bench ID comparable with historical runs.

@@ -523,14 +523,15 @@ impl<'p, 's, S: TraceSink, P: ProfileSink> Machine<'p, 's, S, P> {
                 counts[slot] = flow.max(0) as u64;
             }
         }
-        let trap_slot = if mid_op {
+        let trap_frame = if mid_op {
             self.threads
                 .get(self.current)
                 .and_then(|t| t.frames.last())
-                .map(|f| f.base as usize + f.ip)
+                .map(|f| (f.base as usize + f.ip, &f.ops[f.ip]))
         } else {
             None
         };
+        let trap_slot = trap_frame.map(|(slot, _)| slot);
         let mut attributed: u64 = 0;
         for f in self.prepared.funcs() {
             for (i, op) in f.ops.iter().enumerate() {
@@ -553,6 +554,55 @@ impl<'p, 's, S: TraceSink, P: ProfileSink> Machine<'p, 's, S, P> {
             "completed run must be exactly attributed (over by {shortfall})"
         );
         debug_assert!(attributed >= self.cycles, "attribution fell short");
+        // How much of the trapping dispatch never ran under the unfused
+        // schedule. A fused group's charge is a sequence of quanta, each
+        // folding one or more source instructions; the shortfall is
+        // exactly the sum of the quanta the trap left un-applied, so
+        // unwinding them recovers the instructions an unfused run would
+        // not have dispatched. A budget trap additionally needs the
+        // *failing* quantum split: its whole sum hit the clock at once,
+        // but the unfused schedule would have charged per component and
+        // stopped at the first one to cross the budget — components past
+        // that point contribute neither instructions nor cycles
+        // (`trap_phantom`). Both corrections come off the trap slot so
+        // fused profiles equal unfused and naive ones exactly, traps
+        // included.
+        let (trap_uncounted, trap_phantom) = trap_frame.map_or((0, 0), |(_, op)| {
+            let quanta = op.charge_quanta(self.prepared.cost());
+            let mut remaining = shortfall;
+            let mut uncounted = 0u64;
+            let mut qi = quanta.len();
+            while remaining > 0 {
+                qi -= 1;
+                let qsum: u64 = quanta[qi].iter().sum();
+                debug_assert!(remaining >= qsum, "shortfall must unwind whole quanta");
+                remaining = remaining.saturating_sub(qsum);
+                uncounted += quanta[qi].len() as u64;
+            }
+            let mut phantom = 0u64;
+            if let Some(TrapKind::FuelExhausted(max)) = trap {
+                // Quantum `qi - 1` is the charge that trapped (fuel traps
+                // happen inside `charge_cycles`, and the machine stops on
+                // the spot). Replay its components against the clock at
+                // its start; the component that crosses the budget is the
+                // unfused schedule's last dispatch.
+                if qi > 0 && quanta[qi - 1].len() > 1 {
+                    let q = &quanta[qi - 1];
+                    let mut clock = self.cycles - q.iter().sum::<u64>();
+                    let mut crossed = false;
+                    for &c in q {
+                        if crossed {
+                            uncounted += 1;
+                            phantom += c;
+                        } else {
+                            clock += c;
+                            crossed = clock > *max;
+                        }
+                    }
+                }
+            }
+            (uncounted, phantom)
+        });
         for f in self.prepared.funcs() {
             for (i, op) in f.ops.iter().enumerate() {
                 if matches!(op.kind, OpKind::Gap) {
@@ -565,11 +615,13 @@ impl<'p, 's, S: TraceSink, P: ProfileSink> Machine<'p, 's, S, P> {
                 }
                 let mut cycles = n * (op.cost + op.kind.extra_cycles())
                     + self.fire_counts[slot] * self.sample_switch;
+                let mut instructions = n * u64::from(op.width);
                 if trap_slot == Some(slot) {
-                    cycles -= shortfall;
+                    cycles -= shortfall + trap_phantom;
+                    instructions -= trap_uncounted;
                 }
                 self.psink
-                    .record_dispatches(op.kind.opcode(), n, n * u64::from(op.width), cycles);
+                    .record_dispatches(op.kind.opcode(), n, instructions, cycles);
             }
         }
     }
@@ -1378,6 +1430,123 @@ impl<'p, 's, S: TraceSink, P: ProfileSink> Machine<'p, 's, S, P> {
                         }
                     }
                 }
+            }
+            OpKind::Guided { steps, .. } => {
+                // The generalized profile-guided group: charge and execute
+                // per component (the main-loop charge covered `steps[0]`),
+                // so budget traps, timer ticks and threadswitch catch-ups
+                // land at exactly the unfused positions for any component
+                // mix. Only the final step may be a call; it advances `ip`
+                // past the whole group before pushing the callee frame
+                // (and re-points it on a failed push), exactly as the
+                // plain call arms do.
+                for (k, (cost, step)) in steps.iter().enumerate() {
+                    if k > 0 {
+                        self.charge_cycles(*cost)?;
+                    }
+                    match step {
+                        OpKind::Const { dst, value } => {
+                            let f = self.threads[cur].frames.last_mut().expect("frame");
+                            f.locals[dst.index()] = *value;
+                        }
+                        OpKind::Move { dst, src } => {
+                            let f = self.threads[cur].frames.last_mut().expect("frame");
+                            f.locals[dst.index()] = f.locals[src.index()];
+                        }
+                        OpKind::Un { op, dst, src } => {
+                            let f = self.threads[cur].frames.last_mut().expect("frame");
+                            f.locals[dst.index()] = Value::unary(*op, f.locals[src.index()])?;
+                        }
+                        OpKind::Bin { op, dst, lhs, rhs } => {
+                            let f = self.threads[cur].frames.last_mut().expect("frame");
+                            f.locals[dst.index()] =
+                                Value::binary(*op, f.locals[lhs.index()], f.locals[rhs.index()])?;
+                        }
+                        OpKind::GetFieldStatic { dst, obj, offset } => {
+                            let f = self.threads[cur].frames.last_mut().expect("frame");
+                            let object = self.heap.object(f.locals[obj.index()])?;
+                            f.locals[dst.index()] = object.fields[*offset as usize];
+                        }
+                        OpKind::SetFieldStatic { obj, offset, src } => {
+                            let f = self.threads[cur].frames.last_mut().expect("frame");
+                            let o = f.locals[obj.index()];
+                            let v = f.locals[src.index()];
+                            self.heap.object_mut(o)?.fields[*offset as usize] = v;
+                        }
+                        OpKind::ArrayGet { dst, arr, idx } => {
+                            let f = self.threads[cur].frames.last_mut().expect("frame");
+                            let i = f.locals[idx.index()].as_i64()?;
+                            let v = self.heap.array_get(f.locals[arr.index()], i)?;
+                            f.locals[dst.index()] = Value::I64(v);
+                        }
+                        OpKind::ArraySet { arr, idx, src } => {
+                            let f = self.threads[cur].frames.last_mut().expect("frame");
+                            let a = f.locals[arr.index()];
+                            let i = f.locals[idx.index()].as_i64()?;
+                            let v = f.locals[src.index()].as_i64()?;
+                            self.heap.array_set(a, i, v)?;
+                        }
+                        OpKind::ArrayLen { dst, arr } => {
+                            let f = self.threads[cur].frames.last_mut().expect("frame");
+                            let n = self.heap.array_len(f.locals[arr.index()])?;
+                            f.locals[dst.index()] = Value::I64(n);
+                        }
+                        OpKind::Call {
+                            dst,
+                            callee,
+                            args,
+                            site,
+                        } => {
+                            let mut vals = std::mem::take(&mut self.arg_scratch);
+                            let f = self.threads[cur].frames.last_mut().expect("frame");
+                            vals.extend(args.iter().map(|a| f.locals[a.index()]));
+                            f.ip += w;
+                            let r =
+                                self.push_frame(*callee, &vals, *dst, Some((func_id, *site)), cur);
+                            vals.clear();
+                            self.arg_scratch = vals;
+                            if r.is_err() {
+                                // See `OpKind::Call`: re-point `ip` at the
+                                // group whose call was attempted.
+                                self.frame_mut().ip -= w;
+                            }
+                            r?;
+                            return Ok(Step::Ran);
+                        }
+                        OpKind::CallMethodStatic {
+                            dst,
+                            obj,
+                            callee,
+                            args,
+                            site,
+                        } => {
+                            let f = self.threads[cur].frames.last_mut().expect("frame");
+                            let o = f.locals[obj.index()];
+                            // Target and arity verified at prepare time;
+                            // the receiver still null/type-checks.
+                            self.heap.object(o)?;
+                            let mut vals = std::mem::take(&mut self.arg_scratch);
+                            let f = self.threads[cur].frames.last_mut().expect("frame");
+                            vals.push(o);
+                            vals.extend(args.iter().map(|a| f.locals[a.index()]));
+                            f.ip += w;
+                            let r =
+                                self.push_frame(*callee, &vals, *dst, Some((func_id, *site)), cur);
+                            vals.clear();
+                            self.arg_scratch = vals;
+                            if r.is_err() {
+                                self.frame_mut().ip -= w;
+                            }
+                            r?;
+                            return Ok(Step::Ran);
+                        }
+                        other => {
+                            unreachable!("non-guided-eligible component {other:?} in guided group")
+                        }
+                    }
+                }
+                let f = self.threads[cur].frames.last_mut().expect("frame");
+                f.ip += w;
             }
             OpKind::Gap => unreachable!("fusion gap slots are never executed"),
             // Terminators (inlined into the arena as the block's last op).

@@ -64,9 +64,10 @@ pub use interp::{
 pub use naive::{run_naive, run_naive_observed, run_naive_profiled, run_naive_traced};
 pub use outcome::{Outcome, ZeroCycleBaseline};
 pub use prepared::{
-    fuse_mode, preparations, set_fuse_mode, thread_preparations, FuseMode, PreparedModule,
+    fuse_mode, mine_hot_sequences, preparations, set_fuse_mode, thread_preparations, FuseMode,
+    HotSequence, PreparedModule,
 };
-pub use profile::{NoMetrics, OpProfile, ProfileSink, NUM_OPCODES, OPCODE_NAMES};
+pub use profile::{FuseGuidance, NoMetrics, OpProfile, ProfileSink, NUM_OPCODES, OPCODE_NAMES};
 pub use trace::{BurstRecord, NoTrace, TraceBuffer, TraceSink};
 pub use trigger::Trigger;
 pub use value::Value;

@@ -38,6 +38,7 @@ use isf_ir::{
 };
 
 use crate::cost::CostModel;
+use crate::profile::{FuseGuidance, OPCODE_NAMES};
 use crate::value::Value;
 
 /// Process-wide count of [`PreparedModule::prepare`] calls, used by the
@@ -69,13 +70,26 @@ pub fn thread_preparations() -> u64 {
 /// output, cycle counts, traps and profiles — only wall-clock time
 /// changes. [`FuseMode::Off`] keeps the unfused pipeline alive as an
 /// escape hatch and differential-testing baseline.
-#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub enum FuseMode {
     /// Decode only, exactly the pre-fusion pipeline.
     Off,
     /// Decode, then peephole-fuse superinstructions and statically resolve
     /// field slots and method targets (the default).
     Fuse,
+    /// [`FuseMode::Fuse`] plus a profile-guided pass: a per-block dynamic
+    /// program over the warmup weights in the carried [`FuseGuidance`]
+    /// re-partitions each block so that (a) catalogue templates apply
+    /// where the greedy left-to-right pass consumed their prefix for a
+    /// lesser match, and (b) hot sequences the fixed catalogue cannot
+    /// express (call-adjacent moves, getfield chains feeding calls,
+    /// arg-marshalling runs) fuse into the generalized
+    /// [`OpKind::Guided`] template. Observably identical to `Off`/`Fuse`:
+    /// guided groups charge per component, so cycles, traps and profiles
+    /// stay on the unfused schedule. Boxed: the weight table is ~264
+    /// bytes, and the common `Off`/`Fuse` values should stay
+    /// pointer-sized.
+    Guided(Box<FuseGuidance>),
 }
 
 /// Process-wide fuse-mode override: 0 = unset (consult `ISF_FUSE`),
@@ -84,12 +98,15 @@ static FUSE_OVERRIDE: AtomicU8 = AtomicU8::new(0);
 
 /// Overrides the fuse mode for subsequent [`PreparedModule::prepare`]
 /// calls; `None` restores the default (the `ISF_FUSE` environment
-/// variable, on unless set to `0`/`off`/`false`).
+/// variable, on unless set to `0`/`off`/`false`). The process-wide
+/// override cannot carry a guidance payload, so [`FuseMode::Guided`] maps
+/// to [`FuseMode::Fuse`] here; guided preparation is requested per call
+/// via [`PreparedModule::prepare_with`].
 pub fn set_fuse_mode(mode: Option<FuseMode>) {
     let v = match mode {
         None => 0,
         Some(FuseMode::Off) => 1,
-        Some(FuseMode::Fuse) => 2,
+        Some(FuseMode::Fuse) | Some(FuseMode::Guided(_)) => 2,
     };
     FUSE_OVERRIDE.store(v, Ordering::Relaxed);
 }
@@ -107,10 +124,11 @@ pub fn fuse_mode() -> FuseMode {
 
 fn env_fuse_mode() -> FuseMode {
     static ENV: OnceLock<FuseMode> = OnceLock::new();
-    *ENV.get_or_init(|| match std::env::var("ISF_FUSE").ok().as_deref() {
+    ENV.get_or_init(|| match std::env::var("ISF_FUSE").ok().as_deref() {
         Some("0") | Some("off") | Some("false") => FuseMode::Off,
         _ => FuseMode::Fuse,
     })
+    .clone()
 }
 
 /// One decoded operation: its pre-folded cycle cost plus the decoded form.
@@ -497,6 +515,23 @@ pub(crate) enum OpKind {
         target: u32,
         effects: Box<[InstrEffect]>,
     },
+    /// The generalized profile-guided template ([`FuseMode::Guided`]): a
+    /// mined run of two or three plain components executed under one
+    /// dispatch. Unlike the fixed catalogue above, every component's cost
+    /// is charged individually — [`Op::cost`] carries only the first
+    /// component's, `extra` pre-sums the rest for profile folding — so
+    /// charge/execute interleaving, traps, timer ticks and switch-bit
+    /// catch-ups are positionally identical to the unfused sequence for
+    /// *any* component mix, including components that trap mid-group.
+    /// Components are plain ops from the guided-eligible set
+    /// (const/move/un/bin, statically resolved field accesses, array ops),
+    /// with a direct or static-method call allowed as the final component.
+    Guided {
+        /// `(cost, component)` per source instruction, in order.
+        steps: Box<[(u64, OpKind)]>,
+        /// Pre-summed cost of `steps[1..]` (everything charged mid-arm).
+        extra: u64,
+    },
     /// An inert filler occupying the interior slot of a fused group.
     /// Unreachable: sequential flow skips it via the leader's width, and
     /// branch targets only ever point at block starts.
@@ -562,6 +597,7 @@ impl OpKind {
             OpKind::GetFieldArraySet { .. } => OPC_GET_FIELD_ARRAY_SET,
             OpKind::MoveRun { .. } => OPC_MOVE_RUN,
             OpKind::JumpInstr { .. } => OPC_JUMP_INSTR,
+            OpKind::Guided { .. } => OPC_GUIDED,
             OpKind::Gap => OPC_GAP,
         }
     }
@@ -586,8 +622,78 @@ impl OpKind {
             | OpKind::GetFieldArraySet { extra, .. } => *extra,
             OpKind::GetFieldBinImmSetField { extra, extra2, .. } => *extra + *extra2,
             OpKind::GetFieldBrCmp { extra, branch, .. } => *extra + *branch,
+            OpKind::Guided { extra, .. } => *extra,
             _ => 0,
         }
+    }
+}
+
+impl Op {
+    /// The charge schedule of one dispatch of this op: each inner vec is
+    /// one `charge_cycles` quantum, listing the per-component (source
+    /// instruction) costs it folds, in execution order. This is the
+    /// unfused schedule the fusion pass folded [`Op::cost`] and the
+    /// `extra` fields from; the profiled engine walks it on the trapping
+    /// dispatch to attribute exactly the instructions and cycles the
+    /// unfused schedule would have reached before the trap (see
+    /// `fold_profile`). Total components always equal [`Op::width`] and
+    /// total cycles equal `cost + extra_cycles()`.
+    pub(crate) fn charge_quanta(&self, cm: &CostModel) -> Vec<Vec<u64>> {
+        let bin = |op: &BinOp| match op {
+            BinOp::Mul => cm.mul,
+            BinOp::Div | BinOp::Rem => cm.div,
+            _ => cm.alu,
+        };
+        let q = match &self.kind {
+            OpKind::BinImm { op, .. } => vec![vec![cm.alu, bin(op)]],
+            OpKind::BrCmp { op, extra, .. } => vec![vec![bin(op)], vec![*extra]],
+            OpKind::BrCmpImm { op, extra, .. } => vec![vec![cm.alu, bin(op)], vec![*extra]],
+            OpKind::ArrayGetImm { .. } | OpKind::ArraySetImm { .. } => {
+                vec![vec![cm.alu, cm.array_access]]
+            }
+            OpKind::ArraySetImm2 { .. } => vec![vec![cm.alu, cm.alu, cm.array_access]],
+            OpKind::ConstSetField { .. } => vec![vec![cm.alu, cm.field_access]],
+            OpKind::GetFieldBin { extra, .. } | OpKind::BinSetField { extra, .. } => {
+                vec![vec![self.cost], vec![*extra]]
+            }
+            OpKind::BinImmSetField { op, extra, .. } => vec![vec![cm.alu, bin(op)], vec![*extra]],
+            OpKind::GetFieldBinImm { op, .. } => vec![vec![self.cost], vec![cm.alu, bin(op)]],
+            OpKind::GetFieldBinImmSetField { op, extra2, .. } => {
+                vec![vec![self.cost], vec![cm.alu, bin(op)], vec![*extra2]]
+            }
+            OpKind::GetFieldBrCmp { extra, branch, .. } => {
+                vec![vec![self.cost], vec![*extra], vec![*branch]]
+            }
+            OpKind::GetFieldArrayGet { extra, .. } | OpKind::GetFieldArraySet { extra, .. } => {
+                vec![vec![self.cost], vec![*extra]]
+            }
+            OpKind::MoveRun { moves } => vec![vec![cm.alu; moves.len()]],
+            OpKind::PathIncr { .. } if self.width > 1 => {
+                vec![vec![cm.instr_path_arith; self.width as usize]]
+            }
+            OpKind::JumpInstr { effects, .. } => {
+                let mut q = vec![cm.jump];
+                q.extend(effects.iter().map(|ef| match ef {
+                    InstrEffect::CallEdge => cm.instr_call_edge,
+                    InstrEffect::BlockCount(_) => cm.instr_block_count,
+                    InstrEffect::EdgeCount(..) => cm.instr_edge_count,
+                }));
+                vec![q]
+            }
+            OpKind::Guided { steps, .. } => steps.iter().map(|(c, _)| vec![*c]).collect(),
+            _ => vec![vec![self.cost]],
+        };
+        debug_assert_eq!(
+            q.iter().flatten().sum::<u64>(),
+            self.cost + self.kind.extra_cycles(),
+            "charge quanta must decompose the op's exact per-dispatch charge"
+        );
+        debug_assert_eq!(
+            q.iter().map(Vec::len).sum::<usize>(),
+            self.width as usize,
+            "charge quanta must have one component per source instruction"
+        );
+        q
     }
 }
 
@@ -660,10 +766,10 @@ struct Statics {
 }
 
 impl Statics {
-    fn resolve(module: &Module, mode: FuseMode) -> Self {
+    fn resolve(module: &Module, mode: &FuseMode) -> Self {
         let num_fields = module.num_field_syms();
         let num_methods = module.num_method_syms();
-        if mode == FuseMode::Off || module.num_classes() == 0 {
+        if matches!(mode, FuseMode::Off) || module.num_classes() == 0 {
             return Statics {
                 field_slots: vec![None; num_fields],
                 method_targets: vec![None; num_methods],
@@ -709,12 +815,12 @@ impl PreparedModule {
     pub fn prepare_with(module: &Module, cost: &CostModel, mode: FuseMode) -> Self {
         PREPARATIONS.fetch_add(1, Ordering::Relaxed);
         THREAD_PREPARATIONS.with(|c| c.set(c.get() + 1));
-        let statics = Statics::resolve(module, mode);
+        let statics = Statics::resolve(module, &mode);
         let mut slot_base = 0u32;
         let funcs: Vec<PreparedFunction> = module
             .functions()
             .map(|(_, f)| {
-                let mut pf = prepare_function(module, f, cost, mode, &statics);
+                let mut pf = prepare_function(module, f, cost, &mode, &statics);
                 pf.slot_base = slot_base;
                 slot_base += pf.ops.len() as u32;
                 pf
@@ -768,6 +874,17 @@ impl PreparedModule {
         self.funcs.iter().map(|f| f.fused).sum()
     }
 
+    /// Fused groups using the generalized [`OpKind::Guided`] template (a
+    /// subset of [`PreparedModule::num_fused`]; 0 unless prepared under
+    /// [`FuseMode::Guided`]).
+    pub fn num_guided(&self) -> usize {
+        self.funcs
+            .iter()
+            .flat_map(|f| f.ops.iter())
+            .filter(|o| matches!(o.kind, OpKind::Guided { .. }))
+            .count()
+    }
+
     #[inline]
     pub(crate) fn func(&self, id: FuncId) -> &PreparedFunction {
         &self.funcs[id.index()]
@@ -807,7 +924,7 @@ fn prepare_function(
     module: &Module,
     f: &Function,
     cost: &CostModel,
-    mode: FuseMode,
+    mode: &FuseMode,
     statics: &Statics,
 ) -> PreparedFunction {
     let back: HashSet<(BlockId, BlockId)> = loops::backedges(f).into_iter().collect();
@@ -826,14 +943,20 @@ fn prepare_function(
         }
         ops.push(decode_term(id, b.term(), cost, &back, &starts));
     }
-    // Third pass: peephole fusion within each block, then the cross-block
-    // jump/instrumentation pass over the (now fused) arena.
+    // Third pass: peephole fusion within each block (greedy catalogue
+    // matching under `Fuse`, the weight-maximizing dynamic program under
+    // `Guided`), then the cross-block jump/instrumentation pass over the
+    // (now fused) arena.
     let mut fused = 0;
-    if mode == FuseMode::Fuse {
+    if !matches!(mode, FuseMode::Off) {
         for b in 0..starts.len() {
             let s = starts[b] as usize;
             let e = starts.get(b + 1).map_or(ops.len(), |&n| n as usize);
-            fused += fuse_block(&mut ops, s, e);
+            fused += match mode {
+                FuseMode::Off => unreachable!("gated above"),
+                FuseMode::Fuse => fuse_block(&mut ops, s, e),
+                FuseMode::Guided(g) => guide_block(&mut ops, s, e, g),
+            };
         }
         fused += fuse_jump_effects(&mut ops, &starts);
     }
@@ -868,31 +991,36 @@ fn install(ops: &mut [Op], i: usize, n: usize, cost: u64, kind: OpKind) {
     }
 }
 
-/// Peephole-fuses one block's ops (`ops[s..e]`, terminator at `e - 1`).
-/// Returns the number of superinstructions installed.
+/// Peephole-fuses one block's ops (`ops[s..e]`, terminator at `e - 1`)
+/// with the greedy left-to-right catalogue pass. Returns the number of
+/// superinstructions installed.
 fn fuse_block(ops: &mut [Op], s: usize, e: usize) -> usize {
     let mut fused = 0;
     let mut i = s;
     while i < e {
-        let n = try_fuse_at(ops, i, e);
-        if n > 1 {
+        if let Some((n, cost, kind)) = match_at(ops, i, e) {
+            install(ops, i, n, cost, kind);
             fused += 1;
+            i += n;
+        } else {
+            i += 1;
         }
-        i += n;
     }
     fused
 }
 
 /// Tries every pattern of the superinstruction catalogue at `ops[i]`,
-/// bounded by the block end `e`. Returns the width consumed (1 = nothing
-/// fused). Trap-order soundness: [`Op::cost`] folds component costs only
-/// up to (and including) the first component that can trap; every later
-/// component's cost rides in the variant's `extra` field and is charged
-/// by the interpreter arm between the two executions, reproducing the
-/// unfused charge/execute interleaving — and therefore the exact trap
-/// point and cycle count — for both execution traps and budget traps
-/// (see DESIGN.md decision 12).
-fn try_fuse_at(ops: &mut [Op], i: usize, e: usize) -> usize {
+/// bounded by the block end `e`. Returns `Some((width, cost, kind))` for
+/// the group [`install`] would build, `None` if nothing matches. Pure:
+/// looks only at `ops[i..i + width]`, so cached results stay valid while
+/// earlier slots of the block are rewritten. Trap-order soundness:
+/// [`Op::cost`] folds component costs only up to (and including) the
+/// first component that can trap; every later component's cost rides in
+/// the variant's `extra` field and is charged by the interpreter arm
+/// between the two executions, reproducing the unfused charge/execute
+/// interleaving — and therefore the exact trap point and cycle count —
+/// for both execution traps and budget traps (see DESIGN.md decision 12).
+fn match_at(ops: &[Op], i: usize, e: usize) -> Option<(usize, u64, OpKind)> {
     match ops[i].kind {
         OpKind::Const { dst: tmp, value } if i + 1 < e => {
             let c0 = ops[i].cost;
@@ -922,8 +1050,7 @@ fn try_fuse_at(ops: &mut [Op], i: usize, e: usize) -> usize {
                                     t,
                                     f,
                                 };
-                                install(ops, i, 3, c0 + c1, kind);
-                                return 3;
+                                return Some((3, c0 + c1, kind));
                             }
                         }
                     }
@@ -943,8 +1070,7 @@ fn try_fuse_at(ops: &mut [Op], i: usize, e: usize) -> usize {
                                     offset,
                                     extra: ops[i + 2].cost,
                                 };
-                                install(ops, i, 3, c0 + c1, kind);
-                                return 3;
+                                return Some((3, c0 + c1, kind));
                             }
                         }
                     }
@@ -956,15 +1082,12 @@ fn try_fuse_at(ops: &mut [Op], i: usize, e: usize) -> usize {
                         tmp,
                         imm: value,
                     };
-                    install(ops, i, 2, c0 + c1, kind);
-                    2
+                    Some((2, c0 + c1, kind))
                 }
                 OpKind::ArrayGet { dst, arr, idx } if idx == tmp => match value {
                     Value::I64(n) => {
                         let cost = c0 + ops[i + 1].cost;
-                        install(
-                            ops,
-                            i,
+                        Some((
                             2,
                             cost,
                             OpKind::ArrayGetImm {
@@ -973,10 +1096,9 @@ fn try_fuse_at(ops: &mut [Op], i: usize, e: usize) -> usize {
                                 tmp,
                                 idx: n,
                             },
-                        );
-                        2
+                        ))
                     }
-                    _ => 1,
+                    _ => None,
                 },
                 // `a[K] = V;` with two literals: the value's `Const` sits
                 // between the index's `Const` and the store, so the pair
@@ -1001,12 +1123,11 @@ fn try_fuse_at(ops: &mut [Op], i: usize, e: usize) -> usize {
                                     src_tmp,
                                     src,
                                 };
-                                install(ops, i, 3, cost, kind);
-                                return 3;
+                                return Some((3, cost, kind));
                             }
                         }
                     }
-                    1
+                    None
                 }
                 OpKind::SetFieldStatic { obj, offset, src } if src == tmp => {
                     let kind = OpKind::ConstSetField {
@@ -1015,15 +1136,12 @@ fn try_fuse_at(ops: &mut [Op], i: usize, e: usize) -> usize {
                         obj,
                         offset,
                     };
-                    install(ops, i, 2, c0 + ops[i + 1].cost, kind);
-                    2
+                    Some((2, c0 + ops[i + 1].cost, kind))
                 }
                 OpKind::ArraySet { arr, idx, src } if idx == tmp && src != tmp => match value {
                     Value::I64(n) => {
                         let cost = c0 + ops[i + 1].cost;
-                        install(
-                            ops,
-                            i,
+                        Some((
                             2,
                             cost,
                             OpKind::ArraySetImm {
@@ -1032,12 +1150,11 @@ fn try_fuse_at(ops: &mut [Op], i: usize, e: usize) -> usize {
                                 idx: n,
                                 src,
                             },
-                        );
-                        2
+                        ))
                     }
-                    _ => 1,
+                    _ => None,
                 },
-                _ => 1,
+                _ => None,
             }
         }
         OpKind::Bin { op, dst, lhs, rhs } if i + 1 < e => {
@@ -1060,8 +1177,7 @@ fn try_fuse_at(ops: &mut [Op], i: usize, e: usize) -> usize {
                             t,
                             f,
                         };
-                        install(ops, i, 2, ops[i].cost, kind);
-                        return 2;
+                        return Some((2, ops[i].cost, kind));
                     }
                 }
             }
@@ -1076,11 +1192,10 @@ fn try_fuse_at(ops: &mut [Op], i: usize, e: usize) -> usize {
                         offset,
                         extra: ops[i + 1].cost,
                     };
-                    install(ops, i, 2, ops[i].cost, kind);
-                    return 2;
+                    return Some((2, ops[i].cost, kind));
                 }
             }
-            1
+            None
         }
         OpKind::GetFieldStatic {
             dst: tmp,
@@ -1098,8 +1213,7 @@ fn try_fuse_at(ops: &mut [Op], i: usize, e: usize) -> usize {
                         arr,
                         extra: ops[i + 1].cost,
                     };
-                    install(ops, i, 2, c0, kind);
-                    2
+                    Some((2, c0, kind))
                 }
                 OpKind::ArraySet { arr, idx, src } if idx == tmp => {
                     let kind = OpKind::GetFieldArraySet {
@@ -1110,8 +1224,7 @@ fn try_fuse_at(ops: &mut [Op], i: usize, e: usize) -> usize {
                         src,
                         extra: ops[i + 1].cost,
                     };
-                    install(ops, i, 2, c0, kind);
-                    2
+                    Some((2, c0, kind))
                 }
                 OpKind::Const { dst: ctmp, value } if i + 2 < e => {
                     if let OpKind::Bin { op, dst, lhs, rhs } = ops[i + 2].kind {
@@ -1142,8 +1255,7 @@ fn try_fuse_at(ops: &mut [Op], i: usize, e: usize) -> usize {
                                             extra: ops[i + 1].cost + ops[i + 2].cost,
                                             extra2: ops[i + 3].cost,
                                         };
-                                        install(ops, i, 4, c0, kind);
-                                        return 4;
+                                        return Some((4, c0, kind));
                                     }
                                 }
                             }
@@ -1159,11 +1271,10 @@ fn try_fuse_at(ops: &mut [Op], i: usize, e: usize) -> usize {
                                 rhs,
                                 extra: ops[i + 1].cost + ops[i + 2].cost,
                             };
-                            install(ops, i, 3, c0, kind);
-                            return 3;
+                            return Some((3, c0, kind));
                         }
                     }
-                    1
+                    None
                 }
                 OpKind::Bin { op, dst, lhs, rhs } if lhs == tmp || rhs == tmp => {
                     // A comparison that feeds the block's branch takes the
@@ -1191,8 +1302,7 @@ fn try_fuse_at(ops: &mut [Op], i: usize, e: usize) -> usize {
                                     t,
                                     f,
                                 };
-                                install(ops, i, 3, c0, kind);
-                                return 3;
+                                return Some((3, c0, kind));
                             }
                         }
                     }
@@ -1206,10 +1316,9 @@ fn try_fuse_at(ops: &mut [Op], i: usize, e: usize) -> usize {
                         rhs,
                         extra: ops[i + 1].cost,
                     };
-                    install(ops, i, 2, c0, kind);
-                    2
+                    Some((2, c0, kind))
                 }
-                _ => 1,
+                _ => None,
             }
         }
         OpKind::Move { .. } => {
@@ -1218,7 +1327,7 @@ fn try_fuse_at(ops: &mut [Op], i: usize, e: usize) -> usize {
                 n += 1;
             }
             if n < 2 {
-                return 1;
+                return None;
             }
             let moves: Box<[(LocalId, LocalId)]> = ops[i..i + n]
                 .iter()
@@ -1228,8 +1337,7 @@ fn try_fuse_at(ops: &mut [Op], i: usize, e: usize) -> usize {
                 })
                 .collect();
             let cost = ops[i..i + n].iter().map(|o| o.cost).sum();
-            install(ops, i, n, cost, OpKind::MoveRun { moves });
-            n
+            Some((n, cost, OpKind::MoveRun { moves }))
         }
         OpKind::PathIncr { delta: first } => {
             // Deltas are non-negative (widened u32), so when the summed
@@ -1248,14 +1356,217 @@ fn try_fuse_at(ops: &mut [Op], i: usize, e: usize) -> usize {
                 n += 1;
             }
             if n < 2 {
-                return 1;
+                return None;
             }
             let cost = ops[i..i + n].iter().map(|o| o.cost).sum();
-            install(ops, i, n, cost, OpKind::PathIncr { delta: sum });
-            n
+            Some((n, cost, OpKind::PathIncr { delta: sum }))
         }
-        _ => 1,
+        _ => None,
     }
+}
+
+/// Whether `kind` may ride inside a generalized [`OpKind::Guided`] group.
+/// Because guided groups charge per component, any component mix is
+/// trap-order sound; the set is restricted to the register-file/heap ops
+/// the guided interpreter arm implements, plus — only in the final
+/// position — the statically resolved calls (a call replaces the frame's
+/// control state, so nothing may follow it under the same dispatch).
+fn guided_component_ok(kind: &OpKind, last: bool) -> bool {
+    match kind {
+        OpKind::Const { .. }
+        | OpKind::Move { .. }
+        | OpKind::Un { .. }
+        | OpKind::Bin { .. }
+        | OpKind::GetFieldStatic { .. }
+        | OpKind::SetFieldStatic { .. }
+        | OpKind::ArrayGet { .. }
+        | OpKind::ArraySet { .. }
+        | OpKind::ArrayLen { .. } => true,
+        OpKind::Call { .. } | OpKind::CallMethodStatic { .. } => last,
+        _ => false,
+    }
+}
+
+/// Per-slot value a covered op contributes to the guided dynamic program:
+/// the warmup dispatch weight of its opcode, scaled so profile weight
+/// dominates, plus one so coverage itself breaks ties among equally hot
+/// partitions (and so catalogue matches always beat leaving ops unfused).
+const GUIDED_WEIGHT_SCALE: u64 = 1024;
+
+fn guided_slot_value(op: &Op, g: &FuseGuidance) -> u64 {
+    GUIDED_WEIGHT_SCALE
+        .saturating_mul(g.weight(op.kind.opcode()))
+        .saturating_add(1)
+}
+
+fn guided_span_value(ops: &[Op], i: usize, n: usize, g: &FuseGuidance) -> u64 {
+    ops[i..i + n]
+        .iter()
+        .fold(0u64, |acc, o| acc.saturating_add(guided_slot_value(o, g)))
+}
+
+/// Whether `ops[i..i + n]` can form a guided group: all components
+/// eligible (calls only last) and at least one warm under `g` — cold code
+/// keeps its plain dispatches so a pathological profile cannot bloat the
+/// arena with groups that never run.
+fn guided_group_ok(ops: &[Op], i: usize, n: usize, e: usize, g: &FuseGuidance) -> bool {
+    if i + n > e {
+        return false;
+    }
+    let mut warm = false;
+    for (k, o) in ops[i..i + n].iter().enumerate() {
+        if !guided_component_ok(&o.kind, k + 1 == n) {
+            return false;
+        }
+        warm |= g.weight(o.kind.opcode()) > 0;
+    }
+    warm
+}
+
+/// The profile-guided replacement for [`fuse_block`]: a backward dynamic
+/// program over `ops[s..e]` that picks the non-overlapping partition into
+/// catalogue matches, generalized two/three-op guided groups, and skipped
+/// slots maximizing total covered weight. Replacement is on strictly
+/// greater value with candidates considered in the order catalogue match,
+/// then guided (longer first), so on ties the specialized catalogue
+/// template wins and the greedy pass's coverage is never given up — the
+/// DP can only re-partition where the profile says it pays. Returns the
+/// number of groups installed.
+fn guide_block(ops: &mut [Op], s: usize, e: usize, g: &FuseGuidance) -> usize {
+    let m = e - s;
+    #[derive(Copy, Clone)]
+    enum Choice {
+        Skip,
+        Catalogue,
+        Guided(usize),
+    }
+    // `match_at` is pure over pristine slots, so results cached before any
+    // install stay valid for the reconstruction below.
+    let matches: Vec<Option<(usize, u64, OpKind)>> = (s..e).map(|i| match_at(ops, i, e)).collect();
+    let mut best: Vec<(u64, Choice)> = vec![(0, Choice::Skip); m + 1];
+    for j in (0..m).rev() {
+        let i = s + j;
+        let mut v = best[j + 1].0;
+        let mut c = Choice::Skip;
+        if let Some((n, _, _)) = &matches[j] {
+            let val = guided_span_value(ops, i, *n, g).saturating_add(best[j + n].0);
+            if val > v {
+                v = val;
+                c = Choice::Catalogue;
+            }
+        }
+        for n in [3usize, 2] {
+            if j + n <= m && guided_group_ok(ops, i, n, e, g) {
+                let val = guided_span_value(ops, i, n, g).saturating_add(best[j + n].0);
+                if val > v {
+                    v = val;
+                    c = Choice::Guided(n);
+                }
+            }
+        }
+        best[j] = (v, c);
+    }
+    let mut fused = 0;
+    let mut j = 0;
+    while j < m {
+        match best[j].1 {
+            Choice::Skip => j += 1,
+            Choice::Catalogue => {
+                let (n, cost, kind) = matches[j].clone().expect("chosen catalogue match exists");
+                install(ops, s + j, n, cost, kind);
+                fused += 1;
+                j += n;
+            }
+            Choice::Guided(n) => {
+                let i = s + j;
+                let steps: Box<[(u64, OpKind)]> = ops[i..i + n]
+                    .iter()
+                    .map(|o| (o.cost, o.kind.clone()))
+                    .collect();
+                let extra = steps[1..].iter().map(|(c, _)| c).sum();
+                let cost = steps[0].0;
+                install(ops, i, n, cost, OpKind::Guided { steps, extra });
+                fused += 1;
+                j += n;
+            }
+        }
+    }
+    fused
+}
+
+/// One ranked candidate from [`mine_hot_sequences`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HotSequence {
+    /// Name of the function the run lives in.
+    pub function: String,
+    /// Arena index of the run's first op within that function.
+    pub start: u32,
+    /// Number of consecutive source instructions in the run.
+    pub len: u32,
+    /// Summed warmup dispatch weight of the run's opcodes.
+    pub weight: u64,
+    /// Profiling opcode names of the components, in order.
+    pub opcodes: Vec<&'static str>,
+}
+
+/// Ranks the hottest *unfused* adjacent op sequences of a prepared module
+/// under `guidance`: scans every function's arena for maximal runs of
+/// guided-eligible plain ops (the remainder the static catalogue pass
+/// left width-1, with a call allowed to terminate a run) and scores each
+/// run by its opcodes' warmup dispatch weights. Returns the `top`
+/// heaviest runs, heaviest first, ties broken by position for
+/// determinism. This is the ranking [`FuseMode::Guided`] acts on via its
+/// per-block dynamic program; it is exposed for reports and tests.
+pub fn mine_hot_sequences(
+    prepared: &PreparedModule,
+    guidance: &FuseGuidance,
+    top: usize,
+) -> Vec<HotSequence> {
+    let mut out = Vec::new();
+    for ((_, src), f) in prepared.module.functions().zip(prepared.funcs.iter()) {
+        let ops = &f.ops;
+        let eligible = |k: usize| ops[k].width == 1 && guided_component_ok(&ops[k].kind, true);
+        let mut i = 0usize;
+        while i < ops.len() {
+            if !eligible(i) {
+                i += 1;
+                continue;
+            }
+            let start = i;
+            let mut weight = 0u64;
+            while i < ops.len() && eligible(i) {
+                weight = weight.saturating_add(guidance.weight(ops[i].kind.opcode()));
+                let is_call = matches!(
+                    ops[i].kind,
+                    OpKind::Call { .. } | OpKind::CallMethodStatic { .. }
+                );
+                i += 1;
+                if is_call {
+                    break;
+                }
+            }
+            if i - start >= 2 && weight > 0 {
+                out.push(HotSequence {
+                    function: src.name().to_owned(),
+                    start: start as u32,
+                    len: (i - start) as u32,
+                    weight,
+                    opcodes: ops[start..i]
+                        .iter()
+                        .map(|o| OPCODE_NAMES[o.kind.opcode()])
+                        .collect(),
+                });
+            }
+        }
+    }
+    out.sort_by(|a, b| {
+        b.weight
+            .cmp(&a.weight)
+            .then_with(|| a.function.cmp(&b.function))
+            .then_with(|| a.start.cmp(&b.start))
+    });
+    out.truncate(top);
+    out
 }
 
 /// Fuses each non-backedge `Jump` with the leading run of trap-free,

@@ -28,7 +28,9 @@
 //! unfused prepared profile of the same run. Indices
 //! [`FIRST_STATIC`]`..`[`FIRST_FUSED`] are the statically-resolved forms
 //! and [`FIRST_FUSED`]`..`[`OPC_GAP`] the fused superinstructions, both
-//! produced only by `FuseMode::Fuse` preparation.
+//! produced only by fusing preparation (`FuseMode::Fuse`, or
+//! `FuseMode::Guided` which additionally emits the generalized
+//! [`OPC_GUIDED`] template from a warmup profile's [`FuseGuidance`]).
 //!
 //! # Exactness, cheaply
 //!
@@ -100,7 +102,10 @@ pub(crate) const OPC_GET_FIELD_ARRAY_GET: usize = 46;
 pub(crate) const OPC_GET_FIELD_ARRAY_SET: usize = 47;
 pub(crate) const OPC_MOVE_RUN: usize = 48;
 pub(crate) const OPC_JUMP_INSTR: usize = 49;
-pub(crate) const OPC_GAP: usize = 50;
+/// The generalized profile-guided fusion template (`FuseMode::Guided`):
+/// one dispatch executing a mined run of two or three plain components.
+pub(crate) const OPC_GUIDED: usize = 50;
+pub(crate) const OPC_GAP: usize = 51;
 
 /// First statically-resolved opcode index: opcodes below this are the
 /// plain decoded forms shared with the tree-walking reference engine.
@@ -164,6 +169,7 @@ pub const OPCODE_NAMES: [&str; NUM_OPCODES] = [
     "get-field-array-set",
     "move-run",
     "jump-instr",
+    "guided",
     "gap",
 ];
 
@@ -370,6 +376,15 @@ impl OpProfile {
             .sum()
     }
 
+    /// Source instructions executed through the generalized profile-guided
+    /// template ([`OPC_GUIDED`]) — a subset of
+    /// [`OpProfile::fused_instructions`], nonzero only for modules
+    /// prepared under `FuseMode::Guided`.
+    #[must_use]
+    pub fn guided_instructions(&self) -> u64 {
+        self.rows[OPC_GUIDED].instructions
+    }
+
     /// Fusion coverage: percentage of dynamic source instructions executed
     /// under a fused superinstruction dispatch (0 when nothing ran).
     #[must_use]
@@ -420,6 +435,61 @@ impl OpProfile {
         }
         self.sample_gap_cycles.extend(&other.sample_gap_cycles);
         self.checks_per_sample.extend(&other.checks_per_sample);
+    }
+}
+
+/// Per-opcode dispatch weights distilled from a warmup [`OpProfile`] —
+/// the input to profile-guided fusion (`FuseMode::Guided`).
+///
+/// Only the unfused rows (below [`FIRST_FUSED`]) carry weight: under a
+/// statically-fused warmup those rows are exactly the remainder the fixed
+/// template catalogue failed to cover, so the guided pass chases the ops
+/// that actually dispatched. Weights are *opcode-keyed*, not slot-keyed;
+/// the guided preparation pass combines them with the static op arenas to
+/// rank candidate sequences per function (see `mine_hot_sequences`).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct FuseGuidance {
+    weights: [u64; FIRST_FUSED],
+}
+
+impl Default for FuseGuidance {
+    fn default() -> Self {
+        FuseGuidance {
+            weights: [0; FIRST_FUSED],
+        }
+    }
+}
+
+impl FuseGuidance {
+    /// Distills guidance from a warmup profile: the dispatch count of
+    /// every plain (unfused) opcode.
+    #[must_use]
+    pub fn from_profile(profile: &OpProfile) -> Self {
+        let mut weights = [0u64; FIRST_FUSED];
+        for (op, w) in weights.iter_mut().enumerate() {
+            *w = profile.count(op);
+        }
+        FuseGuidance { weights }
+    }
+
+    /// The warmup dispatch count of plain opcode `op` (0 for fused or
+    /// out-of-range indices).
+    #[must_use]
+    pub fn weight(&self, op: usize) -> u64 {
+        self.weights.get(op).copied().unwrap_or(0)
+    }
+
+    /// Total warmup dispatches across all plain opcodes.
+    #[must_use]
+    pub fn total_weight(&self) -> u64 {
+        self.weights.iter().sum()
+    }
+
+    /// Whether the warmup saw no plain dispatches at all (guided fusion
+    /// then has nothing to rank and degrades to cold-sequence fusion).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.weights.iter().all(|&w| w == 0)
     }
 }
 

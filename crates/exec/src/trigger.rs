@@ -121,6 +121,44 @@ fn xorshift(state: &mut u64) -> u64 {
     x
 }
 
+/// Stream seed used when splitmix64 maps a user seed to the xorshift fixed
+/// point 0 (exactly one input does).
+const SEED_FALLBACK: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Expands a user-provided seed into the xorshift stream state. xorshift
+/// streams from nearby states overlap after one step, so seeding the state
+/// with (a trivial function of) the seed itself aliases adjacent seeds;
+/// splitmix64 decorrelates them.
+fn seed_stream(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    if z == 0 {
+        SEED_FALLBACK
+    } else {
+        z
+    }
+}
+
+/// Draws uniformly from `[0, bound)` out of the xorshift stream using
+/// Lemire's multiply-shift method with rejection. A plain
+/// `xorshift(state) % bound` over-weights the low residues whenever
+/// `bound` does not divide 2^64 (severely so for bounds near the top of
+/// the range).
+fn uniform_below(state: &mut u64, bound: u64) -> u64 {
+    debug_assert!(bound > 0);
+    // Reject draws whose 128-bit product lands in the short first slice:
+    // `threshold = 2^64 mod bound`, the number of over-represented values.
+    let threshold = bound.wrapping_neg() % bound;
+    loop {
+        let m = u128::from(xorshift(state)) * u128::from(bound);
+        if (m as u64) >= threshold {
+            return (m >> 64) as u64;
+        }
+    }
+}
+
 impl TriggerState {
     pub(crate) fn new(trigger: Trigger) -> Self {
         match trigger {
@@ -143,7 +181,7 @@ impl TriggerState {
                 counter: interval.max(1),
                 interval: interval.max(1),
                 jitter,
-                rng: seed | 1,
+                rng: seed_stream(seed),
             },
             Trigger::TimerBit { period } => TriggerState::Timer {
                 bit: false,
@@ -226,7 +264,7 @@ impl TriggerState {
                     // interval + jitter]` instead of overflowing (a
                     // debug-build panic before this was fixed).
                     let spread = (*jitter).saturating_mul(2).saturating_add(1);
-                    let offset = xorshift(rng) % spread;
+                    let offset = uniform_below(rng, spread);
                     *counter = (*interval)
                         .saturating_add(offset)
                         .saturating_sub(*jitter)
@@ -352,6 +390,72 @@ mod tests {
             rng: 7 | 1,
         };
         assert!(t.on_check(0));
+    }
+
+    #[test]
+    fn randomized_distinct_seeds_produce_distinct_schedules() {
+        // Regression: the stream used to be seeded with `seed | 1`, so
+        // seeds 2k and 2k+1 produced identical sample schedules.
+        let schedule = |seed: u64| {
+            let mut t = TriggerState::new(Trigger::CounterRandomized {
+                interval: 50,
+                jitter: 10,
+                seed,
+            });
+            let mut gaps = Vec::new();
+            let mut since = 0u64;
+            for _ in 0..20_000 {
+                since += 1;
+                if t.on_check(0) {
+                    gaps.push(since);
+                    since = 0;
+                }
+            }
+            gaps
+        };
+        for k in 0..8u64 {
+            assert_ne!(
+                schedule(2 * k),
+                schedule(2 * k + 1),
+                "seeds {} and {} alias",
+                2 * k,
+                2 * k + 1
+            );
+        }
+        assert_eq!(schedule(42), schedule(42), "same seed stays deterministic");
+    }
+
+    #[test]
+    fn jitter_offsets_are_unbiased() {
+        // Chi-square-ish uniformity check on the offset sampler, with a
+        // bound big enough that modulo reduction would be blatantly
+        // non-uniform: for `bound = 3 << 62`, `x % bound` maps two 2^62-
+        // sized slices of the u64 range onto `[0, 2^62)`, making the first
+        // third of the offsets twice as likely (~50% instead of ~33%).
+        let bound = 3u64 << 62;
+        let third = bound / 3;
+        let mut rng = seed_stream(12345);
+        let draws = 30_000u64;
+        let mut buckets = [0u64; 3];
+        for _ in 0..draws {
+            let x = uniform_below(&mut rng, bound);
+            assert!(x < bound, "draw out of range");
+            buckets[(x / third).min(2) as usize] += 1;
+        }
+        let expected = draws as f64 / 3.0;
+        let chi2: f64 = buckets
+            .iter()
+            .map(|&o| {
+                let d = o as f64 - expected;
+                d * d / expected
+            })
+            .sum();
+        // 2 degrees of freedom: p < 0.001 above ~13.8. The pre-fix modulo
+        // sampler scores in the thousands here.
+        assert!(
+            chi2 < 13.8,
+            "offset distribution skewed: chi2 = {chi2}, buckets = {buckets:?}"
+        );
     }
 
     #[test]

@@ -30,7 +30,7 @@ pub const USAGE: &str = "usage: isf-harness [--scale smoke|default|paper] [--job
      \x20                  [--emit json|off] [--emit-path FILE]\n\
      \x20                  [--retries N] [--cell-budget CYCLES]\n\
      \x20                  [--fault-inject p=<prob>[,seed=<s>]]\n\
-     \x20                  [--journal FILE] [--resume] [--no-fuse]\n\
+     \x20                  [--journal FILE] [--resume] [--no-fuse] [--pgo]\n\
      \x20                  [--profile] [--trace-out FILE] <experiment>...\n\
      \x20      isf-harness bench-snapshot [--scale smoke|default|paper] [--jobs N] [--out DIR]\n\
      \x20      isf-harness validate-jsonl <FILE>\n\
@@ -39,6 +39,8 @@ pub const USAGE: &str = "usage: isf-harness [--scale smoke|default|paper] [--job
      --retries defaults to $ISF_RETRIES (0), --cell-budget to $ISF_CELL_BUDGET (uncapped);\n\
      --journal defaults to $ISF_JOURNAL (off); --resume replays a journal's finished cells;\n\
      --no-fuse disables superinstruction fusion (also $ISF_FUSE=0) — results are identical;\n\
+     --pgo enables profile-guided fusion (also $ISF_PGO=1): each module runs a short\n\
+     warmup cell and is re-prepared with guided superinstructions — results are identical;\n\
      --profile enables VM self-profiling (also $ISF_PROFILE=1): per-opcode dispatch\n\
      profiles, fusion coverage, and `metrics`/`span-summary` JSONL records;\n\
      --trace-out writes a Chrome trace-event JSON file (open in Perfetto)";
@@ -69,6 +71,14 @@ pub struct RunConfig {
     /// results are identical either way; this exists for ablation and for
     /// the CI equivalence diff.
     pub no_fuse: bool,
+    /// `--pgo`: profile-guided fusion (also `ISF_PGO=1`). Every module
+    /// served by the preparation cache first runs a short warmup cell
+    /// under the profiled engine and is then re-prepared with guided
+    /// superinstructions mined from that profile. Observable results —
+    /// stdout, cycle counts, traps, the JSONL stream — are identical to a
+    /// statically-fused run; only coverage (and dispatch counts under
+    /// `--profile`) move.
+    pub pgo: bool,
     /// `--profile`: enable VM self-profiling (the metrics registry,
     /// per-opcode dispatch profiles, fusion coverage, and the
     /// `metrics`/`span-summary` JSONL records). Also `ISF_PROFILE=1`.
@@ -185,6 +195,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
         journal: None,
         resume: false,
         no_fuse: false,
+        pgo: false,
         profile: false,
         trace_out: None,
         experiments: Vec::new(),
@@ -229,6 +240,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             "--journal" => cfg.journal = Some(PathBuf::from(next_value(&mut it, "--journal")?)),
             "--resume" => cfg.resume = true,
             "--no-fuse" => cfg.no_fuse = true,
+            "--pgo" => cfg.pgo = true,
             "--profile" => cfg.profile = true,
             "--trace-out" => {
                 cfg.trace_out = Some(PathBuf::from(next_value(&mut it, "--trace-out")?));
@@ -313,6 +325,7 @@ mod tests {
             "j.jsonl",
             "--resume",
             "--no-fuse",
+            "--pgo",
             "--profile",
             "--trace-out",
             "trace.json",
@@ -329,6 +342,7 @@ mod tests {
         assert_eq!(cfg.journal, Some(PathBuf::from("j.jsonl")));
         assert!(cfg.resume);
         assert!(cfg.no_fuse);
+        assert!(cfg.pgo);
         assert!(cfg.profile);
         assert_eq!(cfg.trace_out, Some(PathBuf::from("trace.json")));
         assert_eq!(cfg.experiments, vec!["table4", "table1"]);
@@ -341,6 +355,7 @@ mod tests {
         assert_eq!(cfg.scale, Scale::Default);
         assert!(!cfg.resume);
         assert!(!cfg.no_fuse, "fusion is on by default");
+        assert!(!cfg.pgo, "profile-guided fusion is opt-in");
         assert!(!cfg.profile, "self-profiling is off by default");
         assert_eq!(cfg.trace_out, None);
     }

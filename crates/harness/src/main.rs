@@ -7,7 +7,7 @@
 //!             [--emit json|off] [--emit-path FILE]
 //!             [--retries N] [--cell-budget CYCLES]
 //!             [--fault-inject p=<prob>[,seed=<s>]]
-//!             [--journal FILE] [--resume] [--no-fuse]
+//!             [--journal FILE] [--resume] [--no-fuse] [--pgo]
 //!             [--profile] [--trace-out FILE] <experiment>...
 //! isf-harness bench-snapshot [--scale ...] [--out DIR]
 //! isf-harness validate-jsonl <FILE>
@@ -39,6 +39,14 @@
 //! table, cycle count, and JSONL record is byte-identical either way —
 //! so the flag exists for ablation measurements and the CI equivalence
 //! diff, not for correctness.
+//!
+//! With `--pgo` (or `ISF_PGO=1`) the preparation cache serves each module
+//! through a warmup-then-reprepare flow: a short profiling cell runs the
+//! statically fused form, its folded profile is distilled into fusion
+//! guidance, and the module is re-prepared with guided superinstructions
+//! covering the call-dense sequences the static catalogue cannot express.
+//! Observable results are byte-identical to a statically-fused (or
+//! unfused) run; only fusion coverage moves.
 //!
 //! With `--profile` (or `ISF_PROFILE=1`) the VM self-profiles: engines
 //! run through the per-opcode `ProfileSink`, dispatch/cycle attribution
@@ -115,10 +123,22 @@ fn emit_phases(experiment: &str) {
 fn report_fusion_coverage(scale: isf_harness::Scale) {
     log::cells("[profile] fusion coverage (dynamic instructions executed fused):");
     for c in runner::fusion_coverage(scale) {
-        log::cells(&format!(
-            "[profile]   {:<10} {:>5.1}%  ({} / {} instructions)",
-            c.name, c.coverage_pct, c.fused_instructions, c.total_instructions
-        ));
+        if runner::pgo() {
+            log::cells(&format!(
+                "[profile]   {:<10} {:>5.1}%  ({} / {} instructions, {} guided = {:.1}%)",
+                c.name,
+                c.coverage_pct,
+                c.fused_instructions,
+                c.total_instructions,
+                c.guided_instructions,
+                c.guided_pct()
+            ));
+        } else {
+            log::cells(&format!(
+                "[profile]   {:<10} {:>5.1}%  ({} / {} instructions)",
+                c.name, c.coverage_pct, c.fused_instructions, c.total_instructions
+            ));
+        }
     }
 }
 
@@ -235,6 +255,9 @@ fn run(cfg: &RunConfig) -> ExitCode {
     }
     if cfg.no_fuse {
         isf_exec::set_fuse_mode(Some(isf_exec::FuseMode::Off));
+    }
+    if cfg.pgo {
+        runner::set_pgo(true);
     }
     let profiling = cfg.profile
         || std::env::var("ISF_PROFILE")

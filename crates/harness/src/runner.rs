@@ -21,14 +21,14 @@
 
 use std::collections::HashMap;
 use std::panic::AssertUnwindSafe;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 use isf_core::{instrument_module, Options, Strategy, TransformStats};
 use isf_exec::{
-    fuse_mode, run_prepared, run_prepared_profiled, CostModel, ExecLimits, OpProfile, Outcome,
-    PreparedModule, Trigger, VmConfig, VmError,
+    fuse_mode, run_prepared, run_prepared_profiled, CostModel, ExecLimits, FuseGuidance, FuseMode,
+    OpProfile, Outcome, PreparedModule, Trigger, VmConfig, VmError,
 };
 use isf_instr::{CallEdgeInstrumentation, FieldAccessInstrumentation, Instrumentation, ModulePlan};
 use isf_ir::Module;
@@ -90,6 +90,53 @@ pub fn set_profiling(on: bool) {
 /// Whether VM self-profiling is enabled.
 pub fn profiling() -> bool {
     metrics::enabled()
+}
+
+// ---------------------------------------------------------------------
+// Profile-guided preparation control.
+// ---------------------------------------------------------------------
+
+static PGO_OVERRIDE: AtomicU8 = AtomicU8::new(0);
+static PGO_EPOCH: AtomicU64 = AtomicU64::new(0);
+
+/// Turns the warmup-then-reprepare flow on or off (`--pgo` / `ISF_PGO=1`).
+///
+/// With PGO on, [`cached_prepare`] serves each fused module through a
+/// profile-guided preparation: a short warmup cell runs the statically
+/// fused form under the profiled engine, the folded [`OpProfile`] is
+/// distilled into a [`FuseGuidance`], and the module is re-prepared under
+/// [`FuseMode::Guided`]. Guided entries live under their own cache keys
+/// (the fingerprint grows a profile epoch), so PGO and non-PGO cells
+/// coexist in the shared cache without evicting each other. Enabling PGO
+/// bumps the epoch: a new `--pgo` invocation re-warms rather than
+/// trusting guided forms from an earlier configuration.
+pub fn set_pgo(on: bool) {
+    if on {
+        PGO_EPOCH.fetch_add(1, Ordering::Relaxed);
+    }
+    PGO_OVERRIDE.store(if on { 2 } else { 1 }, Ordering::Relaxed);
+}
+
+/// Whether profile-guided preparation is enabled: the [`set_pgo`] override
+/// if one was set, else the `ISF_PGO` environment variable.
+pub fn pgo() -> bool {
+    match PGO_OVERRIDE.load(Ordering::Relaxed) {
+        1 => false,
+        2 => true,
+        _ => {
+            static ENV: OnceLock<bool> = OnceLock::new();
+            *ENV.get_or_init(|| {
+                matches!(
+                    std::env::var("ISF_PGO").ok().as_deref(),
+                    Some("1") | Some("on") | Some("true")
+                )
+            })
+        }
+    }
+}
+
+fn pgo_epoch() -> u64 {
+    PGO_EPOCH.load(Ordering::Relaxed)
 }
 
 // ---------------------------------------------------------------------
@@ -1016,7 +1063,17 @@ fn prep_fingerprint(module: &Module, cost: &CostModel) -> u64 {
 pub fn cached_prepare(module: &Module) -> Arc<PreparedModule> {
     note_prepare_request();
     let cost = CostModel::default();
-    let key = prep_fingerprint(module, &cost);
+    // Guided preparation only refines the statically-fused form: with
+    // fusion off there is nothing for a warmup profile to steer.
+    let guided = pgo() && matches!(fuse_mode(), FuseMode::Fuse);
+    let key = if guided {
+        journal::fnv1a(
+            prep_fingerprint(module, &cost),
+            format!("/pgo{}", pgo_epoch()).as_bytes(),
+        )
+    } else {
+        prep_fingerprint(module, &cost)
+    };
     let slot = {
         let mut map = PREP_CACHE
             .get_or_init(Mutex::default)
@@ -1028,7 +1085,11 @@ pub fn cached_prepare(module: &Module) -> Arc<PreparedModule> {
     let prepared = slot
         .get_or_init(|| {
             fresh = true;
-            Arc::new(PreparedModule::prepare(module, &cost))
+            if guided {
+                Arc::new(pgo_prepare(module, &cost))
+            } else {
+                Arc::new(PreparedModule::prepare(module, &cost))
+            }
         })
         .clone();
     if fresh {
@@ -1038,6 +1099,44 @@ pub fn cached_prepare(module: &Module) -> Arc<PreparedModule> {
         metrics::counter_add("prep.cache.hits", 1);
         log::debug(&format!("[prep-cache] hit {key:016x}"));
     }
+    prepared
+}
+
+/// Cycle budget of the PGO warmup cell. Long enough to get past
+/// initialization and into the steady-state loops whose opcode mix the
+/// guidance wants, short enough that re-preparation stays a small
+/// fraction of a harness run.
+const PGO_WARMUP_CYCLES: u64 = 250_000;
+
+/// The warmup-then-reprepare flow behind `--pgo`: prepares the
+/// statically-fused form, runs it for [`PGO_WARMUP_CYCLES`] as a
+/// profiling cell (`Trigger::Never`, so the warmup observes the program
+/// and not the instrumentation), folds the resulting [`OpProfile`] into a
+/// [`FuseGuidance`], and re-prepares under [`FuseMode::Guided`]. The
+/// warmup usually ends in a fuel trap — that is its exit, not a failure,
+/// and the profile is folded either way. Outcome-affecting state is
+/// untouched: the warmup runs on a private module instance, emits no
+/// JSONL, and registers no phase section (which cell pays the warmup is
+/// scheduling-dependent, like any cache miss), so stdout and the record
+/// stream stay byte-identical to a non-PGO run of the same cells.
+fn pgo_prepare(module: &Module, cost: &CostModel) -> PreparedModule {
+    let start = Instant::now();
+    let base = PreparedModule::prepare_with(module, cost, FuseMode::Fuse);
+    let cfg = VmConfig {
+        trigger: Trigger::Never,
+        limits: ExecLimits::cycles(PGO_WARMUP_CYCLES),
+        ..VmConfig::default()
+    };
+    let mut profile = OpProfile::new();
+    let _ = run_prepared_profiled(&base, &cfg, &mut profile);
+    let guidance = FuseGuidance::from_profile(&profile);
+    metrics::counter_add("pgo.warmups", 1);
+    metrics::counter_add("pgo.warmup_instructions", profile.total_instructions());
+    let prepared = PreparedModule::prepare_with(module, cost, FuseMode::Guided(Box::new(guidance)));
+    log::debug(&format!(
+        "[pgo] warmup + guided re-preparation in {:?}",
+        start.elapsed()
+    ));
     prepared
 }
 
@@ -1110,6 +1209,7 @@ fn record_profile(profile: &OpProfile, trigger: Trigger) {
     }
     metrics::counter_add("profile.runs", 1);
     metrics::counter_add("profile.fused_instructions", profile.fused_instructions());
+    metrics::counter_add("profile.guided_instructions", profile.guided_instructions());
     metrics::counter_add("profile.total_instructions", profile.total_instructions());
     let kind = trigger.kind_name();
     for &gap in profile.sample_gap_cycles() {
@@ -1128,10 +1228,26 @@ pub struct FusionCoverage {
     pub name: &'static str,
     /// Dynamic instructions executed under a fused dispatch.
     pub fused_instructions: u64,
+    /// Dynamic instructions executed through the generalized
+    /// profile-guided template — a subset of `fused_instructions`, zero
+    /// unless the module was prepared under PGO.
+    pub guided_instructions: u64,
     /// Total dynamic instructions.
     pub total_instructions: u64,
     /// `fused / total`, in percent.
     pub coverage_pct: f64,
+}
+
+impl FusionCoverage {
+    /// `guided / total`, in percent — the share of the dynamic stream the
+    /// guided tier added on top of the static catalogue.
+    #[must_use]
+    pub fn guided_pct(&self) -> f64 {
+        if self.total_instructions == 0 {
+            return 0.0;
+        }
+        self.guided_instructions as f64 / self.total_instructions as f64 * 100.0
+    }
 }
 
 /// Measures fusion coverage for every suite benchmark at `scale` by
@@ -1156,12 +1272,17 @@ pub fn fusion_coverage(scale: Scale) -> Vec<FusionCoverage> {
             let c = FusionCoverage {
                 name: w.name(),
                 fused_instructions: profile.fused_instructions(),
+                guided_instructions: profile.guided_instructions(),
                 total_instructions: profile.total_instructions(),
                 coverage_pct: profile.fusion_coverage_pct(),
             };
             metrics::counter_add(
                 &format!("fusion.{}.fused_instructions", c.name),
                 c.fused_instructions,
+            );
+            metrics::counter_add(
+                &format!("fusion.{}.guided_instructions", c.name),
+                c.guided_instructions,
             );
             metrics::counter_add(
                 &format!("fusion.{}.total_instructions", c.name),
@@ -1361,6 +1482,47 @@ mod tests {
         let hits_after = metrics::snapshot().counter("prep.cache.hits");
         set_profiling(false);
         assert!(hits_after > hits_before, "second run hits the cache");
+    }
+
+    #[test]
+    fn pgo_prepares_guided_modules_with_identical_outcomes() {
+        // The warmup-then-reprepare flow end to end: with PGO on, the
+        // cache serves a guided decode (paying one warmup), the run's
+        // outcome is identical to the non-PGO one, and the call-dense
+        // benchmarks clear the coverage target the static catalogue
+        // could not reach.
+        let _guard = JOBS_TEST_LOCK.lock().unwrap();
+        let w = isf_workloads::by_name("jess", Scale::Smoke).unwrap();
+        let m = w.compile();
+        let baseline = run_module(&m, Trigger::Never);
+        set_profiling(true);
+        let warmups_before = metrics::snapshot().counter("pgo.warmups");
+        set_pgo(true);
+        let prepared = cached_prepare(&m);
+        let outcome = run_prepared_module(&prepared, Trigger::Never);
+        let warmups_after = metrics::snapshot().counter("pgo.warmups");
+        // Coverage with profiling off: the returned values are what this
+        // test needs, and recording nothing keeps the cumulative
+        // `fusion.*` registry counters exactly as other tests expect.
+        set_profiling(false);
+        let coverage = fusion_coverage(Scale::Smoke);
+        set_pgo(false);
+        assert!(
+            prepared.num_guided() > 0,
+            "guided preparation instantiated no generalized groups"
+        );
+        assert_eq!(
+            outcome, baseline,
+            "guided preparation must not change the outcome"
+        );
+        assert!(warmups_after > warmups_before, "the guided decode warms up");
+        let jess = coverage.iter().find(|c| c.name == "jess").unwrap();
+        assert!(jess.guided_instructions > 0, "no guided dispatches on jess");
+        assert!(
+            jess.coverage_pct >= 65.0,
+            "guided coverage on jess is {:.1}%, below the 65% target",
+            jess.coverage_pct
+        );
     }
 
     #[test]

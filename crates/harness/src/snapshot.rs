@@ -27,7 +27,7 @@ use isf_obs::{emit, Json};
 use crate::runner::{
     cell, fusion_coverage, instrument, par_cells, prepare_suite, run_module, FusionCoverage, Kinds,
 };
-use crate::Scale;
+use crate::{runner, Scale};
 
 /// The sample interval every snapshot run uses, so snapshots taken on
 /// different days measure the same work.
@@ -213,6 +213,19 @@ pub fn profile_samples(scale: Scale) -> Vec<ProfileSample> {
         .collect()
 }
 
+/// Measures fusion coverage for the whole suite with profile-guided
+/// preparation enabled: the `profile_guided` section of the snapshot.
+/// Runs through the same [`fusion_coverage`] machinery — the PGO override
+/// is flipped on for the measurement (bumping the profile epoch, so the
+/// guided decodes get their own cache entries) and restored afterwards.
+pub fn guided_coverage(scale: Scale) -> Vec<FusionCoverage> {
+    let was = runner::pgo();
+    runner::set_pgo(true);
+    let coverage = fusion_coverage(scale);
+    runner::set_pgo(was);
+    coverage
+}
+
 /// Renders a snapshot as its JSON document.
 pub fn to_json(
     scale: Scale,
@@ -221,6 +234,7 @@ pub fn to_json(
     dispatch: &[DispatchSample],
     coverage: &[FusionCoverage],
     profiled: &[ProfileSample],
+    guided: &[FusionCoverage],
 ) -> Json {
     Json::obj([
         ("schema", "isf-bench-snapshot/1".into()),
@@ -307,6 +321,24 @@ pub fn to_json(
                 ),
             ]),
         ),
+        (
+            "profile_guided",
+            Json::Arr(
+                guided
+                    .iter()
+                    .map(|c| {
+                        Json::obj([
+                            ("name", c.name.into()),
+                            ("fused_instructions", c.fused_instructions.into()),
+                            ("guided_instructions", c.guided_instructions.into()),
+                            ("total_instructions", c.total_instructions.into()),
+                            ("coverage_pct", c.coverage_pct.into()),
+                            ("guided_pct", c.guided_pct().into()),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
     ])
 }
 
@@ -358,7 +390,10 @@ pub fn write(scale: Scale, dir: &Path) -> io::Result<PathBuf> {
     let dispatch = dispatch_samples(scale);
     let coverage = fusion_coverage(scale);
     let profiled = profile_samples(scale);
-    let doc = to_json(scale, &date, &samples, &dispatch, &coverage, &profiled);
+    let guided = guided_coverage(scale);
+    let doc = to_json(
+        scale, &date, &samples, &dispatch, &coverage, &profiled, &guided,
+    );
     let path = dir.join(format!("BENCH_{date}.json"));
     let tmp = dir.join(format!("BENCH_{date}.json.tmp"));
     {
@@ -413,6 +448,7 @@ mod tests {
         let coverage = vec![FusionCoverage {
             name: "compress",
             fused_instructions: 75,
+            guided_instructions: 0,
             total_instructions: 100,
             coverage_pct: 75.0,
         }];
@@ -421,6 +457,13 @@ mod tests {
             profiled_ns: 820,
             coverage_pct: 75.0,
         }];
+        let guided = vec![FusionCoverage {
+            name: "compress",
+            fused_instructions: 80,
+            guided_instructions: 5,
+            total_instructions: 100,
+            coverage_pct: 80.0,
+        }];
         let doc = to_json(
             Scale::Smoke,
             "2026-08-06",
@@ -428,6 +471,7 @@ mod tests {
             &dispatch,
             &coverage,
             &profiled,
+            &guided,
         );
         assert_eq!(
             doc.get("schema").and_then(Json::as_str),
@@ -449,6 +493,13 @@ mod tests {
                 .map(<[Json]>::len),
             Some(1)
         );
+        let pg = doc
+            .get("profile_guided")
+            .and_then(Json::as_arr)
+            .expect("profile_guided section present");
+        assert_eq!(pg.len(), 1);
+        assert!(text.contains("\"guided_instructions\":5"));
+        assert!(text.contains("\"guided_pct\":5"));
     }
 
     #[test]
