@@ -50,6 +50,13 @@ pub enum TrapKind {
     },
     /// The call stack exceeded the configured depth limit.
     StackOverflow(usize),
+    /// The run was cooperatively cancelled (a fired
+    /// [`CancelToken`](crate::CancelToken) or a deterministic
+    /// `cancel_after` point). Not a budget trap: budgets are part of a
+    /// cell's configuration and reproduce deterministically, while
+    /// cancellation is imposed from outside the run — harnesses classify
+    /// and retry it like an external failure, not like fuel running out.
+    Cancelled,
 }
 
 impl TrapKind {
@@ -97,6 +104,7 @@ impl fmt::Display for TrapKind {
                 write!(f, "heap budget of {limit_words} words exhausted")
             }
             TrapKind::StackOverflow(n) => write!(f, "call stack exceeded {n} frames"),
+            TrapKind::Cancelled => write!(f, "cancelled"),
         }
     }
 }
@@ -144,6 +152,9 @@ mod tests {
         assert!(TrapKind::StackOverflow(4).is_budget());
         assert!(!TrapKind::DivisionByZero.is_budget());
         assert!(!TrapKind::NullDereference.is_budget());
+        // Cancellation is imposed from outside the run: never a budget.
+        assert!(!TrapKind::Cancelled.is_budget());
+        assert_eq!(TrapKind::Cancelled.to_string(), "cancelled");
         assert_eq!(
             TrapKind::HeapExhausted { limit_words: 64 }.to_string(),
             "heap budget of 64 words exhausted"

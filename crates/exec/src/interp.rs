@@ -18,6 +18,7 @@
 use isf_ir::{CallSiteId, FuncId, LocalId, Module};
 use isf_profile::ProfileData;
 
+use crate::cancel::{self, ArmedToken};
 use crate::cost::CostModel;
 use crate::error::{TrapKind, VmError};
 use crate::heap::Heap;
@@ -298,6 +299,14 @@ struct Machine<'p, 's, S: TraceSink, P: ProfileSink> {
     timeslice: u64,
     max_cycles: Option<u64>,
     max_stack: usize,
+    /// Cooperative-cancellation token armed on this thread at machine
+    /// construction ([`crate::cancel::arm`]), polled at block entries.
+    /// `None` on clean runs, where the poll is a never-taken branch.
+    cancel: Option<ArmedToken>,
+    /// Deterministic cancellation point: raise [`TrapKind::Cancelled`] at
+    /// the charge that takes the clock past this count, exactly where a
+    /// `max_cycles` fuel budget of the same value would trap.
+    cancel_after: Option<u64>,
     heap: Heap,
     threads: Vec<Thread<'p>>,
     current: usize,
@@ -366,6 +375,8 @@ impl<'p, 's, S: TraceSink, P: ProfileSink> Machine<'p, 's, S, P> {
             timeslice: config.timeslice.max(1),
             max_cycles: config.limits.max_cycles,
             max_stack: config.limits.max_stack,
+            cancel: cancel::armed_token(),
+            cancel_after: cancel::armed_after(),
             heap: Heap::with_limit(config.limits.max_heap_words),
             threads: vec![Thread {
                 frames: vec![main_frame],
@@ -580,7 +591,19 @@ impl<'p, 's, S: TraceSink, P: ProfileSink> Machine<'p, 's, S, P> {
                 uncounted += quanta[qi].len() as u64;
             }
             let mut phantom = 0u64;
-            if let Some(TrapKind::FuelExhausted(max)) = trap {
+            // The budget the trapping charge crossed: a fuel trap's own
+            // limit, or the deterministic cancellation point (which
+            // shares the fuel predicate in `charge_cycles`). An epoch
+            // cancellation carries no budget — it fires at a block entry
+            // after the transfer op charged in full, so the shortfall is
+            // zero, and when a `cancel_after` happens to be armed too the
+            // clock still sits at or below it, making the replay a no-op.
+            let budget = match trap {
+                Some(TrapKind::FuelExhausted(max)) => Some(*max),
+                Some(TrapKind::Cancelled) => self.cancel_after,
+                _ => None,
+            };
+            if let Some(max) = budget {
                 // Quantum `qi - 1` is the charge that trapped (fuel traps
                 // happen inside `charge_cycles`, and the machine stops on
                 // the spot). Replay its components against the clock at
@@ -596,7 +619,7 @@ impl<'p, 's, S: TraceSink, P: ProfileSink> Machine<'p, 's, S, P> {
                             phantom += c;
                         } else {
                             clock += c;
-                            crossed = clock > *max;
+                            crossed = clock > max;
                         }
                     }
                 }
@@ -693,6 +716,14 @@ impl<'p, 's, S: TraceSink, P: ProfileSink> Machine<'p, 's, S, P> {
                 return Err(TrapKind::FuelExhausted(max));
             }
         }
+        // The deterministic cancellation hook shares the fuel predicate
+        // (checked second, so a tied budget wins) — cancellation at cycle
+        // K stops at exactly the dispatch a `max_cycles = K` trap would.
+        if let Some(k) = self.cancel_after {
+            if self.cycles > k {
+                return Err(TrapKind::Cancelled);
+            }
+        }
         Ok(())
     }
 
@@ -747,12 +778,17 @@ impl<'p, 's, S: TraceSink, P: ProfileSink> Machine<'p, 's, S, P> {
     /// Transfers control to a pre-resolved arena index, bumping the
     /// Property 1 accounting when the edge was classified as a backedge at
     /// prepare time.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrapKind::Cancelled`] when an armed token fired; see
+    /// [`Machine::enter`].
     #[inline]
-    fn goto(&mut self, target: u32, backedge: bool) {
+    fn goto(&mut self, target: u32, backedge: bool) -> Result<(), TrapKind> {
         if backedge {
             self.backedges_executed += 1;
         }
-        self.enter(target);
+        self.enter(target)
     }
 
     /// Lands the current frame at `target`, counting the flow entry when
@@ -760,8 +796,24 @@ impl<'p, 's, S: TraceSink, P: ProfileSink> Machine<'p, 's, S, P> {
     /// store). Every control-transfer arm funnels through here or
     /// [`Machine::goto`]; straight-line advancement does not, which is
     /// what keeps profiling off the per-dispatch path.
+    ///
+    /// # Errors
+    ///
+    /// This funnel is also the cancellation poll: block entry is the one
+    /// point every divergent program must pass infinitely often (straight
+    /// -line flow is finite and recursion is bounded by `max_stack`), so
+    /// polling here — and nowhere else — guarantees a cancelled run traps
+    /// at its next control transfer. The poll comes first: a cancelled
+    /// transfer records no flow entry and leaves `ip` on the fully
+    /// executed, fully charged transfer op, which is exactly the state
+    /// [`Machine::fold_profile`]'s attempted-frame cut accounts for.
     #[inline]
-    fn enter(&mut self, target: u32) {
+    fn enter(&mut self, target: u32) -> Result<(), TrapKind> {
+        if let Some(t) = &self.cancel {
+            if t.fired() {
+                return Err(TrapKind::Cancelled);
+            }
+        }
         if P::ENABLED {
             let base = self.frame().base;
             if let Some(d) = self.entry_deltas.get_mut(base as usize + target as usize) {
@@ -769,6 +821,7 @@ impl<'p, 's, S: TraceSink, P: ProfileSink> Machine<'p, 's, S, P> {
             }
         }
         self.frame_mut().ip = target as usize;
+        Ok(())
     }
 
     fn push_frame(
@@ -1331,7 +1384,7 @@ impl<'p, 's, S: TraceSink, P: ProfileSink> Machine<'p, 's, S, P> {
                 // A successful comparison always yields a bool, so this is
                 // the `as_bool` of the unfused branch, trap-free.
                 let taken = v == Value::Bool(true);
-                self.enter(if taken { *t } else { *f_target });
+                self.enter(if taken { *t } else { *f_target })?;
             }
             OpKind::GetFieldArrayGet {
                 obj,
@@ -1393,7 +1446,7 @@ impl<'p, 's, S: TraceSink, P: ProfileSink> Machine<'p, 's, S, P> {
                 // A successful comparison always yields a bool, so this is
                 // the `as_bool` of the unfused branch, trap-free.
                 let taken = v == Value::Bool(true);
-                self.enter(if taken { *t } else { *f_target });
+                self.enter(if taken { *t } else { *f_target })?;
             }
             OpKind::BrCmpImm {
                 op,
@@ -1412,11 +1465,11 @@ impl<'p, 's, S: TraceSink, P: ProfileSink> Machine<'p, 's, S, P> {
                 f.locals[dst.index()] = v;
                 self.charge_cycles(*extra)?;
                 let taken = v == Value::Bool(true);
-                self.enter(if taken { *t } else { *f_target });
+                self.enter(if taken { *t } else { *f_target })?;
             }
             OpKind::JumpInstr { target, effects } => {
                 let caller = self.frame().caller;
-                self.enter(*target);
+                self.enter(*target)?;
                 for e in effects.iter() {
                     match e {
                         InstrEffect::CallEdge => {
@@ -1554,7 +1607,7 @@ impl<'p, 's, S: TraceSink, P: ProfileSink> Machine<'p, 's, S, P> {
                 if *backedge {
                     self.backedges_executed += 1;
                 }
-                self.enter(*target);
+                self.enter(*target)?;
             }
             OpKind::Br {
                 cond,
@@ -1573,7 +1626,7 @@ impl<'p, 's, S: TraceSink, P: ProfileSink> Machine<'p, 's, S, P> {
                 if backedge {
                     self.backedges_executed += 1;
                 }
-                self.enter(target);
+                self.enter(target)?;
             }
             OpKind::Ret { val } => {
                 let value = val.map(|l| self.get(l)).unwrap_or(Value::Unit);
@@ -1621,9 +1674,9 @@ impl<'p, 's, S: TraceSink, P: ProfileSink> Machine<'p, 's, S, P> {
                     // Jumping into cold duplicated code costs extra
                     // (instruction-cache effects, §4.4 footnote 6).
                     self.cycles += self.sample_switch;
-                    self.goto(*sample, *sample_backedge);
+                    self.goto(*sample, *sample_backedge)?;
                 } else {
-                    self.goto(*cont, *cont_backedge);
+                    self.goto(*cont, *cont_backedge)?;
                 }
             }
         }
@@ -1823,6 +1876,111 @@ mod tests {
         let quiet = run_src("fn main() { }");
         let busy = run_src("fn main() { busy(100000); }");
         assert!(busy.cycles >= quiet.cycles + 100_000);
+    }
+
+    #[test]
+    fn cancel_after_traps_exactly_like_an_equal_fuel_budget() {
+        let src = "fn mix(a, b) { return a * 31 + b; }
+             fn main() { var h = 7; var i = 0; while (i < 500) { h = mix(h, i); i = i + 1; } print(h); }";
+        let m = compile(src);
+        for k in [100u64, 1_000, 10_000] {
+            let fuel_cfg = VmConfig {
+                limits: ExecLimits::cycles(k),
+                ..VmConfig::default()
+            };
+            let fuel = run(&m, &fuel_cfg);
+            let naive_fuel = run_naive(&m, &fuel_cfg);
+            let cancelled = {
+                let _scope = crate::cancel::arm(None, Some(k));
+                run(&m, &VmConfig::default())
+            };
+            let naive_cancelled = {
+                let _scope = crate::cancel::arm(None, Some(k));
+                run_naive(&m, &VmConfig::default())
+            };
+            for (got, want) in [(cancelled, fuel), (naive_cancelled, naive_fuel)] {
+                match (got, want) {
+                    (Err(c), Err(f)) => {
+                        assert_eq!(c.kind, TrapKind::Cancelled);
+                        assert_eq!(f.kind, TrapKind::FuelExhausted(k));
+                        assert_eq!(c.function, f.function, "stop point diverged at k={k}");
+                    }
+                    (Ok(c), Ok(f)) => assert_eq!(c, f),
+                    (got, want) => panic!("divergence at k={k}: {got:?} vs {want:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tied_fuel_budget_wins_over_cancel_after() {
+        let m = compile("fn main() { while (true) { } }");
+        let cfg = VmConfig {
+            limits: ExecLimits::cycles(5_000),
+            ..VmConfig::default()
+        };
+        let _scope = crate::cancel::arm(None, Some(5_000));
+        let e = run(&m, &cfg).unwrap_err();
+        assert_eq!(e.kind, TrapKind::FuelExhausted(5_000));
+    }
+
+    #[test]
+    fn fired_token_cancels_an_unbudgeted_loop_in_both_engines() {
+        let m = compile("fn main() { while (true) { } }");
+        let token = crate::cancel::CancelToken::new();
+        let _scope = crate::cancel::arm(Some(&token), None);
+        token.cancel(); // fired before the run: traps at the first poll
+        let e = run(&m, &VmConfig::default()).unwrap_err();
+        assert_eq!(e.kind, TrapKind::Cancelled);
+        assert_eq!(e.function, "main");
+        let e = run_naive(&m, &VmConfig::default()).unwrap_err();
+        assert_eq!(e.kind, TrapKind::Cancelled);
+        assert_eq!(e.function, "main");
+    }
+
+    #[test]
+    fn unfired_token_leaves_outcomes_untouched() {
+        let src = "fn main() { var i = 0; while (i < 200) { i = i + 1; } print(i); }";
+        let m = compile(src);
+        let clean = run(&m, &VmConfig::default()).unwrap();
+        let token = crate::cancel::CancelToken::new();
+        let armed = {
+            let _scope = crate::cancel::arm(Some(&token), None);
+            run(&m, &VmConfig::default()).unwrap()
+        };
+        assert_eq!(clean, armed, "an armed-but-silent token must be invisible");
+    }
+
+    #[test]
+    fn cancelled_profiled_run_attributes_partial_cycles_exactly() {
+        // `fold_profile`'s debug asserts pin the attribution identity
+        // (per-opcode totals == the clock) for the cancelled run; the
+        // explicit totals check keeps release builds honest too.
+        let src = "fn mix(a, b) { return a * 31 + b; }
+             fn main() { var h = 7; var i = 0; while (i < 500) { h = mix(h, i); i = i + 1; } print(h); }";
+        let m = compile(src);
+        let cfg = VmConfig::default();
+        let prepared = PreparedModule::prepare(&m, &cfg.cost);
+        let mut profile = crate::profile::OpProfile::new();
+        let err = {
+            let _scope = crate::cancel::arm(None, Some(4_000));
+            run_prepared_profiled(&prepared, &cfg, &mut profile).unwrap_err()
+        };
+        assert_eq!(err.kind, TrapKind::Cancelled);
+        // The partial profile must equal a fuel trap's at the same point.
+        let fuel_cfg = VmConfig {
+            limits: ExecLimits::cycles(4_000),
+            ..cfg
+        };
+        let mut fuel_profile = crate::profile::OpProfile::new();
+        let err = run_prepared_profiled(&prepared, &fuel_cfg, &mut fuel_profile).unwrap_err();
+        assert_eq!(err.kind, TrapKind::FuelExhausted(4_000));
+        assert_eq!(profile.total_cycles(), fuel_profile.total_cycles());
+        assert_eq!(
+            profile.total_instructions(),
+            fuel_profile.total_instructions()
+        );
+        assert_eq!(profile.total_dispatches(), fuel_profile.total_dispatches());
     }
 
     #[test]

@@ -42,6 +42,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cancel;
 mod cost;
 mod error;
 mod heap;
@@ -54,6 +55,7 @@ mod trace;
 mod trigger;
 mod value;
 
+pub use cancel::{CancelScope, CancelToken};
 pub use cost::CostModel;
 pub use error::{TrapKind, VmError};
 pub use heap::Heap;

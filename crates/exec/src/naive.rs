@@ -19,6 +19,7 @@ use std::collections::HashSet;
 use isf_ir::{loops, BlockId, CallSiteId, FuncId, Inst, InstrOp, LocalId, Module, Term};
 use isf_profile::ProfileData;
 
+use crate::cancel::{self, ArmedToken, NAIVE_POLL_INTERVAL};
 use crate::error::{TrapKind, VmError};
 use crate::heap::Heap;
 use crate::interp::VmConfig;
@@ -154,6 +155,16 @@ struct Machine<'m, 's, S: TraceSink, P: ProfileSink> {
     timeslice: u64,
     max_cycles: Option<u64>,
     max_stack: usize,
+    /// Cooperative-cancellation token armed on this thread at machine
+    /// construction ([`crate::cancel::arm`]). This engine has no cheap
+    /// control-transfer funnel, so it polls every
+    /// [`NAIVE_POLL_INTERVAL`] dispatches instead of at block entries.
+    cancel: Option<ArmedToken>,
+    /// Dispatches left until the next epoch poll.
+    poll_in: u32,
+    /// Deterministic cancellation point, checked exactly where the fuel
+    /// budget is (see the prepared engine's `charge_cycles`).
+    cancel_after: Option<u64>,
     heap: Heap,
     threads: Vec<Thread>,
     current: usize,
@@ -222,6 +233,9 @@ impl<'m, 's, S: TraceSink, P: ProfileSink> Machine<'m, 's, S, P> {
             timeslice: config.timeslice.max(1),
             max_cycles: config.limits.max_cycles,
             max_stack: config.limits.max_stack,
+            cancel: cancel::armed_token(),
+            poll_in: NAIVE_POLL_INTERVAL,
+            cancel_after: cancel::armed_after(),
             heap: Heap::with_limit(config.limits.max_heap_words),
             threads: vec![Thread {
                 frames: vec![main_frame],
@@ -348,6 +362,26 @@ impl<'m, 's, S: TraceSink, P: ProfileSink> Machine<'m, 's, S, P> {
         if let Some(max) = self.max_cycles {
             if self.cycles > max {
                 return Err(TrapKind::FuelExhausted(max));
+            }
+        }
+        // The deterministic cancellation hook shares the fuel predicate
+        // (checked second, so a tied budget wins), matching the prepared
+        // engine charge for charge.
+        if let Some(k) = self.cancel_after {
+            if self.cycles > k {
+                return Err(TrapKind::Cancelled);
+            }
+        }
+        // Epoch poll, amortized over a fixed dispatch count. The
+        // countdown only runs while a token is armed, so clean runs pay
+        // one never-taken branch here.
+        if let Some(t) = &self.cancel {
+            self.poll_in -= 1;
+            if self.poll_in == 0 {
+                self.poll_in = NAIVE_POLL_INTERVAL;
+                if t.fired() {
+                    return Err(TrapKind::Cancelled);
+                }
             }
         }
         Ok(())

@@ -22,13 +22,15 @@ pub const ALL_EXPERIMENTS: &[&str] = &[
 /// Every name accepted as an experiment argument.
 const KNOWN_EXPERIMENTS: &[&str] = &[
     "table1", "table2", "table3", "table4", "table5", "fig7", "fig8", "fig8a", "fig8b", "extras",
-    "all",
+    "spin", "all",
 ];
 
 /// The full usage text (structural errors and `--help`).
 pub const USAGE: &str = "usage: isf-harness [--scale smoke|default|paper] [--jobs N]\n\
      \x20                  [--emit json|off] [--emit-path FILE]\n\
      \x20                  [--retries N] [--cell-budget CYCLES]\n\
+     \x20                  [--cell-deadline MS] [--run-deadline MS]\n\
+     \x20                  [--cancel-after-cycles CYCLES]\n\
      \x20                  [--fault-inject p=<prob>[,seed=<s>]]\n\
      \x20                  [--journal FILE] [--resume] [--no-fuse] [--pgo]\n\
      \x20                  [--profile] [--trace-out FILE] <experiment>...\n\
@@ -37,6 +39,12 @@ pub const USAGE: &str = "usage: isf-harness [--scale smoke|default|paper] [--job
      experiments: table1 table2 table3 table4 table5 fig7 fig8 extras all\n\
      N defaults to $ISF_JOBS, then the machine's available parallelism;\n\
      --retries defaults to $ISF_RETRIES (0), --cell-budget to $ISF_CELL_BUDGET (uncapped);\n\
+     --cell-deadline cancels any cell attempt running longer than MS wall-clock\n\
+     milliseconds (also $ISF_CELL_DEADLINE; 0 = off) — the cell is annotated and the\n\
+     run exits 75; --run-deadline stops claiming new cells after MS milliseconds and\n\
+     drains (journaled runs resume with --resume); --cancel-after-cycles cancels every\n\
+     cell run at a fixed simulated cycle (also $ISF_CANCEL_AFTER) — the deterministic\n\
+     stand-in for --cell-deadline in tests;\n\
      --journal defaults to $ISF_JOURNAL (off); --resume replays a journal's finished cells;\n\
      --no-fuse disables superinstruction fusion (also $ISF_FUSE=0) — results are identical;\n\
      --pgo enables profile-guided fusion (also $ISF_PGO=1): each module runs a short\n\
@@ -60,6 +68,19 @@ pub struct RunConfig {
     pub retries: Option<usize>,
     /// `--cell-budget` override.
     pub cell_budget: Option<u64>,
+    /// `--cell-deadline`: per-cell wall-clock deadline in milliseconds
+    /// (`0` = off). A cell attempt that runs longer is cooperatively
+    /// cancelled by the watchdog and annotated; the run exits 75.
+    pub cell_deadline: Option<u64>,
+    /// `--run-deadline`: whole-run wall-clock deadline in milliseconds
+    /// (`0` = off). When it elapses, the harness stops claiming new
+    /// cells, drains in-flight ones, and exits 75 — journaled runs pick
+    /// up where they left off with `--resume`.
+    pub run_deadline: Option<u64>,
+    /// `--cancel-after-cycles`: cancel every cell run at a fixed
+    /// simulated cycle (`0` = off) — the deterministic, byte-reproducible
+    /// stand-in for `--cell-deadline` used by tests and CI.
+    pub cancel_after: Option<u64>,
     /// `--fault-inject` probability and seed.
     pub fault: Option<(f64, u64)>,
     /// `--journal`: the crash-safe cell journal path.
@@ -191,6 +212,9 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
         emit_path: None,
         retries: None,
         cell_budget: None,
+        cell_deadline: None,
+        run_deadline: None,
+        cancel_after: None,
         fault: None,
         journal: None,
         resume: false,
@@ -228,6 +252,30 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 cfg.cell_budget = Some(v.parse::<u64>().map_err(|_| {
                     bad(format!(
                         "--cell-budget must be a non-negative cycle count (fitting u64), got `{v}`"
+                    ))
+                })?);
+            }
+            "--cell-deadline" => {
+                let v = next_value(&mut it, "--cell-deadline")?;
+                cfg.cell_deadline = Some(v.parse::<u64>().map_err(|_| {
+                    bad(format!(
+                        "--cell-deadline must be a non-negative millisecond count (fitting u64), got `{v}`"
+                    ))
+                })?);
+            }
+            "--run-deadline" => {
+                let v = next_value(&mut it, "--run-deadline")?;
+                cfg.run_deadline = Some(v.parse::<u64>().map_err(|_| {
+                    bad(format!(
+                        "--run-deadline must be a non-negative millisecond count (fitting u64), got `{v}`"
+                    ))
+                })?);
+            }
+            "--cancel-after-cycles" => {
+                let v = next_value(&mut it, "--cancel-after-cycles")?;
+                cfg.cancel_after = Some(v.parse::<u64>().map_err(|_| {
+                    bad(format!(
+                        "--cancel-after-cycles must be a non-negative cycle count (fitting u64), got `{v}`"
                     ))
                 })?);
             }
@@ -319,6 +367,12 @@ mod tests {
             "2",
             "--cell-budget",
             "1000",
+            "--cell-deadline",
+            "250",
+            "--run-deadline",
+            "60000",
+            "--cancel-after-cycles",
+            "5000",
             "--fault-inject",
             "p=0.25,seed=7",
             "--journal",
@@ -338,6 +392,9 @@ mod tests {
         assert_eq!(cfg.emit_path, Some(PathBuf::from("out.jsonl")));
         assert_eq!(cfg.retries, Some(2));
         assert_eq!(cfg.cell_budget, Some(1000));
+        assert_eq!(cfg.cell_deadline, Some(250));
+        assert_eq!(cfg.run_deadline, Some(60000));
+        assert_eq!(cfg.cancel_after, Some(5000));
         assert_eq!(cfg.fault, Some((0.25, 7)));
         assert_eq!(cfg.journal, Some(PathBuf::from("j.jsonl")));
         assert!(cfg.resume);
@@ -352,6 +409,15 @@ mod tests {
     fn all_expands_to_the_canonical_list() {
         let cfg = run_cfg(&["all"]);
         assert_eq!(cfg.experiments, ALL_EXPERIMENTS);
+        assert!(
+            !ALL_EXPERIMENTS.contains(&"spin"),
+            "the spin diagnostic must stay out of `all`"
+        );
+        assert_eq!(
+            run_cfg(&["spin"]).experiments,
+            vec!["spin"],
+            "spin is runnable by name"
+        );
         assert_eq!(cfg.scale, Scale::Default);
         assert!(!cfg.resume);
         assert!(!cfg.no_fuse, "fusion is on by default");
@@ -388,6 +454,21 @@ mod tests {
                 vec!["--cell-budget", "18446744073709551616", "table1"],
                 "--cell-budget",
                 "`18446744073709551616`",
+            ),
+            (
+                vec!["--cell-deadline", "soon", "table1"],
+                "--cell-deadline",
+                "`soon`",
+            ),
+            (
+                vec!["--run-deadline", "-1", "table1"],
+                "--run-deadline",
+                "`-1`",
+            ),
+            (
+                vec!["--cancel-after-cycles", "1e9", "table1"],
+                "--cancel-after-cycles",
+                "`1e9`",
             ),
             (vec!["--jobs", "4x", "table1"], "--jobs", "`4x`"),
         ] {

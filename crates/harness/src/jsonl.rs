@@ -124,16 +124,27 @@ pub fn validate(stream: &str) -> Result<usize, JsonlError> {
                 ],
                 line,
             )?,
-            "error" => require(
-                &record,
-                &[
-                    ("label", Kind::Str),
-                    ("kind", Kind::Str),
-                    ("detail", Kind::Str),
-                    ("attempts", Kind::Num),
-                ],
-                line,
-            )?,
+            "error" => {
+                require(
+                    &record,
+                    &[
+                        ("label", Kind::Str),
+                        ("kind", Kind::Str),
+                        ("detail", Kind::Str),
+                        ("attempts", Kind::Num),
+                    ],
+                    line,
+                )?;
+                let error_kind = record.get("kind").and_then(Json::as_str).unwrap_or("");
+                if !matches!(error_kind, "trap" | "panic" | "budget" | "deadline") {
+                    return Err(fail(
+                        line,
+                        format!(
+                            "error `kind` must be `trap`, `panic`, `budget`, or `deadline`, got `{error_kind}`"
+                        ),
+                    ));
+                }
+            }
             "row" => require(&record, &[("experiment", Kind::Str)], line)?,
             "summary" => {
                 require(&record, &[("experiment", Kind::Str)], line)?;
@@ -315,6 +326,21 @@ mod tests {
         let wrong =
             "{\"type\":\"error\",\"label\":\"x\",\"kind\":\"trap\",\"detail\":7,\"attempts\":1}";
         assert!(validate(wrong).unwrap_err().message.contains("wrong type"));
+    }
+
+    #[test]
+    fn error_kind_is_a_closed_enum() {
+        for kind in ["trap", "panic", "budget", "deadline"] {
+            let good = format!(
+                "{{\"type\":\"error\",\"label\":\"x\",\"kind\":\"{kind}\",\"detail\":\"d\",\"attempts\":1}}"
+            );
+            assert_eq!(validate(&good), Ok(1), "kind `{kind}` must be accepted");
+        }
+        let bad =
+            "{\"type\":\"error\",\"label\":\"x\",\"kind\":\"timeout\",\"detail\":\"d\",\"attempts\":1}";
+        let e = validate(bad).unwrap_err();
+        assert!(e.message.contains("`timeout`"), "{e}");
+        assert!(e.message.contains("deadline"), "{e}");
     }
 
     #[test]

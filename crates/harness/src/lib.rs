@@ -15,6 +15,7 @@
 //! | [`fig7`]   | the javac call-edge profile (perfect vs sampled series) |
 //! | [`fig8`]   | Jalapeño-specific (yieldpoint) overheads, parts (A) and (B) |
 //! | [`extras`] | beyond the paper: sampled path profiling, selective instrumentation |
+//! | [`spin`]   | diagnostic: a deliberately non-terminating cell, for exercising `--cell-deadline` |
 //!
 //! Absolute percentages depend on the cost model; what must match the
 //! paper is the *shape* — which benchmarks are expensive, which strategy
@@ -33,11 +34,13 @@ pub mod journal;
 pub mod jsonl;
 pub mod runner;
 pub mod snapshot;
+pub mod spin;
 pub mod table1;
 pub mod table2;
 pub mod table3;
 pub mod table4;
 pub mod table5;
+mod watchdog;
 
 pub use isf_workloads::Scale;
 

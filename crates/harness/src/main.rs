@@ -6,6 +6,8 @@
 //! isf-harness [--scale smoke|default|paper] [--jobs N]
 //!             [--emit json|off] [--emit-path FILE]
 //!             [--retries N] [--cell-budget CYCLES]
+//!             [--cell-deadline MS] [--run-deadline MS]
+//!             [--cancel-after-cycles CYCLES]
 //!             [--fault-inject p=<prob>[,seed=<s>]]
 //!             [--journal FILE] [--resume] [--no-fuse] [--pgo]
 //!             [--profile] [--trace-out FILE] <experiment>...
@@ -33,6 +35,18 @@
 //! and exit with code 75 (resumable), and `--resume` replays the journal
 //! so the completed run's stdout and JSONL are byte-identical to an
 //! uninterrupted run's.
+//!
+//! With `--cell-deadline MS` (or `ISF_CELL_DEADLINE`) a watchdog thread
+//! cooperatively cancels any cell attempt that runs longer than `MS`
+//! wall-clock milliseconds; the cell is annotated (`!!`, a `deadline`
+//! error record) while its siblings complete, and the run exits 75.
+//! `--run-deadline MS` bounds the whole run: when it elapses the harness
+//! stops claiming new cells, drains in-flight ones through the same
+//! machinery as SIGINT, and exits 75 — with `--journal`, a later
+//! `--resume` picks up exactly where the deadline stopped it.
+//! `--cancel-after-cycles CYCLES` (or `ISF_CANCEL_AFTER`) cancels every
+//! cell run at a fixed *simulated* cycle instead — deterministic, so
+//! tests can exercise the deadline plumbing byte-reproducibly.
 //!
 //! With `--no-fuse` (or `ISF_FUSE=0`) the prepared engine skips the
 //! superinstruction fusion pass. Fusion is observably equivalent — every
@@ -64,7 +78,8 @@ use std::process::ExitCode;
 
 use isf_harness::cli::{self, CliError, Command, RunConfig, SnapshotConfig};
 use isf_harness::{
-    extras, fig7, fig8, journal, jsonl, runner, snapshot, table1, table2, table3, table4, table5,
+    extras, fig7, fig8, journal, jsonl, runner, snapshot, spin, table1, table2, table3, table4,
+    table5,
 };
 use isf_obs::{emit, log, metrics, span, Json};
 
@@ -250,6 +265,12 @@ fn run(cfg: &RunConfig) -> ExitCode {
     if let Some(n) = cfg.cell_budget {
         runner::set_cell_budget(n);
     }
+    if let Some(ms) = cfg.cell_deadline {
+        runner::set_cell_deadline(ms);
+    }
+    if let Some(n) = cfg.cancel_after {
+        runner::set_cancel_after(n);
+    }
     if let Some((p, seed)) = cfg.fault {
         runner::set_fault_injection(p, seed);
     }
@@ -279,6 +300,19 @@ fn run(cfg: &RunConfig) -> ExitCode {
     if let Err(msg) = attach_journal(cfg) {
         log::error(&format!("isf-harness: {msg}"));
         return ExitCode::FAILURE;
+    }
+    if let Some(ms) = cfg.run_deadline.filter(|&ms| ms > 0) {
+        // A detached timer: when the run deadline elapses it requests the
+        // same drain SIGINT does — stop claiming cells, finish (and
+        // journal) in-flight ones, exit resumable. If the run finishes
+        // first the process exits and the timer dies with it.
+        std::thread::Builder::new()
+            .name("isf-run-deadline".into())
+            .spawn(move || {
+                std::thread::sleep(std::time::Duration::from_millis(ms));
+                journal::request_drain();
+            })
+            .expect("spawn run-deadline timer");
     }
 
     let emitting = emit::enabled();
@@ -327,6 +361,7 @@ fn run(cfg: &RunConfig) -> ExitCode {
             "table5" => experiment!(table5),
             "fig7" => experiment!(fig7),
             "extras" => experiment!(extras),
+            "spin" => experiment!(spin),
             "fig8" | "fig8a" | "fig8b" => experiment!(fig8),
             other => {
                 log::error(&format!("isf-harness: unknown experiment `{other}`"));
@@ -357,6 +392,13 @@ fn run(cfg: &RunConfig) -> ExitCode {
         }
     }
     journal::deactivate();
+    if runner::deadline_hit() {
+        // The run *completed* — every cell ran or was cancelled, tables
+        // and JSONL were written — but at least one fresh cell was lost
+        // to the deadline, so signal resumable like an interrupted run.
+        let code = u8::try_from(journal::RESUMABLE_EXIT).expect("exit code fits u8");
+        return ExitCode::from(code);
+    }
     ExitCode::SUCCESS
 }
 

@@ -21,14 +21,14 @@
 
 use std::collections::HashMap;
 use std::panic::AssertUnwindSafe;
-use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 use isf_core::{instrument_module, Options, Strategy, TransformStats};
 use isf_exec::{
-    fuse_mode, run_prepared, run_prepared_profiled, CostModel, ExecLimits, FuseGuidance, FuseMode,
-    OpProfile, Outcome, PreparedModule, Trigger, VmConfig, VmError,
+    fuse_mode, run_prepared, run_prepared_profiled, CancelToken, CostModel, ExecLimits,
+    FuseGuidance, FuseMode, OpProfile, Outcome, PreparedModule, Trigger, VmConfig, VmError,
 };
 use isf_instr::{CallEdgeInstrumentation, FieldAccessInstrumentation, Instrumentation, ModulePlan};
 use isf_ir::Module;
@@ -200,6 +200,77 @@ fn harness_limits() -> ExecLimits {
     }
 }
 
+/// `u64::MAX` means "no override; consult `ISF_CELL_DEADLINE`".
+static CELL_DEADLINE_OVERRIDE: AtomicU64 = AtomicU64::new(u64::MAX);
+
+/// Sets the per-cell wall-clock deadline in milliseconds
+/// (`--cell-deadline`; `0` disables it). Pass `u64::MAX` to clear the
+/// override.
+pub fn set_cell_deadline(ms: u64) {
+    CELL_DEADLINE_OVERRIDE.store(ms, Ordering::Relaxed);
+}
+
+/// The per-cell wall-clock deadline in milliseconds: the
+/// [`set_cell_deadline`] override if set, else `ISF_CELL_DEADLINE`, else
+/// `0` (off). Each cell attempt that exceeds it is cooperatively
+/// cancelled by the watchdog and recorded as [`CellResult::Deadline`].
+/// Unlike the cycle budget, the deadline is *not* part of the journal
+/// fingerprint: it bounds how long a run waits, not what a cell computes.
+pub fn cell_deadline() -> u64 {
+    let n = CELL_DEADLINE_OVERRIDE.load(Ordering::Relaxed);
+    if n != u64::MAX {
+        return n;
+    }
+    std::env::var("ISF_CELL_DEADLINE")
+        .ok()
+        .and_then(|s| s.trim().parse::<u64>().ok())
+        .unwrap_or(0)
+}
+
+/// `u64::MAX` means "no override; consult `ISF_CANCEL_AFTER`".
+static CANCEL_AFTER_OVERRIDE: AtomicU64 = AtomicU64::new(u64::MAX);
+
+/// Sets the deterministic cancellation point (`--cancel-after-cycles`;
+/// `0` disables it): every cell run is cancelled at exactly the charge
+/// that takes the simulated clock past this cycle count. Pass `u64::MAX`
+/// to clear the override.
+pub fn set_cancel_after(cycles: u64) {
+    CANCEL_AFTER_OVERRIDE.store(cycles, Ordering::Relaxed);
+}
+
+/// The deterministic cancellation point, if one is configured: the
+/// [`set_cancel_after`] override if set, else `ISF_CANCEL_AFTER`, else
+/// none. This is the testable stand-in for the wall-clock deadline —
+/// cancellation lands at the same simulated cycle on every run and every
+/// job count, so deadline plumbing can be exercised byte-reproducibly.
+/// Because it changes what cells compute, it *is* folded into the
+/// journal fingerprint (via the `vm_config` component of
+/// [`run_inputs`]), unlike the wall-clock deadline.
+pub fn cancel_after() -> Option<u64> {
+    let n = CANCEL_AFTER_OVERRIDE.load(Ordering::Relaxed);
+    let n = if n != u64::MAX {
+        n
+    } else {
+        std::env::var("ISF_CANCEL_AFTER")
+            .ok()
+            .and_then(|s| s.trim().parse::<u64>().ok())
+            .unwrap_or(0)
+    };
+    (n > 0).then_some(n)
+}
+
+/// Whether any *fresh* (non-replayed) cell run hit the wall-clock
+/// deadline this process. The harness consults this at exit: a run that
+/// deadlined somewhere finishes its remaining cells and its output, then
+/// exits with [`journal::RESUMABLE_EXIT`] so callers can tell a
+/// truncated-by-deadline run from a clean one.
+static DEADLINE_HIT: AtomicBool = AtomicBool::new(false);
+
+/// Whether a fresh cell result was a deadline cancellation.
+pub fn deadline_hit() -> bool {
+    DEADLINE_HIT.load(Ordering::Relaxed)
+}
+
 /// Fault-injection probability as `f64` bits (`0.0` = off) and seed.
 static FAULT_PROB_BITS: AtomicU64 = AtomicU64::new(0);
 static FAULT_SEED: AtomicU64 = AtomicU64::new(0);
@@ -265,6 +336,14 @@ pub fn run_inputs(scale: Scale, experiments: &[String]) -> journal::RunInputs {
         limits: harness_limits(),
         ..VmConfig::default()
     };
+    // The deterministic cancellation point changes what cells compute,
+    // so it rides in the `vm_config` component of the fingerprint; the
+    // wall-clock deadline does not (it bounds waiting, not results), so
+    // a journal written under one deadline resumes under any other.
+    let vm_config = match cancel_after() {
+        Some(k) => format!("{base_config:?} cancel_after={k}"),
+        None => format!("{base_config:?}"),
+    };
     journal::RunInputs {
         version: env!("CARGO_PKG_VERSION").to_owned(),
         scale: crate::snapshot::scale_name(scale).to_owned(),
@@ -273,7 +352,7 @@ pub fn run_inputs(scale: Scale, experiments: &[String]) -> journal::RunInputs {
         retries: u64::try_from(retries()).unwrap_or(u64::MAX),
         fault_prob_bits,
         fault_seed,
-        vm_config: format!("{base_config:?}"),
+        vm_config,
     }
 }
 
@@ -316,7 +395,7 @@ fn roll(p: f64, seed: u64, label: &str, attempt: u32) -> Option<bool> {
 pub struct CellError {
     /// The failed cell's label.
     pub label: String,
-    /// Failure class: `trap`, `panic`, or `budget`.
+    /// Failure class: `trap`, `panic`, `budget`, or `deadline`.
     pub kind: &'static str,
     /// Human-readable cause (trap description or panic message).
     pub detail: String,
@@ -343,6 +422,11 @@ pub enum CellResult<R> {
     Panicked(CellError),
     /// A configured resource budget ran out (fuel, heap, stack).
     Budget(CellError),
+    /// The cell exceeded the wall-clock [`cell_deadline`] (or the
+    /// deterministic [`cancel_after`] point) and was cooperatively
+    /// cancelled. Retried like a panic — the deadline measures host
+    /// conditions, not the deterministic VM — never like a budget trap.
+    Deadline(CellError),
 }
 
 impl<R> CellResult<R> {
@@ -352,7 +436,10 @@ impl<R> CellResult<R> {
     pub fn into_result(self) -> Result<R, CellError> {
         match self {
             CellResult::Ok(r) => Ok(r),
-            CellResult::Trapped(e) | CellResult::Panicked(e) | CellResult::Budget(e) => Err(e),
+            CellResult::Trapped(e)
+            | CellResult::Panicked(e)
+            | CellResult::Budget(e)
+            | CellResult::Deadline(e) => Err(e),
         }
     }
 }
@@ -469,6 +556,7 @@ type Finished<R> = (CellResult<R>, CellMetrics, bool);
 /// worker pool (stopping at a requested drain), then emit everything on
 /// the calling thread in submission order.
 fn run_cells<R: Send>(cells: Vec<Cell<'_, R>>, codec: Option<Codec<R>>) -> Vec<CellResult<R>> {
+    let _hook = CellHookGuard::install();
     let n = cells.len();
     let mut entries: Vec<Option<Finished<R>>> = Vec::with_capacity(n);
     let mut pending: Vec<usize> = Vec::new();
@@ -552,7 +640,10 @@ fn run_cells<R: Send>(cells: Vec<Cell<'_, R>>, codec: Option<Codec<R>>) -> Vec<C
             }
             if emit::enabled() {
                 emit::record(&metrics.to_json());
-                if let CellResult::Trapped(e) | CellResult::Panicked(e) | CellResult::Budget(e) = &r
+                if let CellResult::Trapped(e)
+                | CellResult::Panicked(e)
+                | CellResult::Budget(e)
+                | CellResult::Deadline(e) = &r
                 {
                     emit::error(&e.label, e.kind, &e.detail, u64::from(e.attempts));
                 }
@@ -615,6 +706,7 @@ fn decode_error<R>(err: &Json) -> Option<CellResult<R>> {
         "trap" => "trap",
         "panic" => "panic",
         "budget" => "budget",
+        "deadline" => "deadline",
         _ => return None,
     };
     let e = CellError {
@@ -626,6 +718,7 @@ fn decode_error<R>(err: &Json) -> Option<CellResult<R>> {
     Some(match kind {
         "trap" => CellResult::Trapped(e),
         "panic" => CellResult::Panicked(e),
+        "deadline" => CellResult::Deadline(e),
         _ => CellResult::Budget(e),
     })
 }
@@ -641,7 +734,10 @@ fn journal_append<R>(label: &str, r: &CellResult<R>, m: &CellMetrics, codec: Opt
     }
     let (error, payload) = match r {
         CellResult::Ok(v) => (None, Some((codec.encode)(v))),
-        CellResult::Trapped(e) | CellResult::Panicked(e) | CellResult::Budget(e) => (
+        CellResult::Trapped(e)
+        | CellResult::Panicked(e)
+        | CellResult::Budget(e)
+        | CellResult::Deadline(e) => (
             Some(Json::obj([
                 ("type", "error".into()),
                 ("label", e.label.as_str().into()),
@@ -764,7 +860,13 @@ fn classify_failure<R>(
     match payload.downcast::<CellTrap>() {
         Ok(trap) => {
             let CellTrap(e) = *trap;
-            if e.kind.is_budget() {
+            if e.kind == isf_exec::TrapKind::Cancelled {
+                // A cancelled cell was stopped by the watchdog (or the
+                // deterministic `--cancel-after-cycles` injection hook),
+                // not by its own doing: the detail is derived from the
+                // configuration, never from wall-clock progress.
+                CellResult::Deadline(err("deadline", deadline_detail()))
+            } else if e.kind.is_budget() {
                 CellResult::Budget(err("budget", e.to_string()))
             } else {
                 CellResult::Trapped(err("trap", e.to_string()))
@@ -781,6 +883,20 @@ fn classify_failure<R>(
     }
 }
 
+/// The deterministic detail string for a cancelled cell. Wall-clock
+/// deadlines fire at a nondeterministic point, so the message reports the
+/// configured limit — the only thing every firing has in common.
+fn deadline_detail() -> String {
+    let ms = cell_deadline();
+    if ms > 0 {
+        format!("cell deadline of {ms} ms exceeded")
+    } else if let Some(k) = cancel_after() {
+        format!("cancelled after {k} simulated cycles")
+    } else {
+        "cancelled".to_owned()
+    }
+}
+
 thread_local! {
     /// Whether the current thread is inside an isolated cell attempt —
     /// consulted by the process panic hook to suppress the default
@@ -789,21 +905,66 @@ thread_local! {
     static IN_CELL: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
 }
 
-/// Installs (once) a panic hook that stays silent for panics unwinding out
-/// of an isolated cell attempt and defers to the previous hook everywhere
-/// else. Without this, every trapped or injected cell would spray a
-/// backtrace on stderr even though the failure is caught, classified, and
-/// reported through the table annotation and the `error` JSONL record.
-fn install_cell_panic_hook() {
-    static HOOK: std::sync::Once = std::sync::Once::new();
-    HOOK.call_once(|| {
-        let previous = std::panic::take_hook();
-        std::panic::set_hook(Box::new(move |info| {
-            if !IN_CELL.with(std::cell::Cell::get) {
-                previous(info);
+type PanicHook = Box<dyn Fn(&std::panic::PanicHookInfo<'_>) + Sync + Send + 'static>;
+
+/// Depth of nested [`CellHookGuard`] installations (concurrent
+/// `par_cells` groups in one process share a single hook swap).
+static HOOK_DEPTH: Mutex<u32> = Mutex::new(0);
+/// The hook displaced by the cell hook, restored when the last guard
+/// drops. The cell hook reads this to delegate out-of-cell panics.
+static PREVIOUS_HOOK: Mutex<Option<PanicHook>> = Mutex::new(None);
+
+/// RAII installation of a panic hook that stays silent for panics
+/// unwinding out of an isolated cell attempt and defers to the previous
+/// hook everywhere else. Without this, every trapped or injected cell
+/// would spray a backtrace on stderr even though the failure is caught,
+/// classified, and reported through the table annotation and the `error`
+/// JSONL record. The guard is reference-counted: the first install swaps
+/// the process hook in, the last drop restores whatever was there before,
+/// so embedding code (and the test harness itself) gets its own hook back
+/// once no cell group is running.
+struct CellHookGuard;
+
+impl CellHookGuard {
+    fn install() -> CellHookGuard {
+        let mut depth = HOOK_DEPTH.lock().unwrap_or_else(|p| p.into_inner());
+        if *depth == 0 {
+            *PREVIOUS_HOOK.lock().unwrap_or_else(|p| p.into_inner()) =
+                Some(std::panic::take_hook());
+            std::panic::set_hook(Box::new(|info| {
+                if IN_CELL.with(std::cell::Cell::get) {
+                    return;
+                }
+                let previous = PREVIOUS_HOOK.lock().unwrap_or_else(|p| p.into_inner());
+                if let Some(previous) = previous.as_ref() {
+                    previous(info);
+                }
+            }));
+        }
+        *depth += 1;
+        CellHookGuard
+    }
+}
+
+impl Drop for CellHookGuard {
+    fn drop(&mut self) {
+        let mut depth = HOOK_DEPTH.lock().unwrap_or_else(|p| p.into_inner());
+        *depth -= 1;
+        if *depth == 0 {
+            // Bind the displaced hook *before* calling `set_hook`: the
+            // temporary `MutexGuard` in `if let Some(prev) = LOCK.lock()…`
+            // would live across the call, and `set_hook` synchronizes with
+            // concurrently-running hooks that take the same lock.
+            let previous = PREVIOUS_HOOK
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .take();
+            if let Some(previous) = previous {
+                drop(std::panic::take_hook());
+                std::panic::set_hook(previous);
             }
-        }));
-    });
+        }
+    }
 }
 
 /// Runs one cell on the current thread under `catch_unwind`, logging its
@@ -814,11 +975,12 @@ fn install_cell_panic_hook() {
 /// [`retries`] times with a short deterministic backoff; traps and budget
 /// exhaustion are deterministic, so they fail immediately.
 fn run_cell<R>(c: &Cell<'_, R>) -> (CellResult<R>, CellMetrics) {
-    install_cell_panic_hook();
     let _cell_span = span::begin("cell", c.label.clone());
     // Capture the phase sections this cell contributes (across every
     // attempt) so they can be journaled with it and re-injected on replay.
     emit::begin_phase_capture();
+    let deadline_ms = cell_deadline();
+    let inject_cancel = cancel_after();
     let max_attempts = u32::try_from(retries())
         .unwrap_or(u32::MAX)
         .saturating_add(1);
@@ -826,6 +988,17 @@ fn run_cell<R>(c: &Cell<'_, R>) -> (CellResult<R>, CellMetrics) {
     loop {
         let _attempt_span = span::begin("attempt", c.label.clone());
         CELL_STATS.with(|s| s.set((0, 0, 0)));
+        // Each attempt gets a fresh token: the watchdog fires against the
+        // epoch snapshotted here, so a stale fire from a previous attempt
+        // (or a previous cell on this worker) can never land on this one.
+        let token = (deadline_ms > 0).then(CancelToken::new);
+        let _watch = token
+            .as_ref()
+            .map(|t| crate::watchdog::watch(t, Duration::from_millis(deadline_ms)));
+        if token.is_some() {
+            metrics::counter_add("watchdog.armed", 1);
+        }
+        let _scope = isf_exec::cancel::arm(token.as_ref(), inject_cancel);
         let start = Instant::now();
         IN_CELL.with(|f| f.set(true));
         let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
@@ -877,10 +1050,20 @@ fn run_cell<R>(c: &Cell<'_, R>) -> (CellResult<R>, CellMetrics) {
             Ok(r) => CellResult::Ok(r),
             Err(payload) => classify_failure(payload, &c.label, attempt),
         };
-        if let CellResult::Panicked(e) = &result {
+        if matches!(&result, CellResult::Deadline(_)) {
+            DEADLINE_HIT.store(true, Ordering::Relaxed);
+            if deadline_ms > 0 {
+                metrics::counter_add("watchdog.fired", 1);
+            }
+        }
+        // Deadlines retry like panics — a hang may be a transient host
+        // stall, and the bounded-retry policy already exists for exactly
+        // that class of failure — and never like a budget trap, which is
+        // deterministic and would only fail identically again.
+        if let CellResult::Panicked(e) | CellResult::Deadline(e) = &result {
             if attempt < max_attempts {
                 log::debug(&format!(
-                    "[cell] {}: attempt {attempt} panicked ({}), retrying",
+                    "[cell] {}: attempt {attempt} failed ({}), retrying",
                     c.label, e.detail
                 ));
                 // Deterministic linear backoff: transient host conditions
@@ -890,7 +1073,11 @@ fn run_cell<R>(c: &Cell<'_, R>) -> (CellResult<R>, CellMetrics) {
                 continue;
             }
         }
-        if let CellResult::Trapped(e) | CellResult::Panicked(e) | CellResult::Budget(e) = &result {
+        if let CellResult::Trapped(e)
+        | CellResult::Panicked(e)
+        | CellResult::Budget(e)
+        | CellResult::Deadline(e) = &result
+        {
             log::error(&format!("[cell] {e} ({} attempt(s))", e.attempts));
         }
         let mut metrics = metrics;
@@ -1757,6 +1944,68 @@ mod tests {
         set_retries(usize::MAX);
         assert_eq!(trap_attempts.load(Ordering::Relaxed), 1);
         assert!(matches!(&results[0], CellResult::Trapped(e) if e.attempts == 1));
+    }
+
+    #[test]
+    fn cancel_after_turns_cells_into_deadline_failures_that_retry_like_panics() {
+        let _guard = JOBS_TEST_LOCK.lock().unwrap();
+        set_retries(1);
+        set_cancel_after(500);
+        let attempts = std::sync::atomic::AtomicU32::new(0);
+        let w = isf_workloads::by_name("db", Scale::Smoke).unwrap();
+        let m = w.compile();
+        let results = par_cells_isolated(vec![cell("deadline/db", || {
+            attempts.fetch_add(1, Ordering::Relaxed);
+            run_module(&m, Trigger::Never).cycles
+        })]);
+        set_cancel_after(u64::MAX);
+        set_retries(usize::MAX);
+        // Cancelled attempts are retried like panics (and unlike budget
+        // traps): 1 + the configured retry.
+        assert_eq!(attempts.load(Ordering::Relaxed), 2);
+        match &results[0] {
+            CellResult::Deadline(e) => {
+                assert_eq!(e.kind, "deadline");
+                assert_eq!(e.detail, "cancelled after 500 simulated cycles");
+                assert_eq!(e.attempts, 2);
+            }
+            other => panic!("expected deadline failure, got {other:?}"),
+        }
+        // A fresh deadline marks the run resumable.
+        assert!(deadline_hit());
+    }
+
+    #[test]
+    fn deadline_errors_roundtrip_through_the_journal_codec() {
+        let err = Json::obj([
+            ("type", "error".into()),
+            ("label", "spin/hang".into()),
+            ("kind", "deadline".into()),
+            ("detail", "cell deadline of 200 ms exceeded".into()),
+            ("attempts", 2u64.into()),
+        ]);
+        let r: CellResult<u64> = decode_error(&err).expect("deadline errors decode");
+        match &r {
+            CellResult::Deadline(e) => {
+                assert_eq!(e.label, "spin/hang");
+                assert_eq!(e.kind, "deadline");
+                assert_eq!(e.detail, "cell deadline of 200 ms exceeded");
+                assert_eq!(e.attempts, 2);
+            }
+            other => panic!("expected a replayed deadline, got {other:?}"),
+        }
+        assert!(r.into_result().is_err(), "a deadline is still a failure");
+        let unknown = Json::obj([
+            ("type", "error".into()),
+            ("label", "x".into()),
+            ("kind", "timeout".into()),
+            ("detail", "d".into()),
+            ("attempts", 1u64.into()),
+        ]);
+        assert!(
+            decode_error::<u64>(&unknown).is_none(),
+            "unknown kinds must not decode"
+        );
     }
 
     #[test]

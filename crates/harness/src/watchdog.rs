@@ -1,0 +1,222 @@
+//! The hung-cell watchdog: one lazily-started timer thread that fires
+//! [`CancelToken`]s when a registered deadline elapses.
+//!
+//! A worker about to run a cell attempt registers `(token, deadline)`
+//! with [`watch`] and holds the returned guard while the work runs; the
+//! guard deregisters on drop, so a cell that finishes in time costs the
+//! watchdog two short registry locks and nothing else. If the deadline
+//! elapses first, the watchdog thread fires the token with
+//! [`CancelToken::cancel_from`] — a compare-and-swap against the epoch
+//! captured at registration — so a fire that races the cell's completion
+//! can never cancel whatever the worker thread runs next.
+//!
+//! The watchdog does not classify, retry, or report anything: the
+//! cancelled engine unwinds with `TrapKind::Cancelled` through the
+//! ordinary trap path and the cell isolation layer in [`crate::runner`]
+//! turns it into a [`CellResult::Deadline`]. Wall-clock deadlines are
+//! inherently nondeterministic, which is why everything observable about
+//! a deadlined cell (the error detail, the zeroed run counters) is
+//! derived from configuration, not from how far the cell happened to get.
+//!
+//! [`CellResult::Deadline`]: crate::runner::CellResult::Deadline
+
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
+use std::time::{Duration, Instant};
+
+use isf_exec::CancelToken;
+
+/// One armed deadline: when to fire, and the token/epoch pair to fire at.
+struct Entry {
+    deadline: Instant,
+    token: CancelToken,
+    snapshot: u64,
+}
+
+#[derive(Default)]
+struct Registry {
+    entries: HashMap<u64, Entry>,
+    next_id: u64,
+}
+
+struct Inner {
+    registry: Mutex<Registry>,
+    wake: Condvar,
+}
+
+fn lock(inner: &Inner) -> MutexGuard<'_, Registry> {
+    inner.registry.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// The process-wide watchdog, started on first use. The thread parks on
+/// the condvar whenever nothing is armed, so a harness run that never
+/// configures a deadline pays exactly one idle thread — and not even
+/// that unless [`watch`] is called.
+fn instance() -> &'static Arc<Inner> {
+    static INSTANCE: OnceLock<Arc<Inner>> = OnceLock::new();
+    INSTANCE.get_or_init(|| {
+        let inner = Arc::new(Inner {
+            registry: Mutex::new(Registry::default()),
+            wake: Condvar::new(),
+        });
+        let thread_inner = Arc::clone(&inner);
+        std::thread::Builder::new()
+            .name("isf-watchdog".into())
+            .spawn(move || run_loop(&thread_inner))
+            .expect("spawn watchdog thread");
+        inner
+    })
+}
+
+fn run_loop(inner: &Inner) {
+    let mut reg = lock(inner);
+    loop {
+        let now = Instant::now();
+        let mut next: Option<Instant> = None;
+        reg.entries.retain(|_, e| {
+            if e.deadline <= now {
+                // The CAS misses when the epoch moved on — the cell
+                // finished and the worker re-armed — so a late fire is
+                // a no-op, never a kill of the thread's next cell.
+                e.token.cancel_from(e.snapshot);
+                false
+            } else {
+                next = Some(next.map_or(e.deadline, |n| n.min(e.deadline)));
+                true
+            }
+        });
+        reg = match next {
+            Some(deadline) => {
+                let timeout = deadline.saturating_duration_since(now);
+                inner
+                    .wake
+                    .wait_timeout(reg, timeout)
+                    .map(|(g, _)| g)
+                    .unwrap_or_else(|p| p.into_inner().0)
+            }
+            None => inner.wake.wait(reg).unwrap_or_else(|p| p.into_inner()),
+        };
+    }
+}
+
+/// Registration handle returned by [`watch`]; dropping it disarms the
+/// deadline (if it has not fired yet).
+pub(crate) struct WatchGuard {
+    id: u64,
+}
+
+impl Drop for WatchGuard {
+    fn drop(&mut self) {
+        if self.id == 0 {
+            return;
+        }
+        let inner = instance();
+        lock(inner).entries.remove(&self.id);
+        // No notify: a spurious timer wakeup for a removed entry just
+        // recomputes the next deadline.
+    }
+}
+
+/// Arms the watchdog: after `timeout`, fire `token` at its current epoch.
+/// The returned guard disarms on drop. A `timeout` too large to represent
+/// as an `Instant` is treated as "never" (nothing is registered).
+pub(crate) fn watch(token: &CancelToken, timeout: Duration) -> WatchGuard {
+    let Some(deadline) = Instant::now().checked_add(timeout) else {
+        return WatchGuard { id: 0 };
+    };
+    let inner = instance();
+    let mut reg = lock(inner);
+    reg.next_id += 1;
+    let id = reg.next_id;
+    reg.entries.insert(
+        id,
+        Entry {
+            deadline,
+            token: token.clone(),
+            snapshot: token.epoch(),
+        },
+    );
+    drop(reg);
+    inner.wake.notify_one();
+    WatchGuard { id }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Polls `cond` for up to two seconds.
+    fn eventually(cond: impl Fn() -> bool) -> bool {
+        let start = Instant::now();
+        while start.elapsed() < Duration::from_secs(2) {
+            if cond() {
+                return true;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        false
+    }
+
+    #[test]
+    fn elapsed_deadline_fires_the_token() {
+        let token = CancelToken::new();
+        let snapshot = token.epoch();
+        let _guard = watch(&token, Duration::from_millis(10));
+        assert!(
+            eventually(|| token.is_cancelled(snapshot)),
+            "deadline never fired"
+        );
+    }
+
+    #[test]
+    fn dropped_guard_disarms_before_the_deadline() {
+        let token = CancelToken::new();
+        let snapshot = token.epoch();
+        let guard = watch(&token, Duration::from_millis(40));
+        drop(guard);
+        std::thread::sleep(Duration::from_millis(120));
+        assert!(
+            !token.is_cancelled(snapshot),
+            "disarmed deadline still fired"
+        );
+    }
+
+    #[test]
+    fn stale_fire_cannot_touch_the_next_epoch() {
+        let token = CancelToken::new();
+        let first = token.epoch();
+        let _guard = watch(&token, Duration::from_millis(10));
+        assert!(eventually(|| token.is_cancelled(first)));
+        // The next cell on this worker re-reads the epoch; the already-
+        // fired watchdog entry is gone and cannot advance it again.
+        let second = token.epoch();
+        std::thread::sleep(Duration::from_millis(60));
+        assert!(!token.is_cancelled(second), "stale fire landed twice");
+    }
+
+    #[test]
+    fn many_deadlines_fire_independently() {
+        let tokens: Vec<CancelToken> = (0..8).map(|_| CancelToken::new()).collect();
+        let snapshots: Vec<u64> = tokens.iter().map(CancelToken::epoch).collect();
+        let guards: Vec<WatchGuard> = tokens
+            .iter()
+            .enumerate()
+            .map(|(i, t)| {
+                // Even indices fire fast; odd ones would fire much later.
+                let ms = if i % 2 == 0 { 10 } else { 60_000 };
+                watch(t, Duration::from_millis(ms))
+            })
+            .collect();
+        assert!(eventually(|| tokens
+            .iter()
+            .zip(&snapshots)
+            .enumerate()
+            .all(|(i, (t, &s))| i % 2 != 0 || t.is_cancelled(s))));
+        for (i, (t, &s)) in tokens.iter().zip(&snapshots).enumerate() {
+            if i % 2 != 0 {
+                assert!(!t.is_cancelled(s), "distant deadline fired early");
+            }
+        }
+        drop(guards);
+    }
+}
