@@ -25,6 +25,7 @@ use crate::heap::Heap;
 use crate::outcome::Outcome;
 use crate::prepared::{InstrEffect, Op, OpKind, PreparedModule};
 use crate::profile::{NoMetrics, ProfileSink};
+use crate::sched::SchedControl;
 use crate::trace::{BurstRecord, NoTrace, TraceSink};
 use crate::trigger::{Trigger, TriggerState};
 use crate::value::Value;
@@ -206,12 +207,40 @@ pub fn run_prepared_observed<S: TraceSink, P: ProfileSink>(
     sink: &mut S,
     profile: &mut P,
 ) -> Result<Outcome, VmError> {
+    // The default control is the recording-free round-robin fast path —
+    // this call adds nothing to the plain hot loop.
+    let mut sched = SchedControl::default();
+    run_prepared_sched(prepared, config, sink, profile, &mut sched)
+}
+
+/// [`run_prepared_observed`] with an explicit scheduling control: a
+/// [`SchedControl`] selecting the policy (round-robin, seeded-random or
+/// PCT), replaying a recorded [`crate::ScheduleTrace`], or following a DFS
+/// choice prefix. See [`crate::sched`] for the scheduling contract; the
+/// recorded trace stays in `sched` after the run.
+///
+/// # Panics
+///
+/// Panics if `config.cost` differs from the preparation cost model, or if
+/// a replaying control diverges from its trace (impossible when replaying
+/// a trace recorded from the same program and config).
+///
+/// # Errors
+///
+/// Returns a [`VmError`] on any runtime trap, exactly as [`run`] does.
+pub fn run_prepared_sched<S: TraceSink, P: ProfileSink>(
+    prepared: &PreparedModule,
+    config: &VmConfig,
+    sink: &mut S,
+    profile: &mut P,
+    sched: &mut SchedControl,
+) -> Result<Outcome, VmError> {
     assert_eq!(
         &config.cost,
         prepared.cost(),
         "run_prepared: config cost model differs from the preparation cost model"
     );
-    let mut machine = Machine::new(prepared, config, sink, profile);
+    let mut machine = Machine::new(prepared, config, sink, profile, sched);
     let result = machine.run_to_completion();
     if P::ENABLED {
         machine.fold_profile(result.as_ref().err());
@@ -328,6 +357,10 @@ struct Machine<'p, 's, S: TraceSink, P: ProfileSink> {
     /// path doesn't allocate a fresh `Vec` per call. Taken at the start of
     /// a call arm and restored (cleared) after the frame push.
     arg_scratch: Vec<Value>,
+    /// Scheduling seam: picks the next thread at every reschedule point.
+    /// The default control is the historical round-robin scan with
+    /// recording off, which costs nothing over the old hard-coded loop.
+    sched: &'s mut SchedControl,
 }
 
 impl<'p, 's, S: TraceSink, P: ProfileSink> Machine<'p, 's, S, P> {
@@ -336,6 +369,7 @@ impl<'p, 's, S: TraceSink, P: ProfileSink> Machine<'p, 's, S, P> {
         config: &VmConfig,
         sink: &'s mut S,
         psink: &'s mut P,
+        sched: &'s mut SchedControl,
     ) -> Self {
         let main = prepared.module().main();
         let main_frame = Frame {
@@ -396,6 +430,7 @@ impl<'p, 's, S: TraceSink, P: ProfileSink> Machine<'p, 's, S, P> {
             output: Vec::new(),
             profile: ProfileData::new(),
             arg_scratch: Vec::new(),
+            sched,
         }
     }
 
@@ -653,31 +688,42 @@ impl<'p, 's, S: TraceSink, P: ProfileSink> Machine<'p, 's, S, P> {
         self.threads.iter().all(|t| t.state == ThreadState::Done)
     }
 
-    /// Rotates to the next runnable thread (unblocking joiners whose target
-    /// finished). Returns `false` if no *other* thread could be scheduled
-    /// (`require_other = true`) or no thread at all is runnable.
+    /// Rotates to the next runnable thread per the scheduling policy
+    /// (unblocking joiners whose target finished). Returns `false` if no
+    /// *other* thread could be scheduled (`require_other = true`) or no
+    /// thread at all is runnable.
+    ///
+    /// Joiners whose target has finished are woken *before* the policy
+    /// picks, so every policy sees the same candidate set. For the default
+    /// round-robin policy this is indistinguishable from the historical
+    /// wake-during-scan: the first runnable thread in scan order is
+    /// unchanged, and a thread woken beyond it stays runnable either way
+    /// until the scan next reaches it. (The current thread can never be
+    /// blocked on a finished target here: a `Join` only blocks on a
+    /// not-yet-done thread and nothing else runs before the reschedule.)
     fn reschedule(&mut self, require_other: bool) -> bool {
         let n = self.threads.len();
-        for offset in 1..=n {
-            let idx = (self.current + offset) % n;
-            if require_other && idx == self.current {
-                continue;
-            }
-            // Unblock if the join target has finished.
-            if let ThreadState::Blocked(target) = self.threads[idx].state {
+        for i in 0..n {
+            if let ThreadState::Blocked(target) = self.threads[i].state {
                 if self.threads[target].state == ThreadState::Done {
-                    self.threads[idx].state = ThreadState::Runnable;
+                    self.threads[i].state = ThreadState::Runnable;
                 }
             }
-            if self.threads[idx].state == ThreadState::Runnable {
+        }
+        let threads = &self.threads;
+        let sched = &mut *self.sched;
+        match sched.pick(self.current, require_other, n, &|idx| {
+            threads[idx].state == ThreadState::Runnable
+        }) {
+            Some(idx) => {
                 if idx != self.current {
                     self.thread_switches += 1;
                 }
                 self.current = idx;
-                return true;
+                true
             }
+            None => false,
         }
-        false
     }
 
     /// Charges a (possibly fused) op: `width` source instructions and `c`

@@ -51,6 +51,7 @@ mod naive;
 mod outcome;
 mod prepared;
 pub mod profile;
+pub mod sched;
 mod trace;
 mod trigger;
 mod value;
@@ -60,16 +61,19 @@ pub use cost::CostModel;
 pub use error::{TrapKind, VmError};
 pub use heap::Heap;
 pub use interp::{
-    run, run_prepared, run_prepared_observed, run_prepared_profiled, run_prepared_traced,
-    run_traced, ExecLimits, VmConfig,
+    run, run_prepared, run_prepared_observed, run_prepared_profiled, run_prepared_sched,
+    run_prepared_traced, run_traced, ExecLimits, VmConfig,
 };
-pub use naive::{run_naive, run_naive_observed, run_naive_profiled, run_naive_traced};
+pub use naive::{
+    run_naive, run_naive_observed, run_naive_profiled, run_naive_sched, run_naive_traced,
+};
 pub use outcome::{Outcome, ZeroCycleBaseline};
 pub use prepared::{
     fuse_mode, mine_hot_sequences, preparations, set_fuse_mode, thread_preparations, FuseMode,
     HotSequence, PreparedModule,
 };
 pub use profile::{FuseGuidance, NoMetrics, OpProfile, ProfileSink, NUM_OPCODES, OPCODE_NAMES};
+pub use sched::{SchedChoice, SchedControl, SchedPolicy, ScheduleTrace};
 pub use trace::{BurstRecord, NoTrace, TraceBuffer, TraceSink};
 pub use trigger::Trigger;
 pub use value::Value;

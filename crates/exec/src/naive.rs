@@ -25,6 +25,7 @@ use crate::heap::Heap;
 use crate::interp::VmConfig;
 use crate::outcome::Outcome;
 use crate::profile::{opcode_of_inst, opcode_of_term, NoMetrics, ProfileSink};
+use crate::sched::SchedControl;
 use crate::trace::{BurstRecord, NoTrace, TraceSink};
 use crate::trigger::TriggerState;
 use crate::value::Value;
@@ -94,7 +95,35 @@ pub fn run_naive_observed<S: TraceSink, P: ProfileSink>(
     sink: &mut S,
     profile: &mut P,
 ) -> Result<Outcome, VmError> {
-    let mut machine = Machine::new(module, config, sink, profile);
+    // The default control is the recording-free round-robin fast path —
+    // this call adds nothing to the plain engine.
+    let mut sched = SchedControl::default();
+    run_naive_sched(module, config, sink, profile, &mut sched)
+}
+
+/// [`run_naive_observed`] with an explicit scheduling control, the naive
+/// counterpart of [`crate::run_prepared_sched`]. Reschedule points are
+/// driven by the same deterministic simulated clock on both engines, so a
+/// [`crate::ScheduleTrace`] recorded on one engine replays byte-identically
+/// on the other.
+///
+/// # Panics
+///
+/// Panics if a replaying control diverges from its trace (impossible when
+/// replaying a trace recorded from the same program and config).
+///
+/// # Errors
+///
+/// Returns a [`VmError`] on any runtime trap, exactly as [`crate::run`]
+/// does.
+pub fn run_naive_sched<S: TraceSink, P: ProfileSink>(
+    module: &Module,
+    config: &VmConfig,
+    sink: &mut S,
+    profile: &mut P,
+    sched: &mut SchedControl,
+) -> Result<Outcome, VmError> {
+    let mut machine = Machine::new(module, config, sink, profile, sched);
     let result = machine.run_to_completion();
     match result {
         Ok(()) => Ok(machine.into_outcome()),
@@ -188,10 +217,19 @@ struct Machine<'m, 's, S: TraceSink, P: ProfileSink> {
     thread_switches: u64,
     output: Vec<i64>,
     profile: ProfileData,
+    /// Scheduling seam: picks the next thread at every reschedule point,
+    /// exactly as the prepared engine's (`interp::Machine::sched`).
+    sched: &'s mut SchedControl,
 }
 
 impl<'m, 's, S: TraceSink, P: ProfileSink> Machine<'m, 's, S, P> {
-    fn new(module: &'m Module, config: &VmConfig, sink: &'s mut S, psink: &'s mut P) -> Self {
+    fn new(
+        module: &'m Module,
+        config: &VmConfig,
+        sink: &'s mut S,
+        psink: &'s mut P,
+        sched: &'s mut SchedControl,
+    ) -> Self {
         let backedges = module
             .functions()
             .map(|(_, f)| loops::backedges(f).into_iter().collect())
@@ -256,6 +294,7 @@ impl<'m, 's, S: TraceSink, P: ProfileSink> Machine<'m, 's, S, P> {
             thread_switches: 0,
             output: Vec::new(),
             profile: ProfileData::new(),
+            sched,
         }
     }
 
@@ -320,31 +359,35 @@ impl<'m, 's, S: TraceSink, P: ProfileSink> Machine<'m, 's, S, P> {
         self.threads.iter().all(|t| t.state == ThreadState::Done)
     }
 
-    /// Rotates to the next runnable thread (unblocking joiners whose target
-    /// finished). Returns `false` if no *other* thread could be scheduled
-    /// (`require_other = true`) or no thread at all is runnable.
+    /// Rotates to the next runnable thread per the scheduling policy
+    /// (unblocking joiners whose target finished). Returns `false` if no
+    /// *other* thread could be scheduled (`require_other = true`) or no
+    /// thread at all is runnable. Structurally identical to the prepared
+    /// engine's `reschedule` — including the wake-before-pick order — so
+    /// decision points and candidate sets line up exactly across engines.
     fn reschedule(&mut self, require_other: bool) -> bool {
         let n = self.threads.len();
-        for offset in 1..=n {
-            let idx = (self.current + offset) % n;
-            if require_other && idx == self.current {
-                continue;
-            }
-            // Unblock if the join target has finished.
-            if let ThreadState::Blocked(target) = self.threads[idx].state {
+        for i in 0..n {
+            if let ThreadState::Blocked(target) = self.threads[i].state {
                 if self.threads[target].state == ThreadState::Done {
-                    self.threads[idx].state = ThreadState::Runnable;
+                    self.threads[i].state = ThreadState::Runnable;
                 }
             }
-            if self.threads[idx].state == ThreadState::Runnable {
+        }
+        let threads = &self.threads;
+        let sched = &mut *self.sched;
+        match sched.pick(self.current, require_other, n, &|idx| {
+            threads[idx].state == ThreadState::Runnable
+        }) {
+            Some(idx) => {
                 if idx != self.current {
                     self.thread_switches += 1;
                 }
                 self.current = idx;
-                return true;
+                true
             }
+            None => false,
         }
-        false
     }
 
     #[inline]

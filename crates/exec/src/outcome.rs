@@ -100,6 +100,40 @@ impl Outcome {
     pub fn satisfies_property1_vs(&self, baseline: &Outcome) -> bool {
         self.checks_executed <= baseline.entries_executed + baseline.backedges_executed
     }
+
+    /// Equality over the fields a schedule-commutative program keeps
+    /// invariant across thread schedules: output, the aggregated profile,
+    /// and the check/sample/yield/entry/backedge counters.
+    ///
+    /// Three fields are deliberately excluded as genuinely
+    /// schedule-dependent:
+    ///
+    /// * `thread_switches` — a schedule that bounces between threads
+    ///   switches more often than one that runs each to completion.
+    /// * `cycles` and `instructions` — a `Join` that finds its target
+    ///   unfinished blocks *without advancing* and re-executes on wake, so
+    ///   each join that happened to block charges one extra dispatch
+    ///   compared to a schedule where the target was already done.
+    ///
+    /// Everything compared is schedule-independent for programs whose
+    /// threads only combine through commutative updates: switches happen
+    /// only at yieldpoints (never mid-statement), so per-thread event
+    /// streams — prints, profile events, checks, yields, entries,
+    /// backedges — are fixed regardless of interleaving. Per-thread
+    /// sampling triggers ([`crate::Trigger::CounterPerThread`]) preserve
+    /// this (each thread's fires depend only on its own check count); a
+    /// run sampled by the *global* counter or timer does not, because
+    /// which thread's duplicated code a sample executes depends on the
+    /// interleaving.
+    pub fn schedule_invariant_eq(&self, other: &Outcome) -> bool {
+        self.output == other.output
+            && self.profile == other.profile
+            && self.checks_executed == other.checks_executed
+            && self.samples_taken == other.samples_taken
+            && self.yields_executed == other.yields_executed
+            && self.entries_executed == other.entries_executed
+            && self.backedges_executed == other.backedges_executed
+    }
 }
 
 #[cfg(test)]
@@ -145,6 +179,31 @@ mod tests {
         assert!(o.satisfies_property1());
         o.checks_executed = 11;
         assert!(!o.satisfies_property1());
+    }
+
+    #[test]
+    fn schedule_invariant_eq_ignores_schedule_dependent_fields() {
+        let a = Outcome {
+            output: vec![7],
+            cycles: 100,
+            instructions: 40,
+            checks_executed: 12,
+            thread_switches: 3,
+            ..Outcome::default()
+        };
+        let mut b = a.clone();
+        // Schedule-dependent drift: switch count, plus one blocked-join
+        // re-dispatch worth of cycles and instructions.
+        b.thread_switches = 9;
+        b.cycles = 101;
+        b.instructions = 41;
+        assert_ne!(a, b);
+        assert!(a.schedule_invariant_eq(&b));
+        b.checks_executed = 13;
+        assert!(!a.schedule_invariant_eq(&b));
+        b.checks_executed = 12;
+        b.output = vec![8];
+        assert!(!a.schedule_invariant_eq(&b));
     }
 
     #[test]

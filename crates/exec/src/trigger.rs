@@ -112,7 +112,7 @@ pub(crate) enum TriggerState {
     },
 }
 
-fn xorshift(state: &mut u64) -> u64 {
+pub(crate) fn xorshift(state: &mut u64) -> u64 {
     let mut x = *state;
     x ^= x << 13;
     x ^= x >> 7;
@@ -129,7 +129,7 @@ const SEED_FALLBACK: u64 = 0x9E37_79B9_7F4A_7C15;
 /// streams from nearby states overlap after one step, so seeding the state
 /// with (a trivial function of) the seed itself aliases adjacent seeds;
 /// splitmix64 decorrelates them.
-fn seed_stream(seed: u64) -> u64 {
+pub(crate) fn seed_stream(seed: u64) -> u64 {
     let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
@@ -146,7 +146,7 @@ fn seed_stream(seed: u64) -> u64 {
 /// `xorshift(state) % bound` over-weights the low residues whenever
 /// `bound` does not divide 2^64 (severely so for bounds near the top of
 /// the range).
-fn uniform_below(state: &mut u64, bound: u64) -> u64 {
+pub(crate) fn uniform_below(state: &mut u64, bound: u64) -> u64 {
     debug_assert!(bound > 0);
     // Reject draws whose 128-bit product lands in the short first slice:
     // `threshold = 2^64 mod bound`, the number of over-represented values.

@@ -11,6 +11,7 @@
 
 use std::path::PathBuf;
 
+use crate::explore::{self, ExploreSpec};
 use crate::runner;
 use crate::Scale;
 
@@ -34,6 +35,8 @@ pub const USAGE: &str = "usage: isf-harness [--scale smoke|default|paper] [--job
      \x20                  [--fault-inject p=<prob>[,seed=<s>]]\n\
      \x20                  [--journal FILE] [--resume] [--no-fuse] [--pgo]\n\
      \x20                  [--profile] [--trace-out FILE] <experiment>...\n\
+     \x20      isf-harness --explore schedules=N[,seed=S] [--scale smoke|default|paper]\n\
+     \x20                  [--jobs N] [--emit json|off] [--emit-path FILE] <benchmark>...|all\n\
      \x20      isf-harness bench-snapshot [--scale smoke|default|paper] [--jobs N] [--out DIR]\n\
      \x20      isf-harness validate-jsonl <FILE>\n\
      experiments: table1 table2 table3 table4 table5 fig7 fig8 extras all\n\
@@ -51,7 +54,12 @@ pub const USAGE: &str = "usage: isf-harness [--scale smoke|default|paper] [--job
      warmup cell and is re-prepared with guided superinstructions — results are identical;\n\
      --profile enables VM self-profiling (also $ISF_PROFILE=1): per-opcode dispatch\n\
      profiles, fusion coverage, and `metrics`/`span-summary` JSONL records;\n\
-     --trace-out writes a Chrome trace-event JSON file (open in Perfetto)";
+     --trace-out writes a Chrome trace-event JSON file (open in Perfetto);\n\
+     --explore records N seeded-random thread schedules per benchmark (plus PCT\n\
+     priority schedules and a bounded exhaustive DFS for shallow schedule trees) and\n\
+     verifies each replays byte-identically on all four engine configurations with\n\
+     schedule-independent observables intact — a failure prints the seed that\n\
+     reproduces the schedule deterministically";
 
 /// A fully parsed experiment run.
 #[derive(Clone, Debug, PartialEq)]
@@ -114,6 +122,25 @@ pub struct RunConfig {
     pub experiments: Vec<String>,
 }
 
+/// A parsed `--explore` invocation: schedule exploration over benchmarks
+/// instead of an experiment run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ExploreConfig {
+    /// Workload scale.
+    pub scale: Scale,
+    /// `--jobs` worker-thread override.
+    pub jobs: Option<usize>,
+    /// `--emit json` / `--emit off`.
+    pub emit_json: Option<bool>,
+    /// `--emit-path`: write the JSONL stream here, the report stays on
+    /// stdout.
+    pub emit_path: Option<PathBuf>,
+    /// The `schedules=N[,seed=S]` spec.
+    pub spec: ExploreSpec,
+    /// Validated, `all`-expanded benchmark list, in suite order.
+    pub benches: Vec<String>,
+}
+
 /// A parsed `bench-snapshot` invocation.
 #[derive(Clone, Debug, PartialEq)]
 pub struct SnapshotConfig {
@@ -130,6 +157,8 @@ pub struct SnapshotConfig {
 pub enum Command {
     /// Run experiments.
     Run(RunConfig),
+    /// Explore thread schedules over benchmarks (`--explore`).
+    Explore(ExploreConfig),
     /// Write a dated performance snapshot.
     BenchSnapshot(SnapshotConfig),
     /// Validate a JSONL stream against the record contract.
@@ -224,6 +253,8 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
         trace_out: None,
         experiments: Vec::new(),
     };
+    let mut explore_spec: Option<ExploreSpec> = None;
+    let mut positionals: Vec<String> = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -293,26 +324,91 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             "--trace-out" => {
                 cfg.trace_out = Some(PathBuf::from(next_value(&mut it, "--trace-out")?));
             }
+            "--explore" => {
+                let v = next_value(&mut it, "--explore")?;
+                explore_spec =
+                    Some(explore::parse_spec(v).map_err(|e| bad(format!("--explore: {e}")))?);
+            }
             "--help" | "-h" => return Ok(Command::Help),
             other if other.starts_with('-') => return Err(CliError::Usage),
-            other if KNOWN_EXPERIMENTS.contains(&other) => {
-                cfg.experiments.push(other.to_owned());
-            }
-            other => {
-                return Err(bad(format!(
-                    "unknown experiment `{other}` (expected one of: {})",
-                    KNOWN_EXPERIMENTS.join(" ")
-                )));
-            }
+            other => positionals.push(other.to_owned()),
         }
     }
-    if cfg.experiments.is_empty() {
+    if positionals.is_empty() {
         return Err(CliError::Usage);
     }
+
+    if let Some(spec) = explore_spec {
+        return finish_explore(cfg, spec, positionals);
+    }
+
+    for name in &positionals {
+        if !KNOWN_EXPERIMENTS.contains(&name.as_str()) {
+            return Err(bad(format!(
+                "unknown experiment `{name}` (expected one of: {})",
+                KNOWN_EXPERIMENTS.join(" ")
+            )));
+        }
+    }
+    cfg.experiments = positionals;
     if cfg.experiments.iter().any(|e| e == "all") {
         cfg.experiments = ALL_EXPERIMENTS.iter().map(|s| (*s).to_owned()).collect();
     }
     Ok(Command::Run(cfg))
+}
+
+/// Validates an `--explore` invocation: the positional arguments must be
+/// benchmark names (`all` expands to the whole suite), and the run-mode
+/// flags that have no meaning under exploration are rejected rather than
+/// silently ignored.
+fn finish_explore(
+    cfg: RunConfig,
+    spec: ExploreSpec,
+    positionals: Vec<String>,
+) -> Result<Command, CliError> {
+    let incompatible: &[(&str, bool)] = &[
+        ("--retries", cfg.retries.is_some()),
+        ("--cell-budget", cfg.cell_budget.is_some()),
+        ("--cell-deadline", cfg.cell_deadline.is_some()),
+        ("--run-deadline", cfg.run_deadline.is_some()),
+        ("--cancel-after-cycles", cfg.cancel_after.is_some()),
+        ("--fault-inject", cfg.fault.is_some()),
+        ("--journal", cfg.journal.is_some()),
+        ("--resume", cfg.resume),
+        ("--no-fuse", cfg.no_fuse),
+        ("--pgo", cfg.pgo),
+        ("--profile", cfg.profile),
+        ("--trace-out", cfg.trace_out.is_some()),
+    ];
+    for &(flag, set) in incompatible {
+        if set {
+            return Err(bad(format!(
+                "--explore cannot be combined with {flag} (exploration runs all four engine configurations itself)"
+            )));
+        }
+    }
+    let names = isf_workloads::names();
+    for name in &positionals {
+        if name != "all" && !names.contains(&name.as_str()) {
+            return Err(bad(format!(
+                "unknown benchmark `{name}` (expected one of: {} all)",
+                names.join(" ")
+            )));
+        }
+    }
+    let benches = if positionals.iter().any(|n| n == "all") {
+        names.iter().map(|s| (*s).to_owned()).collect()
+    } else {
+        positionals
+    };
+    Ok(Command::Explore(ExploreConfig {
+        scale: cfg.scale,
+        jobs: cfg.jobs,
+        emit_json: cfg.emit_json,
+        emit_path: cfg.emit_path,
+        spec,
+        benches,
+    }))
 }
 
 fn parse_snapshot(args: &[String]) -> Result<Command, CliError> {
@@ -510,6 +606,101 @@ mod tests {
         assert!(msg.contains("table9"), "{msg}");
         assert_eq!(err(&[]), CliError::Usage, "no experiments: full usage");
         assert_eq!(err(&["--wat", "table1"]), CliError::Usage, "unknown flag");
+    }
+
+    #[test]
+    fn explore_parses_benchmarks_and_expands_all() {
+        let Ok(Command::Explore(cfg)) = parse(&argv(&[
+            "--explore",
+            "schedules=32,seed=7",
+            "--scale",
+            "smoke",
+            "--jobs",
+            "2",
+            "--emit",
+            "json",
+            "--emit-path",
+            "x.jsonl",
+            "pbob",
+            "volano",
+        ])) else {
+            panic!("explore invocation should parse");
+        };
+        assert_eq!(cfg.scale, Scale::Smoke);
+        assert_eq!(cfg.jobs, Some(2));
+        assert_eq!(cfg.emit_json, Some(true));
+        assert_eq!(cfg.emit_path, Some(PathBuf::from("x.jsonl")));
+        assert_eq!(cfg.spec.schedules, 32);
+        assert_eq!(cfg.spec.seed, 7);
+        assert_eq!(cfg.benches, vec!["pbob", "volano"]);
+
+        let Ok(Command::Explore(all)) = parse(&argv(&["--explore", "schedules=1", "all"])) else {
+            panic!("explore all should parse");
+        };
+        assert_eq!(all.benches, isf_workloads::names());
+    }
+
+    #[test]
+    fn explore_rejects_bad_specs_and_unknown_benchmarks() {
+        for args in [
+            vec!["--explore", "schedules=0", "pbob"],
+            vec!["--explore", "seed=7", "pbob"],
+            vec!["--explore", "nonsense", "pbob"],
+        ] {
+            let CliError::Bad(msg) = err(&args) else {
+                panic!("{args:?}: expected a one-line error");
+            };
+            assert!(msg.starts_with("--explore:"), "{args:?}: {msg}");
+            assert!(!msg.contains('\n'), "{args:?}: must be one line: {msg}");
+        }
+        let CliError::Bad(msg) = err(&["--explore", "schedules=4", "table1"]) else {
+            panic!("experiment names are not benchmarks");
+        };
+        assert!(msg.contains("unknown benchmark `table1`"), "{msg}");
+        assert_eq!(
+            err(&["--explore", "schedules=4"]),
+            CliError::Usage,
+            "no benchmarks: full usage"
+        );
+    }
+
+    #[test]
+    fn explore_rejects_run_only_flags() {
+        for (args, flag) in [
+            (
+                vec!["--explore", "schedules=4", "--journal", "j", "pbob"],
+                "--journal",
+            ),
+            (
+                vec!["--explore", "schedules=4", "--resume", "pbob"],
+                "--resume",
+            ),
+            (
+                vec!["--explore", "schedules=4", "--no-fuse", "pbob"],
+                "--no-fuse",
+            ),
+            (vec!["--explore", "schedules=4", "--pgo", "pbob"], "--pgo"),
+            (
+                vec!["--explore", "schedules=4", "--retries", "2", "pbob"],
+                "--retries",
+            ),
+            (
+                vec![
+                    "--explore",
+                    "schedules=4",
+                    "--cancel-after-cycles",
+                    "9",
+                    "pbob",
+                ],
+                "--cancel-after-cycles",
+            ),
+        ] {
+            let CliError::Bad(msg) = err(&args) else {
+                panic!("{args:?}: expected a one-line error");
+            };
+            assert!(msg.contains(flag), "{args:?}: {msg}");
+            assert!(!msg.contains('\n'), "{args:?}: must be one line: {msg}");
+        }
     }
 
     #[test]

@@ -146,6 +146,22 @@ pub fn validate(stream: &str) -> Result<usize, JsonlError> {
                 }
             }
             "row" => require(&record, &[("experiment", Kind::Str)], line)?,
+            // Schedule exploration (`--explore`): one record per verified
+            // benchmark. `seed` is the base seed in hex-string form, so
+            // full 64-bit values survive the JSON number round-trip.
+            "explore" => require(
+                &record,
+                &[
+                    ("bench", Kind::Str),
+                    ("seed", Kind::Str),
+                    ("decisions", Kind::Num),
+                    ("random_schedules", Kind::Num),
+                    ("pct_schedules", Kind::Num),
+                    ("dfs_schedules", Kind::Num),
+                    ("dfs_exhausted", Kind::Bool),
+                ],
+                line,
+            )?,
             "summary" => {
                 require(&record, &[("experiment", Kind::Str)], line)?;
                 // Present only when self-profiling is enabled (`--profile`).
@@ -317,6 +333,34 @@ mod tests {
 
         let bad_span = "{\"type\":\"span-summary\",\"spans\":[{\"cat\":\"cell\",\"name\":\"x\"}]}";
         assert!(validate(bad_span).unwrap_err().message.contains("count"));
+    }
+
+    #[test]
+    fn accepts_explore_records() {
+        let stream = concat!(
+            "{\"type\":\"explore\",\"bench\":\"pbob\",\"seed\":\"0x5eed\",\"decisions\":42,\
+             \"random_schedules\":32,\"pct_schedules\":8,\"dfs_schedules\":0,\
+             \"dfs_exhausted\":false}\n",
+            "{\"type\":\"summary\",\"experiment\":\"explore\",\"verified\":2,\"failed\":0}\n",
+        );
+        assert_eq!(validate(stream), Ok(2));
+    }
+
+    #[test]
+    fn rejects_malformed_explore_records() {
+        let no_seed = "{\"type\":\"explore\",\"bench\":\"pbob\",\"decisions\":1,\
+             \"random_schedules\":1,\"pct_schedules\":1,\"dfs_schedules\":0,\"dfs_exhausted\":false}";
+        assert!(validate(no_seed).unwrap_err().message.contains("seed"));
+
+        let numeric_seed = "{\"type\":\"explore\",\"bench\":\"pbob\",\"seed\":5,\"decisions\":1,\
+             \"random_schedules\":1,\"pct_schedules\":1,\"dfs_schedules\":0,\"dfs_exhausted\":false}";
+        assert!(
+            validate(numeric_seed)
+                .unwrap_err()
+                .message
+                .contains("wrong type"),
+            "seed must be the hex string form"
+        );
     }
 
     #[test]

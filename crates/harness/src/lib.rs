@@ -27,6 +27,7 @@
 #![warn(missing_docs)]
 
 pub mod cli;
+pub mod explore;
 pub mod extras;
 pub mod fig7;
 pub mod fig8;

@@ -11,6 +11,8 @@
 //!             [--fault-inject p=<prob>[,seed=<s>]]
 //!             [--journal FILE] [--resume] [--no-fuse] [--pgo]
 //!             [--profile] [--trace-out FILE] <experiment>...
+//! isf-harness --explore schedules=N[,seed=S] [--scale ...] [--jobs N]
+//!             [--emit json|off] [--emit-path FILE] <benchmark>...|all
 //! isf-harness bench-snapshot [--scale ...] [--out DIR]
 //! isf-harness validate-jsonl <FILE>
 //! experiments: table1 table2 table3 table4 table5 fig7 fig8 extras all
@@ -72,14 +74,25 @@
 //! without the subsystem. `--trace-out FILE` additionally records
 //! hierarchical spans (run → phase → experiment → cell → attempt) and
 //! writes them as Chrome trace-event JSON, loadable in Perfetto.
+//!
+//! With `--explore schedules=N[,seed=S]` the harness fuzzes the
+//! green-thread scheduler instead of running experiments: for each named
+//! benchmark it records a round-robin baseline, `N` seeded-random and a
+//! smaller set of PCT-priority schedules, plus a bounded exhaustive DFS
+//! when the schedule tree is shallow, replaying every schedule trace
+//! byte-identically on all four engine configurations and asserting the
+//! schedule-independent observables never vary. A failure prints the
+//! benchmark, seed, and compact trace that reproduce the interleaving
+//! deterministically; `--emit json` adds one `explore` record per
+//! benchmark.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use isf_harness::cli::{self, CliError, Command, RunConfig, SnapshotConfig};
+use isf_harness::cli::{self, CliError, Command, ExploreConfig, RunConfig, SnapshotConfig};
 use isf_harness::{
-    extras, fig7, fig8, journal, jsonl, runner, snapshot, spin, table1, table2, table3, table4,
-    table5,
+    explore, extras, fig7, fig8, journal, jsonl, runner, snapshot, spin, table1, table2, table3,
+    table4, table5,
 };
 use isf_obs::{emit, log, metrics, span, Json};
 
@@ -255,6 +268,65 @@ fn attach_journal(cfg: &RunConfig) -> Result<(), String> {
     Ok(())
 }
 
+/// Runs schedule exploration (`--explore`): one isolated cell per
+/// benchmark, the report on stdout (or emitted as `explore` JSONL
+/// records), nonzero exit when any benchmark failed verification — the
+/// `!!` annotation and `error` record carry the seed and trace that
+/// reproduce the failing schedule.
+fn run_explore(cfg: &ExploreConfig) -> ExitCode {
+    if let Some(n) = cfg.jobs {
+        runner::set_jobs(n);
+    }
+    if let Some(json) = cfg.emit_json {
+        emit::set_mode(if json {
+            emit::EmitMode::Json
+        } else {
+            emit::EmitMode::Off
+        });
+    }
+    let emitting = emit::enabled();
+    let report_to_stdout = !emitting || cfg.emit_path.is_some();
+    if emitting {
+        emit::take_phases();
+        emit::record(&Json::obj([
+            ("type", "meta".into()),
+            ("schema", "isf-harness-jsonl/1".into()),
+            ("scale", snapshot::scale_name(cfg.scale).into()),
+            (
+                "experiments",
+                Json::Arr(cfg.benches.iter().map(|e| e.as_str().into()).collect()),
+            ),
+        ]));
+    }
+    let report = explore::run(cfg.scale, cfg.spec, &cfg.benches);
+    if report_to_stdout {
+        println!("{report}");
+    }
+    report.emit_jsonl();
+    for e in &report.errors {
+        log::error(&format!(
+            "isf-harness: explore: {e} (the seed in the message replays this schedule deterministically)"
+        ));
+    }
+    if emitting {
+        let stream = emit::drain();
+        match &cfg.emit_path {
+            Some(path) => {
+                if let Err(e) = std::fs::write(path, &stream) {
+                    log::error(&format!("--emit-path {}: {e}", path.display()));
+                    return ExitCode::FAILURE;
+                }
+            }
+            None => print!("{stream}"),
+        }
+    }
+    if report.errors.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
 fn run(cfg: &RunConfig) -> ExitCode {
     if let Some(n) = cfg.jobs {
         runner::set_jobs(n);
@@ -406,6 +478,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match cli::parse(&args) {
         Ok(Command::Run(cfg)) => run(&cfg),
+        Ok(Command::Explore(cfg)) => run_explore(&cfg),
         Ok(Command::BenchSnapshot(cfg)) => bench_snapshot(&cfg),
         Ok(Command::ValidateJsonl { path }) => validate_jsonl(&path),
         Ok(Command::Help) => {

@@ -194,6 +194,147 @@ fn render_stmts(stmts: &[Stmt], out: &mut String, indent: usize, loop_id: &mut u
     }
 }
 
+/// The shape of a generated concurrent program: how its worker threads
+/// relate to each other. All shapes combine through *commutative* shared
+/// updates only (additions into a shared cell) and print exclusively from
+/// `main` after every join, so their observable behaviour — output, final
+/// heap state, per-thread instruction streams — is schedule-independent by
+/// construction. That makes them the right fodder for schedule-exploration
+/// tests: any cross-schedule divergence is an engine bug, not a program
+/// race.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConcShape {
+    /// `main` spawns every worker up front, then joins them all (fan-out /
+    /// fan-in). Workers accumulate thread-locally and publish once.
+    FanOut,
+    /// Worker `k` joins worker `k - 1` before publishing, so completion
+    /// order is a chain; `main` joins only the tail and relies on the
+    /// transitive joins (blocked-`Join` wake coverage).
+    JoinChain,
+    /// Every worker hammers the one shared cell inside its loop —
+    /// maximum contention on the commutative update.
+    Contention,
+}
+
+/// A generated concurrent program: `workers` green threads of `iters`
+/// loop iterations each, arranged per [`ConcShape`].
+#[derive(Debug, Clone, Copy)]
+pub struct ConcProgram {
+    /// Worker thread count (2..=5; `main` makes it `workers + 1` threads).
+    pub workers: u8,
+    /// Loop iterations per worker (1..=6).
+    pub iters: u8,
+    /// How the workers relate.
+    pub shape: ConcShape,
+}
+
+/// Strategy over [`ConcProgram`]s: 2–5 workers, 1–6 iterations, all three
+/// shapes.
+pub fn conc_program_strategy() -> impl proptest::strategy::Strategy<Value = ConcProgram> {
+    (
+        2u8..6,
+        1u8..7,
+        prop_oneof![
+            Just(ConcShape::FanOut),
+            Just(ConcShape::JoinChain),
+            Just(ConcShape::Contention),
+        ],
+    )
+        .prop_map(|(workers, iters, shape)| ConcProgram {
+            workers,
+            iters,
+            shape,
+        })
+}
+
+/// Renders a [`ConcProgram`] into a complete Jive program. The final
+/// output — one `print` per worker count plus the shared sum — is the
+/// same under every thread schedule.
+pub fn render_conc_program(p: &ConcProgram) -> String {
+    let workers = p.workers.max(2);
+    let iters = p.iters.max(1);
+    let mut src = String::from("class Cell { field v; field g; }\n");
+    match p.shape {
+        ConcShape::FanOut => {
+            src.push_str(
+                "fn work(c, n, k) {\n    var acc = 0;\n    var i = 0;\n    while (i < n) { acc = acc + k; i = i + 1; }\n    c.v = c.v + acc;\n}\n",
+            );
+        }
+        ConcShape::JoinChain => {
+            src.push_str(
+                "fn work(c, n, k) {\n    var i = 0;\n    while (i < n) { c.v = c.v + k; i = i + 1; }\n}\n\
+                 fn chained(c, n, k, prev) {\n    join(prev);\n    var i = 0;\n    while (i < n) { c.v = c.v + k; i = i + 1; }\n}\n",
+            );
+        }
+        ConcShape::Contention => {
+            src.push_str(
+                "fn work(c, n, k) {\n    var i = 0;\n    while (i < n) { c.v = c.v + k; c.g = c.g + 1; i = i + 1; }\n}\n",
+            );
+        }
+    }
+    src.push_str("fn main() {\n    var c = new Cell;\n    c.v = 0;\n    c.g = 0;\n");
+    for k in 0..workers {
+        match p.shape {
+            ConcShape::JoinChain if k > 0 => src.push_str(&format!(
+                "    var t{k} = spawn chained(c, {iters}, {w}, t{prev});\n",
+                w = k + 1,
+                prev = k - 1
+            )),
+            _ => src.push_str(&format!(
+                "    var t{k} = spawn work(c, {iters}, {w});\n",
+                w = k + 1
+            )),
+        }
+    }
+    match p.shape {
+        ConcShape::JoinChain => {
+            // Joining the tail transitively joins the whole chain; joining
+            // the (by then finished) rest exercises join-on-done.
+            src.push_str(&format!("    join(t{});\n", workers - 1));
+            for k in 0..workers - 1 {
+                src.push_str(&format!("    join(t{k});\n"));
+            }
+        }
+        _ => {
+            for k in 0..workers {
+                src.push_str(&format!("    join(t{k});\n"));
+            }
+        }
+    }
+    src.push_str(&format!(
+        "    print({workers});\n    print(c.v);\n    print(c.g);\n}}\n"
+    ));
+    src
+}
+
+/// A program that runs `threads` worker threads as a recursive spawn
+/// chain — thread `k` spawns thread `k + 1`, joins it, then publishes —
+/// so thread IDs are assigned deterministically on every schedule (arrays
+/// hold integers only, so handles can't be stored and bulk-joined). With
+/// `threads > 1024` this drives `Trigger::CounterPerThread` past its
+/// dense-lane cap (`MAX_DENSE_THREADS`) into the spill map, on every
+/// schedule.
+pub fn spill_program(threads: u32) -> String {
+    format!(
+        "class Cell {{ field v; }}
+fn chain(c, n) {{
+    var t = 0;
+    if (n > 1) {{ t = spawn chain(c, n - 1); }}
+    var j = 0;
+    while (j < 2) {{ j = j + 1; }}
+    c.v = c.v + 1;
+    if (n > 1) {{ join(t); }}
+}}
+fn main() {{
+    var c = new Cell;
+    c.v = 0;
+    var t = spawn chain(c, {threads});
+    join(t);
+    print(c.v);
+}}"
+    )
+}
+
 /// Renders the generated statements into a complete Jive program.
 pub fn render_program(stmts: &[Stmt]) -> String {
     let mut body = String::new();
